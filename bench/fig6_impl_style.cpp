@@ -1,0 +1,72 @@
+// Regenerates the paper's Fig. 6: "Execution delay (in us) of a modular
+// multiplication with 1024 bit operands" for hardware designs (#5_16,
+// #2_128, #8_64) and software routines (assembly and C Montgomery
+// implementations on a Pentium 60).
+//
+// The figure motivates "Implementation Style" as a GENERALIZED design
+// issue: hardware and software occupy performance ranges separated by 2-3
+// orders of magnitude, so the choice is a partition of the space, not a
+// fine-grained trade-off. Paper values: HW 1.96 / 1.96 / 4.32 us; SW 799 /
+// 1037 (ASM) and 5706 / 7268 (C) us. (The paper's 1.96 us label on #2_128
+// is inconsistent with its own Table 1 clock — (1025+8) cycles x 2.96 ns
+// is ~3 us — so the reproduction reports the consistent value; see
+// EXPERIMENTS.md.)
+
+#include <iostream>
+
+#include "rtl/modmul_design.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "swmodel/swmodel.hpp"
+
+using namespace dslayer;
+
+int main() {
+  constexpr unsigned kEol = 1024;
+  std::cout << "=== Fig. 6: execution delay of one " << kEol
+            << "-bit modular multiplication ===\n\n";
+
+  const tech::Technology t035 =
+      tech::technology(tech::Process::k035um, tech::LayoutStyle::kStandardCell);
+
+  TextTable table({"Implementation", "Delay (us)", "Paper (us)", "Style"});
+
+  const auto hw_row = [&](int design, unsigned width, const char* paper) {
+    const auto config = rtl::make_config(
+        rtl::table1_catalog()[static_cast<std::size_t>(design - 1)], width, t035);
+    const auto mult = rtl::MultiplierDesign::for_operand_length(config, kEol);
+    table.add_row({mult.label(design), format_double(mult.latency_ns(kEol) / 1000.0, 3), paper,
+                   "Hardware"});
+  };
+  hw_row(5, 16, "1.96");
+  hw_row(2, 128, "1.96 (inconsistent w/ Table 1)");
+  hw_row(8, 64, "4.32");
+  table.add_rule();
+
+  for (const auto& core : swmodel::software_catalog()) {
+    std::string paper = "-";
+    if (core.label() == "CIHS ASM") paper = "799 / 1037";
+    if (core.label() == "CIOS C code") paper = "5706";
+    if (core.label() == "CIHS C code") paper = "7268";
+    table.add_row({core.label(), format_double(core.mont_mul_us(kEol), 4), paper, "Software"});
+  }
+  std::cout << table.render();
+
+  // The claim the generalized issue rests on.
+  double worst_hw = 0.0, best_sw = 1e18;
+  for (const int d : {5, 2, 8}) {
+    const unsigned w = d == 5 ? 16u : (d == 2 ? 128u : 64u);
+    const auto config =
+        rtl::make_config(rtl::table1_catalog()[static_cast<std::size_t>(d - 1)], w, t035);
+    worst_hw = std::max(
+        worst_hw, rtl::MultiplierDesign::for_operand_length(config, kEol).latency_ns(kEol) / 1e3);
+  }
+  for (const auto& core : swmodel::software_catalog()) {
+    best_sw = std::min(best_sw, core.mont_mul_us(kEol));
+  }
+  std::cout << "\nHardware/software gap: fastest SW / slowest listed HW = x"
+            << format_double(best_sw / worst_hw, 4)
+            << "  (paper: x" << format_double(799.0 / 4.32, 4) << ")\n"
+            << "=> 'Implementation Style' partitions the design space (generalized issue).\n";
+  return 0;
+}

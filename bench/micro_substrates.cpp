@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) for the substrates and the layer
+// itself: bignum arithmetic, the five Montgomery scheduling variants, the
+// RTL functional simulator, and the exploration engine's query paths.
+// These measure the library's own performance (not the paper's figures).
+
+#include <benchmark/benchmark.h>
+
+#include "bigint/modular.hpp"
+#include "bigint/montgomery_variants.hpp"
+#include "dct/idct.hpp"
+#include "domains/crypto.hpp"
+#include "rtl/simulator.hpp"
+#include "support/rng.hpp"
+
+using namespace dslayer;
+using namespace dslayer::domains;
+
+namespace {
+
+bigint::BigUint odd_modulus(Rng& rng, unsigned bits) {
+  bigint::BigUint m = bigint::BigUint::random_bits(rng, bits);
+  if (!m.is_odd()) m += bigint::BigUint(1);
+  return m;
+}
+
+void BM_BigUintMultiply(benchmark::State& state) {
+  Rng rng(1);
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  const auto a = bigint::BigUint::random_bits(rng, bits);
+  const auto b = bigint::BigUint::random_bits(rng, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+  state.SetLabel(std::to_string(bits) + " bits");
+}
+BENCHMARK(BM_BigUintMultiply)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_KaratsubaVsSchoolbook(benchmark::State& state) {
+  Rng rng(7);
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  const auto a = bigint::BigUint::random_bits(rng, bits);
+  const auto b = bigint::BigUint::random_bits(rng, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(bigint::karatsuba_mul(a, b));
+  state.SetLabel(std::to_string(bits) + " bits (karatsuba)");
+}
+BENCHMARK(BM_KaratsubaVsSchoolbook)->Arg(2048)->Arg(8192)->Arg(32768);
+
+void BM_BigUintDivMod(benchmark::State& state) {
+  Rng rng(2);
+  const unsigned bits = static_cast<unsigned>(state.range(0));
+  const auto n = bigint::BigUint::random_bits(rng, 2 * bits);
+  const auto d = bigint::BigUint::random_bits(rng, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(bigint::divmod(n, d));
+}
+BENCHMARK(BM_BigUintDivMod)->Arg(256)->Arg(1024);
+
+void BM_MontgomeryVariant(benchmark::State& state) {
+  Rng rng(3);
+  const auto variant = static_cast<bigint::MontVariant>(state.range(0));
+  const auto m = odd_modulus(rng, 1024);
+  const auto a = bigint::BigUint::random_below(rng, m);
+  const auto b = bigint::BigUint::random_below(rng, m);
+  const std::size_t s = m.limb_count();
+  std::vector<std::uint32_t> av(s), bv(s), mv(s), out(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    av[i] = a.limb(i);
+    bv[i] = b.limb(i);
+    mv[i] = m.limb(i);
+  }
+  const std::uint32_t mp = bigint::mont_word_inverse(mv[0]);
+  for (auto _ : state) {
+    bigint::mont_mul(variant, av, bv, mv, mp, out, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(to_string(variant) + " 1024b");
+}
+BENCHMARK(BM_MontgomeryVariant)->DenseRange(0, 4);
+
+void BM_ModExp1024(benchmark::State& state) {
+  Rng rng(4);
+  const auto m = odd_modulus(rng, 1024);
+  const auto base = bigint::BigUint::random_below(rng, m);
+  const auto exp = bigint::BigUint::random_bits(rng, 64);  // short exponent for bench time
+  bigint::MontgomeryContext ctx(m);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.mod_exp(base, exp));
+}
+BENCHMARK(BM_ModExp1024);
+
+void BM_SimulateMontgomeryHw(benchmark::State& state) {
+  Rng rng(5);
+  const unsigned radix = static_cast<unsigned>(state.range(0));
+  const auto m = odd_modulus(rng, 768);
+  const auto a = bigint::BigUint::random_below(rng, m);
+  const auto b = bigint::BigUint::random_below(rng, m);
+  for (auto _ : state) benchmark::DoNotOptimize(rtl::simulate_montgomery(a, b, m, radix));
+  state.SetLabel("radix " + std::to_string(radix) + ", 768b");
+}
+BENCHMARK(BM_SimulateMontgomeryHw)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_Idct8x8(benchmark::State& state) {
+  Rng rng(8);
+  dct::IntBlock coeffs{};
+  for (auto& v : coeffs) v = static_cast<std::int32_t>(rng.next_in(-300, 300));
+  const bool fused = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fused ? dct::idct_8x8_fused(coeffs)
+                                   : dct::idct_8x8_row_col(coeffs));
+  }
+  state.SetLabel(fused ? "fused" : "row-col");
+}
+BENCHMARK(BM_Idct8x8)->Arg(0)->Arg(1);
+
+void BM_BuildCryptoLayer(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(build_crypto_layer());
+}
+BENCHMARK(BM_BuildCryptoLayer);
+
+void BM_IndexCores(benchmark::State& state) {
+  auto layer = build_crypto_layer();
+  for (auto _ : state) benchmark::DoNotOptimize(layer->index_cores());
+}
+BENCHMARK(BM_IndexCores);
+
+void BM_CandidateQuery(benchmark::State& state) {
+  auto layer = build_crypto_layer();
+  dsl::ExplorationSession s(*layer, kPathOMM);
+  apply_coprocessor_spec(s);
+  s.decide(kImplStyle, "Hardware");
+  s.decide(kAlgorithm, "Montgomery");
+  for (auto _ : state) benchmark::DoNotOptimize(s.candidates());
+}
+BENCHMARK(BM_CandidateQuery);
+
+void BM_MetricRangeQuery(benchmark::State& state) {
+  auto layer = build_crypto_layer();
+  dsl::ExplorationSession s(*layer, kPathOMM);
+  apply_coprocessor_spec(s);
+  s.decide(kImplStyle, "Hardware");
+  for (auto _ : state) benchmark::DoNotOptimize(s.metric_range(kMetricArea));
+}
+BENCHMARK(BM_MetricRangeQuery);
+
+void BM_SliceDesignEvaluate(benchmark::State& state) {
+  const tech::Technology t035 =
+      tech::technology(tech::Process::k035um, tech::LayoutStyle::kStandardCell);
+  const auto& entry = rtl::table1_catalog()[4];
+  for (auto _ : state) {
+    rtl::SliceDesign slice(rtl::make_config(entry, 64, t035));
+    benchmark::DoNotOptimize(slice.area());
+  }
+}
+BENCHMARK(BM_SliceDesignEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

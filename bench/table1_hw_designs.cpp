@@ -1,0 +1,115 @@
+// Regenerates the paper's Table 1: "Operator - Modular - Multiplier -
+// Hardware: Alternative Designs" — the eight slice designs (radix x
+// algorithm x adder x multiplier) evaluated at slice widths 8..128 on the
+// 0.35um standard-cell technology: Area, Latency (ns, for EOL = slice
+// width) and Clk (ns).
+//
+// Paper reference values (where the scanned table is legible) are printed
+// alongside; the reproduction targets the SHAPE: CSA clocks flat vs CLA
+// clocks growing, radix 4 halving cycle counts, MUX beating MUL, and
+// Montgomery dominating Brickell. See EXPERIMENTS.md for the comparison.
+
+#include <iostream>
+#include <map>
+
+#include "rtl/modmul_design.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace dslayer;
+using namespace dslayer::rtl;
+
+namespace {
+
+struct PaperRef {
+  double area, latency, clk;
+};
+
+// Parsed from the paper's Table 1 (OCR-garbled cells omitted).
+const std::map<std::pair<int, unsigned>, PaperRef> kPaper = {
+    {{1, 8}, {5436, 25, 2.73}},    {{1, 16}, {8872, 62, 3.64}},
+    {{1, 32}, {17420, 138, 4.17}}, {{1, 64}, {34491, 351, 5.40}},
+    {{1, 128}, {63897, 844, 6.54}},
+    {{2, 8}, {6307, 27, 2.37}},    {{2, 16}, {12477, 45, 2.33}},
+    {{2, 32}, {21554, 92, 2.55}},  {{2, 64}, {37299, 175, 2.60}},
+    {{2, 128}, {77905, 388, 2.96}},
+    {{3, 8}, {7433, 38, 4.21}},    {{3, 16}, {12265, 45, 4.93}},
+    {{3, 32}, {23987, 106, 6.18}}, {{3, 64}, {47533, 262, 7.91}},
+    {{3, 128}, {96106, 661, 10.16}},
+    {{4, 8}, {9912, 37, 3.33}},    {{4, 16}, {16969, 41, 3.72}},
+    {{4, 32}, {34142, 78, 4.10}},  {{4, 64}, {67106, 166, 4.60}},
+    {{4, 128}, {122439, 372, 5.63}},
+    {{5, 8}, {9075, 38, 3.39}},    {{5, 16}, {14359, 38, 3.39}},
+    {{5, 32}, {24398, 67, 3.52}},  {{5, 64}, {46604, 138, 3.81}},
+    {{5, 128}, {85735, 295, 4.53}},
+    {{6, 8}, {8013, 35, 3.84}},    {{6, 16}, {11939, 40, 4.43}},
+    {{6, 32}, {18983, 86, 5.07}},  {{6, 64}, {37829, 201, 6.08}},
+    {{6, 128}, {69751, 499, 7.67}},
+    {{7, 8}, {7326, 71, 3.93}},    {{7, 16}, {12300, 113, 4.33}},
+    {{7, 32}, {23370, 217, 5.16}},
+    {{8, 8}, {10433, 72, 3.78}},   {{8, 16}, {16927, 120, 4.30}},
+    {{8, 32}, {26303, 195, 4.42}}, {{8, 64}, {49296, 313, 4.17}},
+};
+
+std::string ratio(double mine, double paper) {
+  if (paper <= 0) return "-";
+  return format_double(mine / paper, 3);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table 1: Operator-Modular-Multiplier-Hardware: Alternative Designs ===\n"
+            << "technology: 0.35um standard cell; latency computed for EOL = slice width\n\n";
+
+  const tech::Technology t035 =
+      tech::technology(tech::Process::k035um, tech::LayoutStyle::kStandardCell);
+
+  TextTable table({"Design", "Radix", "Alg", "Adder", "Mult", "Width", "Area", "Lat(ns)",
+                   "Clk(ns)", "Area/paper", "Lat/paper", "Clk/paper"});
+  for (const CatalogEntry& entry : table1_catalog()) {
+    for (unsigned width : kTable1SliceWidths) {
+      const SliceDesign slice(make_config(entry, width, t035));
+      const auto ref = kPaper.find({entry.design_no, width});
+      std::vector<std::string> row{
+          cat("#", entry.design_no),
+          cat(entry.radix),
+          to_string(entry.algorithm).substr(0, 1),
+          to_string(entry.adder),
+          to_string(entry.multiplier),
+          cat(width),
+          format_double(slice.area(), 6),
+          format_double(slice.latency_ns(width), 4),
+          format_double(slice.clock_ns(), 3),
+      };
+      if (ref != kPaper.end()) {
+        row.push_back(ratio(slice.area(), ref->second.area));
+        row.push_back(ratio(slice.latency_ns(width), ref->second.latency));
+        row.push_back(ratio(slice.clock_ns(), ref->second.clk));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
+      table.add_row(std::move(row));
+    }
+    table.add_rule();
+  }
+  std::cout << table.render();
+
+  // The structural claims the table supports.
+  const auto clk = [&t035](int design, unsigned w) {
+    return SliceDesign(make_config(table1_catalog()[static_cast<std::size_t>(design - 1)], w,
+                                   t035))
+        .clock_ns();
+  };
+  std::cout << "\nShape checks:\n"
+            << "  CLA clock growth  (#1, 8 -> 128): x" << format_double(clk(1, 128) / clk(1, 8), 3)
+            << "  (paper: x" << format_double(6.54 / 2.73, 3) << ")\n"
+            << "  CSA clock growth  (#2, 8 -> 128): x" << format_double(clk(2, 128) / clk(2, 8), 3)
+            << "  (paper: x" << format_double(2.96 / 2.37, 3) << ")\n"
+            << "  MUX vs MUL clock  (#5 vs #4 @64): " << format_double(clk(5, 64) / clk(4, 64), 3)
+            << "  (paper: " << format_double(3.81 / 4.60, 3) << ")\n"
+            << "  Brickell vs Montgomery clock (#8 vs #2 @64): "
+            << format_double(clk(8, 64) / clk(2, 64), 3) << "  (paper: "
+            << format_double(4.17 / 2.60, 3) << ")\n";
+  return 0;
+}

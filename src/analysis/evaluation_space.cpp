@@ -1,0 +1,258 @@
+#include "analysis/evaluation_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::analysis {
+
+double EvalPoint::metric(const std::string& name) const {
+  const auto it = metrics.find(name);
+  if (it == metrics.end()) {
+    throw PreconditionError(cat("point '", id, "' has no metric '", name, "'"));
+  }
+  return it->second;
+}
+
+bool dominates(const EvalPoint& a, const EvalPoint& b, const std::vector<std::string>& metrics) {
+  DSLAYER_REQUIRE(!metrics.empty(), "dominance needs at least one metric");
+  bool strictly_better = false;
+  for (const std::string& m : metrics) {
+    const double av = a.metric(m);
+    const double bv = b.metric(m);
+    if (av > bv) return false;
+    if (av < bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<EvalPoint>& points,
+                                      const std::vector<std::string>& metrics) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i], metrics)) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+namespace {
+
+/// Min-max normalized metric matrix: rows = points, cols = metrics.
+std::vector<std::vector<double>> normalize(const std::vector<EvalPoint>& points,
+                                           const std::vector<std::string>& metrics) {
+  std::vector<std::vector<double>> rows(points.size(), std::vector<double>(metrics.size(), 0.0));
+  for (std::size_t c = 0; c < metrics.size(); ++c) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const EvalPoint& p : points) {
+      const double v = p.metric(metrics[c]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+    for (std::size_t r = 0; r < points.size(); ++r) {
+      const double v = points[r].metric(metrics[c]);
+      rows[r][c] = span > 0.0 ? (v - lo) / span : 0.0;
+    }
+  }
+  return rows;
+}
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+Clustering cluster_k(const std::vector<EvalPoint>& points, const std::vector<std::string>& metrics,
+                     int k) {
+  const int n = static_cast<int>(points.size());
+  DSLAYER_REQUIRE(k >= 1 && k <= n, "cluster count must be in [1, n]");
+  const auto rows = normalize(points, metrics);
+
+  // Each cluster is a member list; complete linkage = max pairwise distance.
+  std::vector<std::vector<int>> clusters(points.size());
+  for (int i = 0; i < n; ++i) clusters[static_cast<std::size_t>(i)] = {i};
+
+  const auto linkage = [&rows](const std::vector<int>& a, const std::vector<int>& b) {
+    double worst = 0.0;
+    for (int i : a) {
+      for (int j : b) {
+        worst = std::max(worst, euclidean(rows[static_cast<std::size_t>(i)],
+                                          rows[static_cast<std::size_t>(j)]));
+      }
+    }
+    return worst;
+  };
+
+  while (static_cast<int>(clusters.size()) > k) {
+    std::size_t best_a = 0, best_b = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < clusters.size(); ++a) {
+      for (std::size_t b = a + 1; b < clusters.size(); ++b) {
+        const double d = linkage(clusters[a], clusters[b]);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    clusters[best_a].insert(clusters[best_a].end(), clusters[best_b].begin(),
+                            clusters[best_b].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(best_b));
+  }
+
+  Clustering result;
+  result.assignment.assign(points.size(), 0);
+  result.cluster_count = static_cast<int>(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (int i : clusters[c]) result.assignment[static_cast<std::size_t>(i)] = static_cast<int>(c);
+  }
+  return result;
+}
+
+double silhouette(const std::vector<EvalPoint>& points, const std::vector<std::string>& metrics,
+                  const Clustering& clustering) {
+  const std::size_t n = points.size();
+  DSLAYER_REQUIRE(clustering.assignment.size() == n, "assignment size mismatch");
+  DSLAYER_REQUIRE(clustering.cluster_count >= 2 && n >= 2,
+                  "silhouette needs at least two clusters and two points");
+  const auto rows = normalize(points, metrics);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int own = clustering.assignment[i];
+    double a_sum = 0.0;
+    int a_count = 0;
+    std::map<int, std::pair<double, int>> other;  // cluster -> (sum, count)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = euclidean(rows[i], rows[j]);
+      if (clustering.assignment[j] == own) {
+        a_sum += d;
+        ++a_count;
+      } else {
+        auto& [sum, count] = other[clustering.assignment[j]];
+        sum += d;
+        ++count;
+      }
+    }
+    if (a_count == 0 || other.empty()) continue;  // singleton contributes 0
+    const double a = a_sum / a_count;
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [cluster, pair] : other) {
+      b = std::min(b, pair.first / pair.second);
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+Clustering cluster_auto(const std::vector<EvalPoint>& points,
+                        const std::vector<std::string>& metrics, int max_k) {
+  const int n = static_cast<int>(points.size());
+  DSLAYER_REQUIRE(n >= 2, "clustering needs at least two points");
+  max_k = std::min(max_k, n);
+  DSLAYER_REQUIRE(max_k >= 2, "max_k must be at least 2");
+
+  Clustering best;
+  double best_score = -2.0;
+  for (int k = 2; k <= max_k; ++k) {
+    Clustering c = cluster_k(points, metrics, k);
+    const double s = silhouette(points, metrics, c);
+    if (s > best_score) {
+      best_score = s;
+      best = std::move(c);
+    }
+  }
+  return best;
+}
+
+std::vector<IssueScore> rank_issues(const std::vector<EvalPoint>& points,
+                                    const Clustering& clustering) {
+  DSLAYER_REQUIRE(clustering.assignment.size() == points.size(), "assignment size mismatch");
+  const double n = static_cast<double>(points.size());
+
+  // Cluster entropy H(C).
+  std::map<int, int> cluster_counts;
+  for (int c : clustering.assignment) ++cluster_counts[c];
+  double h_cluster = 0.0;
+  for (const auto& [c, count] : cluster_counts) {
+    const double p = count / n;
+    h_cluster -= p * std::log2(p);
+  }
+
+  // Attribute keys appearing anywhere.
+  std::set<std::string> keys;
+  for (const EvalPoint& p : points) {
+    for (const auto& [k, v] : p.attributes) keys.insert(k);
+  }
+
+  std::vector<IssueScore> scores;
+  for (const std::string& key : keys) {
+    // Joint counts over (option, cluster); points missing the attribute get
+    // a dedicated "<unset>" option.
+    std::map<std::string, int> option_counts;
+    std::map<std::pair<std::string, int>, int> joint;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto it = points[i].attributes.find(key);
+      const std::string option = it == points[i].attributes.end() ? "<unset>" : it->second;
+      ++option_counts[option];
+      ++joint[{option, clustering.assignment[i]}];
+    }
+    // I(A;C) = H(C) - H(C|A).
+    double h_given = 0.0;
+    for (const auto& [option, count] : option_counts) {
+      const double p_opt = count / n;
+      double h = 0.0;
+      for (const auto& [oc, jcount] : joint) {
+        if (oc.first != option) continue;
+        const double p = static_cast<double>(jcount) / count;
+        h -= p * std::log2(p);
+      }
+      h_given += p_opt * h;
+    }
+    const double gain = h_cluster - h_given;
+    scores.push_back({key, h_cluster > 0.0 ? std::max(0.0, gain / h_cluster) : 0.0});
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const IssueScore& a, const IssueScore& b) { return a.info_gain > b.info_gain; });
+  return scores;
+}
+
+std::vector<HierarchySuggestion> suggest_hierarchy(const std::vector<EvalPoint>& points,
+                                                   const std::vector<std::string>& metrics,
+                                                   int max_k) {
+  const Clustering clustering = cluster_auto(points, metrics, max_k);
+  std::vector<HierarchySuggestion> out;
+  for (const IssueScore& score : rank_issues(points, clustering)) {
+    if (score.info_gain <= 0.0) continue;
+    HierarchySuggestion s;
+    s.issue = score.issue;
+    s.info_gain = score.info_gain;
+    for (const EvalPoint& p : points) {
+      const auto it = p.attributes.find(score.issue);
+      const std::string option = it == p.attributes.end() ? "<unset>" : it->second;
+      s.groups[option].push_back(p.id);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace dslayer::analysis

@@ -1,0 +1,92 @@
+// Evaluation-space analysis.
+//
+// Section 2.2 of the paper argues that generalization hierarchies "should
+// be based on [the design issues'] impact on the figures of merit of
+// interest — this will allow for a coherent organization of designs,
+// reflecting their actual proximity in the evaluation space", and shows the
+// IDCT cores discriminated into the clusters {1,2,5} and {3,4} (Fig. 3).
+//
+// This module provides the machinery to do that systematically:
+//  * dominance / Pareto fronts over arbitrary minimized metrics (used to
+//    recognize inferior solutions, the subject of CC4-style constraints);
+//  * complete-linkage agglomerative clustering over normalized metrics,
+//    with silhouette-based selection of the cluster count;
+//  * ranking of candidate design issues by how well their options explain
+//    an observed clustering (normalized information gain) — the basis for
+//    choosing which issue to generalize at each hierarchy level.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dslayer::analysis {
+
+/// One design point in the evaluation space: named metrics (all minimized,
+/// e.g. area / delay / power) plus categorical attributes (design-issue
+/// options, e.g. "FabricationTechnology" -> "0.35um").
+struct EvalPoint {
+  std::string id;
+  std::map<std::string, double> metrics;
+  std::map<std::string, std::string> attributes;
+
+  /// Metric value; throws PreconditionError if absent.
+  double metric(const std::string& name) const;
+};
+
+/// True if a is at least as good as b on every listed metric and strictly
+/// better on at least one (all metrics minimized).
+bool dominates(const EvalPoint& a, const EvalPoint& b, const std::vector<std::string>& metrics);
+
+/// Indices of the non-dominated points.
+std::vector<std::size_t> pareto_front(const std::vector<EvalPoint>& points,
+                                      const std::vector<std::string>& metrics);
+
+/// A flat clustering of the points.
+struct Clustering {
+  std::vector<int> assignment;  ///< cluster id per point, 0-based
+  int cluster_count = 0;
+};
+
+/// Complete-linkage agglomerative clustering into exactly k clusters over
+/// min-max normalized metrics. Requires 1 <= k <= points.size().
+Clustering cluster_k(const std::vector<EvalPoint>& points, const std::vector<std::string>& metrics,
+                     int k);
+
+/// Mean silhouette width of a clustering (-1..1; higher = better
+/// separated). Requires at least 2 clusters and 2 points.
+double silhouette(const std::vector<EvalPoint>& points, const std::vector<std::string>& metrics,
+                  const Clustering& clustering);
+
+/// Clusters with k chosen in [2, max_k] by maximum silhouette.
+Clustering cluster_auto(const std::vector<EvalPoint>& points,
+                        const std::vector<std::string>& metrics, int max_k);
+
+/// How well a categorical attribute explains a clustering.
+struct IssueScore {
+  std::string issue;
+  double info_gain = 0.0;  ///< mutual information, normalized to [0, 1]
+};
+
+/// Ranks every attribute appearing in the points by normalized information
+/// gain against the clustering, descending — the issue to generalize first
+/// is the top-ranked one (Section 2.2's organizing principle).
+std::vector<IssueScore> rank_issues(const std::vector<EvalPoint>& points,
+                                    const Clustering& clustering);
+
+/// A suggested level of a generalization hierarchy: split by `issue`, whose
+/// options partition the points into the listed groups.
+struct HierarchySuggestion {
+  std::string issue;
+  double info_gain = 0.0;
+  std::map<std::string, std::vector<std::string>> groups;  ///< option -> point ids
+};
+
+/// End-to-end Section 2.2 procedure: cluster the evaluation space, rank the
+/// issues, and propose the best-explaining issue as the generalized issue
+/// for this level. Returns nothing if no attribute has positive gain.
+std::vector<HierarchySuggestion> suggest_hierarchy(const std::vector<EvalPoint>& points,
+                                                   const std::vector<std::string>& metrics,
+                                                   int max_k);
+
+}  // namespace dslayer::analysis

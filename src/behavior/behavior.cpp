@@ -1,0 +1,275 @@
+#include "behavior/behavior.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::behavior {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd: return "+";
+    case OpKind::kSub: return "-";
+    case OpKind::kMul: return "*";
+    case OpKind::kDivRadix: return "div r";
+    case OpKind::kModRadix: return "mod r";
+    case OpKind::kCompare: return "cmp";
+    case OpKind::kSelect: return "sel";
+    case OpKind::kAssign: return ":=";
+  }
+  return "?";
+}
+
+double TripCount::evaluate(unsigned eol_bits, unsigned radix) const {
+  DSLAYER_REQUIRE(radix >= 2 && (radix & (radix - 1)) == 0, "radix must be a power of two >= 2");
+  const unsigned digit_bits = static_cast<unsigned>(std::countr_zero(radix));
+  const double digits = std::ceil(static_cast<double>(eol_bits) / digit_bits);
+  return per_digit * digits + constant;
+}
+
+BehavioralDescription::BehavioralDescription(std::string name) : name_(std::move(name)) {}
+
+int BehavioralDescription::add_op(OpKind kind, int line, std::vector<std::string> inputs,
+                                  std::string output, unsigned width_bits) {
+  DSLAYER_REQUIRE(line >= 1, "line numbers are 1-based");
+  DSLAYER_REQUIRE(!output.empty(), "every operation defines an output symbol");
+  Op op;
+  op.id = static_cast<int>(ops_.size());
+  op.kind = kind;
+  op.line = line;
+  op.inputs = std::move(inputs);
+  op.output = std::move(output);
+  op.width_bits = width_bits;
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void BehavioralDescription::set_loop(int first_line, int last_line, TripCount trips) {
+  DSLAYER_REQUIRE(first_line >= 1 && last_line >= first_line, "malformed loop bounds");
+  DSLAYER_REQUIRE(!loop_.has_value(), "only one loop per behavioral description");
+  loop_ = Loop{first_line, last_line, trips};
+}
+
+int BehavioralDescription::loop_first_line() const {
+  DSLAYER_REQUIRE(loop_.has_value(), "behavioral description has no loop");
+  return loop_->first_line;
+}
+
+int BehavioralDescription::loop_last_line() const {
+  DSLAYER_REQUIRE(loop_.has_value(), "behavioral description has no loop");
+  return loop_->last_line;
+}
+
+double BehavioralDescription::iteration_count(unsigned eol_bits, unsigned radix) const {
+  if (!loop_.has_value()) return 1.0;
+  return loop_->trips.evaluate(eol_bits, radix);
+}
+
+const BehavioralDescription::Op& BehavioralDescription::op(int id) const {
+  DSLAYER_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < ops_.size(), "op id out of range");
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> BehavioralDescription::ops_on_line(int line) const {
+  std::vector<int> out;
+  for (const Op& o : ops_) {
+    if (o.line == line) out.push_back(o.id);
+  }
+  return out;
+}
+
+std::vector<int> BehavioralDescription::ops_of_kind(OpKind kind) const {
+  std::vector<int> out;
+  for (const Op& o : ops_) {
+    if (o.kind == kind) out.push_back(o.id);
+  }
+  return out;
+}
+
+std::vector<int> BehavioralDescription::extract(OpKind kind, int line) const {
+  std::vector<int> out;
+  for (const Op& o : ops_) {
+    if (o.kind == kind && o.line == line) out.push_back(o.id);
+  }
+  return out;
+}
+
+std::vector<int> BehavioralDescription::loop_body() const {
+  std::vector<int> out;
+  if (!loop_.has_value()) return out;
+  for (const Op& o : ops_) {
+    if (o.line >= loop_->first_line && o.line <= loop_->last_line) out.push_back(o.id);
+  }
+  return out;
+}
+
+std::vector<int> BehavioralDescription::predecessors(int id) const {
+  const Op& o = op(id);
+  std::vector<int> preds;
+  for (const std::string& input : o.inputs) {
+    // Last definition of `input` before this op, if any.
+    for (int j = id - 1; j >= 0; --j) {
+      if (ops_[static_cast<std::size_t>(j)].output == input) {
+        preds.push_back(j);
+        break;
+      }
+    }
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+double BehavioralDescription::critical_path_over(
+    const std::vector<int>& ids, const std::function<double(const Op&)>& delay) const {
+  // Ids are in program order, which is a topological order of the DAG.
+  std::map<int, double> arrival;  // op id -> path delay ending at that op
+  double best = 0.0;
+  for (int id : ids) {
+    const Op& o = op(id);
+    double start = 0.0;
+    for (int p : predecessors(id)) {
+      const auto it = arrival.find(p);
+      if (it != arrival.end()) start = std::max(start, it->second);
+    }
+    const double finish = start + delay(o);
+    arrival[id] = finish;
+    best = std::max(best, finish);
+  }
+  return best;
+}
+
+double BehavioralDescription::critical_path(
+    const std::function<double(const Op&)>& delay) const {
+  std::vector<int> all(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) all[i] = static_cast<int>(i);
+  return critical_path_over(all, delay);
+}
+
+double BehavioralDescription::loop_critical_path(
+    const std::function<double(const Op&)>& delay) const {
+  const std::vector<int> body = loop_body();
+  DSLAYER_REQUIRE(!body.empty(), "behavioral description has no loop body");
+  return critical_path_over(body, delay);
+}
+
+std::string BehavioralDescription::to_text() const {
+  std::ostringstream os;
+  os << "BD " << name_ << ":\n";
+  int last_line = -1;
+  for (const Op& o : ops_) {
+    if (o.line != last_line) {
+      if (loop_.has_value() && o.line == loop_->first_line) {
+        os << "  -- loop (" << loop_->trips.per_digit << " x digits + " << loop_->trips.constant
+           << " iterations) --\n";
+      }
+      os << "  " << o.line << ":";
+      last_line = o.line;
+    } else {
+      os << "    ";
+    }
+    os << " " << o.output << " <- " << to_string(o.kind) << "(" << join(o.inputs, ", ") << ")"
+       << " [" << o.width_bits << "b]\n";
+  }
+  return os.str();
+}
+
+BehavioralDescription montgomery_bd(unsigned radix, unsigned width_bits) {
+  DSLAYER_REQUIRE(radix >= 2 && (radix & (radix - 1)) == 0, "radix must be a power of two >= 2");
+  BehavioralDescription bd(cat("Montgomery_r", radix));
+  const unsigned digit_bits = static_cast<unsigned>(std::countr_zero(radix));
+  // 1: R := 0; Q := 0; B := r2 * B   (pre-computation / domain entry)
+  bd.add_op(OpKind::kAssign, 1, {"zero"}, "R", width_bits);
+  bd.add_op(OpKind::kAssign, 1, {"zero"}, "Q", digit_bits);
+  bd.add_op(OpKind::kMul, 1, {"r2", "B_in"}, "B", width_bits);
+  // Loop body (paper lines 3-4; the FOR header is line 2):
+  // 3: R := (Ai*B + R + Qi*M) div r
+  // Radix 2 digits are single bits: the partial products Ai*B and Qi*M are
+  // gatings (selects), not multiplications. Wider digits need real digit
+  // multipliers — the estimator then separates the radices.
+  const OpKind pp = radix == 2 ? OpKind::kSelect : OpKind::kMul;
+  bd.add_op(pp, 3, {"Ai", "B"}, "t_ab", width_bits);
+  bd.add_op(pp, 3, {"Q", "M"}, "t_qm", width_bits);
+  bd.add_op(OpKind::kAdd, 3, {"t_ab", "R"}, "t_sum1", width_bits);
+  bd.add_op(OpKind::kAdd, 3, {"t_sum1", "t_qm"}, "t_sum2", width_bits);
+  bd.add_op(OpKind::kDivRadix, 3, {"t_sum2"}, "R", width_bits);
+  // 4: Qi := (R0 * (r - M0)^-1) mod r   (quotient digit for the NEXT iter)
+  bd.add_op(OpKind::kMul, 4, {"R", "minv"}, "t_q", digit_bits);
+  bd.add_op(OpKind::kModRadix, 4, {"t_q"}, "Q", digit_bits);
+  // 5: IF (R > M) THEN 6: R := R - M
+  bd.add_op(OpKind::kCompare, 5, {"R", "M"}, "gt", 1);
+  bd.add_op(OpKind::kSub, 6, {"R", "M"}, "t_red", width_bits);
+  bd.add_op(OpKind::kSelect, 6, {"gt", "t_red", "R"}, "R", width_bits);
+  // FOR i = 1 TO n+1 where n = number of radix-r digits of the EOL.
+  bd.set_loop(3, 4, TripCount{1.0, 1.0});
+  return bd;
+}
+
+BehavioralDescription brickell_bd(unsigned radix, unsigned width_bits) {
+  DSLAYER_REQUIRE(radix >= 2 && (radix & (radix - 1)) == 0, "radix must be a power of two >= 2");
+  BehavioralDescription bd(cat("Brickell_r", radix));
+  // 1: R := 0
+  bd.add_op(OpKind::kAssign, 1, {"zero"}, "R", width_bits);
+  // Loop body, MSB-first:
+  // 2: R := R*r + Ai*B  (shift-and-accumulate partial product)
+  bd.add_op(OpKind::kMul, 2, {"Ai", "B"}, "t_ab", width_bits);
+  bd.add_op(OpKind::kAdd, 2, {"R_shifted", "t_ab"}, "R", width_bits);
+  // 3: WHILE R >= M: R := R - M  (mod reduction at every partial product;
+  // bounded by the radix, modeled as compare + subtract + select).
+  bd.add_op(OpKind::kCompare, 3, {"R", "M"}, "ge", 1);
+  bd.add_op(OpKind::kSub, 3, {"R", "M"}, "t_red", width_bits);
+  bd.add_op(OpKind::kSelect, 3, {"ge", "t_red", "R"}, "R", width_bits);
+  bd.set_loop(2, 3, TripCount{1.0, 0.0});
+  return bd;
+}
+
+BehavioralDescription paper_pencil_bd(unsigned width_bits) {
+  BehavioralDescription bd("PaperAndPencil");
+  // 1: P := A * B  (full double-width product)
+  bd.add_op(OpKind::kMul, 1, {"A", "B"}, "P", 2 * width_bits);
+  // 2: R := P mod M  (one large division)
+  bd.add_op(OpKind::kDivRadix, 2, {"P", "M"}, "R", 2 * width_bits);
+  return bd;
+}
+
+BehavioralDescription idct_row_col_bd(unsigned width_bits) {
+  BehavioralDescription bd("IDCT_row_col");
+  // One butterfly stage of a 1-D 8-point IDCT applied row-wise then
+  // column-wise; modeled at the granularity the estimators need: the
+  // multiply-accumulate chain of one output sample.
+  bd.add_op(OpKind::kMul, 1, {"x0", "c0"}, "p0", width_bits);
+  bd.add_op(OpKind::kMul, 1, {"x1", "c1"}, "p1", width_bits);
+  bd.add_op(OpKind::kAdd, 2, {"p0", "p1"}, "s0", width_bits);
+  bd.add_op(OpKind::kMul, 2, {"x2", "c2"}, "p2", width_bits);
+  bd.add_op(OpKind::kAdd, 3, {"s0", "p2"}, "s1", width_bits);
+  bd.add_op(OpKind::kMul, 3, {"x3", "c3"}, "p3", width_bits);
+  bd.add_op(OpKind::kAdd, 4, {"s1", "p3"}, "y", width_bits);
+  // 8 rows + 8 columns of an 8x8 block.
+  bd.set_loop(1, 4, TripCount{0.0, 16.0});
+  return bd;
+}
+
+BehavioralDescription idct_fused_bd(unsigned width_bits) {
+  BehavioralDescription bd("IDCT_fused");
+  // Loeffler-style factorization: ~25% fewer multiplications (rotations
+  // shared across butterflies) at the cost of a deeper additive chain and
+  // a less regular schedule (12 passes over the 8x8 block instead of 16).
+  bd.add_op(OpKind::kAdd, 1, {"x0", "x4"}, "a0", width_bits);
+  bd.add_op(OpKind::kSub, 1, {"x0", "x4"}, "a1", width_bits);
+  bd.add_op(OpKind::kMul, 2, {"x2", "k1"}, "m0", width_bits);
+  bd.add_op(OpKind::kAdd, 2, {"m0", "x6"}, "a2", width_bits);
+  bd.add_op(OpKind::kMul, 3, {"x5", "k3"}, "m2", width_bits);
+  bd.add_op(OpKind::kAdd, 3, {"a0", "a2"}, "b0", width_bits);
+  bd.add_op(OpKind::kAdd, 3, {"a1", "m2"}, "b1", width_bits);
+  bd.add_op(OpKind::kMul, 4, {"b1", "k2"}, "m1", width_bits);
+  bd.add_op(OpKind::kAdd, 4, {"b0", "m1"}, "y", width_bits);
+  bd.set_loop(1, 4, TripCount{0.0, 12.0});
+  return bd;
+}
+
+}  // namespace dslayer::behavior

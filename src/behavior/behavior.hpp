@@ -1,0 +1,167 @@
+// Behavioral descriptions.
+//
+// In the paper's modeling framework, a behavioral description (BD) is one of
+// the property kinds attached to a class of design objects: it defines the
+// intended behavior of the design object at the algorithmic level (Fig. 10
+// shows the BD of the Montgomery modular multiplier). Three mechanisms
+// consume BDs:
+//
+//  * behavioral decomposition (Section 5.1.6, DI7): the operators appearing
+//    in a BD are themselves design objects — the expression
+//    "FOR ALL Oper := OPERATORS(BD@*.Hardware)" iterates over them so their
+//    conceptual design recurses into the Adder/Multiplier CDOs;
+//  * consistency constraints (Fig. 13): CC4 names specific operator
+//    instances via "oper(+,line:2)@BD";
+//  * early estimation (CC3): BehaviorDelayEstimator ranks alternative BDs by
+//    critical path when no cores exist in the selected design-space region.
+//
+// The IR is a flat list of operations in program order with symbolic operand
+// names; def-use chains over those names induce the dataflow DAG used for
+// critical-path analysis. A single loop annotation carries the iteration
+// count as a function of the effective operand length (EOL) and radix, which
+// is what CC2's latency relation needs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dslayer::behavior {
+
+/// Operator kinds that can appear in a behavioral description.
+enum class OpKind {
+  kAdd,      // addition (the '+' of CC4's oper(+,line:2))
+  kSub,      // subtraction
+  kMul,      // multiplication
+  kDivRadix, // division by the radix (a shift for power-of-two radices)
+  kModRadix, // reduction modulo the radix (bit-select)
+  kCompare,  // magnitude comparison
+  kSelect,   // 2:1 selection / conditional assignment
+  kAssign,   // plain move / initialization
+};
+
+/// Symbol for reports, e.g. "+", "*", "cmp".
+std::string to_string(OpKind kind);
+
+/// Iteration count of the single loop of a BD, as a function of the
+/// effective operand length and the radix. `per_digit` scales with the
+/// number of radix-R digits of an EOL-bit operand; `constant` adds the
+/// paper's "+1" style epilogue iterations.
+struct TripCount {
+  double per_digit = 0.0;
+  double constant = 0.0;
+
+  /// Evaluated count for an EOL-bit operand processed in radix-`radix` digits.
+  double evaluate(unsigned eol_bits, unsigned radix) const;
+};
+
+/// One algorithmic-level behavioral description (paper Fig. 10).
+class BehavioralDescription {
+ public:
+  /// One operation instance. Inputs/output are symbolic names; an input
+  /// that is never defined by an earlier operation is a primary input.
+  struct Op {
+    int id = 0;
+    OpKind kind = OpKind::kAssign;
+    int line = 0;               ///< source line, as referenced by CCs
+    std::vector<std::string> inputs;
+    std::string output;
+    unsigned width_bits = 0;    ///< datapath width of this operator instance
+  };
+
+  explicit BehavioralDescription(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Appends an operation; returns its id. Operations must be added in
+  /// program order (an op may only read outputs of earlier ops or primary
+  /// inputs).
+  int add_op(OpKind kind, int line, std::vector<std::string> inputs, std::string output,
+             unsigned width_bits);
+
+  /// Declares the loop spanning [first_line, last_line] with the given trip
+  /// count. At most one loop per BD (sufficient for the case studies).
+  void set_loop(int first_line, int last_line, TripCount trips);
+
+  bool has_loop() const { return loop_.has_value(); }
+  int loop_first_line() const;
+  int loop_last_line() const;
+
+  /// Iterations of the loop for the given operand length and radix; 1 if
+  /// the BD has no loop (straight-line code executes "once").
+  double iteration_count(unsigned eol_bits, unsigned radix) const;
+
+  const std::vector<Op>& ops() const { return ops_; }
+  const Op& op(int id) const;
+
+  /// All op ids on a given source line.
+  std::vector<int> ops_on_line(int line) const;
+
+  /// All op ids of a given kind.
+  std::vector<int> ops_of_kind(OpKind kind) const;
+
+  /// The paper's oper(kind, line)@BD extraction: ids matching both.
+  std::vector<int> extract(OpKind kind, int line) const;
+
+  /// Ids of ops inside the loop body (empty if no loop).
+  std::vector<int> loop_body() const;
+
+  /// Dataflow predecessors of an op: ids of earlier ops whose output this op
+  /// reads (last definition wins).
+  std::vector<int> predecessors(int id) const;
+
+  /// Longest weighted path through the dataflow DAG, where `delay` gives the
+  /// per-operation delay. This is the combinational critical path of one
+  /// loop iteration if all operations were chained in a single cycle.
+  double critical_path(const std::function<double(const Op&)>& delay) const;
+
+  /// Critical path restricted to the loop body (the per-iteration path that
+  /// bounds the clock of a one-iteration-per-cycle hardware implementation).
+  double loop_critical_path(const std::function<double(const Op&)>& delay) const;
+
+  /// Pretty-prints in the style of the paper's Fig. 10.
+  std::string to_text() const;
+
+ private:
+  struct Loop {
+    int first_line;
+    int last_line;
+    TripCount trips;
+  };
+
+  double critical_path_over(const std::vector<int>& ids,
+                            const std::function<double(const Op&)>& delay) const;
+
+  std::string name_;
+  std::vector<Op> ops_;
+  std::optional<Loop> loop_;
+};
+
+/// Factory: the Montgomery modular-multiplication BD of Fig. 10 for the
+/// given radix and datapath width (the width of R/B/M registers).
+///
+///   1: R := 0; Q0 := 0; B := r2*B
+///   2: FOR i = 1 TO n+1
+///   3:   R := (Ai*B + R + Qi*M) div r
+///   4:   Qi := (R0*(r-M0)^-1) mod r
+///   5: IF (R > M) THEN
+///   6:   R := R - M
+BehavioralDescription montgomery_bd(unsigned radix, unsigned width_bits);
+
+/// Factory: Brickell-style MSB-first interleaved modular multiplication.
+/// Per iteration: R := R*r + Ai*B, followed by conditional subtractions of M.
+BehavioralDescription brickell_bd(unsigned radix, unsigned width_bits);
+
+/// Factory: "paper and pencil" — full multiply then one big mod-M reduction.
+BehavioralDescription paper_pencil_bd(unsigned width_bits);
+
+/// Factory: row-column IDCT (two 1-D passes with a transpose) — used by the
+/// media/IDCT domain layer of Figs. 2-4.
+BehavioralDescription idct_row_col_bd(unsigned width_bits);
+
+/// Factory: fused/flowgraph IDCT (Loeffler-style, fewer multiplications but
+/// a longer dependence chain).
+BehavioralDescription idct_fused_bd(unsigned width_bits);
+
+}  // namespace dslayer::behavior

@@ -1,0 +1,449 @@
+#include "bigint/biguint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::bigint {
+
+namespace {
+
+using Limb = BigUint::Limb;
+constexpr unsigned kLimbBits = BigUint::kLimbBits;
+constexpr std::uint64_t kLimbBase = 1ULL << kLimbBits;
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<Limb>(v & 0xFFFFFFFFu));
+  if (v >> kLimbBits) limbs_.push_back(static_cast<Limb>(v >> kLimbBits));
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_limbs(std::span<const Limb> limbs) {
+  BigUint out;
+  out.limbs_.assign(limbs.begin(), limbs.end());
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::from_dec(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) throw ArithmeticError("empty decimal literal");
+  BigUint out;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw ArithmeticError(cat("bad decimal digit '", c, "'"));
+    }
+    // out = out * 10 + digit, done limb-wise to avoid a full multiply.
+    std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
+    for (auto& limb : out.limbs_) {
+      const std::uint64_t acc = static_cast<std::uint64_t>(limb) * 10ULL + carry;
+      limb = static_cast<Limb>(acc & 0xFFFFFFFFu);
+      carry = acc >> kLimbBits;
+    }
+    if (carry != 0) out.limbs_.push_back(static_cast<Limb>(carry));
+  }
+  return out;
+}
+
+BigUint BigUint::from_hex(std::string_view s) {
+  s = trim(s);
+  if (starts_with(s, "0x") || starts_with(s, "0X")) s.remove_prefix(2);
+  if (s.empty()) throw ArithmeticError("empty hex literal");
+  BigUint out;
+  out.limbs_.assign((s.size() + 7) / 8, 0);
+  unsigned bit = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const int d = hex_digit(s[s.size() - 1 - i]);
+    if (d < 0) throw ArithmeticError(cat("bad hex digit '", s[s.size() - 1 - i], "'"));
+    out.limbs_[bit / kLimbBits] |= static_cast<Limb>(d) << (bit % kLimbBits);
+    bit += 4;
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::random_bits(Rng& rng, unsigned bits) {
+  DSLAYER_REQUIRE(bits >= 1, "random_bits needs bits >= 1");
+  BigUint out;
+  const std::size_t n = (bits + kLimbBits - 1) / kLimbBits;
+  out.limbs_.resize(n);
+  for (auto& limb : out.limbs_) limb = static_cast<Limb>(rng.next_u64());
+  const unsigned top = (bits - 1) % kLimbBits;  // bit index of the MSB in the top limb
+  out.limbs_.back() &= (top == kLimbBits - 1) ? ~Limb{0} : ((Limb{1} << (top + 1)) - 1);
+  out.limbs_.back() |= Limb{1} << top;  // force exact bit length
+  return out;
+}
+
+BigUint BigUint::random_below(Rng& rng, const BigUint& bound) {
+  DSLAYER_REQUIRE(!bound.is_zero(), "bound must be positive");
+  const unsigned bits = bound.bit_length();
+  // Rejection sampling over [0, 2^bits); expected < 2 iterations.
+  while (true) {
+    BigUint candidate;
+    const std::size_t n = (bits + kLimbBits - 1) / kLimbBits;
+    candidate.limbs_.resize(n);
+    for (auto& limb : candidate.limbs_) limb = static_cast<Limb>(rng.next_u64());
+    const unsigned excess = static_cast<unsigned>(n * kLimbBits) - bits;
+    if (excess > 0) candidate.limbs_.back() >>= excess;
+    candidate.normalize();
+    if (candidate < bound) return candidate;
+  }
+}
+
+unsigned BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const Limb top = limbs_.back();
+  const unsigned top_bits = kLimbBits - static_cast<unsigned>(std::countl_zero(top));
+  return static_cast<unsigned>((limbs_.size() - 1) * kLimbBits) + top_bits;
+}
+
+bool BigUint::bit(unsigned i) const {
+  const std::size_t word = i / kLimbBits;
+  if (word >= limbs_.size()) return false;
+  return (limbs_[word] >> (i % kLimbBits)) & 1u;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  if (limbs_.size() > 2) throw ArithmeticError("value does not fit in uint64");
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 2) v = static_cast<std::uint64_t>(limbs_[1]) << kLimbBits;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+std::string BigUint::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = kLimbBits - 4; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::string BigUint::to_dec() const {
+  if (limbs_.empty()) return "0";
+  std::vector<Limb> work(limbs_);
+  std::string out;
+  while (!work.empty()) {
+    // Divide the limb vector by 1e9, collecting the remainder.
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t acc = (rem << kLimbBits) | work[i];
+      work[i] = static_cast<Limb>(acc / 1000000000ULL);
+      rem = acc % 1000000000ULL;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t acc =
+        static_cast<std::uint64_t>(limbs_[i]) + (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0) + carry;
+    limbs_[i] = static_cast<Limb>(acc & 0xFFFFFFFFu);
+    carry = acc >> kLimbBits;
+    if (carry == 0 && i >= rhs.limbs_.size()) break;  // no further change possible
+  }
+  if (carry != 0) limbs_.push_back(static_cast<Limb>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  if (*this < rhs) throw ArithmeticError("BigUint subtraction underflow");
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t sub = (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0) + borrow;
+    const std::uint64_t cur = limbs_[i];
+    if (cur >= sub) {
+      limbs_[i] = static_cast<Limb>(cur - sub);
+      borrow = 0;
+      if (i >= rhs.limbs_.size()) break;
+    } else {
+      limbs_[i] = static_cast<Limb>(cur + kLimbBase - sub);
+      borrow = 1;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+namespace {
+
+/// Schoolbook product of limb spans (the O(n^2) kernel).
+std::vector<Limb> schoolbook(std::span<const Limb> a, std::span<const Limb> b) {
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::uint64_t acc = ai * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(acc & 0xFFFFFFFFu);
+      carry = acc >> kLimbBits;
+    }
+    out[i + b.size()] = static_cast<Limb>(carry);
+  }
+  return out;
+}
+
+/// Limb count below which the Karatsuba recursion bottoms out into the
+/// schoolbook kernel (crossover measured with micro_substrates).
+constexpr std::size_t kKaratsubaThreshold = 40;
+
+}  // namespace
+
+BigUint karatsuba_mul(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint{};
+  const std::size_t n = std::max(a.limb_count(), b.limb_count());
+  if (n < kKaratsubaThreshold) {
+    return BigUint::from_limbs(schoolbook(a.limbs(), b.limbs()));
+  }
+  // Split at half the larger operand: x = x1 * W^m + x0.
+  const unsigned m = static_cast<unsigned>(n / 2);
+  const unsigned shift = m * BigUint::kLimbBits;
+  const BigUint a0 = BigUint::from_limbs(
+      a.limbs().subspan(0, std::min<std::size_t>(m, a.limb_count())));
+  const BigUint a1 = a >> shift;
+  const BigUint b0 = BigUint::from_limbs(
+      b.limbs().subspan(0, std::min<std::size_t>(m, b.limb_count())));
+  const BigUint b1 = b >> shift;
+
+  // z2 = a1*b1, z0 = a0*b0, z1 = (a0+a1)(b0+b1) - z2 - z0.
+  const BigUint z2 = karatsuba_mul(a1, b1);
+  const BigUint z0 = karatsuba_mul(a0, b0);
+  BigUint z1 = karatsuba_mul(a0 + a1, b0 + b1);
+  z1 -= z2;
+  z1 -= z0;
+
+  BigUint result = z2 << (2 * shift);
+  result += z1 << shift;
+  result += z0;
+  return result;
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint{};
+  if (std::max(a.limbs_.size(), b.limbs_.size()) >= kKaratsubaThreshold) {
+    return karatsuba_mul(a, b);
+  }
+  BigUint out;
+  out.limbs_ = schoolbook(a.limbs_, b.limbs_);
+  out.normalize();
+  return out;
+}
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  *this = *this * rhs;
+  return *this;
+}
+
+BigUint& BigUint::operator<<=(unsigned bits) {
+  if (is_zero() || bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = bits % kLimbBits;
+  limbs_.insert(limbs_.begin(), limb_shift, 0);
+  if (bit_shift != 0) {
+    Limb carry = 0;
+    for (std::size_t i = limb_shift; i < limbs_.size(); ++i) {
+      const Limb next_carry = limbs_[i] >> (kLimbBits - bit_shift);
+      limbs_[i] = (limbs_[i] << bit_shift) | carry;
+      carry = next_carry;
+    }
+    if (carry != 0) limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(unsigned bits) {
+  if (is_zero() || bits == 0) return *this;
+  const unsigned limb_shift = bits / kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(), limbs_.begin() + limb_shift);
+  const unsigned bit_shift = bits % kLimbBits;
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i + 1 < limbs_.size(); ++i) {
+      limbs_[i] = (limbs_[i] >> bit_shift) | (limbs_[i + 1] << (kLimbBits - bit_shift));
+    }
+    limbs_.back() >>= bit_shift;
+  }
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() <=> b.limbs_.size();
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+DivMod divmod(const BigUint& num, const BigUint& den) {
+  if (den.is_zero()) throw ArithmeticError("division by zero");
+  if (num < den) return {BigUint{}, num};
+
+  // Single-limb divisor: simple short division.
+  if (den.limbs_.size() == 1) {
+    const std::uint64_t d = den.limbs_[0];
+    BigUint q;
+    q.limbs_.assign(num.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const std::uint64_t acc = (rem << kLimbBits) | num.limbs_[i];
+      q.limbs_[i] = static_cast<Limb>(acc / d);
+      rem = acc % d;
+    }
+    q.normalize();
+    return {std::move(q), BigUint(rem)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D. Normalize so the top divisor limb has
+  // its MSB set, estimate each quotient digit from the top three dividend
+  // limbs, then correct (the estimate is off by at most 2).
+  const unsigned shift = std::countl_zero(den.limbs_.back());
+  const BigUint u = num << shift;
+  const BigUint v = den << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<Limb> un(u.limbs_);
+  un.push_back(0);  // u has m+n+1 limbs during the loop
+  const std::uint64_t v1 = v.limbs_[n - 1];
+  const std::uint64_t v2 = v.limbs_[n - 2];
+
+  BigUint q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t top2 = (static_cast<std::uint64_t>(un[j + n]) << kLimbBits) | un[j + n - 1];
+    std::uint64_t qhat = top2 / v1;
+    std::uint64_t rhat = top2 % v1;
+    while (qhat >= kLimbBase ||
+           qhat * v2 > ((rhat << kLimbBits) | un[j + n - 2])) {
+      --qhat;
+      rhat += v1;
+      if (rhat >= kLimbBase) break;
+    }
+    // Multiply-subtract: un[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v.limbs_[i] + carry;
+      carry = p >> kLimbBits;
+      const std::int64_t t =
+          static_cast<std::int64_t>(un[i + j]) - borrow - static_cast<std::int64_t>(p & 0xFFFFFFFFu);
+      un[i + j] = static_cast<Limb>(t & 0xFFFFFFFF);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t =
+        static_cast<std::int64_t>(un[j + n]) - borrow - static_cast<std::int64_t>(carry);
+    un[j + n] = static_cast<Limb>(t & 0xFFFFFFFF);
+
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s = static_cast<std::uint64_t>(un[i + j]) + v.limbs_[i] + c;
+        un[i + j] = static_cast<Limb>(s & 0xFFFFFFFFu);
+        c = s >> kLimbBits;
+      }
+      un[j + n] = static_cast<Limb>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<Limb>(qhat);
+  }
+
+  q.normalize();
+  BigUint r = BigUint::from_limbs(std::span<const Limb>(un.data(), n));
+  r >>= shift;
+  return {std::move(q), std::move(r)};
+}
+
+BigUint gcd(BigUint a, BigUint b) {
+  while (!b.is_zero()) {
+    BigUint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUint mod_inverse(const BigUint& a, const BigUint& m) {
+  DSLAYER_REQUIRE(!m.is_zero(), "modulus must be positive");
+  // Extended Euclid over non-negative values: track coefficients of `a`
+  // modulo m as (sign, magnitude) pairs to stay within unsigned arithmetic.
+  BigUint r0 = m, r1 = a % m;
+  BigUint t0{}, t1{1};
+  bool neg0 = false, neg1 = false;
+  while (!r1.is_zero()) {
+    const auto [q, r2] = divmod(r0, r1);
+    // t2 = t0 - q * t1, with explicit sign tracking.
+    BigUint qt = q * t1;
+    BigUint t2;
+    bool neg2;
+    if (neg0 == !neg1) {  // t0 and -q*t1 have the same sign
+      t2 = t0 + qt;
+      neg2 = neg0;
+    } else if (t0 >= qt) {
+      t2 = t0 - qt;
+      neg2 = neg0;
+    } else {
+      t2 = qt - t0;
+      neg2 = !neg0;
+    }
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    neg0 = neg1;
+    t1 = std::move(t2);
+    neg1 = neg2;
+  }
+  if (!(r0 == BigUint{1})) throw ArithmeticError("mod_inverse: arguments are not coprime");
+  if (neg0) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigUint pow_u64(const BigUint& a, std::uint64_t e) {
+  BigUint result{1};
+  BigUint base = a;
+  while (e != 0) {
+    if (e & 1) result *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace dslayer::bigint

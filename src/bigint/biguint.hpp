@@ -1,0 +1,137 @@
+// Arbitrary-precision unsigned integers.
+//
+// The cryptography case study of the paper (Section 5) operates on integers
+// "with values up to 2^1000"; this class is the functional substrate for all
+// modular-arithmetic algorithms (paper-and-pencil, Brickell, Montgomery) and
+// the reference against which the RTL multiplier simulator is validated.
+//
+// Representation: little-endian vector of 32-bit limbs, normalized (no
+// trailing zero limbs; the value zero is the empty vector). 32-bit limbs are
+// chosen deliberately: they match the word size of the Pentium-60 software
+// cost model (swmodel), so word-operation counts taken from these routines
+// transfer directly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dslayer::bigint {
+
+class BigUint;
+struct DivMod;
+DivMod divmod(const BigUint& num, const BigUint& den);
+
+class BigUint {
+ public:
+  using Limb = std::uint32_t;
+  static constexpr unsigned kLimbBits = 32;
+
+  /// Zero.
+  BigUint() = default;
+
+  /// Value of a machine word.
+  explicit BigUint(std::uint64_t v);
+
+  /// Parses a decimal string; throws ArithmeticError on malformed input.
+  static BigUint from_dec(std::string_view s);
+
+  /// Parses a hexadecimal string (no 0x prefix); throws on malformed input.
+  static BigUint from_hex(std::string_view s);
+
+  /// Builds from little-endian limbs (trailing zeros allowed; normalized).
+  static BigUint from_limbs(std::span<const Limb> limbs);
+
+  /// Uniformly random value with exactly `bits` bits (MSB set); bits >= 1.
+  static BigUint random_bits(Rng& rng, unsigned bits);
+
+  /// Uniformly random value in [0, bound); bound > 0.
+  static BigUint random_below(Rng& rng, const BigUint& bound);
+
+  // -- observers ------------------------------------------------------------
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+
+  /// Number of significant limbs.
+  std::size_t limb_count() const { return limbs_.size(); }
+
+  /// i-th limb, zero beyond limb_count().
+  Limb limb(std::size_t i) const { return i < limbs_.size() ? limbs_[i] : 0; }
+
+  /// All significant limbs, little-endian.
+  std::span<const Limb> limbs() const { return limbs_; }
+
+  /// Position of the highest set bit plus one; 0 for the value zero.
+  unsigned bit_length() const;
+
+  /// Bit i (0 = LSB).
+  bool bit(unsigned i) const;
+
+  /// Value as uint64 (throws if it does not fit).
+  std::uint64_t to_u64() const;
+
+  std::string to_dec() const;
+  std::string to_hex() const;
+
+  // -- arithmetic -----------------------------------------------------------
+
+  BigUint& operator+=(const BigUint& rhs);
+  /// Throws ArithmeticError on underflow (unsigned type).
+  BigUint& operator-=(const BigUint& rhs);
+  BigUint& operator*=(const BigUint& rhs);
+  BigUint& operator<<=(unsigned bits);
+  BigUint& operator>>=(unsigned bits);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator*(const BigUint& a, const BigUint& b);
+  friend BigUint operator<<(BigUint a, unsigned bits) { return a <<= bits; }
+  friend BigUint operator>>(BigUint a, unsigned bits) { return a >>= bits; }
+
+  friend BigUint operator/(const BigUint& a, const BigUint& b);
+  friend BigUint operator%(const BigUint& a, const BigUint& b);
+
+  // -- comparison -----------------------------------------------------------
+
+  friend std::strong_ordering operator<=>(const BigUint& a, const BigUint& b);
+  friend bool operator==(const BigUint& a, const BigUint& b) = default;
+
+ private:
+  void normalize();
+
+  friend DivMod divmod(const BigUint& num, const BigUint& den);
+
+  std::vector<Limb> limbs_;
+};
+
+/// Quotient and remainder of a division (divmod throws ArithmeticError on
+/// division by zero).
+struct DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+inline BigUint operator/(const BigUint& a, const BigUint& b) { return divmod(a, b).quotient; }
+inline BigUint operator%(const BigUint& a, const BigUint& b) { return divmod(a, b).remainder; }
+
+/// Karatsuba multiplication: O(n^1.585) splits for large operands, falling
+/// back to the schoolbook kernel below a threshold. operator* dispatches
+/// here automatically above ~40 limbs; exposed for tests and benchmarks.
+BigUint karatsuba_mul(const BigUint& a, const BigUint& b);
+
+/// Greatest common divisor (binary algorithm).
+BigUint gcd(BigUint a, BigUint b);
+
+/// Modular inverse of a mod m; throws ArithmeticError if gcd(a, m) != 1.
+BigUint mod_inverse(const BigUint& a, const BigUint& m);
+
+/// a^e for small machine-word exponents (used by tests and value domains).
+BigUint pow_u64(const BigUint& a, std::uint64_t e);
+
+}  // namespace dslayer::bigint

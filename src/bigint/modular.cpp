@@ -1,0 +1,169 @@
+#include "bigint/modular.hpp"
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "bigint/montgomery_variants.hpp"
+#include "support/error.hpp"
+
+namespace dslayer::bigint {
+
+BigUint mod_add(const BigUint& a, const BigUint& b, const BigUint& m) {
+  DSLAYER_REQUIRE(a < m && b < m, "mod_add inputs must be reduced");
+  BigUint r = a + b;
+  if (r >= m) r -= m;
+  return r;
+}
+
+BigUint mod_sub(const BigUint& a, const BigUint& b, const BigUint& m) {
+  DSLAYER_REQUIRE(a < m && b < m, "mod_sub inputs must be reduced");
+  if (a >= b) return a - b;
+  return (a + m) - b;
+}
+
+BigUint mod_mul_paper_pencil(const BigUint& a, const BigUint& b, const BigUint& m) {
+  DSLAYER_REQUIRE(!m.is_zero(), "modulus must be positive");
+  return (a * b) % m;
+}
+
+BigUint mod_mul_brickell(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return mod_mul_brickell_radix(a, b, m, 2);
+}
+
+BigUint mod_mul_brickell_radix(const BigUint& a, const BigUint& b, const BigUint& m,
+                               unsigned radix) {
+  DSLAYER_REQUIRE(!m.is_zero(), "modulus must be positive");
+  DSLAYER_REQUIRE(radix >= 2 && (radix & (radix - 1)) == 0, "radix must be a power of two >= 2");
+  DSLAYER_REQUIRE(a < m && b < m, "operands must be reduced");
+  const unsigned digit_bits = static_cast<unsigned>(std::countr_zero(radix));
+
+  // MSB-first digit scan of `a`: R <- R*r + a_i*b, reduced below m after
+  // every step (at most `radix` conditional subtractions, matching the
+  // hardware's reduce-per-partial-product structure).
+  const unsigned bits = a.bit_length();
+  const unsigned digits = bits == 0 ? 0 : (bits + digit_bits - 1) / digit_bits;
+  BigUint acc;
+  for (unsigned d = digits; d-- > 0;) {
+    acc <<= digit_bits;
+    std::uint64_t digit = 0;
+    for (unsigned k = digit_bits; k-- > 0;) {
+      digit = (digit << 1) | (a.bit(d * digit_bits + k) ? 1u : 0u);
+    }
+    if (digit != 0) acc += b * BigUint(digit);
+    // acc < m*r + digit*m <= m * 2r, so < 2r subtractions suffice; in
+    // practice the quotient estimate loop below runs `radix` times worst
+    // case. Use divmod only if the simple loop would be long.
+    while (acc >= m) {
+      // For small radices a subtract loop is exactly what the hardware does.
+      if (radix <= 16) {
+        acc -= m;
+      } else {
+        acc = acc % m;
+      }
+    }
+  }
+  return acc;
+}
+
+BigUint mod_exp(const BigUint& base, const BigUint& exp, const BigUint& m, const ModMulFn& mul) {
+  DSLAYER_REQUIRE(!m.is_zero(), "modulus must be positive");
+  if (m == BigUint{1}) return BigUint{};
+  BigUint result{1};
+  const unsigned bits = exp.bit_length();
+  for (unsigned i = bits; i-- > 0;) {
+    result = mul(result, result);
+    if (exp.bit(i)) result = mul(result, base);
+  }
+  return result;
+}
+
+BigUint mod_exp_brickell(const BigUint& base, const BigUint& exp, const BigUint& m) {
+  const BigUint reduced = base % m;
+  return mod_exp(reduced, exp, m,
+                 [&m](const BigUint& x, const BigUint& y) { return mod_mul_brickell(x, y, m); });
+}
+
+MontgomeryContext::MontgomeryContext(BigUint m) : m_(std::move(m)) {
+  if (m_.is_zero()) throw ArithmeticError("Montgomery modulus must be positive");
+  if (!m_.is_odd()) {
+    throw ArithmeticError("Montgomery modulus must be odd (consistency constraint CC1)");
+  }
+  s_ = m_.limb_count();
+  m_prime_ = mont_word_inverse(m_.limb(0));
+  BigUint r{1};
+  r <<= static_cast<unsigned>(s_ * BigUint::kLimbBits);
+  r_mod_m_ = r % m_;
+  r2_mod_m_ = (r_mod_m_ * r_mod_m_) % m_;
+}
+
+BigUint MontgomeryContext::to_mont(const BigUint& x) const {
+  return mont_mul(x % m_, r2_mod_m_);
+}
+
+BigUint MontgomeryContext::from_mont(const BigUint& x) const {
+  return mont_mul(x, BigUint{1});
+}
+
+BigUint MontgomeryContext::mont_mul(const BigUint& a, const BigUint& b) const {
+  std::vector<std::uint32_t> av(s_), bv(s_), mv(s_), out(s_);
+  for (std::size_t i = 0; i < s_; ++i) {
+    av[i] = a.limb(i);
+    bv[i] = b.limb(i);
+    mv[i] = m_.limb(i);
+  }
+  mont_mul_cios(av, bv, mv, m_prime_, out, nullptr);
+  return BigUint::from_limbs(out);
+}
+
+BigUint MontgomeryContext::mod_exp(const BigUint& base, const BigUint& exp) const {
+  BigUint acc = r_mod_m_;  // 1 in the Montgomery domain
+  const BigUint base_m = to_mont(base);
+  const unsigned bits = exp.bit_length();
+  for (unsigned i = bits; i-- > 0;) {
+    acc = mont_mul(acc, acc);
+    if (exp.bit(i)) acc = mont_mul(acc, base_m);
+  }
+  return from_mont(acc);
+}
+
+BigUint MontgomeryContext::mod_exp_mary(const BigUint& base, const BigUint& exp,
+                                        unsigned window_bits) const {
+  DSLAYER_REQUIRE(window_bits >= 1 && window_bits <= 8, "window must be 1..8 bits");
+  const unsigned table_size = 1u << window_bits;
+
+  // Precompute base^0 .. base^(2^w - 1) in the Montgomery domain.
+  std::vector<BigUint> table(table_size);
+  table[0] = r_mod_m_;  // 1~
+  if (table_size > 1) table[1] = to_mont(base);
+  for (unsigned i = 2; i < table_size; ++i) table[i] = mont_mul(table[i - 1], table[1]);
+
+  // MSB-first fixed windows: w squarings then one table multiplication.
+  const unsigned bits = exp.bit_length();
+  const unsigned windows = (bits + window_bits - 1) / window_bits;
+  BigUint acc = r_mod_m_;
+  for (unsigned w = windows; w-- > 0;) {
+    for (unsigned s = 0; s < window_bits; ++s) acc = mont_mul(acc, acc);
+    unsigned digit = 0;
+    for (unsigned k = window_bits; k-- > 0;) {
+      digit = (digit << 1) | (exp.bit(w * window_bits + k) ? 1u : 0u);
+    }
+    if (digit != 0) acc = mont_mul(acc, table[digit]);
+  }
+  return from_mont(acc);
+}
+
+double MontgomeryContext::mary_multiplications(unsigned exp_bits, unsigned window_bits) {
+  DSLAYER_REQUIRE(window_bits >= 1 && window_bits <= 8, "window must be 1..8 bits");
+  const double table = static_cast<double>((1u << window_bits)) - 2.0;  // precompute
+  const double squarings = static_cast<double>(exp_bits);
+  const double windows = std::ceil(static_cast<double>(exp_bits) / window_bits);
+  const double nonzero = windows * (1.0 - 1.0 / static_cast<double>(1u << window_bits));
+  return std::max(table, 0.0) + squarings + nonzero + 2.0;  // +2 domain conversions
+}
+
+BigUint mod_mul_montgomery(const BigUint& a, const BigUint& b, const BigUint& m) {
+  MontgomeryContext ctx(m);
+  return ctx.from_mont(ctx.mont_mul(ctx.to_mont(a), ctx.to_mont(b)));
+}
+
+}  // namespace dslayer::bigint

@@ -1,0 +1,114 @@
+// Modular arithmetic algorithms of the paper's cryptography case study
+// (Section 5.1.1):
+//
+//  * "Paper and Pencil": full multiply followed by a mod-M reduction. The
+//    paper notes it is usually not used (large partial products / carry
+//    ripple) and eliminates it as an inferior solution.
+//  * Brickell: MSB-first interleaved multiplication with a reduction at
+//    every partial product. Works for any modulus.
+//  * Montgomery (Fig. 10): LSB-first interleaved with quotient digits
+//    computed from the precomputed -M^-1 mod r; requires an ODD modulus
+//    (consistency constraint CC1 in Fig. 13).
+//
+// Modular exponentiation (M^E mod N, the basic operation of RSA-style
+// digital signatures) is provided on top of a pluggable modular multiplier
+// so all algorithm variants can drive it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "bigint/biguint.hpp"
+
+namespace dslayer::bigint {
+
+/// (a + b) mod m; inputs must already be reduced.
+BigUint mod_add(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// (a - b) mod m; inputs must already be reduced.
+BigUint mod_sub(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// "Paper and pencil": (a * b) mod m via full product and division.
+BigUint mod_mul_paper_pencil(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// Brickell-style MSB-first interleaved modular multiplication.
+/// Processes multiplier bits most-significant first, reducing after every
+/// shift-and-add step so intermediate values stay below 2m. Requires
+/// a, b < m and m > 0; works for even moduli (unlike Montgomery).
+BigUint mod_mul_brickell(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// Radix-r generalization of the Brickell scheme: consumes log2(radix) bits
+/// per iteration (radix must be a power of two, >= 2).
+BigUint mod_mul_brickell_radix(const BigUint& a, const BigUint& b, const BigUint& m,
+                               unsigned radix);
+
+/// A modular multiplier: f(a, b) = a * b mod m for a fixed m.
+using ModMulFn = std::function<BigUint(const BigUint&, const BigUint&)>;
+
+/// Left-to-right binary modular exponentiation using `mul`.
+/// Computes base^exp mod m where `mul` multiplies modulo m.
+BigUint mod_exp(const BigUint& base, const BigUint& exp, const BigUint& m, const ModMulFn& mul);
+
+/// Convenience: mod_exp with Brickell multiplication (any modulus).
+BigUint mod_exp_brickell(const BigUint& base, const BigUint& exp, const BigUint& m);
+
+/// Montgomery arithmetic context for an odd modulus m, R = 2^(32*s) where s
+/// is the limb count of m. Implements Fig. 10 of the paper (word-level,
+/// radix 2^32) with the pre-computation (line 1: r2) and the conditional
+/// final subtraction (lines 5-6).
+class MontgomeryContext {
+ public:
+  /// Throws ArithmeticError if m is zero or even (CC1: modulo must be odd).
+  explicit MontgomeryContext(BigUint m);
+
+  const BigUint& modulus() const { return m_; }
+
+  /// Number of 32-bit words s (R = 2^(32 s)).
+  std::size_t word_count() const { return s_; }
+
+  /// -m^-1 mod 2^32, the word-level quotient-digit constant (Fig. 10 line 4).
+  std::uint32_t m_prime() const { return m_prime_; }
+
+  /// R mod m and R^2 mod m (used for domain conversion).
+  const BigUint& r_mod_m() const { return r_mod_m_; }
+  const BigUint& r2_mod_m() const { return r2_mod_m_; }
+
+  /// Maps x -> x * R mod m.
+  BigUint to_mont(const BigUint& x) const;
+
+  /// Maps x~ -> x~ * R^-1 mod m.
+  BigUint from_mont(const BigUint& x) const;
+
+  /// Montgomery product: a~ * b~ * R^-1 mod m (CIOS method). Inputs < m.
+  BigUint mont_mul(const BigUint& a, const BigUint& b) const;
+
+  /// base^exp mod m entirely in the Montgomery domain (left-to-right
+  /// binary square-and-multiply).
+  BigUint mod_exp(const BigUint& base, const BigUint& exp) const;
+
+  /// m-ary (fixed-window) exponentiation: precomputes base^0..base^(2^w-1)
+  /// and consumes `window_bits` exponent bits per table multiplication.
+  /// Trades 2^w - 2 precomputation multiplications (and table storage in a
+  /// hardware realization) for fewer per-bit multiplications — the
+  /// "ExponentiationMethod" design issue of the Exponentiator CDO.
+  /// Requires 1 <= window_bits <= 8.
+  BigUint mod_exp_mary(const BigUint& base, const BigUint& exp, unsigned window_bits) const;
+
+  /// Expected Montgomery-multiplication count of the m-ary method for a
+  /// random exp_bits-bit exponent (window_bits = 1 gives the binary
+  /// method's 1.5 * bits + O(1)). Used by the exponentiator design models.
+  static double mary_multiplications(unsigned exp_bits, unsigned window_bits);
+
+ private:
+  BigUint m_;
+  std::size_t s_;
+  std::uint32_t m_prime_;
+  BigUint r_mod_m_;
+  BigUint r2_mod_m_;
+};
+
+/// Convenience: (a * b) mod m through the Montgomery domain (handles the
+/// to/from conversions; mainly for tests and estimator calibration).
+BigUint mod_mul_montgomery(const BigUint& a, const BigUint& b, const BigUint& m);
+
+}  // namespace dslayer::bigint

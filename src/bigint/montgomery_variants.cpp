@@ -1,0 +1,341 @@
+#include "bigint/montgomery_variants.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dslayer::bigint {
+
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask = 0xFFFFFFFFULL;
+
+u32 lo32(u64 x) { return static_cast<u32>(x & kMask); }
+u32 hi32(u64 x) { return static_cast<u32>(x >> 32); }
+
+/// True if the s-word value x >= the s-word value y.
+bool geq(const u32* x, const u32* y, std::size_t s) {
+  for (std::size_t i = s; i-- > 0;) {
+    if (x[i] != y[i]) return x[i] > y[i];
+  }
+  return true;
+}
+
+/// x -= y over s words; returns the borrow out (0/1).
+u32 sub_words(u32* x, const u32* y, std::size_t s) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    const u64 d = static_cast<u64>(x[i]) - y[i] - borrow;
+    x[i] = lo32(d);
+    borrow = (d >> 63) & 1;  // negative iff bit 63 set after wrap
+  }
+  return static_cast<u32>(borrow);
+}
+
+/// Final Montgomery correction: value is t[0..s-1] plus the overflow word
+/// `extra` (numerically extra * 2^(32 s)); reduces below m in place.
+/// Returns the number of subtractions performed (for op accounting).
+unsigned final_reduce(u32* t, u32 extra, const u32* m, std::size_t s) {
+  unsigned subs = 0;
+  while (extra != 0 || geq(t, m, s)) {
+    extra -= sub_words(t, m, s);
+    ++subs;
+  }
+  return subs;
+}
+
+void check_inputs(std::span<const u32> a, std::span<const u32> b, std::span<const u32> m,
+                  std::span<u32> out) {
+  const std::size_t s = m.size();
+  DSLAYER_REQUIRE(s >= 1, "modulus must have at least one word");
+  DSLAYER_REQUIRE(a.size() == s && b.size() == s && out.size() == s,
+                  "operand/output word counts must match the modulus");
+  DSLAYER_REQUIRE((m[0] & 1u) != 0, "Montgomery modulus must be odd");
+  DSLAYER_REQUIRE(!geq(a.data(), m.data(), s) && !geq(b.data(), m.data(), s),
+                  "operands must be reduced below the modulus");
+}
+
+/// Operation-count recorder; all methods are no-ops when `c` is null.
+struct Meter {
+  OpCounts* c;
+  void mul(u64 n = 1) const { if (c) c->word_mults += n; }
+  void add(u64 n = 1) const { if (c) c->word_adds += n; }
+  void ld(u64 n = 1) const { if (c) c->loads += n; }
+  void st(u64 n = 1) const { if (c) c->stores += n; }
+  void final_subs(unsigned subs, std::size_t s) const {
+    if (!c) return;
+    // Each subtraction: s word-subtractions with borrow, reading t and m,
+    // writing t; the preceding comparison reads both arrays once.
+    c->word_adds += (subs + 1) * s;
+    c->loads += (2 * subs + 2) * s;
+    c->stores += subs * s;
+  }
+};
+
+}  // namespace
+
+std::string to_string(MontVariant v) {
+  switch (v) {
+    case MontVariant::kSOS: return "SOS";
+    case MontVariant::kCIOS: return "CIOS";
+    case MontVariant::kFIOS: return "FIOS";
+    case MontVariant::kFIPS: return "FIPS";
+    case MontVariant::kCIHS: return "CIHS";
+  }
+  return "?";
+}
+
+u32 mont_word_inverse(u32 m0) {
+  DSLAYER_REQUIRE((m0 & 1u) != 0, "word inverse requires an odd word");
+  // Newton-Hensel: x_{k+1} = x_k (2 - m0 x_k); doubles correct bits each step.
+  u32 x = m0;  // 3 correct bits to start (m0 * m0 ≡ 1 mod 8 for odd m0)
+  for (int i = 0; i < 5; ++i) x *= 2u - m0 * x;
+  return ~x + 1u;  // -(m0^-1) mod 2^32
+}
+
+void mont_mul_sos(std::span<const u32> a, std::span<const u32> b, std::span<const u32> m,
+                  u32 m_prime, std::span<u32> out, OpCounts* counts) {
+  check_inputs(a, b, m, out);
+  const std::size_t s = m.size();
+  const Meter mt{counts};
+  std::vector<u32> t(2 * s + 1, 0);
+
+  // Phase 1: t = a * b, operand scanning.
+  for (std::size_t i = 0; i < s; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const u64 acc = static_cast<u64>(a[j]) * b[i] + t[i + j] + carry;
+      t[i + j] = lo32(acc);
+      carry = hi32(acc);
+      mt.mul(); mt.add(2); mt.ld(3); mt.st(1);
+    }
+    t[i + s] = static_cast<u32>(carry);
+    mt.st(1);
+  }
+
+  // Phase 2: reduce — add (t[i] * m' mod W) * m at offset i, for each i.
+  for (std::size_t i = 0; i < s; ++i) {
+    const u32 mi = static_cast<u32>(t[i] * m_prime);
+    mt.mul(); mt.ld(1);
+    u64 carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const u64 acc = static_cast<u64>(mi) * m[j] + t[i + j] + carry;
+      t[i + j] = lo32(acc);
+      carry = hi32(acc);
+      mt.mul(); mt.add(2); mt.ld(2); mt.st(1);
+    }
+    // Propagate the carry out of the reduced window.
+    for (std::size_t k = i + s; carry != 0; ++k) {
+      const u64 acc = static_cast<u64>(t[k]) + carry;
+      t[k] = lo32(acc);
+      carry = hi32(acc);
+      mt.add(1); mt.ld(1); mt.st(1);
+    }
+  }
+
+  // Result is t[s .. 2s] (one possible overflow word).
+  for (std::size_t i = 0; i < s; ++i) out[i] = t[s + i];
+  mt.ld(s); mt.st(s);
+  const unsigned subs = final_reduce(out.data(), t[2 * s], m.data(), s);
+  mt.final_subs(subs, s);
+}
+
+void mont_mul_cios(std::span<const u32> a, std::span<const u32> b, std::span<const u32> m,
+                   u32 m_prime, std::span<u32> out, OpCounts* counts) {
+  check_inputs(a, b, m, out);
+  const std::size_t s = m.size();
+  const Meter mt{counts};
+  std::vector<u32> t(s + 2, 0);
+
+  for (std::size_t i = 0; i < s; ++i) {
+    // Multiply step: t += a * b[i].
+    u64 carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const u64 acc = static_cast<u64>(a[j]) * b[i] + t[j] + carry;
+      t[j] = lo32(acc);
+      carry = hi32(acc);
+      mt.mul(); mt.add(2); mt.ld(3); mt.st(1);
+    }
+    u64 acc = static_cast<u64>(t[s]) + carry;
+    t[s] = lo32(acc);
+    t[s + 1] = hi32(acc);
+    mt.add(1); mt.ld(1); mt.st(2);
+
+    // Reduce step: make t divisible by W and shift one word down.
+    const u32 mi = static_cast<u32>(t[0] * m_prime);
+    mt.mul(); mt.ld(1);
+    acc = static_cast<u64>(mi) * m[0] + t[0];
+    carry = hi32(acc);  // low word is zero by construction of mi
+    mt.mul(); mt.add(1); mt.ld(2);
+    for (std::size_t j = 1; j < s; ++j) {
+      acc = static_cast<u64>(mi) * m[j] + t[j] + carry;
+      t[j - 1] = lo32(acc);
+      carry = hi32(acc);
+      mt.mul(); mt.add(2); mt.ld(2); mt.st(1);
+    }
+    acc = static_cast<u64>(t[s]) + carry;
+    t[s - 1] = lo32(acc);
+    t[s] = t[s + 1] + hi32(acc);
+    mt.add(2); mt.ld(2); mt.st(2);
+  }
+
+  for (std::size_t i = 0; i < s; ++i) out[i] = t[i];
+  mt.ld(s); mt.st(s);
+  const unsigned subs = final_reduce(out.data(), t[s], m.data(), s);
+  mt.final_subs(subs, s);
+}
+
+void mont_mul_fios(std::span<const u32> a, std::span<const u32> b, std::span<const u32> m,
+                   u32 m_prime, std::span<u32> out, OpCounts* counts) {
+  check_inputs(a, b, m, out);
+  const std::size_t s = m.size();
+  const Meter mt{counts};
+  std::vector<u32> t(s + 1, 0);
+
+  for (std::size_t i = 0; i < s; ++i) {
+    // Head: compute the quotient digit from the first fused column.
+    u64 acc = static_cast<u64>(a[0]) * b[i] + t[0];
+    u64 c1 = hi32(acc);
+    const u32 s0 = lo32(acc);
+    mt.mul(); mt.add(1); mt.ld(3);
+    const u32 mi = s0 * m_prime;
+    mt.mul();
+    u64 acc2 = static_cast<u64>(mi) * m[0] + s0;
+    u64 c2 = hi32(acc2);  // low word zero
+    mt.mul(); mt.add(1); mt.ld(1);
+
+    // Fused inner loop: one pass does both the multiply and the reduce.
+    for (std::size_t j = 1; j < s; ++j) {
+      acc = static_cast<u64>(a[j]) * b[i] + t[j] + c1;
+      c1 = hi32(acc);
+      mt.mul(); mt.add(2); mt.ld(3);
+      acc2 = static_cast<u64>(mi) * m[j] + lo32(acc) + c2;
+      t[j - 1] = lo32(acc2);
+      c2 = hi32(acc2);
+      mt.mul(); mt.add(2); mt.ld(1); mt.st(1);
+    }
+    const u64 tail = static_cast<u64>(t[s]) + c1 + c2;
+    t[s - 1] = lo32(tail);
+    t[s] = hi32(tail);
+    mt.add(2); mt.ld(1); mt.st(2);
+  }
+
+  for (std::size_t i = 0; i < s; ++i) out[i] = t[i];
+  mt.ld(s); mt.st(s);
+  const unsigned subs = final_reduce(out.data(), t[s], m.data(), s);
+  mt.final_subs(subs, s);
+}
+
+void mont_mul_fips(std::span<const u32> a, std::span<const u32> b, std::span<const u32> m,
+                   u32 m_prime, std::span<u32> out, OpCounts* counts) {
+  check_inputs(a, b, m, out);
+  const std::size_t s = m.size();
+  const Meter mt{counts};
+  std::vector<u32> q(s, 0);
+  u128 acc = 0;  // column accumulator; max 2s products of < 2^64 fits easily
+
+  // Low columns 0 .. s-1: accumulate a*b and q*m contributions, then fix the
+  // column with a fresh quotient digit.
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      acc += static_cast<u64>(a[j]) * b[i - j];
+      mt.mul(); mt.add(2); mt.ld(2);
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      acc += static_cast<u64>(q[j]) * m[i - j];
+      mt.mul(); mt.add(2); mt.ld(2);
+    }
+    q[i] = static_cast<u32>(static_cast<u64>(acc)) * m_prime;
+    mt.mul(); mt.st(1);
+    acc += static_cast<u64>(q[i]) * m[0];
+    mt.mul(); mt.add(2); mt.ld(1);
+    acc >>= 32;  // low word is zero by construction
+  }
+
+  // High columns s .. 2s-1 emit the result words.
+  for (std::size_t i = s; i < 2 * s; ++i) {
+    for (std::size_t j = i - s + 1; j < s; ++j) {
+      acc += static_cast<u64>(a[j]) * b[i - j];
+      acc += static_cast<u64>(q[j]) * m[i - j];
+      mt.mul(2); mt.add(4); mt.ld(4);
+    }
+    out[i - s] = static_cast<u32>(static_cast<u64>(acc));
+    mt.st(1);
+    acc >>= 32;
+  }
+
+  const unsigned subs = final_reduce(out.data(), static_cast<u32>(static_cast<u64>(acc)),
+                                     m.data(), s);
+  mt.final_subs(subs, s);
+}
+
+void mont_mul_cihs(std::span<const u32> a, std::span<const u32> b, std::span<const u32> m,
+                   u32 m_prime, std::span<u32> out, OpCounts* counts) {
+  check_inputs(a, b, m, out);
+  const std::size_t s = m.size();
+  const Meter mt{counts};
+
+  // Phase 1 (coarse): full product by operand scanning.
+  std::vector<u32> t(2 * s, 0);
+  for (std::size_t i = 0; i < s; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const u64 acc = static_cast<u64>(a[j]) * b[i] + t[i + j] + carry;
+      t[i + j] = lo32(acc);
+      carry = hi32(acc);
+      mt.mul(); mt.add(2); mt.ld(3); mt.st(1);
+    }
+    t[i + s] = static_cast<u32>(carry);
+    mt.st(1);
+  }
+
+  // Phase 2 (hybrid): reduction by product scanning over the stored product.
+  std::vector<u32> q(s, 0);
+  u128 acc = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    acc += t[i];
+    mt.add(1); mt.ld(1);
+    for (std::size_t j = 0; j < i; ++j) {
+      acc += static_cast<u64>(q[j]) * m[i - j];
+      mt.mul(); mt.add(2); mt.ld(2);
+    }
+    q[i] = static_cast<u32>(static_cast<u64>(acc)) * m_prime;
+    mt.mul(); mt.st(1);
+    acc += static_cast<u64>(q[i]) * m[0];
+    mt.mul(); mt.add(2); mt.ld(1);
+    acc >>= 32;
+  }
+  for (std::size_t i = s; i < 2 * s; ++i) {
+    acc += t[i];
+    mt.add(1); mt.ld(1);
+    for (std::size_t j = i - s + 1; j < s; ++j) {
+      acc += static_cast<u64>(q[j]) * m[i - j];
+      mt.mul(); mt.add(2); mt.ld(2);
+    }
+    out[i - s] = static_cast<u32>(static_cast<u64>(acc));
+    mt.st(1);
+    acc >>= 32;
+  }
+
+  const unsigned subs = final_reduce(out.data(), static_cast<u32>(static_cast<u64>(acc)),
+                                     m.data(), s);
+  mt.final_subs(subs, s);
+}
+
+void mont_mul(MontVariant variant, std::span<const u32> a, std::span<const u32> b,
+              std::span<const u32> m, u32 m_prime, std::span<u32> out, OpCounts* counts) {
+  switch (variant) {
+    case MontVariant::kSOS: return mont_mul_sos(a, b, m, m_prime, out, counts);
+    case MontVariant::kCIOS: return mont_mul_cios(a, b, m, m_prime, out, counts);
+    case MontVariant::kFIOS: return mont_mul_fios(a, b, m, m_prime, out, counts);
+    case MontVariant::kFIPS: return mont_mul_fips(a, b, m, m_prime, out, counts);
+    case MontVariant::kCIHS: return mont_mul_cihs(a, b, m, m_prime, out, counts);
+  }
+  throw PreconditionError("unknown Montgomery variant");
+}
+
+}  // namespace dslayer::bigint

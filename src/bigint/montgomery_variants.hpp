@@ -1,0 +1,85 @@
+// Word-level Montgomery multiplication variants.
+//
+// The software cores in the paper's Fig. 6 are C and assembly routines from
+// Koc, Acar and Kaliski, "Analyzing and Comparing Montgomery Multiplication
+// Algorithms" (IEEE Micro 16(3), 1996): five ways of scheduling the same
+// arithmetic — multiplication and reduction either Separated, Coarsely or
+// Finely Integrated, scanning by Operand or by Product:
+//
+//   SOS  - Separated Operand Scanning        (multiply fully, then reduce)
+//   CIOS - Coarsely Integrated Operand Scanning (alternate per outer word)
+//   FIOS - Finely Integrated Operand Scanning   (fused inner loop)
+//   FIPS - Finely Integrated Product Scanning   (column-wise accumulation)
+//   CIHS - Coarsely Integrated Hybrid Scanning  (operand-scan multiply,
+//          product-scan reduction; reconstruction faithful in spirit — the
+//          original listing's exact loop fusion is not reproduced, which
+//          only shifts its memory-traffic constant; see DESIGN.md)
+//
+// All compute MontMul(a, b) = a * b * R^-1 mod m for s-word odd m,
+// R = 2^(32 s), inputs a, b < m, result < m.
+//
+// Each routine optionally records word-operation counts (single-precision
+// multiplies, additions, memory reads/writes) — the quantities the paper's
+// software cost model (swmodel) consumes to predict Pentium-60 runtimes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dslayer::bigint {
+
+/// Word-operation counts accumulated by an instrumented run.
+struct OpCounts {
+  std::uint64_t word_mults = 0;  ///< 32x32 -> 64 multiplications
+  std::uint64_t word_adds = 0;   ///< word additions (incl. carry adds)
+  std::uint64_t loads = 0;       ///< array-element reads
+  std::uint64_t stores = 0;      ///< array-element writes
+
+  OpCounts& operator+=(const OpCounts& o) {
+    word_mults += o.word_mults;
+    word_adds += o.word_adds;
+    loads += o.loads;
+    stores += o.stores;
+    return *this;
+  }
+};
+
+/// The five scheduling variants.
+enum class MontVariant { kSOS, kCIOS, kFIOS, kFIPS, kCIHS };
+
+/// Short name, e.g. "CIOS".
+std::string to_string(MontVariant v);
+
+/// All variants, for sweeps.
+inline constexpr MontVariant kAllMontVariants[] = {
+    MontVariant::kSOS, MontVariant::kCIOS, MontVariant::kFIOS, MontVariant::kFIPS,
+    MontVariant::kCIHS};
+
+/// -m0^-1 mod 2^32 for odd m0 (Newton-Hensel iteration).
+std::uint32_t mont_word_inverse(std::uint32_t m0);
+
+/// Individual variants. Preconditions (checked): a, b, m, out all have size
+/// s >= 1; m is odd; numeric values of a and b are < m. `counts` may be null.
+void mont_mul_sos(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+                  std::span<const std::uint32_t> m, std::uint32_t m_prime,
+                  std::span<std::uint32_t> out, OpCounts* counts);
+void mont_mul_cios(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+                   std::span<const std::uint32_t> m, std::uint32_t m_prime,
+                   std::span<std::uint32_t> out, OpCounts* counts);
+void mont_mul_fios(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+                   std::span<const std::uint32_t> m, std::uint32_t m_prime,
+                   std::span<std::uint32_t> out, OpCounts* counts);
+void mont_mul_fips(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+                   std::span<const std::uint32_t> m, std::uint32_t m_prime,
+                   std::span<std::uint32_t> out, OpCounts* counts);
+void mont_mul_cihs(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+                   std::span<const std::uint32_t> m, std::uint32_t m_prime,
+                   std::span<std::uint32_t> out, OpCounts* counts);
+
+/// Dispatch by variant tag.
+void mont_mul(MontVariant variant, std::span<const std::uint32_t> a,
+              std::span<const std::uint32_t> b, std::span<const std::uint32_t> m,
+              std::uint32_t m_prime, std::span<std::uint32_t> out, OpCounts* counts);
+
+}  // namespace dslayer::bigint

@@ -1,0 +1,189 @@
+#include "dct/idct.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/rng.hpp"
+
+namespace dslayer::dct {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Orthonormal 1-D scale factor c(u).
+double scale_c(int u) { return u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0); }
+
+/// cos((2i+1) u pi / 16).
+double basis(int u, int i) { return std::cos((2 * i + 1) * u * kPi / 16.0); }
+
+/// Fixed-point tables, built once.
+struct Tables {
+  // Tc[u][i] = c(u) * cos(...) * 2^13  (row-column form).
+  std::int32_t tc[8][8];
+  // C[u][i] = cos(...) * 2^11          (fused form, scale folded out).
+  std::int32_t c[8][8];
+  // SC[u][v] = c(u) * c(v) * 2^12      (fused pre-scaling).
+  std::int32_t sc[8][8];
+
+  Tables() {
+    for (int u = 0; u < 8; ++u) {
+      for (int i = 0; i < 8; ++i) {
+        tc[u][i] = static_cast<std::int32_t>(std::lround(scale_c(u) * basis(u, i) * 8192.0));
+        c[u][i] = static_cast<std::int32_t>(std::lround(basis(u, i) * 2048.0));
+      }
+    }
+    for (int u = 0; u < 8; ++u) {
+      for (int v = 0; v < 8; ++v) {
+        sc[u][v] = static_cast<std::int32_t>(std::lround(scale_c(u) * scale_c(v) * 4096.0));
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+std::int64_t rounded_shift(std::int64_t v, unsigned bits) {
+  return (v + (std::int64_t{1} << (bits - 1))) >> bits;
+}
+
+}  // namespace
+
+Block dct_8x8(const Block& spatial) {
+  Block out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0.0;
+      for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 8; ++j) {
+          acc += spatial[static_cast<std::size_t>(i * 8 + j)] * basis(u, i) * basis(v, j);
+        }
+      }
+      out[static_cast<std::size_t>(u * 8 + v)] = scale_c(u) * scale_c(v) * acc;
+    }
+  }
+  return out;
+}
+
+Block idct_8x8_reference(const Block& coefficients) {
+  Block out{};
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double acc = 0.0;
+      for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+          acc += scale_c(u) * scale_c(v) * coefficients[static_cast<std::size_t>(u * 8 + v)] *
+                 basis(u, i) * basis(v, j);
+        }
+      }
+      out[static_cast<std::size_t>(i * 8 + j)] = acc;
+    }
+  }
+  return out;
+}
+
+IntBlock idct_8x8_row_col(const IntBlock& coefficients) {
+  const Tables& t = tables();
+  // Row pass: every row is an independent 1-D IDCT; keep 4 fractional bits.
+  std::int64_t mid[64];
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      std::int64_t acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        acc += static_cast<std::int64_t>(coefficients[static_cast<std::size_t>(r * 8 + u)]) *
+               t.tc[u][i];
+      }
+      mid[r * 8 + i] = rounded_shift(acc, 9);  // 2^13 -> 2^4
+    }
+  }
+  // Column pass: transpose orientation, drop all fractional bits at the end.
+  IntBlock out{};
+  for (int col = 0; col < 8; ++col) {
+    for (int i = 0; i < 8; ++i) {
+      std::int64_t acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        acc += mid[u * 8 + col] * t.tc[u][i];
+      }
+      out[static_cast<std::size_t>(i * 8 + col)] =
+          static_cast<std::int32_t>(rounded_shift(acc, 17));  // 2^(4+13) -> 2^0
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// 1-D pure-cosine pass of the fused form: even/odd symmetry halves the
+/// multiplications (4 products per half-sample instead of 8) at the cost
+/// of the extra add/sub butterflies — the trade the IDCT_fused behavioral
+/// description models.
+void fused_pass(const std::int64_t in[8], std::int64_t out[8], unsigned drop_bits) {
+  const Tables& t = tables();
+  for (int i = 0; i < 4; ++i) {
+    std::int64_t even = 0;
+    std::int64_t odd = 0;
+    for (int u = 0; u < 8; u += 2) even += in[u] * t.c[u][i];
+    for (int u = 1; u < 8; u += 2) odd += in[u] * t.c[u][i];
+    out[i] = rounded_shift(even + odd, drop_bits);
+    out[7 - i] = rounded_shift(even - odd, drop_bits);  // cos symmetry
+  }
+}
+
+}  // namespace
+
+IntBlock idct_8x8_fused(const IntBlock& coefficients) {
+  const Tables& t = tables();
+  // Pre-scale: fold c(u)c(v) of both passes into the coefficients once.
+  std::int64_t w[64];
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      w[u * 8 + v] = rounded_shift(
+          static_cast<std::int64_t>(coefficients[static_cast<std::size_t>(u * 8 + v)]) *
+              t.sc[u][v],
+          4);  // 2^12 -> 2^8
+    }
+  }
+  // Row pass (scale 2^8 * 2^11 -> drop 8 -> 2^11), then column pass.
+  std::int64_t mid[64];
+  for (int r = 0; r < 8; ++r) {
+    std::int64_t row[8], res[8];
+    for (int u = 0; u < 8; ++u) row[u] = w[r * 8 + u];
+    fused_pass(row, res, 8);
+    for (int i = 0; i < 8; ++i) mid[r * 8 + i] = res[i];
+  }
+  IntBlock out{};
+  for (int col = 0; col < 8; ++col) {
+    std::int64_t column[8], res[8];
+    for (int u = 0; u < 8; ++u) column[u] = mid[u * 8 + col];
+    fused_pass(column, res, 22);  // 2^(11+11) -> 2^0
+    for (int i = 0; i < 8; ++i) {
+      out[static_cast<std::size_t>(i * 8 + col)] = static_cast<std::int32_t>(res[i]);
+    }
+  }
+  return out;
+}
+
+double idct_peak_error(bool fused, int blocks, std::uint64_t seed) {
+  Rng rng(seed);
+  double peak = 0.0;
+  for (int b = 0; b < blocks; ++b) {
+    IntBlock coeffs{};
+    Block exact{};
+    for (std::size_t k = 0; k < 64; ++k) {
+      // IEEE-1180-style range [-300, 300].
+      coeffs[k] = static_cast<std::int32_t>(rng.next_in(-300, 300));
+      exact[k] = coeffs[k];
+    }
+    const Block reference = idct_8x8_reference(exact);
+    const IntBlock result = fused ? idct_8x8_fused(coeffs) : idct_8x8_row_col(coeffs);
+    for (std::size_t k = 0; k < 64; ++k) {
+      peak = std::max(peak, std::abs(reference[k] - static_cast<double>(result[k])));
+    }
+  }
+  return peak;
+}
+
+}  // namespace dslayer::dct

@@ -1,0 +1,55 @@
+// 8x8 inverse discrete cosine transform implementations.
+//
+// The media layer's IDCT cores (Figs. 2-4 of the paper) are not datasheet
+// stubs: the two algorithm families the layer discriminates — row-column
+// separable and fused/flowgraph — are implemented here and verified
+// against a double-precision reference in the spirit of IEEE Std 1180
+// (random-block accuracy bounds), the conformance regime MPEG-class
+// decoders (paper ref [4]) were tested under.
+//
+//  * idct_8x8_reference: direct O(N^4) double-precision definition — the
+//    "mathematical definition of the transform" at the top of the Fig. 4
+//    hierarchy, from which all algorithmic variants derive.
+//  * idct_8x8_row_col: separable fixed-point implementation (two 1-D
+//    passes with an intermediate transpose), the IDCT_row_col behavioral
+//    description's algorithm.
+//  * idct_8x8_fused: a scaled/fused fixed-point variant that folds the
+//    scale factors of the two passes together (fewer multiplications,
+//    deeper adder chains — the IDCT_fused behavioral description).
+//
+// The forward transform is provided to generate conformance test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dslayer::dct {
+
+/// An 8x8 block in row-major order.
+using Block = std::array<double, 64>;
+using IntBlock = std::array<std::int32_t, 64>;
+
+/// Forward 8x8 DCT-II (double precision, orthonormal scaling).
+Block dct_8x8(const Block& spatial);
+
+/// Direct-definition inverse 8x8 DCT (double precision) — the reference
+/// every hardware algorithm is verified against.
+Block idct_8x8_reference(const Block& coefficients);
+
+/// Row-column separable fixed-point IDCT. Input: integer DCT coefficients
+/// (typically dequantized, range +-2048); output: integer samples. The
+/// internal datapath uses 13 fractional bits, matching a 16-bit hardware
+/// implementation with widened accumulators.
+IntBlock idct_8x8_row_col(const IntBlock& coefficients);
+
+/// Fused/scaled fixed-point IDCT: the per-pass constant multiplications of
+/// the row-column form are folded into a single pre-scaling of the
+/// coefficients, leaving butterfly passes with fewer multiplications.
+IntBlock idct_8x8_fused(const IntBlock& coefficients);
+
+/// Peak absolute error of a fixed-point IDCT against the reference over
+/// `blocks` random coefficient blocks (IEEE-1180-style accuracy probe).
+/// `fused` selects the algorithm; `seed` makes the probe reproducible.
+double idct_peak_error(bool fused, int blocks, std::uint64_t seed);
+
+}  // namespace dslayer::dct

@@ -1,0 +1,163 @@
+#include "domains/media.hpp"
+
+#include "domains/crypto.hpp"
+
+#include "behavior/behavior.hpp"
+#include "estimation/estimators.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "tech/technology.hpp"
+
+namespace dslayer::domains {
+
+using dsl::Core;
+using dsl::Property;
+using dsl::Value;
+using dsl::ValueDomain;
+
+namespace {
+
+constexpr const char* kRowCol = "Row-Column";
+constexpr const char* kFused = "Fused-Flowgraph";
+
+/// Figures of merit of one hard core, from the estimation tools over the
+/// matching behavioral description (so technologies scale consistently).
+struct IdctEval {
+  double area;
+  double delay_ns;  // per 8x8 block
+  double power_mw;
+};
+
+IdctEval evaluate_idct(const std::string& algorithm, const tech::Technology& technology) {
+  const behavior::BehavioralDescription bd = algorithm == kRowCol
+                                                 ? behavior::idct_row_col_bd(16)
+                                                 : behavior::idct_fused_bd(16);
+  estimation::EstimateInput input;
+  input.bd = &bd;
+  input.eol_bits = 16;
+  input.datapath_bits = 16;
+  input.technology = technology;
+
+  const estimation::BehaviorAreaEstimator area_tool;
+  const estimation::BehaviorDelayEstimator delay_tool;
+  const estimation::BehaviorPowerEstimator power_tool;
+  const double iteration_ns = delay_tool.estimate(input);
+  const double iterations = bd.iteration_count(16, 2);
+  return IdctEval{area_tool.estimate(input), iteration_ns * iterations,
+                  power_tool.estimate(input)};
+}
+
+}  // namespace
+
+std::unique_ptr<dsl::DesignSpaceLayer> build_media_layer() {
+  auto layer = std::make_unique<dsl::DesignSpaceLayer>("media");
+
+  dsl::Cdo& idct = layer->space().add_root(
+      "IDCT", "Inverse Discrete Cosine Transform blocks (8x8, MPEG-class decoders)");
+  idct.add_property(Property::requirement(
+      kIdctPrecision, ValueDomain::positive_integers(),
+      "Required fixed-point precision of the reconstruction (IEEE 1180-style)", Unit::kBits));
+  idct.add_property(Property::generalized_issue(
+      "ImplementationStyle", {"Hardware", "Software"},
+      "Hardware blocks vs software on a programmable platform"));
+
+  dsl::Cdo& hw = idct.specialize("Hardware");
+  // Per Section 2.2, the issue that best explains the evaluation-space
+  // clusters — fabrication technology — is generalized FIRST; algorithm
+  // and layout style remain fine-grained trade-offs inside each family.
+  hw.add_property(Property::generalized_issue(
+      "FabricationTechnology",
+      {to_string(tech::Process::k035um), to_string(tech::Process::k070um)},
+      "The technology split drives the {1,2,5} vs {3,4} area/delay clusters of Fig. 3"));
+  hw.add_property(Property::design_issue(
+      kIdctAlgorithm, ValueDomain::options({kRowCol, kFused}),
+      "1-D row/column passes vs fused 2-D flowgraph (fewer multiplies, deeper chains)"));
+  hw.add_property(Property::design_issue(
+      "LayoutStyle",
+      ValueDomain::options({to_string(tech::LayoutStyle::kStandardCell),
+                            to_string(tech::LayoutStyle::kGateArray)}),
+      "Standard cell vs gate array"));
+  dsl::Cdo& hw035 = hw.specialize(to_string(tech::Process::k035um), "um035");
+  dsl::Cdo& hw070 = hw.specialize(to_string(tech::Process::k070um), "um070");
+  hw035.add_behavior(behavior::idct_row_col_bd(16));
+  hw035.add_behavior(behavior::idct_fused_bd(16));
+  hw070.add_behavior(behavior::idct_row_col_bd(16));
+
+  dsl::Cdo& sw = idct.specialize("Software");
+  sw.add_property(Property::design_issue(
+      "Platform", ValueDomain::options({"Embedded-RISC", "Embedded-DSP"}),
+      "Programmable platform running the IDCT routine"));
+
+  // --- the five hard cores of Figs. 2-3 + one software core -------------------
+  dsl::ReuseLibrary& lib = layer->add_library("media-cores");
+  struct Spec {
+    const char* name;
+    const char* algorithm;
+    tech::Process process;
+    tech::LayoutStyle layout;
+  };
+  const Spec specs[] = {
+      {"IDCT 1", kRowCol, tech::Process::k035um, tech::LayoutStyle::kStandardCell},
+      {"IDCT 2", kFused, tech::Process::k035um, tech::LayoutStyle::kStandardCell},
+      {"IDCT 3", kRowCol, tech::Process::k070um, tech::LayoutStyle::kStandardCell},
+      {"IDCT 4", kFused, tech::Process::k070um, tech::LayoutStyle::kStandardCell},
+      {"IDCT 5", kRowCol, tech::Process::k035um, tech::LayoutStyle::kGateArray},
+  };
+  for (const Spec& spec : specs) {
+    const tech::Technology technology = tech::technology(spec.process, spec.layout);
+    const IdctEval eval = evaluate_idct(spec.algorithm, technology);
+    Core core(spec.name, kPathIdct);
+    core.bind("ImplementationStyle", Value::text("Hardware"))
+        .bind("FabricationTechnology", Value::text(to_string(spec.process)))
+        .bind("LayoutStyle", Value::text(to_string(spec.layout)))
+        .bind(kIdctAlgorithm, Value::text(spec.algorithm));
+    core.set_metric(kMetricArea, eval.area)
+        .set_metric(kMetricDelayNs, eval.delay_ns)
+        .set_metric(kMetricPowerMw, eval.power_mw);
+    core.add_view("algorithm", cat("ip://media/", spec.name, "/alg"))
+        .add_view("rt", cat("ip://media/", spec.name, "/rtl.v"))
+        .add_view("logic", cat("ip://media/", spec.name, "/netlist"))
+        .add_view("physical", cat("ip://media/", spec.name, "/gds2"));
+    lib.add(std::move(core));
+  }
+  Core sw_core("IDCT sw-risc", kPathIdct);
+  sw_core.bind("ImplementationStyle", Value::text("Software"))
+      .bind("Platform", Value::text("Embedded-RISC"));
+  sw_core.set_metric(kMetricDelayNs, 6.0e5).set_metric(kMetricCodeBytes, 4200.0);
+  lib.add(std::move(sw_core));
+
+  layer->index_cores();
+  return layer;
+}
+
+dct::IntBlock execute_idct_core(const dsl::Core& core, const dct::IntBlock& coefficients) {
+  const auto algorithm = core.binding(kIdctAlgorithm);
+  const auto impl = core.binding("ImplementationStyle");
+  if (!algorithm.has_value() || !impl.has_value() || impl->as_text() != "Hardware") {
+    throw PreconditionError(cat("core '", core.name(), "' is not a hardware IDCT core"));
+  }
+  return algorithm->as_text() == kFused ? dct::idct_8x8_fused(coefficients)
+                                        : dct::idct_8x8_row_col(coefficients);
+}
+
+std::vector<analysis::EvalPoint> idct_eval_points(const dsl::DesignSpaceLayer& layer) {
+  std::vector<analysis::EvalPoint> points;
+  const dsl::Cdo* idct = layer.space().find(kPathIdct);
+  DSLAYER_REQUIRE(idct != nullptr, "layer has no IDCT class");
+  for (const Core* core : layer.cores_under(*idct)) {
+    const auto impl = core->binding("ImplementationStyle");
+    if (!impl.has_value() || impl->as_text() != "Hardware") continue;
+    analysis::EvalPoint point;
+    point.id = core->name();
+    point.metrics["area"] = core->metric(kMetricArea).value_or(0.0);
+    point.metrics["delay_ns"] = core->metric(kMetricDelayNs).value_or(0.0);
+    for (const char* attr : {"FabricationTechnology", "LayoutStyle", kIdctAlgorithm}) {
+      const auto v = core->binding(attr);
+      if (v.has_value()) point.attributes[attr] = v->as_text();
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace dslayer::domains

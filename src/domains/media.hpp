@@ -1,0 +1,51 @@
+// The media (IDCT) design space layer — the paper's motivating example.
+//
+// Section 2 uses five IDCT hard cores to show why organizing a design
+// space by the traditional abstraction levels (Fig. 2) guides exploration
+// poorly, while a generalization/specialization hierarchy built on
+// evaluation-space proximity (Fig. 3) discriminates the clusters {1,2,5}
+// vs {3,4} first: "Designs 1 and 4 ... could very well be different
+// implementations of the exact same IDCT algorithm (say, one using a 0.35u
+// standard cell library, and the other using a 0.7u standard cell
+// library)".
+//
+// We build exactly that situation: five synthetic hard cores spanning two
+// fabrication technologies and two IDCT algorithm families (plus one
+// software core), with figures of merit produced by the estimation tools
+// over the IDCT behavioral descriptions — so the technology clusters
+// emerge from the same component models the rest of the system uses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/evaluation_space.hpp"
+#include "dct/idct.hpp"
+#include "dsl/layer.hpp"
+
+namespace dslayer::domains {
+
+inline constexpr const char* kIdctPrecision = "Precision";
+inline constexpr const char* kIdctAlgorithm = "IdctAlgorithm";
+inline constexpr const char* kPathIdct = "IDCT";
+inline constexpr const char* kPathIdctHw = "IDCT.Hardware";
+
+/// Builds the IDCT layer: hierarchy of Fig. 4 (implementation style first,
+/// then — per Section 2.2 — fabrication technology as the cluster-driving
+/// generalized issue inside Hardware), the five hard cores of Figs. 2-3
+/// (ids "IDCT 1" .. "IDCT 5") and one software core, indexed.
+std::unique_ptr<dsl::DesignSpaceLayer> build_media_layer();
+
+/// The five hard cores as evaluation-space points (metrics: area,
+/// delay_ns; attributes: FabricationTechnology, LayoutStyle,
+/// IdctAlgorithm) — the input of the Fig. 3 clustering reproduction.
+std::vector<analysis::EvalPoint> idct_eval_points(const dsl::DesignSpaceLayer& layer);
+
+/// Functional execution of a hard core's algorithm family: runs the
+/// fixed-point IDCT (dct/) matching the core's IdctAlgorithm binding, so
+/// the media cores are verified implementations exactly like the crypto
+/// cores (whose datapaths the RTL simulator executes). Throws
+/// PreconditionError if the core is not a hardware IDCT core.
+dct::IntBlock execute_idct_core(const dsl::Core& core, const dct::IntBlock& coefficients);
+
+}  // namespace dslayer::domains

@@ -1,0 +1,238 @@
+#include "dsl/cdo.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::dsl {
+
+Cdo::Cdo(std::string name, Cdo* parent, std::string doc)
+    : name_(std::move(name)), doc_(std::move(doc)), parent_(parent) {
+  if (name_.empty()) throw DefinitionError("CDO name must not be empty");
+  if (name_.find('.') != std::string::npos || name_.find('@') != std::string::npos ||
+      name_.find('*') != std::string::npos) {
+    throw DefinitionError(cat("CDO name '", name_, "' must not contain '.', '@' or '*'"));
+  }
+}
+
+std::string Cdo::path() const {
+  if (parent_ == nullptr) return name_;
+  return cat(parent_->path(), ".", name_);
+}
+
+unsigned Cdo::depth() const {
+  unsigned d = 0;
+  for (const Cdo* c = parent_; c != nullptr; c = c->parent_) ++d;
+  return d;
+}
+
+void Cdo::add_property(Property property) {
+  if (property.name.empty()) throw DefinitionError("property name must not be empty");
+  if (find_property(property.name) != nullptr) {
+    throw DefinitionError(
+        cat("property '", property.name, "' already visible at CDO '", path(), "'"));
+  }
+  if (property.generalized) {
+    if (property.kind != PropertyKind::kDesignIssue) {
+      throw DefinitionError("only design issues can be generalized");
+    }
+    if (generalized_issue() != nullptr) {
+      throw DefinitionError(cat("CDO '", path(), "' already has the generalized issue '",
+                                generalized_issue()->name,
+                                "' — a CDO may contain at most one"));
+    }
+    if (property.domain.kind() != ValueDomain::Kind::kOptions) {
+      throw DefinitionError("a generalized issue needs an enumerated option domain");
+    }
+  }
+  properties_.push_back(std::move(property));
+}
+
+const Property* Cdo::find_property(const std::string& name) const {
+  for (const Cdo* c = this; c != nullptr; c = c->parent_) {
+    for (const Property& p : c->properties_) {
+      if (p.name == name) return &p;
+    }
+  }
+  return nullptr;
+}
+
+const Cdo* Cdo::property_owner(const std::string& name) const {
+  for (const Cdo* c = this; c != nullptr; c = c->parent_) {
+    for (const Property& p : c->properties_) {
+      if (p.name == name) return c;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Property*> Cdo::visible_properties() const {
+  // Root-first so more general context reads first in reports.
+  std::vector<const Cdo*> chain;
+  for (const Cdo* c = this; c != nullptr; c = c->parent_) chain.push_back(c);
+  std::vector<const Property*> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const Property& p : (*it)->properties_) out.push_back(&p);
+  }
+  return out;
+}
+
+const Property* Cdo::generalized_issue() const {
+  for (const Property& p : properties_) {
+    if (p.generalized) return &p;
+  }
+  return nullptr;
+}
+
+Cdo& Cdo::specialize(const std::string& option, std::string name, std::string doc) {
+  const Property* issue = generalized_issue();
+  if (issue == nullptr) {
+    throw DefinitionError(
+        cat("CDO '", path(), "' has no generalized issue — cannot specialize"));
+  }
+  if (!issue->domain.has_option(option)) {
+    throw DefinitionError(cat("'", option, "' is not an option of generalized issue '",
+                              issue->name, "' at CDO '", path(), "'"));
+  }
+  if (child_by_option_.contains(option)) {
+    throw DefinitionError(cat("option '", option, "' of CDO '", path(),
+                              "' is already specialized"));
+  }
+  if (name.empty()) name = option;
+  children_.push_back(std::make_unique<Cdo>(std::move(name), this, std::move(doc)));
+  Cdo* child = children_.back().get();
+  child->option_ = option;
+  child_by_option_[option] = child;
+  return *child;
+}
+
+Cdo* Cdo::child_for_option(const std::string& option) {
+  const auto it = child_by_option_.find(option);
+  return it == child_by_option_.end() ? nullptr : it->second;
+}
+
+const Cdo* Cdo::child_for_option(const std::string& option) const {
+  const auto it = child_by_option_.find(option);
+  return it == child_by_option_.end() ? nullptr : it->second;
+}
+
+std::vector<Cdo*> Cdo::children() {
+  std::vector<Cdo*> out;
+  out.reserve(children_.size());
+  for (const auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Cdo*> Cdo::children() const {
+  std::vector<const Cdo*> out;
+  out.reserve(children_.size());
+  for (const auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Cdo*> Cdo::subtree() const {
+  std::vector<const Cdo*> out{this};
+  for (const auto& c : children_) {
+    const auto sub = c->subtree();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Cdo::add_behavior(behavior::BehavioralDescription bd) {
+  for (const auto& existing : behaviors_) {
+    if (existing.name() == bd.name()) {
+      throw DefinitionError(
+          cat("behavioral description '", bd.name(), "' already attached to '", path(), "'"));
+    }
+  }
+  behaviors_.push_back(std::move(bd));
+}
+
+std::vector<const behavior::BehavioralDescription*> Cdo::visible_behaviors() const {
+  std::vector<const behavior::BehavioralDescription*> out;
+  for (const Cdo* c = this; c != nullptr; c = c->parent_) {
+    for (const auto& bd : c->behaviors_) out.push_back(&bd);
+  }
+  return out;
+}
+
+std::string Cdo::document(bool recursive) const {
+  std::ostringstream os;
+  os << "CDO " << path();
+  if (!option_.empty()) os << "  (specializes option '" << option_ << "')";
+  os << "\n";
+  if (!doc_.empty()) os << "  " << doc_ << "\n";
+  for (const Property& p : properties_) {
+    os << "  [" << to_string(p.kind) << (p.generalized ? ", generalized" : "") << "] " << p.name
+       << "  SetOfValues=" << p.domain.describe();
+    if (p.unit != Unit::kNone) os << "  Unit: " << unit_suffix(p.unit);
+    if (p.default_value.has_value()) os << "  Default: " << p.default_value->to_string();
+    os << "\n";
+    if (!p.doc.empty()) os << "      " << p.doc << "\n";
+  }
+  for (const auto& bd : behaviors_) {
+    os << "  [behavioral description] " << bd.name() << "\n";
+  }
+  if (recursive) {
+    for (const auto& c : children_) os << c->document(true);
+  }
+  return os.str();
+}
+
+Cdo& DesignSpace::add_root(std::string name, std::string doc) {
+  for (const auto& r : roots_) {
+    if (r->name() == name) throw DefinitionError(cat("root CDO '", name, "' already exists"));
+  }
+  roots_.push_back(std::make_unique<Cdo>(std::move(name), nullptr, std::move(doc)));
+  return *roots_.back();
+}
+
+std::vector<Cdo*> DesignSpace::roots() {
+  std::vector<Cdo*> out;
+  for (const auto& r : roots_) out.push_back(r.get());
+  return out;
+}
+
+std::vector<const Cdo*> DesignSpace::roots() const {
+  std::vector<const Cdo*> out;
+  for (const auto& r : roots_) out.push_back(r.get());
+  return out;
+}
+
+namespace {
+
+Cdo* find_in(Cdo* node, const std::vector<std::string>& segments, std::size_t index) {
+  if (index == segments.size()) return node;
+  for (Cdo* child : node->children()) {
+    if (child->name() == segments[index]) return find_in(child, segments, index + 1);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Cdo* DesignSpace::find(const std::string& path) {
+  const std::vector<std::string> segments = split(path, '.');
+  if (segments.empty()) return nullptr;
+  for (const auto& r : roots_) {
+    if (r->name() == segments[0]) return find_in(r.get(), segments, 1);
+  }
+  return nullptr;
+}
+
+const Cdo* DesignSpace::find(const std::string& path) const {
+  return const_cast<DesignSpace*>(this)->find(path);
+}
+
+std::vector<const Cdo*> DesignSpace::all() const {
+  std::vector<const Cdo*> out;
+  for (const auto& r : roots_) {
+    const auto sub = r->subtree();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+}  // namespace dslayer::dsl

@@ -1,0 +1,156 @@
+// Classes of design objects (CDOs) and the design space hierarchy.
+//
+// A class of design objects abstracts the design space of one behavior
+// (Section 2: "Adders", "IDCT", "MPEG II encoders"). CDOs form a
+// generalization/specialization hierarchy (Section 2.2, Fig. 3/5/7):
+//
+//  * each CDO owns properties (requirements, design issues, figures of
+//    merit) and behavioral descriptions; descendants inherit them (the
+//    bold inheritance path of Fig. 5);
+//  * a CDO may own AT MOST ONE generalized design issue (Section 4); each
+//    of its options defines a child CDO — a specialization. CDOs with no
+//    generalized issue are the leaves of the hierarchy;
+//  * cores from the reuse libraries are indexed onto the deepest CDO whose
+//    option chain they satisfy (Section 4: "this hierarchy of CDOs
+//    provides also a basic schema for classifying and indexing families of
+//    cores").
+//
+// The hierarchy is runtime data, not a C++ type hierarchy: layers are
+// authored and extended per design environment (Section 6: "easily
+// scalable ... tailored to the needs and resources of each design
+// environment").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "behavior/behavior.hpp"
+#include "dsl/property.hpp"
+
+namespace dslayer::dsl {
+
+class Core;  // core_library.hpp
+
+class Cdo {
+ public:
+  /// Created through DesignSpace::add_root / Cdo::specialize.
+  Cdo(std::string name, Cdo* parent, std::string doc);
+
+  Cdo(const Cdo&) = delete;
+  Cdo& operator=(const Cdo&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& doc() const { return doc_; }
+
+  /// '.'-joined path from the root, e.g. "Operator.Modular.Multiplier".
+  std::string path() const;
+
+  const Cdo* parent() const { return parent_; }
+  Cdo* parent() { return parent_; }
+
+  /// Depth from the root (root = 0).
+  unsigned depth() const;
+
+  // -- properties -------------------------------------------------------------
+
+  /// Adds a property. Throws DefinitionError if the name collides with a
+  /// local or inherited property, or if a second generalized design issue
+  /// is added to this CDO.
+  void add_property(Property property);
+
+  /// Locally declared properties, in declaration order.
+  const std::vector<Property>& local_properties() const { return properties_; }
+
+  /// Finds a property here or in any ancestor (inheritance); nullptr if
+  /// absent.
+  const Property* find_property(const std::string& name) const;
+
+  /// The CDO (this or an ancestor) declaring `name`; nullptr if absent.
+  const Cdo* property_owner(const std::string& name) const;
+
+  /// All visible properties: inherited first (root downwards), then local.
+  std::vector<const Property*> visible_properties() const;
+
+  /// This CDO's own generalized design issue; nullptr if none (leaf).
+  const Property* generalized_issue() const;
+
+  bool is_leaf() const { return generalized_issue() == nullptr; }
+
+  // -- specialization -----------------------------------------------------------
+
+  /// Creates the child CDO for `option` of this CDO's generalized issue.
+  /// `name` defaults to the option string. Throws DefinitionError if there
+  /// is no generalized issue, the option is not in its domain, or the
+  /// option already has a child.
+  Cdo& specialize(const std::string& option, std::string name = "", std::string doc = "");
+
+  /// Child for an option of the generalized issue; nullptr if absent.
+  Cdo* child_for_option(const std::string& option);
+  const Cdo* child_for_option(const std::string& option) const;
+
+  /// The option of the parent's generalized issue this CDO specializes
+  /// (empty for roots).
+  const std::string& specializing_option() const { return option_; }
+
+  /// All children in creation order.
+  std::vector<Cdo*> children();
+  std::vector<const Cdo*> children() const;
+
+  /// This CDO and every descendant, pre-order.
+  std::vector<const Cdo*> subtree() const;
+
+  // -- behavioral descriptions ----------------------------------------------------
+
+  /// Attaches an algorithmic-level behavioral description (Fig. 10).
+  void add_behavior(behavior::BehavioralDescription bd);
+
+  /// Local BDs only.
+  const std::vector<behavior::BehavioralDescription>& local_behaviors() const {
+    return behaviors_;
+  }
+
+  /// Visible BDs: local plus inherited, most specific first.
+  std::vector<const behavior::BehavioralDescription*> visible_behaviors() const;
+
+  // -- self-documentation -----------------------------------------------------
+
+  /// Renders this CDO (and optionally the subtree) in the style of the
+  /// paper's Figs. 8/11: kind, name, SetOfValues, default, doc line.
+  std::string document(bool recursive = false) const;
+
+ private:
+  std::string name_;
+  std::string doc_;
+  Cdo* parent_ = nullptr;
+  std::string option_;  // parent's generalized-issue option this specializes
+
+  std::vector<Property> properties_;
+  std::vector<behavior::BehavioralDescription> behaviors_;
+
+  std::vector<std::unique_ptr<Cdo>> children_;
+  std::map<std::string, Cdo*> child_by_option_;
+};
+
+/// Owns the CDO roots of one design space layer.
+class DesignSpace {
+ public:
+  /// Adds a root CDO; throws DefinitionError on duplicate names.
+  Cdo& add_root(std::string name, std::string doc = "");
+
+  std::vector<Cdo*> roots();
+  std::vector<const Cdo*> roots() const;
+
+  /// Exact path lookup ("Operator.Modular.Multiplier"); nullptr if absent.
+  Cdo* find(const std::string& path);
+  const Cdo* find(const std::string& path) const;
+
+  /// All CDOs, pre-order across roots.
+  std::vector<const Cdo*> all() const;
+
+ private:
+  std::vector<std::unique_ptr<Cdo>> roots_;
+};
+
+}  // namespace dslayer::dsl

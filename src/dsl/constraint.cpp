@@ -1,0 +1,164 @@
+#include "dsl/constraint.hpp"
+
+#include <sstream>
+
+#include "dsl/cdo.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::dsl {
+
+std::string to_string(RelationKind k) {
+  switch (k) {
+    case RelationKind::kInconsistentOptions: return "InconsistentOptions";
+    case RelationKind::kFormula: return "Formula";
+    case RelationKind::kEstimatorBinding: return "EstimatorBinding";
+    case RelationKind::kDominanceElimination: return "DominanceElimination";
+  }
+  return "?";
+}
+
+Value get_or_empty(const Bindings& bindings, const std::string& property) {
+  const auto it = bindings.find(property);
+  return it == bindings.end() ? Value{} : it->second;
+}
+
+namespace {
+
+void check_common(const std::string& id, const std::vector<PropertyPath>& dependent) {
+  if (id.empty()) throw DefinitionError("consistency constraint needs an id");
+  if (dependent.empty()) {
+    throw DefinitionError(cat("constraint '", id, "' needs a non-empty dependent set"));
+  }
+}
+
+}  // namespace
+
+ConsistencyConstraint ConsistencyConstraint::inconsistent_options(
+    std::string id, std::string doc, std::vector<PropertyPath> independent,
+    std::vector<PropertyPath> dependent, std::function<bool(const Bindings&)> violated) {
+  check_common(id, dependent);
+  DSLAYER_REQUIRE(violated != nullptr, "predicate must not be null");
+  ConsistencyConstraint cc;
+  cc.id_ = std::move(id);
+  cc.doc_ = std::move(doc);
+  cc.kind_ = RelationKind::kInconsistentOptions;
+  cc.independent_ = std::move(independent);
+  cc.dependent_ = std::move(dependent);
+  cc.violated_ = std::move(violated);
+  return cc;
+}
+
+ConsistencyConstraint ConsistencyConstraint::dominance(
+    std::string id, std::string doc, std::vector<PropertyPath> independent,
+    std::vector<PropertyPath> dependent, std::function<bool(const Bindings&)> violated) {
+  ConsistencyConstraint cc = inconsistent_options(std::move(id), std::move(doc),
+                                                  std::move(independent), std::move(dependent),
+                                                  std::move(violated));
+  cc.kind_ = RelationKind::kDominanceElimination;
+  return cc;
+}
+
+ConsistencyConstraint ConsistencyConstraint::formula(std::string id, std::string doc,
+                                                     std::vector<PropertyPath> independent,
+                                                     PropertyPath dependent,
+                                                     std::function<Value(const Bindings&)> compute) {
+  check_common(id, {dependent});
+  DSLAYER_REQUIRE(compute != nullptr, "formula must not be null");
+  ConsistencyConstraint cc;
+  cc.id_ = std::move(id);
+  cc.doc_ = std::move(doc);
+  cc.kind_ = RelationKind::kFormula;
+  cc.independent_ = std::move(independent);
+  cc.dependent_ = {std::move(dependent)};
+  cc.compute_ = std::move(compute);
+  return cc;
+}
+
+ConsistencyConstraint ConsistencyConstraint::estimator(std::string id, std::string doc,
+                                                       std::vector<PropertyPath> independent,
+                                                       PropertyPath dependent,
+                                                       std::string estimator_name) {
+  check_common(id, {dependent});
+  if (estimator_name.empty()) {
+    throw DefinitionError(cat("constraint '", id, "' needs an estimator tool name"));
+  }
+  ConsistencyConstraint cc;
+  cc.id_ = std::move(id);
+  cc.doc_ = std::move(doc);
+  cc.kind_ = RelationKind::kEstimatorBinding;
+  cc.independent_ = std::move(independent);
+  cc.dependent_ = {std::move(dependent)};
+  cc.estimator_name_ = std::move(estimator_name);
+  return cc;
+}
+
+bool ConsistencyConstraint::applies_at(const Cdo& cdo) const {
+  for (const PropertyPath& dep : dependent_) {
+    bool matched = false;
+    for (const Cdo* c = &cdo; c != nullptr && !matched; c = c->parent()) {
+      matched = dep.matches(c->path());
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+bool ConsistencyConstraint::depends_on(const std::string& property) const {
+  for (const PropertyPath& p : independent_) {
+    if (p.property() == property) return true;
+  }
+  return false;
+}
+
+bool ConsistencyConstraint::constrains(const std::string& property) const {
+  for (const PropertyPath& p : dependent_) {
+    if (p.property() == property) return true;
+  }
+  return false;
+}
+
+bool ConsistencyConstraint::independents_bound(const Bindings& bindings) const {
+  for (const PropertyPath& p : independent_) {
+    if (get_or_empty(bindings, p.property()).empty()) return false;
+  }
+  return true;
+}
+
+bool ConsistencyConstraint::violated(const Bindings& bindings) const {
+  DSLAYER_REQUIRE(kind_ == RelationKind::kInconsistentOptions ||
+                      kind_ == RelationKind::kDominanceElimination,
+                  "violated() is only defined for predicate relations");
+  if (!independents_bound(bindings)) return false;
+  for (const PropertyPath& p : dependent_) {
+    if (get_or_empty(bindings, p.property()).empty()) return false;
+  }
+  return violated_(bindings);
+}
+
+Value ConsistencyConstraint::evaluate(const Bindings& bindings) const {
+  DSLAYER_REQUIRE(kind_ == RelationKind::kFormula, "evaluate() is only defined for formulas");
+  if (!independents_bound(bindings)) {
+    throw ExplorationError(cat("constraint ", id_,
+                               ": independent set not fully addressed yet"));
+  }
+  return compute_(bindings);
+}
+
+std::string ConsistencyConstraint::describe() const {
+  std::ostringstream os;
+  os << id_ << ": " << doc_ << "\n  Indep_Set={";
+  for (std::size_t i = 0; i < independent_.size(); ++i) {
+    os << (i ? ", " : "") << independent_[i].to_string();
+  }
+  os << "}\n  Dep_Set={";
+  for (std::size_t i = 0; i < dependent_.size(); ++i) {
+    os << (i ? ", " : "") << dependent_[i].to_string();
+  }
+  os << "}\n  Relation: " << to_string(kind_);
+  if (kind_ == RelationKind::kEstimatorBinding) os << "(" << estimator_name_ << ")";
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace dslayer::dsl

@@ -1,0 +1,123 @@
+// Consistency constraints (CCs).
+//
+// "A single modeling construct, called consistency constraint, is used to
+// express ordering and consistency relationships among properties. CCs are
+// defined by an independent set of properties, a dependent set of
+// properties, and a relation. The dependent set can only be addressed by
+// the designer after the independent set has been addressed. Moreover,
+// when the independent set is modified, the dependent set needs to be
+// re-assessed." (Section 4)
+//
+// The relation kinds cover the four roles of Fig. 13:
+//   CC1  InconsistentOptions  — combinations of values that are invalid
+//                               (Montgomery requires an odd modulus);
+//   CC2  Formula              — quantitative/heuristic trade-off relations
+//                               (latency cycles = 2 EOL / R + 1);
+//   CC3  EstimatorBinding     — the utilization context of an early
+//                               estimation tool (BehaviorDelayEstimator);
+//   CC4  DominanceElimination — mechanically like InconsistentOptions, but
+//                               records that the eliminated combinations
+//                               are merely INFERIOR, not infeasible (for
+//                               EOL >= 32, non-carry-save adders in the
+//                               Montgomery loop are dominated).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/path.hpp"
+#include "dsl/value.hpp"
+
+namespace dslayer::dsl {
+
+class Cdo;
+
+/// Property-name -> value snapshot the relation predicates evaluate over.
+using Bindings = std::map<std::string, Value>;
+
+enum class RelationKind {
+  kInconsistentOptions,
+  kFormula,
+  kEstimatorBinding,
+  kDominanceElimination,
+};
+
+std::string to_string(RelationKind k);
+
+class ConsistencyConstraint {
+ public:
+  /// Predicate relations: `violated` returns true for value combinations
+  /// the CC rules out. It is only consulted when every referenced property
+  /// has a value.
+  static ConsistencyConstraint inconsistent_options(
+      std::string id, std::string doc, std::vector<PropertyPath> independent,
+      std::vector<PropertyPath> dependent, std::function<bool(const Bindings&)> violated);
+
+  /// Same mechanics, dominance rationale (CC4).
+  static ConsistencyConstraint dominance(
+      std::string id, std::string doc, std::vector<PropertyPath> independent,
+      std::vector<PropertyPath> dependent, std::function<bool(const Bindings&)> violated);
+
+  /// Formula relation: derives the (single) dependent property's value from
+  /// the independent values (CC2).
+  static ConsistencyConstraint formula(std::string id, std::string doc,
+                                       std::vector<PropertyPath> independent,
+                                       PropertyPath dependent,
+                                       std::function<Value(const Bindings&)> compute);
+
+  /// Estimator binding: the dependent property is produced by the named
+  /// estimation tool applied to the behavioral descriptions in scope (CC3).
+  static ConsistencyConstraint estimator(std::string id, std::string doc,
+                                         std::vector<PropertyPath> independent,
+                                         PropertyPath dependent, std::string estimator_name);
+
+  const std::string& id() const { return id_; }
+  const std::string& doc() const { return doc_; }
+  RelationKind kind() const { return kind_; }
+  const std::vector<PropertyPath>& independent() const { return independent_; }
+  const std::vector<PropertyPath>& dependent() const { return dependent_; }
+  const std::string& estimator_name() const { return estimator_name_; }
+
+  /// True if this CC is in scope at a CDO: every dependent path matches the
+  /// CDO's path or an ancestor's (properties are inherited, so a CC stated
+  /// at "*.Hardware" governs every hardware descendant).
+  bool applies_at(const Cdo& cdo) const;
+
+  /// True if the property appears in the independent set.
+  bool depends_on(const std::string& property) const;
+
+  /// True if the property appears in the dependent set.
+  bool constrains(const std::string& property) const;
+
+  /// Predicate evaluation (kInconsistentOptions / kDominanceElimination).
+  /// Returns false unless all referenced properties are bound.
+  bool violated(const Bindings& bindings) const;
+
+  /// Formula evaluation (kFormula); requires all independents bound.
+  Value evaluate(const Bindings& bindings) const;
+
+  /// True if every independent property has a (non-empty) binding.
+  bool independents_bound(const Bindings& bindings) const;
+
+  /// Renders "CC1: <doc>  Indep={...} Dep={...} Relation: <kind>".
+  std::string describe() const;
+
+ private:
+  ConsistencyConstraint() = default;
+
+  std::string id_;
+  std::string doc_;
+  RelationKind kind_ = RelationKind::kInconsistentOptions;
+  std::vector<PropertyPath> independent_;
+  std::vector<PropertyPath> dependent_;
+  std::function<bool(const Bindings&)> violated_;
+  std::function<Value(const Bindings&)> compute_;
+  std::string estimator_name_;
+};
+
+/// Helper for relation predicates: value of `property`, or an empty Value.
+Value get_or_empty(const Bindings& bindings, const std::string& property);
+
+}  // namespace dslayer::dsl

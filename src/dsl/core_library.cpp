@@ -1,0 +1,78 @@
+#include "dsl/core_library.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::dsl {
+
+Core::Core(std::string name, std::string class_path)
+    : name_(std::move(name)), class_path_(std::move(class_path)) {
+  if (name_.empty()) throw DefinitionError("core name must not be empty");
+  if (class_path_.empty()) throw DefinitionError(cat("core '", name_, "' needs a class path"));
+}
+
+Core& Core::bind(const std::string& property, Value value) {
+  DSLAYER_REQUIRE(!property.empty(), "binding needs a property name");
+  DSLAYER_REQUIRE(!value.empty(), "binding needs a value");
+  bindings_[property] = std::move(value);
+  return *this;
+}
+
+std::optional<Value> Core::binding(const std::string& property) const {
+  const auto it = bindings_.find(property);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+Core& Core::set_metric(const std::string& name, double value) {
+  DSLAYER_REQUIRE(!name.empty(), "metric needs a name");
+  metrics_[name] = value;
+  return *this;
+}
+
+std::optional<double> Core::metric(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end()) return std::nullopt;
+  return it->second;
+}
+
+Core& Core::add_view(std::string level, std::string artifact) {
+  views_.push_back(CoreView{std::move(level), std::move(artifact)});
+  return *this;
+}
+
+std::string Core::describe() const {
+  std::ostringstream os;
+  os << name_ << " [" << library_ << "] class=" << class_path_;
+  for (const auto& [k, v] : bindings_) os << " " << k << "=" << v.to_string();
+  for (const auto& [k, v] : metrics_) os << " " << k << "=" << format_double(v);
+  return os.str();
+}
+
+ReuseLibrary::ReuseLibrary(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw DefinitionError("reuse library name must not be empty");
+}
+
+Core& ReuseLibrary::add(Core core) {
+  for (const auto& existing : cores_) {
+    if (existing->name() == core.name()) {
+      throw DefinitionError(
+          cat("core '", core.name(), "' already exists in library '", name_, "'"));
+    }
+  }
+  core.set_library(name_);
+  cores_.push_back(std::make_unique<Core>(std::move(core)));
+  return *cores_.back();
+}
+
+std::vector<const Core*> ReuseLibrary::cores() const {
+  std::vector<const Core*> out;
+  out.reserve(cores_.size());
+  for (const auto& c : cores_) out.push_back(c.get());
+  return out;
+}
+
+}  // namespace dslayer::dsl

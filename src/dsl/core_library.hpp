@@ -1,0 +1,102 @@
+// Reusable cores and reuse libraries.
+//
+// Cores (macro-cells from IP providers, software routines, in-house blocks)
+// live in reuse libraries UNDERNEATH the design space layer (Fig. 1). The
+// layer never stores design data itself; it indexes cores through the CDO
+// hierarchy ("the cores available in the reuse library correspond to
+// 'points' in the design space ... logically indexed via these same areas
+// of design decision").
+//
+// A core therefore carries:
+//  * the CDO class it implements ("Operator.Modular.Multiplier");
+//  * bindings: the design-issue options its implementation embodies
+//    ("Algorithm" -> "Montgomery", "SliceWidth" -> 64, ...) — the layer
+//    descends generalized issues and filters regular decisions on these;
+//  * metrics: figures of merit (area, clock, latency, power) that populate
+//    the evaluation space and answer range queries;
+//  * views: references to the detailed design data at the traditional
+//    abstraction levels (Fig. 2(b)) — opaque artifact URIs here, since the
+//    actual HDL/layout lives with the IP provider.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/value.hpp"
+
+namespace dslayer::dsl {
+
+/// Reference to detailed design data at one abstraction level.
+struct CoreView {
+  std::string level;     ///< "algorithm", "rt", "logic", "physical"
+  std::string artifact;  ///< provider URI / file reference
+};
+
+/// One reusable design.
+class Core {
+ public:
+  Core(std::string name, std::string class_path);
+
+  const std::string& name() const { return name_; }
+
+  /// Path of the CDO class this core implements (indexing entry point).
+  const std::string& class_path() const { return class_path_; }
+
+  /// Name of the owning library (set on registration).
+  const std::string& library() const { return library_; }
+  void set_library(std::string library) { library_ = std::move(library); }
+
+  // -- bindings ---------------------------------------------------------------
+
+  Core& bind(const std::string& property, Value value);
+  std::optional<Value> binding(const std::string& property) const;
+  const std::map<std::string, Value>& bindings() const { return bindings_; }
+
+  // -- metrics ----------------------------------------------------------------
+
+  Core& set_metric(const std::string& name, double value);
+  std::optional<double> metric(const std::string& name) const;
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+  // -- views ------------------------------------------------------------------
+
+  Core& add_view(std::string level, std::string artifact);
+  const std::vector<CoreView>& views() const { return views_; }
+
+  /// One-line rendering for reports.
+  std::string describe() const;
+
+ private:
+  std::string name_;
+  std::string class_path_;
+  std::string library_;
+  std::map<std::string, Value> bindings_;
+  std::map<std::string, double> metrics_;
+  std::vector<CoreView> views_;
+};
+
+/// A named collection of cores (one IP provider / one in-house library).
+/// Multiple libraries connect to a single design space layer (Fig. 1).
+class ReuseLibrary {
+ public:
+  explicit ReuseLibrary(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a core (stamps the library name); returns a stable reference —
+  /// cores are never reallocated once added.
+  Core& add(Core core);
+
+  std::size_t size() const { return cores_.size(); }
+
+  std::vector<const Core*> cores() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Core>> cores_;  // unique_ptr => stable addresses
+};
+
+}  // namespace dslayer::dsl

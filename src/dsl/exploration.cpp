@@ -1,0 +1,541 @@
+#include "dsl/exploration.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::dsl {
+
+ExplorationSession::ExplorationSession(const DesignSpaceLayer& layer,
+                                       const std::string& class_path)
+    : layer_(&layer) {
+  const Cdo* cdo = layer.space().find(class_path);
+  if (cdo == nullptr) {
+    throw DefinitionError(cat("no CDO at path '", class_path, "'"));
+  }
+  root_ = cdo;
+  current_ = cdo;
+  // Record the generalized options already implied by the class path as
+  // structural decisions (they were "made" by choosing this class).
+  for (const Cdo* c = cdo; c->parent() != nullptr; c = c->parent()) {
+    const Property* issue = c->parent()->generalized_issue();
+    if (issue != nullptr && !c->specializing_option().empty()) {
+      Entry e;
+      e.value = Value::text(c->specializing_option());
+      e.state = State::kSet;
+      e.is_structural = true;
+      entries_[issue->name] = std::move(e);
+    }
+  }
+  log(cat("session opened at '", class_path, "'"));
+}
+
+const Property& ExplorationSession::require_property(const std::string& name,
+                                                     PropertyKind kind) const {
+  const Property* p = current_->find_property(name);
+  if (p == nullptr) {
+    throw ExplorationError(
+        cat("no property '", name, "' visible at CDO '", current_->path(), "'"));
+  }
+  if (p->kind != kind) {
+    throw ExplorationError(cat("property '", name, "' is a ", to_string(p->kind), ", not a ",
+                               to_string(kind)));
+  }
+  return *p;
+}
+
+Bindings ExplorationSession::bindings() const {
+  Bindings out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.value.empty()) out[name] = entry.value;
+  }
+  // Defaults for visible properties the designer has not addressed (the
+  // paper shows defaults for Radix, Number of Slices, Algorithm).
+  for (const Property* p : current_->visible_properties()) {
+    if (p->default_value.has_value() && !out.contains(p->name)) {
+      out[p->name] = *p->default_value;
+    }
+  }
+  return out;
+}
+
+void ExplorationSession::check_ordering(const std::string& name) const {
+  const Bindings bound = bindings();
+  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+    if (!cc->constrains(name)) continue;
+    for (const PropertyPath& indep : cc->independent()) {
+      // Ordering is enforced between DESIGN ISSUES: a dependent issue may
+      // only be decided after its independent issues. Requirement
+      // independents are problem givens — when absent they simply leave
+      // the relation unevaluable (unconstrained) rather than blocking the
+      // decision. References that are not properties in this scope
+      // (behavioral descriptions etc.) are structural context.
+      const Property* ip = current_->find_property(indep.property());
+      if (ip == nullptr || ip->kind != PropertyKind::kDesignIssue) continue;
+      if (get_or_empty(bound, indep.property()).empty()) {
+        throw ExplorationError(cat("constraint ", cc->id(), " orders '", name, "' after '",
+                                   indep.property(), "' — address the independent set first (",
+                                   cc->doc(), ")"));
+      }
+    }
+  }
+}
+
+void ExplorationSession::check_consistency(const std::string& name, const Value& value) const {
+  // Veto only applies when the property being set is a DEPENDENT of the
+  // constraint. Changing an independent that invalidates already-made
+  // decisions is allowed — the paper's model flags those decisions for
+  // re-assessment instead (handled by invalidate_dependents / the conflict
+  // scan in the callers).
+  Bindings tentative = bindings();
+  tentative[name] = value;
+  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+    if (cc->kind() != RelationKind::kInconsistentOptions &&
+        cc->kind() != RelationKind::kDominanceElimination) {
+      continue;
+    }
+    if (!cc->constrains(name)) continue;
+    if (cc->violated(tentative)) {
+      const char* why = cc->kind() == RelationKind::kDominanceElimination
+                            ? "eliminated as inferior"
+                            : "inconsistent";
+      throw ExplorationError(
+          cat("constraint ", cc->id(), ": '", name, "' = ", value.to_string(), " is ", why,
+              " with the current values (", cc->doc(), ")"));
+    }
+  }
+}
+
+void ExplorationSession::scan_conflicts(const std::string& name) {
+  // After an independent changed, record which constraints are now violated
+  // (their dependents have just been flagged for re-assessment).
+  const Bindings bound = bindings();
+  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+    if (cc->kind() != RelationKind::kInconsistentOptions &&
+        cc->kind() != RelationKind::kDominanceElimination) {
+      continue;
+    }
+    if (!cc->depends_on(name)) continue;
+    if (cc->violated(bound)) {
+      log(cat("CONFLICT ", cc->id(), ": current values violate '", cc->doc(),
+              "' — re-assess the flagged properties"));
+    }
+  }
+}
+
+void ExplorationSession::invalidate_dependents(const std::string& name) {
+  // Transitive closure over the constraint graph: any set property whose
+  // constraint depends on `name` needs re-assessment.
+  std::vector<std::string> frontier{name};
+  while (!frontier.empty()) {
+    const std::string changed = std::move(frontier.back());
+    frontier.pop_back();
+    for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+      if (!cc->depends_on(changed)) continue;
+      for (const PropertyPath& dep : cc->dependent()) {
+        const auto it = entries_.find(dep.property());
+        if (it == entries_.end() || it->second.state != State::kSet ||
+            it->second.is_structural || dep.property() == name) {
+          continue;
+        }
+        it->second.state = State::kNeedsReassessment;
+        log(cat("'", dep.property(), "' flagged for re-assessment (", cc->id(),
+                ": independent '", changed, "' changed)"));
+        frontier.push_back(dep.property());
+      }
+    }
+  }
+}
+
+void ExplorationSession::set_requirement(const std::string& name, Value value) {
+  const Property& p = require_property(name, PropertyKind::kRequirement);
+  if (!p.domain.contains(value)) {
+    throw ExplorationError(cat("value ", value.to_string(), " is outside the SetOfValues ",
+                               p.domain.describe(), " of requirement '", name, "'"));
+  }
+  check_ordering(name);
+  check_consistency(name, value);
+  Entry& e = entries_[name];
+  const bool revision = !e.value.empty();
+  e.value = std::move(value);
+  e.state = State::kSet;
+  e.is_requirement = true;
+  log(cat(revision ? "requirement revised: " : "requirement set: ", name, " = ",
+          e.value.to_string()));
+  invalidate_dependents(name);
+  scan_conflicts(name);
+}
+
+void ExplorationSession::decide(const std::string& name, Value value) {
+  const Property& p = require_property(name, PropertyKind::kDesignIssue);
+  if (!p.domain.contains(value)) {
+    throw ExplorationError(cat("value ", value.to_string(), " is outside the SetOfValues ",
+                               p.domain.describe(), " of design issue '", name, "'"));
+  }
+
+  if (p.generalized) {
+    const Cdo* owner = current_->property_owner(name);
+    if (owner != current_) {
+      throw ExplorationError(cat("generalized issue '", name,
+                                 "' belongs to '", owner->path(),
+                                 "' and is already fixed by the session scope"));
+    }
+  }
+
+  check_ordering(name);
+  check_consistency(name, value);
+
+  Entry& e = entries_[name];
+  const bool revision = !e.value.empty();
+  e.value = value;
+  e.state = State::kSet;
+  e.is_requirement = false;
+  log(cat(revision ? "decision revised: " : "decision: ", name, " = ", value.to_string()));
+  invalidate_dependents(name);
+  scan_conflicts(name);
+
+  if (p.generalized) {
+    const Cdo* child = current_->child_for_option(value.as_text());
+    if (child == nullptr) {
+      throw DefinitionError(cat("option '", value.as_text(), "' of '", current_->path(),
+                                "' has no specialized CDO — layer is incomplete"));
+    }
+    current_ = child;
+    log(cat("descended to '", current_->path(), "' (design space pruned)"));
+  }
+}
+
+void ExplorationSession::retract(const std::string& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.value.empty()) {
+    throw ExplorationError(cat("'", name, "' has no value to retract"));
+  }
+  if (it->second.is_structural) {
+    throw ExplorationError(cat("'", name, "' is fixed by the session's class path"));
+  }
+
+  // If this was a generalized decision below the session root, ascend.
+  const Property* p = current_->find_property(name);
+  if (p != nullptr && p->generalized) {
+    const Cdo* owner = current_->property_owner(name);
+    if (owner != nullptr && owner->depth() < current_->depth()) {
+      current_ = owner;
+      log(cat("ascended to '", current_->path(), "'"));
+    }
+  }
+
+  entries_.erase(it);
+  log(cat("retracted: ", name));
+
+  // Drop values for properties no longer visible from the new scope.
+  for (auto iter = entries_.begin(); iter != entries_.end();) {
+    if (!iter->second.is_structural && current_->find_property(iter->first) == nullptr) {
+      log(cat("dropped out-of-scope value: ", iter->first));
+      iter = entries_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+  invalidate_dependents(name);
+}
+
+void ExplorationSession::reaffirm(const std::string& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.state != State::kNeedsReassessment) {
+    throw ExplorationError(cat("'", name, "' is not awaiting re-assessment"));
+  }
+  // Re-check the kept value against the current context.
+  check_consistency(name, it->second.value);
+  it->second.state = State::kSet;
+  log(cat("re-affirmed: ", name, " = ", it->second.value.to_string()));
+}
+
+ExplorationSession::State ExplorationSession::state_of(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? State::kUnset : it->second.state;
+}
+
+std::optional<Value> ExplorationSession::value_of(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.value.empty()) return std::nullopt;
+  return it->second.value;
+}
+
+std::vector<std::string> ExplorationSession::pending_reassessment() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.state == State::kNeedsReassessment) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> ExplorationSession::available_options(const std::string& issue) const {
+  const Property& p = require_property(issue, PropertyKind::kDesignIssue);
+  DSLAYER_REQUIRE(p.domain.kind() == ValueDomain::Kind::kOptions,
+                  "available_options needs an enumerated design issue");
+  std::vector<std::string> out;
+  const auto eliminated = eliminated_options(issue);
+  for (const std::string& option : p.domain.option_list()) {
+    const bool gone = std::any_of(eliminated.begin(), eliminated.end(),
+                                  [&option](const auto& pr) { return pr.first == option; });
+    if (!gone) out.push_back(option);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> ExplorationSession::eliminated_options(
+    const std::string& issue) const {
+  const Property& p = require_property(issue, PropertyKind::kDesignIssue);
+  DSLAYER_REQUIRE(p.domain.kind() == ValueDomain::Kind::kOptions,
+                  "eliminated_options needs an enumerated design issue");
+  std::vector<std::pair<std::string, std::string>> out;
+  const Bindings base = bindings();
+  for (const std::string& option : p.domain.option_list()) {
+    Bindings tentative = base;
+    tentative[issue] = Value::text(option);
+    for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+      if (cc->kind() != RelationKind::kInconsistentOptions &&
+          cc->kind() != RelationKind::kDominanceElimination) {
+        continue;
+      }
+      if (!cc->constrains(issue) && !cc->depends_on(issue)) continue;
+      if (cc->violated(tentative)) {
+        out.emplace_back(option, cc->id());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const Core*> ExplorationSession::candidates() const {
+  std::vector<const Core*> cores = layer_->cores_under(*current_);
+  const Bindings bound = bindings();
+
+  const auto complies = [&](const Core& core) {
+    // 1. Every explicitly decided, core-filtering design issue must match
+    //    the core's binding.
+    for (const auto& [name, entry] : entries_) {
+      if (entry.is_requirement || entry.is_structural || entry.value.empty()) continue;
+      const Property* p = current_->find_property(name);
+      if (p == nullptr || p->kind != PropertyKind::kDesignIssue || !p->filters_cores) continue;
+      const auto binding = core.binding(name);
+      if (!binding.has_value() || !(*binding == entry.value)) return false;
+    }
+    // 2. Requirements: custom filter first, declarative compliance second.
+    for (const auto& [name, entry] : entries_) {
+      if (!entry.is_requirement || entry.value.empty()) continue;
+      if (const auto* filter = layer_->core_filter(name)) {
+        if (!(*filter)(core, bound)) return false;
+        continue;
+      }
+      const Property* p = current_->find_property(name);
+      if (p == nullptr || p->compliance == Compliance::kNone) continue;
+      const std::string key = p->compliance_key.empty() ? name : p->compliance_key;
+      if (p->compliance == Compliance::kCoreEquals) {
+        const auto binding = core.binding(key);
+        if (!binding.has_value() || !(*binding == entry.value)) return false;
+      } else {
+        const auto metric = core.metric(key);
+        if (!metric.has_value()) return false;
+        const double required = entry.value.as_number();
+        if (p->compliance == Compliance::kCoreAtMost && *metric > required) return false;
+        if (p->compliance == Compliance::kCoreAtLeast && *metric < required) return false;
+      }
+    }
+    // 3. Constraint compliance: overlay the core's own bindings and check
+    //    every predicate constraint (this is how CC4 removes dominated
+    //    cores even before the designer touches the corresponding issue).
+    Bindings merged = bound;
+    for (const auto& [k, v] : core.bindings()) merged[k] = v;
+    for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+      if (cc->kind() != RelationKind::kInconsistentOptions &&
+          cc->kind() != RelationKind::kDominanceElimination) {
+        continue;
+      }
+      if (cc->violated(merged)) return false;
+    }
+    return true;
+  };
+
+  std::vector<const Core*> out;
+  for (const Core* core : cores) {
+    if (complies(*core)) out.push_back(core);
+  }
+  return out;
+}
+
+std::optional<ExplorationSession::MetricRange> ExplorationSession::metric_range(
+    const std::string& metric) const {
+  MetricRange range;
+  bool first = true;
+  for (const Core* core : candidates()) {
+    const auto v = core->metric(metric);
+    if (!v.has_value()) continue;
+    if (first) {
+      range.min = range.max = *v;
+      first = false;
+    } else {
+      range.min = std::min(range.min, *v);
+      range.max = std::max(range.max, *v);
+    }
+    ++range.count;
+  }
+  if (first) return std::nullopt;
+  return range;
+}
+
+std::map<std::string, ExplorationSession::MetricRange> ExplorationSession::option_ranges(
+    const std::string& issue, const std::string& metric) const {
+  const Property& p = require_property(issue, PropertyKind::kDesignIssue);
+  DSLAYER_REQUIRE(p.domain.kind() == ValueDomain::Kind::kOptions,
+                  "option_ranges needs an enumerated design issue");
+
+  const std::vector<const Core*> base = candidates();
+  std::map<std::string, MetricRange> result;
+  for (const std::string& option : available_options(issue)) {
+    // Tentative candidate set for this option.
+    std::vector<const Core*> kept;
+    if (p.generalized) {
+      // Deciding a generalized option descends: the survivors are the base
+      // candidates indexed under that option's specialized CDO.
+      const Cdo* owner = current_->property_owner(issue);
+      const Cdo* child = owner == nullptr ? nullptr : owner->child_for_option(option);
+      if (child == nullptr) continue;
+      std::set<const Core*> in_region;
+      for (const Core* core : layer_->cores_under(*child)) in_region.insert(core);
+      for (const Core* core : base) {
+        if (in_region.contains(core)) kept.push_back(core);
+      }
+    } else if (!p.filters_cores) {
+      kept = base;  // integration parameters do not filter
+    } else {
+      for (const Core* core : base) {
+        const auto binding = core->binding(issue);
+        if (binding.has_value() && *binding == Value::text(option)) kept.push_back(core);
+      }
+    }
+
+    MetricRange range;
+    bool first = true;
+    for (const Core* core : kept) {
+      const auto v = core->metric(metric);
+      if (!v.has_value()) continue;
+      if (first) {
+        range.min = range.max = *v;
+        first = false;
+      } else {
+        range.min = std::min(range.min, *v);
+        range.max = std::max(range.max, *v);
+      }
+      ++range.count;
+    }
+    result[option] = range;
+  }
+  return result;
+}
+
+std::optional<Value> ExplorationSession::derived(const std::string& property) const {
+  const Bindings bound = bindings();
+  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+    if (cc->kind() != RelationKind::kFormula || !cc->constrains(property)) continue;
+    if (!cc->independents_bound(bound)) continue;
+    return cc->evaluate(bound);
+  }
+  return std::nullopt;
+}
+
+std::vector<ExplorationSession::BehaviorRank> ExplorationSession::rank_behaviors(
+    const std::string& dependent_property) const {
+  const ConsistencyConstraint* binding_cc = nullptr;
+  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+    if (cc->kind() == RelationKind::kEstimatorBinding && cc->constrains(dependent_property)) {
+      binding_cc = cc;
+      break;
+    }
+  }
+  if (binding_cc == nullptr) {
+    throw ExplorationError(
+        cat("no estimator constraint binds '", dependent_property, "' at '", current_->path(),
+            "'"));
+  }
+  const estimation::Estimator* tool = layer_->estimators().find(binding_cc->estimator_name());
+  if (tool == nullptr) {
+    throw ExplorationError(cat("estimator '", binding_cc->estimator_name(),
+                               "' referenced by ", binding_cc->id(), " is not registered"));
+  }
+  const Bindings bound = bindings();
+  std::vector<BehaviorRank> ranks;
+  for (const behavior::BehavioralDescription* bd : current_->visible_behaviors()) {
+    const estimation::EstimateInput input = layer_->build_context(bound, *bd);
+    ranks.push_back(BehaviorRank{bd->name(), tool->estimate(input)});
+  }
+  std::sort(ranks.begin(), ranks.end(),
+            [](const BehaviorRank& a, const BehaviorRank& b) { return a.value < b.value; });
+  return ranks;
+}
+
+std::vector<ExplorationSession::OperatorSite> ExplorationSession::behavioral_decomposition()
+    const {
+  const auto bds = current_->visible_behaviors();
+  if (bds.empty()) {
+    throw ExplorationError(
+        cat("no behavioral description visible at '", current_->path(), "'"));
+  }
+  const behavior::BehavioralDescription& bd = *bds.front();
+  std::vector<OperatorSite> sites;
+  for (const auto& op : bd.ops()) {
+    OperatorSite site;
+    site.bd_name = bd.name();
+    site.op_id = op.id;
+    site.kind = op.kind;
+    site.line = op.line;
+    site.width_bits = op.width_bits;
+    if (const std::string* path = layer_->operator_class(op.kind)) site.cdo_path = *path;
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+ExplorationSession ExplorationSession::open_operator_session(const OperatorSite& site) const {
+  if (site.cdo_path.empty()) {
+    throw ExplorationError(cat("operator '", behavior::to_string(site.kind), "' at line ",
+                               site.line, " has no registered operator class"));
+  }
+  ExplorationSession sub(*layer_, site.cdo_path);
+  // "The expression forces the consideration of Hardware realizations for
+  // those operators" — here: carry the operator's datapath width into the
+  // sub-problem when the class asks for one.
+  const Property* word_size = sub.current().find_property("WordSize");
+  if (word_size != nullptr && word_size->kind == PropertyKind::kRequirement &&
+      site.width_bits > 0) {
+    sub.set_requirement("WordSize", static_cast<double>(site.width_bits));
+  }
+  sub.log(cat("opened by behavioral decomposition of '", site.bd_name, "' (",
+              behavior::to_string(site.kind), " at line ", site.line, ")"));
+  return sub;
+}
+
+void ExplorationSession::log(std::string message) { trace_.push_back(std::move(message)); }
+
+std::string ExplorationSession::report() const {
+  std::ostringstream os;
+  os << "Exploration of '" << root_->path() << "' (currently at '" << current_->path() << "')\n";
+  os << "Values:\n";
+  for (const auto& [name, entry] : entries_) {
+    os << "  " << name << " = " << entry.value.to_string();
+    if (entry.is_structural) os << "  [structural]";
+    if (entry.is_requirement) os << "  [requirement]";
+    if (entry.state == State::kNeedsReassessment) os << "  [NEEDS RE-ASSESSMENT]";
+    os << "\n";
+  }
+  const auto cores = candidates();
+  os << "Candidate cores: " << cores.size() << "\n";
+  for (const Core* core : cores) os << "  " << core->describe() << "\n";
+  return os.str();
+}
+
+}  // namespace dslayer::dsl

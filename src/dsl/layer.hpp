@@ -1,0 +1,137 @@
+// The design space layer.
+//
+// Ties together everything Fig. 1 shows: the CDO hierarchy (the implicit
+// design-space representation), any number of reuse libraries indexed
+// through it, the consistency constraints governing exploration, the early
+// estimation tools CCs may bind, and the domain-specific hooks (core
+// compliance filters, estimation context construction).
+//
+// Core indexing (Section 4): a core enters at the CDO named by its class
+// path and descends the generalization hierarchy as far as its bindings
+// answer the generalized issues — ending at the most specific family of
+// design alternatives it belongs to. Cores whose class path or option
+// bindings do not resolve are reported, not silently dropped.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/cdo.hpp"
+#include "dsl/constraint.hpp"
+#include "dsl/core_library.hpp"
+#include "estimation/estimators.hpp"
+
+namespace dslayer::dsl {
+
+class DesignSpaceLayer {
+ public:
+  /// Compliance predicate for one requirement: does `core` satisfy the
+  /// requirement given the full session bindings? Registered by domain
+  /// layers for rules too rich for the declarative Compliance enum (e.g.
+  /// "latency of a composed multiplier at the required EOL").
+  using CoreFilter = std::function<bool(const Core&, const Bindings&)>;
+
+  /// Builds the estimation input for a behavioral description from the
+  /// session bindings (maps option strings to technology models etc.).
+  using ContextBuilder =
+      std::function<estimation::EstimateInput(const Bindings&, const behavior::BehavioralDescription&)>;
+
+  explicit DesignSpaceLayer(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  DesignSpace& space() { return space_; }
+  const DesignSpace& space() const { return space_; }
+
+  // -- reuse libraries ------------------------------------------------------
+
+  /// Creates and attaches a new (owned) reuse library.
+  ReuseLibrary& add_library(std::string name);
+
+  std::vector<const ReuseLibrary*> libraries() const;
+
+  /// Mutable access to an attached library (IP-provider catalog updates:
+  /// new cores are added and re-indexed without touching the hierarchy).
+  /// nullptr if no library has that name.
+  ReuseLibrary* library(const std::string& name);
+
+  /// (Re)indexes every core of every library onto the CDO hierarchy.
+  /// Returns the number of cores indexed; resolution problems are appended
+  /// to index_warnings().
+  std::size_t index_cores();
+
+  /// Cores indexed exactly at this CDO.
+  std::vector<const Core*> cores_at(const Cdo& cdo) const;
+
+  /// Cores indexed at this CDO or any descendant (the design-space region
+  /// the CDO represents).
+  std::vector<const Core*> cores_under(const Cdo& cdo) const;
+
+  const std::vector<std::string>& index_warnings() const { return index_warnings_; }
+
+  // -- consistency constraints -----------------------------------------------
+
+  void add_constraint(ConsistencyConstraint cc);
+  const std::vector<ConsistencyConstraint>& constraints() const { return constraints_; }
+
+  /// Constraints in scope at a CDO.
+  std::vector<const ConsistencyConstraint*> constraints_at(const Cdo& cdo) const;
+
+  // -- estimation --------------------------------------------------------------
+
+  estimation::EstimatorRegistry& estimators() { return estimators_; }
+  const estimation::EstimatorRegistry& estimators() const { return estimators_; }
+
+  void set_context_builder(ContextBuilder builder);
+
+  /// Builds the estimation input via the registered builder, or a generic
+  /// default that reads EffectiveOperandLength / Radix / SliceWidth /
+  /// FabricationTechnology / LayoutStyle bindings.
+  estimation::EstimateInput build_context(const Bindings& bindings,
+                                          const behavior::BehavioralDescription& bd) const;
+
+  // -- behavioral decomposition (DI7) ---------------------------------------------
+
+  /// Declares which CDO class implements operators of `kind` — the schema
+  /// behind the paper's "FOR ALL Oper := OPERATORS(BD@*.Hardware)": during
+  /// behavioral decomposition, each operator instance of a behavioral
+  /// description recurses into the registered class (Section 5.1.6, the
+  /// Adder/Multiplier CDOs of Fig. 10). Unregistered kinds are skipped.
+  void set_operator_class(behavior::OpKind kind, std::string cdo_path);
+
+  /// Registered class path for an operator kind; nullptr if none.
+  const std::string* operator_class(behavior::OpKind kind) const;
+
+  // -- requirement filters ------------------------------------------------------
+
+  void set_core_filter(const std::string& requirement, CoreFilter filter);
+  const CoreFilter* core_filter(const std::string& requirement) const;
+
+  // -- integrity & documentation --------------------------------------------------
+
+  /// Structural well-formedness checks: unspecialized generalized-issue
+  /// options, constraint paths that match no CDO, estimator bindings to
+  /// unknown tools. Returns human-readable findings (empty = clean).
+  std::vector<std::string> validate() const;
+
+  /// Renders the whole layer (hierarchy, properties, constraints,
+  /// libraries) — the paper's "self-documented" claim made executable.
+  std::string document() const;
+
+ private:
+  std::string name_;
+  DesignSpace space_;
+  std::vector<std::unique_ptr<ReuseLibrary>> libraries_;
+  std::vector<ConsistencyConstraint> constraints_;
+  estimation::EstimatorRegistry estimators_ = estimation::EstimatorRegistry::standard();
+  std::map<const Cdo*, std::vector<const Core*>> index_;
+  std::vector<std::string> index_warnings_;
+  std::map<std::string, CoreFilter> core_filters_;
+  std::map<behavior::OpKind, std::string> operator_classes_;
+  ContextBuilder context_builder_;
+};
+
+}  // namespace dslayer::dsl

@@ -1,0 +1,59 @@
+#include "dsl/path.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::dsl {
+
+PropertyPath PropertyPath::parse(const std::string& text) {
+  const std::vector<std::string> parts = split(text, '@');
+  if (parts.size() > 2 || parts[0].empty()) {
+    throw DefinitionError(cat("malformed property path '", text, "'"));
+  }
+  return PropertyPath(std::string(trim(parts[0])),
+                      parts.size() == 2 ? std::string(trim(parts[1])) : "");
+}
+
+PropertyPath::PropertyPath(std::string property, std::string pattern)
+    : property_(std::move(property)), pattern_(std::move(pattern)) {
+  if (property_.empty()) throw DefinitionError("property path needs a property name");
+}
+
+bool match_segments(const std::vector<std::string>& pattern,
+                    const std::vector<std::string>& path) {
+  // Dynamic programming over (pattern index, path index).
+  const std::size_t pn = pattern.size();
+  const std::size_t sn = path.size();
+  std::vector<std::vector<char>> match(pn + 1, std::vector<char>(sn + 1, 0));
+  match[0][0] = 1;
+  for (std::size_t i = 1; i <= pn; ++i) {
+    if (pattern[i - 1] == "*") {
+      for (std::size_t j = 0; j <= sn; ++j) {
+        // '*' absorbs zero segments, or extends a previous match by one.
+        match[i][j] = match[i - 1][j] || (j > 0 && match[i][j - 1]);
+      }
+    } else {
+      for (std::size_t j = 1; j <= sn; ++j) {
+        match[i][j] = match[i - 1][j - 1] && pattern[i - 1] == path[j - 1];
+      }
+    }
+  }
+  return match[pn][sn] != 0;
+}
+
+bool PropertyPath::matches(const std::string& cdo_path) const {
+  if (pattern_.empty()) return true;  // scoped to the CDO in scope
+  const std::vector<std::string> pat = split(pattern_, '.');
+  const std::vector<std::string> path = split(cdo_path, '.');
+  if (match_segments(pat, path)) return true;
+  // Single-name convenience: "OMM" matches any path ending in "OMM".
+  if (pat.size() == 1 && pat[0] != "*" && !path.empty() && path.back() == pat[0]) return true;
+  return false;
+}
+
+std::string PropertyPath::to_string() const {
+  if (pattern_.empty()) return property_;
+  return cat(property_, "@", pattern_);
+}
+
+}  // namespace dslayer::dsl

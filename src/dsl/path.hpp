@@ -1,0 +1,55 @@
+// Property paths.
+//
+// Consistency constraints reference properties with the paper's
+// "Property@CdoPattern" notation (Fig. 13):
+//
+//   "O=ModuloIsOdd@OMM"                      — named CDO
+//   "R=Radix@*.Hardware.Montgomery"          — wildcard pattern: any CDO
+//                                              whose path ends in
+//                                              Hardware.Montgomery
+//   "EOL@Operator"                           — a property of an ancestor
+//
+// A PropertyPath is the parsed form: the property name plus a '.'-separated
+// CDO pattern where '*' matches any run of path segments. An empty pattern
+// means "the CDO in scope".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dslayer::dsl {
+
+class PropertyPath {
+ public:
+  /// Parses "Property@Pattern"; a bare "Property" gets an empty pattern.
+  /// Throws DefinitionError on malformed input (empty property, '@' twice).
+  static PropertyPath parse(const std::string& text);
+
+  /// Builds from parts directly.
+  PropertyPath(std::string property, std::string pattern);
+
+  const std::string& property() const { return property_; }
+  const std::string& pattern() const { return pattern_; }
+
+  /// True if the CDO pattern matches the given '.'-separated CDO path.
+  /// '*' matches any (possibly empty) run of segments; other segments match
+  /// literally. A pattern without a leading '*' must match the whole path;
+  /// the paper's "OMM"-style single names are matched against the final
+  /// segment as a convenience (pattern "X" matches path "A.B.X").
+  bool matches(const std::string& cdo_path) const;
+
+  /// "Property@Pattern" (or just "Property" for the empty pattern).
+  std::string to_string() const;
+
+  friend bool operator==(const PropertyPath&, const PropertyPath&) = default;
+
+ private:
+  std::string property_;
+  std::string pattern_;
+};
+
+/// Segment-level glob: '*' matches any run of segments.
+bool match_segments(const std::vector<std::string>& pattern,
+                    const std::vector<std::string>& path);
+
+}  // namespace dslayer::dsl

@@ -1,0 +1,74 @@
+#include "dsl/property.hpp"
+
+#include "support/error.hpp"
+
+namespace dslayer::dsl {
+
+std::string to_string(PropertyKind k) {
+  switch (k) {
+    case PropertyKind::kRequirement: return "requirement";
+    case PropertyKind::kDesignIssue: return "design issue";
+    case PropertyKind::kFigureOfMerit: return "figure of merit";
+  }
+  return "?";
+}
+
+Property Property::requirement(std::string name, ValueDomain domain, std::string doc, Unit unit) {
+  Property p;
+  p.name = std::move(name);
+  p.kind = PropertyKind::kRequirement;
+  p.domain = std::move(domain);
+  p.unit = unit;
+  p.doc = std::move(doc);
+  return p;
+}
+
+Property Property::design_issue(std::string name, ValueDomain domain, std::string doc) {
+  Property p;
+  p.name = std::move(name);
+  p.kind = PropertyKind::kDesignIssue;
+  p.domain = std::move(domain);
+  p.doc = std::move(doc);
+  return p;
+}
+
+Property Property::generalized_issue(std::string name, std::vector<std::string> options,
+                                     std::string doc) {
+  Property p;
+  p.name = std::move(name);
+  p.kind = PropertyKind::kDesignIssue;
+  p.domain = ValueDomain::options(std::move(options));
+  p.doc = std::move(doc);
+  p.generalized = true;
+  return p;
+}
+
+Property Property::figure_of_merit(std::string name, Unit unit, std::string doc) {
+  Property p;
+  p.name = std::move(name);
+  p.kind = PropertyKind::kFigureOfMerit;
+  p.domain = ValueDomain::real_range(-1.0e300, 1.0e300);
+  p.unit = unit;
+  p.doc = std::move(doc);
+  return p;
+}
+
+Property&& Property::with_default(Value v) && {
+  DSLAYER_REQUIRE(domain.contains(v), "default value outside the property domain");
+  default_value = std::move(v);
+  return std::move(*this);
+}
+
+Property&& Property::with_compliance(Compliance c, std::string key) && {
+  DSLAYER_REQUIRE(kind == PropertyKind::kRequirement, "compliance rules are for requirements");
+  compliance = c;
+  compliance_key = std::move(key);
+  return std::move(*this);
+}
+
+Property&& Property::without_core_filtering() && {
+  filters_cores = false;
+  return std::move(*this);
+}
+
+}  // namespace dslayer::dsl

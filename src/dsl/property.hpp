@@ -1,0 +1,82 @@
+// Properties: the meta-data that discretizes the design space.
+//
+// Section 4 of the paper: "At its finest level of granularity, the design
+// space is actually abstractly characterized (i.e., discretized) by a set
+// of behavioral and structural properties", classified into behavioral/
+// structural descriptions, design requirements, and design decisions on
+// design issues. Behavioral descriptions live on the CDO directly (they
+// carry structure, see behavior/); this type models the requirement /
+// design-issue / figure-of-merit kinds.
+//
+// A design issue may be *generalized* (Section 4): it then partitions the
+// design space — each of its options spawns a child CDO — and a CDO may
+// own at most one such issue (enforced by Cdo::add_property).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dsl/value.hpp"
+#include "support/units.hpp"
+
+namespace dslayer::dsl {
+
+/// The paper's property classification (descriptions are handled apart).
+enum class PropertyKind {
+  kRequirement,    ///< problem givens / targets the designer enters (Fig. 8)
+  kDesignIssue,    ///< areas of design decision (Fig. 11)
+  kFigureOfMerit,  ///< evaluation-space metrics cores report (area, delay, ...)
+};
+
+std::string to_string(PropertyKind k);
+
+/// How a requirement value filters cores, when a simple declarative rule
+/// suffices (complex rules use DesignSpaceLayer::set_requirement_filter).
+enum class Compliance {
+  kNone,         ///< requirement does not filter cores by itself
+  kCoreAtMost,   ///< core's metric must be <= the required value (e.g. latency)
+  kCoreAtLeast,  ///< core's metric/capability must be >= the required value
+  kCoreEquals,   ///< core's binding must equal the required value (e.g. coding)
+};
+
+/// One property of a class of design objects.
+struct Property {
+  std::string name;
+  PropertyKind kind = PropertyKind::kDesignIssue;
+  ValueDomain domain = ValueDomain::any();
+  Unit unit = Unit::kNone;
+  std::string doc;  ///< self-documentation rendered by Cdo::document()
+
+  /// Generalized design issue (partitions the space). Valid only for
+  /// kDesignIssue.
+  bool generalized = false;
+
+  /// Pre-selected option/value (Fig. 11 shows defaults for Radix etc.).
+  std::optional<Value> default_value;
+
+  /// True (default) if deciding this issue filters the candidate core set;
+  /// false for composition parameters cores do not declare (e.g. Number of
+  /// Slices — cores are slices, the count is chosen at integration time).
+  bool filters_cores = true;
+
+  /// Declarative core-compliance rule for requirements.
+  Compliance compliance = Compliance::kNone;
+  /// Core metric or binding name the compliance rule reads (defaults to
+  /// this property's own name when empty).
+  std::string compliance_key;
+
+  /// Builder helpers -------------------------------------------------------
+
+  static Property requirement(std::string name, ValueDomain domain, std::string doc,
+                              Unit unit = Unit::kNone);
+  static Property design_issue(std::string name, ValueDomain domain, std::string doc);
+  static Property generalized_issue(std::string name, std::vector<std::string> options,
+                                    std::string doc);
+  static Property figure_of_merit(std::string name, Unit unit, std::string doc);
+
+  Property&& with_default(Value v) &&;
+  Property&& with_compliance(Compliance c, std::string key = "") &&;
+  Property&& without_core_filtering() &&;
+};
+
+}  // namespace dslayer::dsl

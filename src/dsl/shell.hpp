@@ -1,0 +1,22 @@
+// A scriptable command shell over a design space layer.
+//
+// Conceptual design is an interactive activity — the paper's designer
+// enters requirements, inspects ranges, makes and revises decisions. This
+// shell exposes the full ExplorationSession surface as line commands so a
+// layer can be driven interactively (tools/dslshell) or from scripts and
+// tests. One command per line; `help` lists them; errors are reported and
+// never terminate the shell.
+#pragma once
+
+#include <iosfwd>
+
+#include "dsl/layer.hpp"
+
+namespace dslayer::dsl {
+
+/// Runs the command loop: reads commands from `in` until EOF or `quit`,
+/// writing results to `out`. Returns the number of commands that failed
+/// (so scripted runs can assert clean execution).
+int run_shell(const DesignSpaceLayer& layer, std::istream& in, std::ostream& out);
+
+}  // namespace dslayer::dsl

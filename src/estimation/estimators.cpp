@@ -1,0 +1,136 @@
+#include "estimation/estimators.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "tech/components.hpp"
+
+namespace dslayer::estimation {
+
+using behavior::BehavioralDescription;
+using behavior::OpKind;
+
+namespace {
+
+void require_bd(const EstimateInput& input, const char* who) {
+  if (input.bd == nullptr) {
+    throw PreconditionError(cat(who, " needs a behavioral description"));
+  }
+}
+
+}  // namespace
+
+double BehaviorDelayEstimator::op_delay_ns(const BehavioralDescription::Op& op,
+                                           const tech::Technology& technology) {
+  const unsigned w = std::max(op.width_bits, 1u);
+  switch (op.kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+      return tech::carry_lookahead_adder(w, technology).delay_ns;
+    case OpKind::kMul:
+      // A full w x w array multiplier is roughly a partial-product stack of
+      // depth ~w reduced log-wise plus a final carry-propagate add.
+      return tech::array_digit_multiplier(std::min(w, 16u), w, technology).delay_ns +
+             tech::carry_lookahead_adder(w, technology).delay_ns;
+    case OpKind::kDivRadix:
+    case OpKind::kModRadix:
+      return 0.0;  // power-of-two radix: pure wiring
+    case OpKind::kCompare:
+      return tech::comparator(w, technology).delay_ns;
+    case OpKind::kSelect:
+      return tech::mux2(w, technology).delay_ns;
+    case OpKind::kAssign:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double BehaviorDelayEstimator::estimate(const EstimateInput& input) const {
+  require_bd(input, "BehaviorDelayEstimator");
+  const tech::Technology technology = input.technology;
+  const auto delay = [&technology](const BehavioralDescription::Op& op) {
+    return op_delay_ns(op, technology);
+  };
+  // Rank by the loop-body path when there is a loop (the recurring cycle),
+  // otherwise by the whole description.
+  if (input.bd->has_loop()) return input.bd->loop_critical_path(delay);
+  return input.bd->critical_path(delay);
+}
+
+double LatencyCyclesEstimator::estimate(const EstimateInput& input) const {
+  require_bd(input, "LatencyCyclesEstimator");
+  return input.bd->iteration_count(input.eol_bits, input.radix);
+}
+
+double BehaviorAreaEstimator::op_area(const BehavioralDescription::Op& op,
+                                      const tech::Technology& technology) {
+  const unsigned w = std::max(op.width_bits, 1u);
+  switch (op.kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+      return tech::carry_lookahead_adder(w, technology).area;
+    case OpKind::kMul:
+      return tech::array_digit_multiplier(std::min(w, 16u), w, technology).area;
+    case OpKind::kDivRadix:
+    case OpKind::kModRadix:
+      return 0.0;
+    case OpKind::kCompare:
+      return tech::comparator(w, technology).area;
+    case OpKind::kSelect:
+      return tech::mux2(w, technology).area;
+    case OpKind::kAssign:
+      return tech::register_bank(w, technology).area;
+  }
+  return 0.0;
+}
+
+double BehaviorAreaEstimator::estimate(const EstimateInput& input) const {
+  require_bd(input, "BehaviorAreaEstimator");
+  double area = 0.0;
+  for (const auto& op : input.bd->ops()) area += op_area(op, input.technology);
+  return area;
+}
+
+double BehaviorPowerEstimator::estimate(const EstimateInput& input) const {
+  require_bd(input, "BehaviorPowerEstimator");
+  BehaviorAreaEstimator area_tool;
+  BehaviorDelayEstimator delay_tool;
+  const double area = area_tool.estimate(input);
+  const double path_ns = std::max(delay_tool.estimate(input), 0.5);
+  const double freq_mhz = 1000.0 / path_ns;
+  return input.technology.power_coeff * (area / 1000.0) * freq_mhz * 0.15 / 100.0;
+}
+
+void EstimatorRegistry::add(std::unique_ptr<Estimator> estimator) {
+  DSLAYER_REQUIRE(estimator != nullptr, "null estimator");
+  if (find(estimator->name()) != nullptr) {
+    throw DefinitionError(cat("estimator '", estimator->name(), "' already registered"));
+  }
+  estimators_.push_back(std::move(estimator));
+}
+
+const Estimator* EstimatorRegistry::find(const std::string& name) const {
+  for (const auto& e : estimators_) {
+    if (e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> EstimatorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(estimators_.size());
+  for (const auto& e : estimators_) out.push_back(e->name());
+  return out;
+}
+
+EstimatorRegistry EstimatorRegistry::standard() {
+  EstimatorRegistry r;
+  r.add(std::make_unique<BehaviorDelayEstimator>());
+  r.add(std::make_unique<LatencyCyclesEstimator>());
+  r.add(std::make_unique<BehaviorAreaEstimator>());
+  r.add(std::make_unique<BehaviorPowerEstimator>());
+  return r;
+}
+
+}  // namespace dslayer::estimation

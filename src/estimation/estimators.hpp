@@ -1,0 +1,117 @@
+// Early estimation tools.
+//
+// The paper (CC3 in Fig. 13, and the discussion in Section 5.2) binds
+// estimation tools into the design space layer through consistency
+// constraints: "Estimation tools are useful when no suitable hard cores are
+// found in the reuse library", and the layer "defines the context for which
+// specific metrics and early estimation tools are to be used".
+//
+// Estimators consume an algorithmic-level behavioral description plus the
+// current design-space context (operand length, radix, technology) and
+// produce one figure of merit. The registry gives consistency constraints a
+// stable name to reference (CC3 names "BehaviorDelayEstimator").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "behavior/behavior.hpp"
+#include "support/units.hpp"
+#include "tech/technology.hpp"
+
+namespace dslayer::estimation {
+
+/// Context for one estimate: the BD under evaluation plus the design
+/// decisions that scale it.
+struct EstimateInput {
+  const behavior::BehavioralDescription* bd = nullptr;
+  unsigned eol_bits = 32;          ///< effective operand length (Req1)
+  unsigned radix = 2;              ///< digit radix of the algorithm
+  unsigned datapath_bits = 32;     ///< operator datapath width
+  tech::Technology technology;     ///< DI5/DI6 selection
+};
+
+/// Interface of an early estimation tool.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Registry name, referenced by consistency constraints (CC3).
+  virtual std::string name() const = 0;
+
+  /// The figure of merit produced.
+  virtual Unit unit() const = 0;
+
+  /// Produces the estimate; throws PreconditionError if input.bd is null
+  /// and the estimator needs one.
+  virtual double estimate(const EstimateInput& input) const = 0;
+};
+
+/// CC3's "BehaviorDelayEstimator": ranks behavioral descriptions by the
+/// combinational critical path of one loop iteration, with per-operator
+/// delays taken from the tech component library (MaxCombinationalDelay).
+class BehaviorDelayEstimator final : public Estimator {
+ public:
+  std::string name() const override { return "BehaviorDelayEstimator"; }
+  Unit unit() const override { return Unit::kNanoseconds; }
+  double estimate(const EstimateInput& input) const override;
+
+  /// Delay of one operation at the given width/technology (exposed for the
+  /// tests and for critical-path reports).
+  static double op_delay_ns(const behavior::BehavioralDescription::Op& op,
+                            const tech::Technology& technology);
+};
+
+/// CC2 as a tool: latency of the full operation in cycles,
+/// iterations(EOL, radix) x ops-per-iteration (1 for the pipelined loop).
+/// The paper's closed form is L = 2 x EOL / R + 1 for radix in {2, 4}; this
+/// estimator generalizes to digit counts.
+class LatencyCyclesEstimator final : public Estimator {
+ public:
+  std::string name() const override { return "LatencyCyclesEstimator"; }
+  Unit unit() const override { return Unit::kNone; }
+  double estimate(const EstimateInput& input) const override;
+};
+
+/// Area from operator inventory: sums component areas of every operator
+/// instance in the BD at the datapath width.
+class BehaviorAreaEstimator final : public Estimator {
+ public:
+  std::string name() const override { return "BehaviorAreaEstimator"; }
+  Unit unit() const override { return Unit::kGates; }
+  double estimate(const EstimateInput& input) const override;
+
+  static double op_area(const behavior::BehavioralDescription::Op& op,
+                        const tech::Technology& technology);
+};
+
+/// Power extension (paper Section 6 "work in progress"): activity x
+/// switched capacitance (~area) x operating frequency (1/critical path).
+class BehaviorPowerEstimator final : public Estimator {
+ public:
+  std::string name() const override { return "BehaviorPowerEstimator"; }
+  Unit unit() const override { return Unit::kMilliwatts; }
+  double estimate(const EstimateInput& input) const override;
+};
+
+/// Name-keyed registry so consistency constraints can reference tools.
+class EstimatorRegistry {
+ public:
+  /// Registers a tool; throws DefinitionError on duplicate names.
+  void add(std::unique_ptr<Estimator> estimator);
+
+  /// Finds by name; nullptr if absent.
+  const Estimator* find(const std::string& name) const;
+
+  /// All registered names (for reports).
+  std::vector<std::string> names() const;
+
+  /// A registry preloaded with the four standard tools.
+  static EstimatorRegistry standard();
+
+ private:
+  std::vector<std::unique_ptr<Estimator>> estimators_;
+};
+
+}  // namespace dslayer::estimation

@@ -1,0 +1,65 @@
+#include "rtl/exponentiator.hpp"
+
+#include "bigint/modular.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::rtl {
+
+std::string to_string(ExpMethod m) {
+  switch (m) {
+    case ExpMethod::kBinary: return "Binary";
+    case ExpMethod::kMary4: return "m-ary-4";
+    case ExpMethod::kMary16: return "m-ary-16";
+  }
+  return "?";
+}
+
+unsigned window_bits(ExpMethod m) {
+  switch (m) {
+    case ExpMethod::kBinary: return 1;
+    case ExpMethod::kMary4: return 2;
+    case ExpMethod::kMary16: return 4;
+  }
+  return 1;
+}
+
+ExponentiatorDesign::ExponentiatorDesign(MultiplierDesign multiplier, ExpMethod method)
+    : multiplier_(std::move(multiplier)), method_(method) {}
+
+double ExponentiatorDesign::multiplications(unsigned eol_bits) const {
+  return bigint::MontgomeryContext::mary_multiplications(eol_bits, window_bits(method_));
+}
+
+double ExponentiatorDesign::modexp_us(unsigned eol_bits) const {
+  DSLAYER_REQUIRE(multiplier_.datapath_bits() >= eol_bits,
+                  "multiplier datapath narrower than the operand");
+  return multiplications(eol_bits) * multiplier_.latency_ns(eol_bits) / 1000.0;
+}
+
+double ExponentiatorDesign::area(unsigned eol_bits) const {
+  DSLAYER_REQUIRE(multiplier_.datapath_bits() >= eol_bits,
+                  "multiplier datapath narrower than the operand");
+  const tech::Technology& t = multiplier_.slice().config().technology;
+  // Window table: 2^w - 1 operand-sized entries in dense storage (~1/4 of
+  // flip-flop cost per bit), absent for the binary method.
+  const unsigned entries = (1u << window_bits(method_)) - 1;
+  const double table =
+      method_ == ExpMethod::kBinary ? 0.0 : 27.0 * entries * eol_bits * t.area_scale;
+  // Exponent scan controller: shift register for E plus the FSM.
+  const double controller =
+      tech::register_bank(eol_bits, t).area + tech::control_fsm(12, t).area;
+  return multiplier_.area() + table + controller;
+}
+
+double ExponentiatorDesign::power_mw(unsigned eol_bits) const {
+  const tech::Technology& t = multiplier_.slice().config().technology;
+  const double freq_mhz = 1000.0 / multiplier_.clock_ns();
+  return t.power_coeff * (area(eol_bits) / 1000.0) * freq_mhz * 0.15 / 100.0;
+}
+
+std::string ExponentiatorDesign::label(int multiplier_design_no) const {
+  return cat(multiplier_.label(multiplier_design_no), "/", to_string(method_));
+}
+
+}  // namespace dslayer::rtl

@@ -1,0 +1,77 @@
+// Modular exponentiation coprocessor designs.
+//
+// The paper's case study is framed as selecting a modular multiplier "so as
+// to meet the specifications given in [11] for a modular exponentiation
+// coprocessor" [10], and Section 6 notes that the same decomposition
+// mechanisms support "the transition between the conceptual design of the
+// main architectural component (i.e., the coprocessor) and the conceptual
+// design of its critical blocks". This module models that main component:
+// a sliced modular multiplier (rtl::MultiplierDesign) driven by an
+// exponent-scanning controller.
+//
+// The scanning method is a design issue of the Exponentiator CDO:
+//   Binary   — square-and-multiply, ~1.5 multiplications per exponent bit,
+//              no storage beyond the operand registers;
+//   m-ary(w) — fixed w-bit windows: 2^w - 2 precomputation multiplications
+//              plus table storage of 2^w - 1 operand-sized entries, for
+//              ~(1 + (1 - 2^-w)/w) multiplications per bit. Classic
+//              time/storage trade-off (Koc/Acar/Kaliski analyze exactly
+//              this space).
+
+#pragma once
+
+#include "rtl/modmul_design.hpp"
+
+namespace dslayer::rtl {
+
+/// Exponent-scanning methods (options of "ExponentiationMethod").
+enum class ExpMethod {
+  kBinary,  // window of 1 bit
+  kMary4,   // 2-bit windows (4-ary)
+  kMary16,  // 4-bit windows (16-ary)
+};
+
+std::string to_string(ExpMethod m);
+
+/// Window width in bits for a method.
+unsigned window_bits(ExpMethod m);
+
+/// All methods, for sweeps.
+inline constexpr ExpMethod kAllExpMethods[] = {ExpMethod::kBinary, ExpMethod::kMary4,
+                                               ExpMethod::kMary16};
+
+/// A complete M^E mod N coprocessor: multiplier + exponent controller +
+/// (for m-ary) the precomputed-multiple store.
+class ExponentiatorDesign {
+ public:
+  /// The multiplier must cover the operand length it will be used at
+  /// (checked in latency/area queries against the eol argument).
+  ExponentiatorDesign(MultiplierDesign multiplier, ExpMethod method);
+
+  const MultiplierDesign& multiplier() const { return multiplier_; }
+  ExpMethod method() const { return method_; }
+
+  /// Expected modular-multiplication count for an eol-bit exponent
+  /// (random exponent model; includes Montgomery domain conversions).
+  double multiplications(unsigned eol_bits) const;
+
+  /// End-to-end delay of one eol-bit modular exponentiation, in
+  /// microseconds. Throws PreconditionError if the multiplier datapath is
+  /// narrower than eol_bits.
+  double modexp_us(unsigned eol_bits) const;
+
+  /// Multiplier + window table storage + exponent controller.
+  double area(unsigned eol_bits) const;
+
+  /// Dynamic power at the multiplier's clock rate (mW).
+  double power_mw(unsigned eol_bits) const;
+
+  /// Label like "#5_64/m-ary-16".
+  std::string label(int multiplier_design_no) const;
+
+ private:
+  MultiplierDesign multiplier_;
+  ExpMethod method_;
+};
+
+}  // namespace dslayer::rtl

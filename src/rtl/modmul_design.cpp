@@ -1,0 +1,228 @@
+#include "rtl/modmul_design.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::rtl {
+
+using tech::GateEval;
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMontgomery: return "Montgomery";
+    case Algorithm::kBrickell: return "Brickell";
+  }
+  return "?";
+}
+
+std::string to_string(AdderKind a) {
+  switch (a) {
+    case AdderKind::kCarryLookahead: return "CLA";
+    case AdderKind::kCarrySave: return "CSA";
+    case AdderKind::kRipple: return "RCA";
+  }
+  return "?";
+}
+
+std::string to_string(MultiplierKind m) {
+  switch (m) {
+    case MultiplierKind::kNone: return "N/A";
+    case MultiplierKind::kArray: return "MUL";
+    case MultiplierKind::kMuxBased: return "MUX";
+  }
+  return "?";
+}
+
+unsigned SliceConfig::digit_bits() const {
+  DSLAYER_REQUIRE(radix >= 2 && (radix & (radix - 1)) == 0, "radix must be a power of two >= 2");
+  return static_cast<unsigned>(std::countr_zero(radix));
+}
+
+unsigned SliceConfig::digits(unsigned eol_bits) const {
+  const unsigned db = digit_bits();
+  return (eol_bits + db - 1) / db;
+}
+
+SliceDesign::SliceDesign(SliceConfig config) : config_(config) {
+  const unsigned w = config_.slice_width;
+  const unsigned db = config_.digit_bits();
+  const tech::Technology& t = config_.technology;
+
+  if (w < 4 || w > 4096) {
+    throw DefinitionError(cat("slice width ", w, " out of the supported 4..4096 range"));
+  }
+  if (config_.radix == 2 && config_.multiplier != MultiplierKind::kNone) {
+    throw DefinitionError(
+        "radix-2 designs have single-bit digits: a digit multiplier is meaningless");
+  }
+  if (config_.radix >= 4 && config_.multiplier == MultiplierKind::kNone) {
+    throw DefinitionError(
+        cat("radix-", config_.radix, " designs need a digit multiplier (MUL or MUX)"));
+  }
+  if (db > w) {
+    throw DefinitionError("digit width exceeds the slice width");
+  }
+
+  const bool montgomery = config_.algorithm == Algorithm::kMontgomery;
+  const bool carry_save = config_.adder == AdderKind::kCarrySave;
+
+  const auto add_part = [this](std::string name, GateEval eval, bool critical) {
+    area_ += eval.area;
+    if (critical) clock_ns_ += eval.delay_ns;
+    parts_.push_back(Part{std::move(name), eval, critical});
+  };
+
+  // --- registers -----------------------------------------------------------
+  // Operand registers B and M (w bits each); the running residue R, which is
+  // double-width when kept in redundant carry-save form; small digit buffers
+  // for the scanned multiplier digit Ai (and Qi for Montgomery).
+  const unsigned r_bits = carry_save ? 2 * w : w;
+  const unsigned digit_buffers = montgomery ? 2 * db + 4 : db + 3;
+  add_part("R register (residue)", tech::register_bank(r_bits, t), true);
+  add_part("B register (multiplicand)", tech::register_bank(w, t), false);
+  add_part("M register (modulus)", tech::register_bank(w, t), false);
+  add_part("digit buffers", tech::register_bank(digit_buffers, t), false);
+
+  // --- partial-product generation -------------------------------------------
+  if (config_.radix == 2) {
+    // Ai * B is a row of AND gates folded into a 2:1 mux (select 0 or B).
+    add_part("partial-product mux", tech::mux2(w, t), true);
+  } else if (config_.multiplier == MultiplierKind::kArray) {
+    add_part("array digit multiplier", tech::array_digit_multiplier(db, w, t), true);
+  } else {
+    add_part("mux-based digit multiplier", tech::mux_digit_multiplier(db, w, t), true);
+    add_part("multiple precompute unit", tech::multiple_precompute_unit(db, t), false);
+  }
+
+  // --- accumulation ----------------------------------------------------------
+  switch (config_.adder) {
+    case AdderKind::kCarryLookahead:
+      add_part("carry-lookahead adder", tech::carry_lookahead_adder(w, t), true);
+      break;
+    case AdderKind::kCarrySave:
+      // Two 3:2 compressor rows fold the partial product and (for
+      // Montgomery) the Qi*M term into the redundant residue.
+      add_part("carry-save row 0", tech::carry_save_row(w, t), true);
+      add_part("carry-save row 1", tech::carry_save_row(w, t), true);
+      break;
+    case AdderKind::kRipple:
+      add_part("ripple-carry adder", tech::ripple_carry_adder(w, t), true);
+      break;
+  }
+
+  if (montgomery) {
+    // Fig. 10 line 4: quotient-digit computation from R0 and (r - M0)^-1.
+    add_part("Montgomery Q logic", tech::montgomery_q_logic(db, t), true);
+  } else {
+    // Brickell reduces by magnitude comparison at every step; even with
+    // carry-save accumulation the comparison needs resolved carries, which
+    // is the unbounded-carry-propagation cost CC2's sibling constraint
+    // describes for CLA Montgomery multipliers.
+    add_part("reduction comparator", tech::comparator(w, t), true);
+    add_part("subtract/select mux", tech::mux2(w, t), true);
+    if (carry_save) {
+      // A resolving adder turns the redundant residue into conventional
+      // form ahead of the comparator.
+      add_part("carry-resolve adder", tech::carry_lookahead_adder(w, t), false);
+    }
+  }
+
+  // --- control ---------------------------------------------------------------
+  unsigned states = 8;
+  if (config_.radix >= 4) states += 4;
+  if (!montgomery) states += 8;
+  add_part("control FSM", tech::control_fsm(states, t), false);
+
+  // Clock closes through the registers: add clock->q is already counted via
+  // the R register's critical flag? The register's delay is clk->q, counted
+  // once via the R register part; add the fanout broadcast and setup time.
+  clock_ns_ += tech::fanout_delay_ns(w, t);
+  clock_ns_ += tech::register_setup_ns(t);
+
+  // Routing / wiring overhead of the placed slice.
+  area_ *= 1.05;
+}
+
+double SliceDesign::cycles(unsigned eol_bits) const {
+  DSLAYER_REQUIRE(eol_bits >= 1, "operand length must be positive");
+  const double digits = config_.digits(eol_bits);
+  const bool carry_save = config_.adder == AdderKind::kCarrySave;
+  if (config_.algorithm == Algorithm::kMontgomery) {
+    // FOR i = 1 TO n+1 (Fig. 10), plus carry-save resolution at the end.
+    return digits + 1 + (carry_save ? 2 : 0);
+  }
+  // Brickell: n digit iterations plus the trailing compare/subtract
+  // pipeline (reduction lags accumulation by several stages).
+  return digits + 8 + (carry_save ? 2 : 0);
+}
+
+double SliceDesign::latency_ns(unsigned eol_bits) const {
+  return cycles(eol_bits) * clock_ns_;
+}
+
+MultiplierDesign::MultiplierDesign(SliceConfig slice, unsigned num_slices)
+    : slice_(slice), num_slices_(num_slices) {
+  DSLAYER_REQUIRE(num_slices >= 1, "a multiplier needs at least one slice");
+}
+
+MultiplierDesign MultiplierDesign::for_operand_length(SliceConfig slice, unsigned eol_bits) {
+  DSLAYER_REQUIRE(eol_bits >= 1, "operand length must be positive");
+  const unsigned w = slice.slice_width;
+  return MultiplierDesign(slice, (eol_bits + w - 1) / w);
+}
+
+double MultiplierDesign::area() const {
+  // Slices, inter-slice pipeline latches/wiring (2% per slice), and the
+  // shared operand-load / result-drain control.
+  return slice_.area() * num_slices_ * 1.02 + 1500.0 * slice_.config().technology.area_scale;
+}
+
+double MultiplierDesign::cycles(unsigned eol_bits) const {
+  return slice_.cycles(eol_bits) + num_slices_;
+}
+
+double MultiplierDesign::latency_ns(unsigned eol_bits) const {
+  return cycles(eol_bits) * clock_ns();
+}
+
+double MultiplierDesign::power_mw() const {
+  // alpha * C * f: switched capacitance tracks area; frequency is the
+  // design's own maximum rate; 0.15 is the datapath activity factor.
+  const double freq_mhz = 1000.0 / clock_ns();
+  return slice_.config().technology.power_coeff * (area() / 1000.0) * freq_mhz * 0.15 / 100.0;
+}
+
+std::string MultiplierDesign::label(int design_no) const {
+  return cat("#", design_no, "_", slice_.config().slice_width);
+}
+
+const std::vector<CatalogEntry>& table1_catalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      {1, Algorithm::kMontgomery, 2, AdderKind::kCarryLookahead, MultiplierKind::kNone},
+      {2, Algorithm::kMontgomery, 2, AdderKind::kCarrySave, MultiplierKind::kNone},
+      {3, Algorithm::kMontgomery, 4, AdderKind::kCarryLookahead, MultiplierKind::kArray},
+      {4, Algorithm::kMontgomery, 4, AdderKind::kCarrySave, MultiplierKind::kArray},
+      {5, Algorithm::kMontgomery, 4, AdderKind::kCarrySave, MultiplierKind::kMuxBased},
+      {6, Algorithm::kMontgomery, 4, AdderKind::kCarryLookahead, MultiplierKind::kMuxBased},
+      {7, Algorithm::kBrickell, 2, AdderKind::kCarryLookahead, MultiplierKind::kNone},
+      {8, Algorithm::kBrickell, 2, AdderKind::kCarrySave, MultiplierKind::kNone},
+  };
+  return kCatalog;
+}
+
+SliceConfig make_config(const CatalogEntry& entry, unsigned slice_width,
+                        const tech::Technology& technology) {
+  SliceConfig config;
+  config.algorithm = entry.algorithm;
+  config.radix = entry.radix;
+  config.adder = entry.adder;
+  config.multiplier = entry.multiplier;
+  config.slice_width = slice_width;
+  config.technology = technology;
+  return config;
+}
+
+}  // namespace dslayer::rtl

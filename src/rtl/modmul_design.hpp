@@ -1,0 +1,160 @@
+// Structural models of hardware modular-multiplier cores.
+//
+// Table 1 of the paper evaluates eight alternative modular-multiplier slice
+// designs, spanning the design issues of the Operator-Modular-Multiplier-
+// Hardware CDO (Fig. 11): Algorithm {Montgomery, Brickell} x Radix {2, 4} x
+// adder {carry-lookahead, carry-save} x digit multiplier {none, array,
+// mux-based}, each synthesized at slice widths {8, 16, 32, 64, 128}. Full
+// multipliers for encryption-sized operands (768/1024 bits, Req1) are built
+// by composing EOL/width slices (Section 5.1.5 "Number of Slices" / "Slice
+// Width" design issues).
+//
+// A SliceDesign composes the tech/ component library into a netlist summary
+// (part list, total area, critical path -> clock) and a cycle-count model:
+//
+//   Montgomery: digits(EOL) + 1 iterations (Fig. 10's FOR i = 1 TO n+1),
+//     plus 2 cycles to resolve the carry-save redundancy where applicable;
+//   Brickell:   digits(EOL) iterations plus a compare/subtract epilogue
+//     (the trailing reduction pipeline), plus the same carry-save resolve.
+//
+// Composed multipliers add one pipeline-fill cycle per slice. Slice
+// boundaries are latched in carry-save form, so the composed clock equals
+// the slice clock (the slice width, not the operand length, bounds the
+// internal carry chains — the reason slicing exists, Section 5.1.5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/components.hpp"
+#include "tech/technology.hpp"
+
+namespace dslayer::rtl {
+
+/// Modular-multiplication algorithm (generalized design issue DI2).
+enum class Algorithm { kMontgomery, kBrickell };
+
+/// Adder implementation for the accumulation inside the loop.
+enum class AdderKind { kCarryLookahead, kCarrySave, kRipple };
+
+/// Digit-multiplier implementation (radix >= 4 only; radix 2 needs none).
+enum class MultiplierKind { kNone, kArray, kMuxBased };
+
+std::string to_string(Algorithm a);
+std::string to_string(AdderKind a);
+std::string to_string(MultiplierKind m);
+
+/// Full configuration of one slice design.
+struct SliceConfig {
+  Algorithm algorithm = Algorithm::kMontgomery;
+  unsigned radix = 2;  ///< power of two >= 2
+  AdderKind adder = AdderKind::kCarrySave;
+  MultiplierKind multiplier = MultiplierKind::kNone;
+  unsigned slice_width = 32;  ///< bits processed by one slice
+  tech::Technology technology;
+
+  /// Bits consumed per iteration: log2(radix).
+  unsigned digit_bits() const;
+
+  /// Number of radix-r digits of an eol-bit operand.
+  unsigned digits(unsigned eol_bits) const;
+};
+
+/// One named component instance in the slice netlist summary.
+struct Part {
+  std::string name;
+  tech::GateEval eval;
+  bool on_critical_path = false;
+};
+
+/// Gate-level evaluation of one modular-multiplier slice.
+class SliceDesign {
+ public:
+  /// Builds and validates the netlist; throws DefinitionError on
+  /// inconsistent configurations (e.g. radix 2 with an array multiplier —
+  /// exactly the kind of combination consistency constraints eliminate).
+  explicit SliceDesign(SliceConfig config);
+
+  const SliceConfig& config() const { return config_; }
+
+  /// Component breakdown (for reports and the netlist tests).
+  const std::vector<Part>& parts() const { return parts_; }
+
+  /// Total silicon area (technology area units, Table 1 "Area").
+  double area() const { return area_; }
+
+  /// Minimum clock period (critical path + setup; Table 1 "Clk", ns).
+  double clock_ns() const { return clock_ns_; }
+
+  /// Iterations to multiply eol-bit operands on this single slice.
+  double cycles(unsigned eol_bits) const;
+
+  /// cycles * clock (Table 1 "Latency" uses eol == slice_width).
+  double latency_ns(unsigned eol_bits) const;
+
+ private:
+  SliceConfig config_;
+  std::vector<Part> parts_;
+  double area_ = 0.0;
+  double clock_ns_ = 0.0;
+};
+
+/// A complete modular multiplier: `num_slices` pipelined slices covering
+/// num_slices * slice_width operand bits.
+class MultiplierDesign {
+ public:
+  MultiplierDesign(SliceConfig slice, unsigned num_slices);
+
+  /// Convenience: enough slices for eol-bit operands (ceil division).
+  static MultiplierDesign for_operand_length(SliceConfig slice, unsigned eol_bits);
+
+  const SliceDesign& slice() const { return slice_; }
+  unsigned num_slices() const { return num_slices_; }
+
+  /// Total operand bits the datapath covers.
+  unsigned datapath_bits() const { return num_slices_ * slice_.config().slice_width; }
+
+  /// Slices + inter-slice wiring + shared control.
+  double area() const;
+
+  /// Composed clock equals the slice clock (carry-save slice boundaries).
+  double clock_ns() const { return slice_.clock_ns(); }
+
+  /// Algorithm iterations + epilogue + one fill cycle per slice.
+  double cycles(unsigned eol_bits) const;
+
+  /// End-to-end delay of one eol-bit modular multiplication (ns).
+  double latency_ns(unsigned eol_bits) const;
+
+  /// Dynamic power at the design's own maximum clock rate (mW) — the
+  /// paper's Section 6 power extension.
+  double power_mw() const;
+
+  /// Paper-style label, e.g. "#2_64" (design number, slice width).
+  std::string label(int design_no) const;
+
+ private:
+  SliceDesign slice_;
+  unsigned num_slices_;
+};
+
+/// One row of the paper's Table 1 catalog (designs #1..#8).
+struct CatalogEntry {
+  int design_no;
+  Algorithm algorithm;
+  unsigned radix;
+  AdderKind adder;
+  MultiplierKind multiplier;
+};
+
+/// The eight alternative designs of Table 1, in paper order.
+const std::vector<CatalogEntry>& table1_catalog();
+
+/// The slice widths Table 1 sweeps.
+inline constexpr unsigned kTable1SliceWidths[] = {8, 16, 32, 64, 128};
+
+/// Builds the SliceConfig for a catalog entry at a given width/technology.
+SliceConfig make_config(const CatalogEntry& entry, unsigned slice_width,
+                        const tech::Technology& technology);
+
+}  // namespace dslayer::rtl

@@ -1,0 +1,107 @@
+#include "rtl/simulator.hpp"
+
+#include <bit>
+
+#include "bigint/modular.hpp"
+#include "support/error.hpp"
+
+namespace dslayer::rtl {
+
+using bigint::BigUint;
+
+namespace {
+
+unsigned digit_bits_of(unsigned radix) {
+  DSLAYER_REQUIRE(radix >= 2 && (radix & (radix - 1)) == 0, "radix must be a power of two >= 2");
+  return static_cast<unsigned>(std::countr_zero(radix));
+}
+
+/// Digit d (0 = least significant) of x in radix 2^db.
+std::uint32_t digit_of(const BigUint& x, unsigned d, unsigned db) {
+  std::uint32_t v = 0;
+  for (unsigned k = db; k-- > 0;) {
+    v = static_cast<std::uint32_t>((v << 1) | (x.bit(d * db + k) ? 1u : 0u));
+  }
+  return v;
+}
+
+}  // namespace
+
+SimResult simulate_montgomery(const BigUint& a, const BigUint& b, const BigUint& m,
+                              unsigned radix) {
+  DSLAYER_REQUIRE(m.is_odd(), "Montgomery requires an odd modulus (CC1)");
+  DSLAYER_REQUIRE(a < m && b < m, "operands must be reduced");
+  const unsigned db = digit_bits_of(radix);
+  const unsigned n = (m.bit_length() + db - 1) / db;  // digits of the modulus
+
+  // Precompute -M^-1 mod r (the "(r - M0)^-1" constant of Fig. 10 line 4).
+  const BigUint r_val(static_cast<std::uint64_t>(radix));
+  const BigUint m_mod_r = m % r_val;
+  const std::uint64_t minv =
+      bigint::mod_inverse(m_mod_r, r_val).to_u64();  // M^-1 mod r
+  const std::uint64_t neg_minv = (radix - minv) % radix;  // -M^-1 mod r
+
+  SimResult result;
+  BigUint r_acc;  // the residue register R
+  for (unsigned i = 0; i <= n; ++i) {  // FOR i = 1 TO n+1
+    const std::uint32_t ai = digit_of(a, i, db);
+    BigUint t = r_acc;
+    if (ai != 0) t += b * BigUint(ai);
+    // Qi := (T0 * (r - M0)^-1) mod r
+    const std::uint64_t t0 = t.is_zero() ? 0 : (t.limb(0) & (radix - 1));
+    const std::uint64_t qi = (t0 * neg_minv) & (radix - 1);
+    if (qi != 0) t += m * BigUint(qi);
+    t >>= db;  // div r — exact by construction of qi
+    r_acc = std::move(t);
+    ++result.iterations;
+  }
+  // IF (R > M) THEN R := R - M (lines 5-6); R < 2M is guaranteed.
+  while (r_acc >= m) {
+    r_acc -= m;
+    ++result.corrections;
+  }
+  result.value = std::move(r_acc);
+  return result;
+}
+
+SimResult simulate_brickell(const BigUint& a, const BigUint& b, const BigUint& m,
+                            unsigned radix) {
+  DSLAYER_REQUIRE(!m.is_zero(), "modulus must be positive");
+  DSLAYER_REQUIRE(a < m && b < m, "operands must be reduced");
+  const unsigned db = digit_bits_of(radix);
+  const unsigned bits = a.bit_length();
+  const unsigned n = bits == 0 ? 0 : (bits + db - 1) / db;
+
+  SimResult result;
+  BigUint r_acc;
+  for (unsigned d = n; d-- > 0;) {
+    r_acc <<= db;
+    const std::uint32_t ad = digit_of(a, d, db);
+    if (ad != 0) r_acc += b * BigUint(ad);
+    // mod-M reduction at every partial product; the residue before the
+    // shift is < m, so at most `radix` subtractions are needed.
+    while (r_acc >= m) {
+      r_acc -= m;
+      ++result.corrections;
+    }
+    ++result.iterations;
+  }
+  result.value = std::move(r_acc);
+  return result;
+}
+
+BigUint montgomery_hw_modmul(const BigUint& a, const BigUint& b, const BigUint& m,
+                             unsigned radix) {
+  const unsigned db = digit_bits_of(radix);
+  const unsigned n = (m.bit_length() + db - 1) / db;
+  // r^(n+1) mod m, then r^(2(n+1)) mod m: the conversion constant.
+  BigUint r_pow{1};
+  r_pow <<= db * (n + 1);
+  const BigUint r2 = (r_pow % m) * (r_pow % m) % m;
+  // ab * r^-(n+1), then * r^2(n+1) * r^-(n+1) = ab mod m.
+  const SimResult product = simulate_montgomery(a % m, b % m, m, radix);
+  const SimResult fixed = simulate_montgomery(product.value, r2 % m, m, radix);
+  return fixed.value;
+}
+
+}  // namespace dslayer::rtl

@@ -1,0 +1,43 @@
+// Functional (cycle-level) simulators for the modular-multiplier cores.
+//
+// The structural models in modmul_design.hpp predict area/clock/cycles; the
+// simulators here execute the same digit-serial algorithms on real operands
+// so the cores are verified implementations, not datasheets. Tests check
+// the simulators against the bigint reference arithmetic, and check that
+// the iteration counts they report match the cycle model of SliceDesign.
+#pragma once
+
+#include "bigint/biguint.hpp"
+
+namespace dslayer::rtl {
+
+/// Outcome of a digit-serial simulation.
+struct SimResult {
+  bigint::BigUint value;      ///< computed residue, < m
+  unsigned iterations = 0;    ///< main-loop digit iterations executed
+  unsigned corrections = 0;   ///< final conditional subtractions taken
+};
+
+/// Digit-serial radix-r Montgomery multiplication, exactly the datapath of
+/// Fig. 10: n+1 iterations of R := (R + Ai*B + Qi*M) / r with the quotient
+/// digit from the precomputed -M^-1 mod r.
+///
+/// Returns a*b*r^-(n+1) mod m where n+1 is the reported iteration count and
+/// n = number of radix-r digits of m. Requires odd m, a < m, b < m, radix a
+/// power of two >= 2.
+SimResult simulate_montgomery(const bigint::BigUint& a, const bigint::BigUint& b,
+                              const bigint::BigUint& m, unsigned radix);
+
+/// Digit-serial radix-r Brickell multiplication: MSB-first scan with a
+/// mod-M reduction after every partial product. Returns a*b mod m exactly;
+/// works for even moduli too.
+SimResult simulate_brickell(const bigint::BigUint& a, const bigint::BigUint& b,
+                            const bigint::BigUint& m, unsigned radix);
+
+/// Convenience: a plain a*b mod m through the Montgomery datapath,
+/// including the domain conversions (two extra passes through the core,
+/// exactly how the coprocessor of [10] uses the block).
+bigint::BigUint montgomery_hw_modmul(const bigint::BigUint& a, const bigint::BigUint& b,
+                                     const bigint::BigUint& m, unsigned radix);
+
+}  // namespace dslayer::rtl

@@ -1,0 +1,14 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace dslayer::detail {
+
+void throw_precondition(std::string_view expr, std::string_view file, int line,
+                        std::string_view msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << msg << " [" << expr << " at " << file << ":" << line << "]";
+  throw PreconditionError(os.str());
+}
+
+}  // namespace dslayer::detail

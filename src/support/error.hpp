@@ -1,0 +1,64 @@
+// Error handling for the dslayer project.
+//
+// The library uses exceptions for contract and domain violations (per the
+// C++ Core Guidelines, E.2/E.3): a violated precondition or an inconsistent
+// design-space definition is a programming/authoring error that callers are
+// not expected to handle locally.
+//
+// All dslayer exceptions derive from dslayer::Error so applications can
+// establish a single catch boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dslayer {
+
+/// Root of the dslayer exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A violated API precondition (caller bug).
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// A malformed design-space-layer definition (layer-author bug), e.g. two
+/// generalized design issues on one CDO, or a dangling property path.
+class DefinitionError : public Error {
+ public:
+  explicit DefinitionError(const std::string& what) : Error(what) {}
+};
+
+/// An invalid operation for the current exploration state, e.g. deciding a
+/// dependent design issue before its independent set has been addressed.
+class ExplorationError : public Error {
+ public:
+  explicit ExplorationError(const std::string& what) : Error(what) {}
+};
+
+/// Arithmetic domain errors in the bigint substrate (division by zero,
+/// non-invertible modulus, ...).
+class ArithmeticError : public Error {
+ public:
+  explicit ArithmeticError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view expr, std::string_view file, int line,
+                                     std::string_view msg);
+}  // namespace detail
+
+/// Checks a precondition; throws PreconditionError with source location on failure.
+#define DSLAYER_REQUIRE(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::dslayer::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                           \
+  } while (false)
+
+}  // namespace dslayer

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Tests, property sweeps, and synthetic workload generators must be
+// reproducible across runs and platforms, so the project uses its own
+// SplitMix64 generator rather than std::default_random_engine (whose
+// semantics are implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace dslayer {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit generator (Steele et al.).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) via rejection-free Lemire reduction; bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    DSLAYER_REQUIRE(bound > 0, "bound must be positive");
+    // 128-bit multiply-shift; the slight modulo bias is irrelevant for tests.
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi]; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    DSLAYER_REQUIRE(lo <= hi, "empty range");
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dslayer

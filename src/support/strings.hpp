@@ -1,0 +1,43 @@
+// Small string utilities used throughout the project: splitting/joining for
+// property paths ("Radix@*.Hardware.Montgomery"), case folding for
+// case-insensitive option lookup, and a variadic concatenation helper that
+// substitutes for std::format (not available in the target toolchain).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dslayer {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if strings are equal ignoring ASCII case.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Streams all arguments into one string: cat("x=", 3, "!") == "x=3!".
+template <typename... Ts>
+std::string cat(Ts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+/// Formats a double with `digits` significant digits, trimming trailing zeros.
+std::string format_double(double v, int digits = 4);
+
+}  // namespace dslayer

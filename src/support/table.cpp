@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace dslayer {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  DSLAYER_REQUIRE(!header_.empty(), "table needs at least one column");
+  align_.assign(header_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  DSLAYER_REQUIRE(cells.size() == header_.size(), "row arity must match header");
+  body_.push_back(std::move(cells));
+  ++rows_;
+}
+
+void TextTable::add_rule() { body_.emplace_back(); }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  DSLAYER_REQUIRE(column < align_.size(), "column out of range");
+  align_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : body_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      os << "| ";
+      if (align_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (align_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  const auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  emit_row(os, header_);
+  emit_rule(os);
+  for (const auto& row : body_) {
+    if (row.empty()) {
+      emit_rule(os);
+    } else {
+      emit_row(os, row);
+    }
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+}  // namespace dslayer

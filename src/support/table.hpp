@@ -1,0 +1,45 @@
+// Plain-text table rendering for the benchmark harness. Every bench binary
+// reproduces one of the paper's tables/figures as aligned rows on stdout;
+// this keeps the formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dslayer {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with padded, aligned columns.
+///
+///   TextTable t({"Design", "Area", "Clk"});
+///   t.add_row({"#2_64", "37299", "2.60"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule.
+  void add_rule();
+
+  /// Sets the alignment of a column (default: left for col 0, right otherwise).
+  void set_align(std::size_t column, Align align);
+
+  /// Number of data rows added so far (rules excluded).
+  std::size_t row_count() const { return rows_; }
+
+  /// Renders the full table, trailing newline included.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> body_;  // empty vector encodes a rule
+  std::vector<Align> align_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dslayer

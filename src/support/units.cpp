@@ -1,0 +1,41 @@
+#include "support/units.hpp"
+
+#include "support/strings.hpp"
+
+namespace dslayer {
+
+std::string unit_suffix(Unit u) {
+  switch (u) {
+    case Unit::kNone: return "";
+    case Unit::kNanoseconds: return "ns";
+    case Unit::kMicroseconds: return "us";
+    case Unit::kGates: return "gates";
+    case Unit::kBits: return "bits";
+    case Unit::kMegahertz: return "MHz";
+    case Unit::kMilliwatts: return "mW";
+  }
+  return "?";
+}
+
+double convert(double value, Unit from, Unit to) {
+  if (from == to) return value;
+  if (from == Unit::kNanoseconds && to == Unit::kMicroseconds) return value / 1000.0;
+  if (from == Unit::kMicroseconds && to == Unit::kNanoseconds) return value * 1000.0;
+  if (from == Unit::kMegahertz && to == Unit::kNanoseconds) {
+    DSLAYER_REQUIRE(value > 0.0, "frequency must be positive to convert to a period");
+    return 1000.0 / value;
+  }
+  if (from == Unit::kNanoseconds && to == Unit::kMegahertz) {
+    DSLAYER_REQUIRE(value > 0.0, "period must be positive to convert to a frequency");
+    return 1000.0 / value;
+  }
+  throw PreconditionError(cat("no conversion from ", unit_suffix(from), " to ", unit_suffix(to)));
+}
+
+std::string to_string(const Quantity& q) {
+  const std::string suffix = unit_suffix(q.unit);
+  if (suffix.empty()) return format_double(q.value);
+  return cat(format_double(q.value), " ", suffix);
+}
+
+}  // namespace dslayer

@@ -1,0 +1,42 @@
+// Units for figures of merit exchanged between the substrates and the design
+// space layer. The paper's evaluation uses nanoseconds (clock period and
+// latency), microseconds (modular multiplication delay), equivalent-gate /
+// square-micron areas, and milliwatts (the power extension). A Quantity is a
+// double tagged with a Unit; conversions are explicit.
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace dslayer {
+
+enum class Unit {
+  kNone,          // dimensionless (cycle counts, ranks, ratios)
+  kNanoseconds,   // clock periods, latencies (Table 1)
+  kMicroseconds,  // modmul delays (Fig. 6)
+  kGates,         // equivalent-gate area (Table 1 "Area")
+  kBits,          // operand lengths (EOL)
+  kMegahertz,     // clock rates
+  kMilliwatts,    // power (Section 6 work-in-progress extension)
+};
+
+/// Short unit suffix for reports, e.g. "ns", "us", "gates".
+std::string unit_suffix(Unit u);
+
+/// A value tagged with a unit. Arithmetic is intentionally not provided:
+/// substrates compute in doubles and tag at the reporting boundary.
+struct Quantity {
+  double value = 0.0;
+  Unit unit = Unit::kNone;
+
+  friend bool operator==(const Quantity&, const Quantity&) = default;
+};
+
+/// Converts between the two time units; identity otherwise-compatible pairs only.
+double convert(double value, Unit from, Unit to);
+
+/// Renders "12.3 ns" style strings.
+std::string to_string(const Quantity& q);
+
+}  // namespace dslayer

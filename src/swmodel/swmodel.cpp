@@ -1,0 +1,149 @@
+#include "swmodel/swmodel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "bigint/modular.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::swmodel {
+
+using bigint::BigUint;
+using bigint::MontVariant;
+using bigint::OpCounts;
+
+std::string to_string(CodeQuality q) {
+  switch (q) {
+    case CodeQuality::kC: return "C code";
+    case CodeQuality::kAssembly: return "ASM";
+  }
+  return "?";
+}
+
+ProcessorModel pentium60() {
+  ProcessorModel p;
+  p.name = "Pentium 60";
+  return p;  // defaults are the P5 costs
+}
+
+SoftwareCore::SoftwareCore(MontVariant variant, CodeQuality quality, ProcessorModel cpu)
+    : variant_(variant), quality_(quality), cpu_(std::move(cpu)) {}
+
+std::string SoftwareCore::label() const {
+  return cat(bigint::to_string(variant_), " ", to_string(quality_));
+}
+
+namespace {
+
+/// Deterministic synthetic operands with exactly `words` 32-bit words, used
+/// to drive one instrumented run of the routine (the control flow of every
+/// variant is data-independent except for the final corrections, so any
+/// full-width operands produce representative counts).
+struct SyntheticOperands {
+  std::vector<std::uint32_t> a, b, m;
+  std::uint32_t m_prime;
+};
+
+SyntheticOperands make_operands(std::size_t words) {
+  SyntheticOperands ops;
+  ops.m.resize(words);
+  ops.a.resize(words);
+  ops.b.resize(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    // Full-magnitude modulus, operands just below it.
+    ops.m[i] = 0xFFFFFFF1u - static_cast<std::uint32_t>(i * 97);
+    ops.a[i] = ops.m[i] - 3u;
+    ops.b[i] = ops.m[i] - 7u;
+  }
+  ops.m[0] |= 1u;  // odd
+  ops.a[words - 1] = ops.m[words - 1] - 1u;
+  ops.b[words - 1] = ops.m[words - 1] - 2u;
+  ops.m_prime = bigint::mont_word_inverse(ops.m[0]);
+  return ops;
+}
+
+}  // namespace
+
+OpCounts SoftwareCore::op_counts(unsigned eol_bits) const {
+  DSLAYER_REQUIRE(eol_bits >= 1, "operand length must be positive");
+  // Sub-word operands still occupy one machine word.
+  const std::size_t words = std::max<std::size_t>(1, (eol_bits + 31) / 32);
+  const SyntheticOperands ops = make_operands(words);
+  std::vector<std::uint32_t> out(words);
+  OpCounts counts;
+  bigint::mont_mul(variant_, ops.a, ops.b, ops.m, ops.m_prime, out, &counts);
+  return counts;
+}
+
+double SoftwareCore::mont_mul_us(unsigned eol_bits) const {
+  const OpCounts counts = op_counts(eol_bits);
+  // Inner-loop iteration count tracks the multiply count for all variants
+  // (each inner iteration performs one or two multiplies).
+  const double iterations = static_cast<double>(counts.word_mults);
+  double cycles = static_cast<double>(counts.word_mults) * cpu_.mul_cycles +
+                  static_cast<double>(counts.word_adds) * cpu_.add_cycles +
+                  static_cast<double>(counts.loads) * cpu_.load_cycles +
+                  static_cast<double>(counts.stores) * cpu_.store_cycles +
+                  iterations * cpu_.loop_cycles;
+  if (quality_ == CodeQuality::kC) cycles *= cpu_.c_overhead;
+  return cycles / cpu_.clock_mhz;  // cycles / MHz = microseconds
+}
+
+double SoftwareCore::mod_exp_us(unsigned eol_bits) const {
+  // Left-to-right binary exponentiation with an eol-bit exponent: one
+  // squaring per bit plus a multiplication for the (expected) half of the
+  // bits that are set, plus the two domain conversions.
+  const double muls = 1.5 * eol_bits + 2.0;
+  return muls * mont_mul_us(eol_bits);
+}
+
+double SoftwareCore::code_size_bytes() const {
+  // Footprints in the spirit of ref [12]: product-scanning code is tighter;
+  // assembly is denser than compiled C.
+  double base = 0.0;
+  switch (variant_) {
+    case MontVariant::kSOS: base = 900.0; break;
+    case MontVariant::kCIOS: base = 1100.0; break;
+    case MontVariant::kFIOS: base = 1300.0; break;
+    case MontVariant::kFIPS: base = 1600.0; break;
+    case MontVariant::kCIHS: base = 1500.0; break;
+  }
+  return quality_ == CodeQuality::kC ? base * 2.4 : base;
+}
+
+BigUint SoftwareCore::execute(const BigUint& a, const BigUint& b, const BigUint& m) const {
+  DSLAYER_REQUIRE(m.is_odd(), "software Montgomery cores require an odd modulus");
+  const std::size_t words = m.limb_count();
+  std::vector<std::uint32_t> av(words), bv(words), mv(words), out(words);
+  const BigUint ra = a % m;
+  const BigUint rb = b % m;
+  for (std::size_t i = 0; i < words; ++i) {
+    av[i] = ra.limb(i);
+    bv[i] = rb.limb(i);
+    mv[i] = m.limb(i);
+  }
+  const std::uint32_t m_prime = bigint::mont_word_inverse(mv[0]);
+
+  // ab * R^-1, then correct by R^2 * R^-1: net a*b mod m.
+  bigint::mont_mul(variant_, av, bv, mv, m_prime, out, nullptr);
+  BigUint r{1};
+  r <<= static_cast<unsigned>(words * 32);
+  const BigUint r2 = ((r % m) * (r % m)) % m;
+  std::vector<std::uint32_t> r2v(words), fixed(words);
+  for (std::size_t i = 0; i < words; ++i) r2v[i] = r2.limb(i);
+  bigint::mont_mul(variant_, out, r2v, mv, m_prime, fixed, nullptr);
+  return BigUint::from_limbs(fixed);
+}
+
+std::vector<SoftwareCore> software_catalog() {
+  std::vector<SoftwareCore> cores;
+  const ProcessorModel cpu = pentium60();
+  for (MontVariant v : bigint::kAllMontVariants) {
+    cores.emplace_back(v, CodeQuality::kAssembly, cpu);
+    cores.emplace_back(v, CodeQuality::kC, cpu);
+  }
+  return cores;
+}
+
+}  // namespace dslayer::swmodel

@@ -1,0 +1,92 @@
+// Software modular-multiplier cores.
+//
+// The "Software" branch of the paper's implementation-style design issue
+// (Fig. 6) is populated by C and hand-optimized assembly Montgomery
+// multiplication routines executing on a Pentium 60, as measured by Koc,
+// Acar and Kaliski. We have no Pentium 60, so this module substitutes a
+// word-operation cost model (DESIGN.md Section 4): the functional routines
+// are the real implementations in bigint/montgomery_variants.*, and their
+// instrumented operation counts (single-precision multiplies, adds, memory
+// traffic, loop iterations) are priced with P5-class cycle costs. Assembly
+// quality prices the raw counts; compiled 1996-era C pays a constant
+// overhead factor (materializing 32x64 products through helper calls,
+// poorer scheduling).
+//
+// The model needs to reproduce two facts from Fig. 6: software is 2-3
+// orders of magnitude slower than the hardware cores (which justifies
+// "Implementation Style" as a generalized, space-partitioning design
+// issue), and ASM-vs-C spans roughly another decade.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "bigint/montgomery_variants.hpp"
+
+namespace dslayer::swmodel {
+
+/// Implementation quality of the routine (a design issue of the software
+/// sub-space).
+enum class CodeQuality { kC, kAssembly };
+
+std::string to_string(CodeQuality q);
+
+/// Cycle-cost model of a scalar processor.
+struct ProcessorModel {
+  std::string name;
+  double clock_mhz = 60.0;
+  double mul_cycles = 11.0;    ///< 32x32->64 multiply (P5 imul)
+  double add_cycles = 1.0;     ///< word add / add-with-carry
+  double load_cycles = 1.2;    ///< cache-hit word load
+  double store_cycles = 1.2;   ///< word store
+  double loop_cycles = 5.0;    ///< per inner iteration: index update + branch
+  double c_overhead = 8.2;     ///< compiled-C multiplier over hand assembly
+};
+
+/// The paper's reference processor (ref [12] measured on a Pentium 60).
+ProcessorModel pentium60();
+
+/// One software core: a Montgomery variant at a code-quality level on a
+/// processor. This is both a functional implementation (execute()) and a
+/// performance model (mont_mul_us()).
+class SoftwareCore {
+ public:
+  SoftwareCore(bigint::MontVariant variant, CodeQuality quality, ProcessorModel cpu);
+
+  bigint::MontVariant variant() const { return variant_; }
+  CodeQuality quality() const { return quality_; }
+  const ProcessorModel& cpu() const { return cpu_; }
+
+  /// "CIOS C code" / "CIHS ASM" — the labels of Fig. 6.
+  std::string label() const;
+
+  /// Instrumented word-operation counts for one eol-bit MontMul
+  /// (sub-word operands occupy one machine word).
+  bigint::OpCounts op_counts(unsigned eol_bits) const;
+
+  /// Predicted time of one eol-bit modular multiplication (microseconds).
+  double mont_mul_us(unsigned eol_bits) const;
+
+  /// Predicted time of a full eol-bit modular exponentiation (binary
+  /// square-and-multiply, ~1.5 multiplications per exponent bit).
+  double mod_exp_us(unsigned eol_bits) const;
+
+  /// Rough code footprint in bytes (figure of merit for embedded targets).
+  double code_size_bytes() const;
+
+  /// Functional execution: a*b mod m through this routine (including the
+  /// Montgomery domain conversions). Verified against bigint in tests.
+  bigint::BigUint execute(const bigint::BigUint& a, const bigint::BigUint& b,
+                          const bigint::BigUint& m) const;
+
+ private:
+  bigint::MontVariant variant_;
+  CodeQuality quality_;
+  ProcessorModel cpu_;
+};
+
+/// The ten software cores (5 variants x {C, ASM}) on the Pentium 60.
+std::vector<SoftwareCore> software_catalog();
+
+}  // namespace dslayer::swmodel

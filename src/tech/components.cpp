@@ -1,0 +1,106 @@
+#include "tech/components.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace dslayer::tech {
+
+namespace {
+
+double log2d(unsigned w) { return std::log2(static_cast<double>(std::max(w, 1u))); }
+
+GateEval scaled(double area, double delay_ns, const Technology& t) {
+  return GateEval{area * t.area_scale, delay_ns * t.delay_scale};
+}
+
+}  // namespace
+
+GateEval register_bank(unsigned bits, const Technology& t) {
+  // 110 units and 0.45 ns clk->q per flip-flop bit.
+  return scaled(110.0 * bits, 0.45, t);
+}
+
+double register_setup_ns(const Technology& t) { return 0.30 * t.delay_scale; }
+
+GateEval ripple_carry_adder(unsigned width, const Technology& t) {
+  DSLAYER_REQUIRE(width >= 1, "zero-width adder");
+  // One full adder per bit; the carry ripples through every stage.
+  return scaled(45.0 * width, 0.18 * width + 0.25, t);
+}
+
+GateEval carry_lookahead_adder(unsigned width, const Technology& t) {
+  DSLAYER_REQUIRE(width >= 1, "zero-width adder");
+  // P/G generation + log-depth lookahead tree + sum: ~2x ripple area,
+  // delay linear in log2(width). Constants fit the Table 1 CLA columns.
+  const double delay = std::max(0.40, 0.82 * log2d(width) - 1.00);
+  return scaled(90.0 * width, delay, t);
+}
+
+GateEval carry_save_row(unsigned width, const Technology& t) {
+  DSLAYER_REQUIRE(width >= 1, "zero-width compressor");
+  // A row of independent full adders: width-independent delay.
+  return scaled(45.0 * width, 0.55, t);
+}
+
+GateEval comparator(unsigned width, const Technology& t) {
+  DSLAYER_REQUIRE(width >= 1, "zero-width comparator");
+  // Magnitude comparison cannot avoid resolving carries: log-depth tree.
+  return scaled(70.0 * width, 0.55 + 0.18 * log2d(width), t);
+}
+
+GateEval mux2(unsigned width, const Technology& t) {
+  return scaled(33.0 * width, 0.20, t);
+}
+
+GateEval mux4(unsigned width, const Technology& t) {
+  return scaled(61.0 * width, 0.32, t);
+}
+
+GateEval array_digit_multiplier(unsigned digit_bits, unsigned width, const Technology& t) {
+  DSLAYER_REQUIRE(digit_bits >= 1 && width >= 1, "zero-width multiplier");
+  // digit_bits partial-product rows over a width-bit operand, reduced by a
+  // small compressor column: area ~ digit_bits x width, delay grows with
+  // the reduction/propagation across the operand width.
+  const double area = (115.0 + 95.0 * digit_bits) * width;
+  const double delay = std::max(0.30, (0.22 + 0.11 * digit_bits) * log2d(width) - 0.40);
+  return scaled(area, delay, t);
+}
+
+GateEval mux_digit_multiplier(unsigned digit_bits, unsigned width, const Technology& t) {
+  DSLAYER_REQUIRE(digit_bits >= 1 && width >= 1, "zero-width multiplier");
+  // Selection among the 2^digit_bits precomputed multiples: one wide mux.
+  // Delay is width-independent (the precomputed multiples arrive settled).
+  const double area = (14.0 * (1u << digit_bits)) * width;
+  const double delay = 0.30 + 0.10 * digit_bits;
+  return scaled(area, delay, t);
+}
+
+GateEval multiple_precompute_unit(unsigned digit_bits, const Technology& t) {
+  // Forms the odd multiples (e.g. 3B for radix 4) once per operand load and
+  // stores them; amortized over the whole multiplication, so it contributes
+  // area but not cycle-time delay.
+  const unsigned multiples = (1u << digit_bits) - 2;  // beyond 0 and B itself
+  return scaled(700.0 + 425.0 * multiples, 0.0, t);
+}
+
+GateEval montgomery_q_logic(unsigned digit_bits, const Technology& t) {
+  // Fig. 10 line 4: Qi from R0 and the precomputed (r - M0)^-1. For radix 2
+  // this is a couple of gates; each extra digit bit adds a small
+  // multiply-accumulate slice.
+  return scaled(260.0 + 210.0 * (digit_bits - 1), 0.32 + 0.30 * (digit_bits - 1), t);
+}
+
+GateEval control_fsm(unsigned complexity, const Technology& t) {
+  return scaled(620.0 + 45.0 * complexity, 0.0, t);
+}
+
+double fanout_delay_ns(unsigned width, const Technology& t) {
+  // Buffer tree to broadcast the digit/control across the slice datapath;
+  // negligible up to 8 bits, then ~0.13 ns per doubling.
+  if (width <= 8) return 0.0;
+  return 0.13 * (log2d(width) - 3.0) * t.delay_scale;
+}
+
+}  // namespace dslayer::tech

@@ -1,0 +1,82 @@
+// Gate-level component library.
+//
+// The datapath building blocks the paper's case study discriminates on:
+// adders ("Carry-Look-Ahead" and "Carry-Save" are explicit design options
+// of the Adder CDO, Fig. 10/12), multipliers (full array multipliers vs
+// "Multiplexer-Based" multipliers-by-constant, Table 1), registers, muxes
+// and comparators. Each component reports an area (0.35um standard-cell
+// area units, where a D flip-flop bit is ~110 units) and a worst-case
+// propagation delay (ns), both scaled by the target Technology.
+//
+// The constants are calibrated so the composed modular-multiplier slices of
+// rtl/ land in the area/clock ranges of the paper's Table 1; the *shapes*
+// follow from structure: carry-lookahead delay grows with log2(width),
+// carry-save delay is width-independent (two 3:2 compressor rows), a
+// magnitude comparator needs a full carry chain (which is why Brickell
+// designs cannot hide it even with carry-save accumulation), and an array
+// digit-multiplier both grows with width and outweighs a multiplexer-based
+// constant-multiple selector.
+#pragma once
+
+#include "tech/technology.hpp"
+
+namespace dslayer::tech {
+
+/// Area/delay of one component instance.
+struct GateEval {
+  double area = 0.0;      ///< 0.35um std-cell area units
+  double delay_ns = 0.0;  ///< worst-case propagation delay
+};
+
+/// D-flip-flop register bank of `bits` bits. Delay is clk->q; the matching
+/// setup time is in register_setup_ns().
+GateEval register_bank(unsigned bits, const Technology& t);
+
+/// Setup time to close a cycle through registers (added to path delays).
+double register_setup_ns(const Technology& t);
+
+/// Ripple-carry adder: O(w) delay, cheapest area. Kept for completeness of
+/// the Adder CDO's "logic style" options.
+GateEval ripple_carry_adder(unsigned width, const Technology& t);
+
+/// Carry-lookahead adder: O(log w) delay.
+GateEval carry_lookahead_adder(unsigned width, const Technology& t);
+
+/// One carry-save 3:2 compressor row: constant delay, keeps sums redundant.
+GateEval carry_save_row(unsigned width, const Technology& t);
+
+/// Magnitude comparator (>=): needs a full carry chain, O(log w) delay.
+GateEval comparator(unsigned width, const Technology& t);
+
+/// 2:1 multiplexer row.
+GateEval mux2(unsigned width, const Technology& t);
+
+/// 4:1 multiplexer row.
+GateEval mux4(unsigned width, const Technology& t);
+
+/// Array multiplier of a `digit_bits`-bit digit by a `width`-bit operand
+/// (the partial-product generator of radix >= 4 designs, Table 1 "MUL").
+GateEval array_digit_multiplier(unsigned digit_bits, unsigned width, const Technology& t);
+
+/// Multiplexer-based multiplier-by-digit: selects among precomputed small
+/// multiples (Table 1 "MUX"). Selection is per-slice; see
+/// multiple_precompute_unit() for the shared precomputation.
+GateEval mux_digit_multiplier(unsigned digit_bits, unsigned width, const Technology& t);
+
+/// Precomputation unit for the MUX multiplier (forms and stores the odd
+/// multiples, e.g. 3B for radix 4); charged once per slice as fixed area.
+GateEval multiple_precompute_unit(unsigned digit_bits, const Technology& t);
+
+/// Quotient-digit logic of a Montgomery iteration (Fig. 10 line 4):
+/// computes Qi from the low bits of R. Cost grows with the digit width.
+GateEval montgomery_q_logic(unsigned digit_bits, const Technology& t);
+
+/// Control FSM overhead (sequencing, handshakes); `complexity` is an
+/// abstract state count.
+GateEval control_fsm(unsigned complexity, const Technology& t);
+
+/// Broadcast/fanout penalty for distributing a control or digit signal to a
+/// `width`-bit datapath; pure delay, no area (buffers are inside components).
+double fanout_delay_ns(unsigned width, const Technology& t);
+
+}  // namespace dslayer::tech

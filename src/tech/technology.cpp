@@ -1,0 +1,60 @@
+#include "tech/technology.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::tech {
+
+std::string to_string(LayoutStyle s) {
+  switch (s) {
+    case LayoutStyle::kStandardCell: return "std-cell";
+    case LayoutStyle::kGateArray: return "gate-array";
+  }
+  return "?";
+}
+
+std::string to_string(Process p) {
+  switch (p) {
+    case Process::k035um: return "0.35um";
+    case Process::k070um: return "0.70um";
+  }
+  return "?";
+}
+
+std::string Technology::name() const {
+  return cat(to_string(process), " ", to_string(layout));
+}
+
+Technology technology(Process process, LayoutStyle layout) {
+  Technology t;
+  t.process = process;
+  t.layout = layout;
+  // Constant-field scaling from the 0.35um baseline: the 0.7um process is
+  // ~2x slower and 4x larger per function. 0.7um also runs at a higher
+  // supply voltage, so its switched power per area-MHz is higher.
+  if (process == Process::k070um) {
+    t.delay_scale = 2.0;
+    t.area_scale = 4.0;
+    t.power_coeff = 2.6;
+  }
+  // Gate arrays trade density and speed for mask-cost: routing through a
+  // prefabricated fabric costs ~25% delay and ~55% area.
+  if (layout == LayoutStyle::kGateArray) {
+    t.delay_scale *= 1.25;
+    t.area_scale *= 1.55;
+    t.power_coeff *= 1.2;
+  }
+  return t;
+}
+
+std::vector<Technology> all_technologies() {
+  std::vector<Technology> out;
+  for (Process p : {Process::k035um, Process::k070um}) {
+    for (LayoutStyle s : {LayoutStyle::kStandardCell, LayoutStyle::kGateArray}) {
+      out.push_back(technology(p, s));
+    }
+  }
+  return out;
+}
+
+}  // namespace dslayer::tech

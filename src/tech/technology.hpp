@@ -1,0 +1,56 @@
+// Technology models.
+//
+// Two of the paper's design issues for the Operator-Modular-Multiplier-
+// Hardware CDO (Fig. 11) are "Layout Style" (DI5: standard cell, gate
+// array, ...) and "Fabrication Technology" (DI6: 0.7u, 0.35u, ...). These
+// options "define the meaning of the generalized Hardware option": they
+// scale every component's area and delay, and their combinations create the
+// technology clusters visible in the IDCT evaluation space of Figs. 2-3
+// (e.g. "one using a 0.35u standard cell library, and the other a 0.7u
+// standard cell library").
+//
+// The baseline (scale 1.0/1.0) is a 0.35u standard-cell library modeled on
+// the LSI G10 the paper synthesized Table 1 with. Other technologies are
+// classical constant-field scalings: halving the feature size roughly
+// doubles speed and quarters area; gate arrays pay an area/delay penalty
+// over standard cells for lower NRE.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dslayer::tech {
+
+/// Layout style options of design issue DI5.
+enum class LayoutStyle { kStandardCell, kGateArray };
+
+/// Fabrication process options of design issue DI6.
+enum class Process { k035um, k070um };
+
+std::string to_string(LayoutStyle s);
+std::string to_string(Process p);
+
+/// A concrete technology: one (process, layout) combination with its scale
+/// factors relative to the 0.35um standard-cell baseline.
+struct Technology {
+  Process process = Process::k035um;
+  LayoutStyle layout = LayoutStyle::kStandardCell;
+  double delay_scale = 1.0;  ///< multiplies every component delay
+  double area_scale = 1.0;   ///< multiplies every component area
+  /// Switched-capacitance coefficient for the power extension (Section 6
+  /// "work in progress"): mW per (area unit x MHz), before activity factors.
+  double power_coeff = 1.0;
+
+  /// Human-readable name, e.g. "0.35um std-cell".
+  std::string name() const;
+
+  friend bool operator==(const Technology&, const Technology&) = default;
+};
+
+/// The technology for a (process, layout) pair.
+Technology technology(Process process, LayoutStyle layout);
+
+/// All four modeled technologies (cartesian product of the option sets).
+std::vector<Technology> all_technologies();
+
+}  // namespace dslayer::tech

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "behavior/behavior.hpp"
+#include "support/error.hpp"
+
+namespace dslayer::behavior {
+namespace {
+
+BehavioralDescription chain_bd() {
+  // y = ((a*b) + c) - d with an unrelated side op.
+  BehavioralDescription bd("chain");
+  bd.add_op(OpKind::kMul, 1, {"a", "b"}, "p", 16);
+  bd.add_op(OpKind::kAdd, 2, {"p", "c"}, "s", 16);
+  bd.add_op(OpKind::kSub, 3, {"s", "d"}, "y", 16);
+  bd.add_op(OpKind::kAdd, 3, {"e", "f"}, "side", 16);
+  return bd;
+}
+
+TEST(TripCount, EvaluatesDigits) {
+  const TripCount t{1.0, 1.0};  // digits + 1 (Fig. 10's n+1)
+  EXPECT_DOUBLE_EQ(t.evaluate(768, 2), 769.0);
+  EXPECT_DOUBLE_EQ(t.evaluate(768, 4), 385.0);
+  EXPECT_DOUBLE_EQ(t.evaluate(768, 16), 193.0);
+  EXPECT_DOUBLE_EQ(t.evaluate(10, 4), 6.0);  // ceil(10/2) + 1
+}
+
+TEST(TripCount, BadRadixThrows) {
+  const TripCount t{1.0, 0.0};
+  EXPECT_THROW(t.evaluate(64, 3), PreconditionError);
+}
+
+TEST(Bd, AddOpValidations) {
+  BehavioralDescription bd("x");
+  EXPECT_THROW(bd.add_op(OpKind::kAdd, 0, {"a"}, "y", 8), PreconditionError);
+  EXPECT_THROW(bd.add_op(OpKind::kAdd, 1, {"a"}, "", 8), PreconditionError);
+}
+
+TEST(Bd, ExtractByKindAndLine) {
+  const BehavioralDescription bd = chain_bd();
+  EXPECT_EQ(bd.extract(OpKind::kAdd, 2).size(), 1u);
+  EXPECT_EQ(bd.extract(OpKind::kAdd, 3).size(), 1u);
+  EXPECT_EQ(bd.extract(OpKind::kMul, 2).size(), 0u);
+  EXPECT_EQ(bd.ops_of_kind(OpKind::kAdd).size(), 2u);
+  EXPECT_EQ(bd.ops_on_line(3).size(), 2u);
+}
+
+TEST(Bd, PredecessorsFollowDefUse) {
+  const BehavioralDescription bd = chain_bd();
+  EXPECT_TRUE(bd.predecessors(0).empty());              // primary inputs only
+  EXPECT_EQ(bd.predecessors(1), std::vector<int>{0});   // reads p
+  EXPECT_EQ(bd.predecessors(2), std::vector<int>{1});   // reads s
+  EXPECT_TRUE(bd.predecessors(3).empty());              // independent side op
+}
+
+TEST(Bd, LastDefinitionWins) {
+  BehavioralDescription bd("redefine");
+  bd.add_op(OpKind::kAssign, 1, {"zero"}, "r", 8);
+  bd.add_op(OpKind::kAdd, 2, {"r", "x"}, "r", 8);
+  bd.add_op(OpKind::kAdd, 3, {"r", "y"}, "out", 8);
+  EXPECT_EQ(bd.predecessors(2), std::vector<int>{1});  // the line-2 def, not line-1
+}
+
+TEST(Bd, CriticalPathSumsChain) {
+  const BehavioralDescription bd = chain_bd();
+  const auto unit_delay = [](const BehavioralDescription::Op&) { return 1.0; };
+  EXPECT_DOUBLE_EQ(bd.critical_path(unit_delay), 3.0);  // mul -> add -> sub
+
+  const auto weighted = [](const BehavioralDescription::Op& op) {
+    return op.kind == OpKind::kMul ? 5.0 : 1.0;
+  };
+  EXPECT_DOUBLE_EQ(bd.critical_path(weighted), 7.0);
+}
+
+TEST(Bd, LoopBodyAndLoopPath) {
+  BehavioralDescription bd("loop");
+  bd.add_op(OpKind::kAssign, 1, {"zero"}, "r", 8);
+  bd.add_op(OpKind::kMul, 2, {"a", "b"}, "p", 8);
+  bd.add_op(OpKind::kAdd, 3, {"p", "r"}, "r", 8);
+  bd.add_op(OpKind::kSub, 4, {"r", "m"}, "out", 8);
+  bd.set_loop(2, 3, TripCount{1.0, 0.0});
+  EXPECT_EQ(bd.loop_body().size(), 2u);
+  const auto unit = [](const BehavioralDescription::Op&) { return 1.0; };
+  EXPECT_DOUBLE_EQ(bd.loop_critical_path(unit), 2.0);
+  EXPECT_DOUBLE_EQ(bd.critical_path(unit), 3.0);
+  EXPECT_DOUBLE_EQ(bd.iteration_count(64, 2), 64.0);
+}
+
+TEST(Bd, SingleLoopOnly) {
+  BehavioralDescription bd("two-loops");
+  bd.add_op(OpKind::kAdd, 1, {"a", "b"}, "x", 8);
+  bd.set_loop(1, 1, TripCount{1.0, 0.0});
+  EXPECT_THROW(bd.set_loop(1, 1, TripCount{1.0, 0.0}), PreconditionError);
+}
+
+TEST(Bd, NoLoopIterationCountIsOne) {
+  const BehavioralDescription bd = chain_bd();
+  EXPECT_FALSE(bd.has_loop());
+  EXPECT_DOUBLE_EQ(bd.iteration_count(768, 2), 1.0);
+  EXPECT_THROW(bd.loop_critical_path([](const auto&) { return 1.0; }), PreconditionError);
+}
+
+// --- the case-study factories -----------------------------------------------
+
+TEST(Factories, MontgomeryBdMatchesFig10) {
+  const BehavioralDescription bd = montgomery_bd(2, 64);
+  // Loop spans lines 3-4; n+1 iterations.
+  EXPECT_EQ(bd.loop_first_line(), 3);
+  EXPECT_EQ(bd.loop_last_line(), 4);
+  EXPECT_DOUBLE_EQ(bd.iteration_count(768, 2), 769.0);
+  // Line 3 holds the two loop additions CC4 references (oper(+,line:3)@BD).
+  EXPECT_EQ(bd.extract(OpKind::kAdd, 3).size(), 2u);
+  // The final conditional subtraction of lines 5-6.
+  EXPECT_EQ(bd.extract(OpKind::kSub, 6).size(), 1u);
+  EXPECT_EQ(bd.extract(OpKind::kCompare, 5).size(), 1u);
+}
+
+TEST(Factories, MontgomeryRadixChangesPartialProducts) {
+  // Radix 2: partial products are selects; radix 4: real multiplies.
+  const BehavioralDescription r2 = montgomery_bd(2, 64);
+  const BehavioralDescription r4 = montgomery_bd(4, 64);
+  EXPECT_TRUE(r2.extract(OpKind::kMul, 3).empty());
+  EXPECT_EQ(r4.extract(OpKind::kMul, 3).size(), 2u);
+  EXPECT_DOUBLE_EQ(r4.iteration_count(768, 4), 385.0);
+}
+
+TEST(Factories, BrickellBdShape) {
+  const BehavioralDescription bd = brickell_bd(2, 64);
+  EXPECT_TRUE(bd.has_loop());
+  EXPECT_DOUBLE_EQ(bd.iteration_count(64, 2), 64.0);  // n iterations, MSB-first
+  EXPECT_EQ(bd.extract(OpKind::kCompare, 3).size(), 1u);
+}
+
+TEST(Factories, PaperPencilIsStraightLine) {
+  const BehavioralDescription bd = paper_pencil_bd(64);
+  EXPECT_FALSE(bd.has_loop());
+  EXPECT_EQ(bd.ops().size(), 2u);
+  EXPECT_EQ(bd.ops()[0].width_bits, 128u);  // double-width product
+}
+
+TEST(Factories, IdctShapes) {
+  const BehavioralDescription rc = idct_row_col_bd(16);
+  const BehavioralDescription fused = idct_fused_bd(16);
+  // Row-column: more multiplications; fused: fewer muls, deeper adds.
+  EXPECT_GT(rc.ops_of_kind(OpKind::kMul).size(), fused.ops_of_kind(OpKind::kMul).size());
+  EXPECT_DOUBLE_EQ(rc.iteration_count(16, 2), 16.0);   // 8 rows + 8 cols
+  EXPECT_DOUBLE_EQ(fused.iteration_count(16, 2), 12.0);
+}
+
+TEST(Bd, ToTextContainsOps) {
+  const BehavioralDescription bd = montgomery_bd(2, 64);
+  const std::string text = bd.to_text();
+  EXPECT_NE(text.find("Montgomery_r2"), std::string::npos);
+  EXPECT_NE(text.find("div r"), std::string::npos);
+  EXPECT_NE(text.find("loop"), std::string::npos);
+}
+
+TEST(Bd, OpAccessorBounds) {
+  const BehavioralDescription bd = chain_bd();
+  EXPECT_EQ(bd.op(0).output, "p");
+  EXPECT_THROW(bd.op(-1), PreconditionError);
+  EXPECT_THROW(bd.op(99), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dslayer::behavior

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer::bigint {
+namespace {
+
+TEST(BigUint, DefaultIsZero) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigUint, FromU64) {
+  EXPECT_EQ(BigUint(0).limb_count(), 0u);
+  EXPECT_EQ(BigUint(1).to_u64(), 1u);
+  EXPECT_EQ(BigUint(0xFFFFFFFFULL).limb_count(), 1u);
+  EXPECT_EQ(BigUint(0x100000000ULL).limb_count(), 2u);
+  EXPECT_EQ(BigUint(0xDEADBEEFCAFEF00DULL).to_u64(), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(BigUint, DecStringRoundTrip) {
+  const char* cases[] = {"0", "1", "9", "10", "4294967295", "4294967296",
+                         "340282366920938463463374607431768211456",
+                         "123456789012345678901234567890123456789012345678901234567890"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigUint::from_dec(s).to_dec(), s) << s;
+  }
+}
+
+TEST(BigUint, HexStringRoundTrip) {
+  const char* cases[] = {"1", "f", "10", "ffffffff", "100000000",
+                         "deadbeefcafef00d123456789abcdef0"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigUint::from_hex(s).to_hex(), s) << s;
+  }
+  EXPECT_EQ(BigUint::from_hex("0x1f").to_u64(), 31u);
+  EXPECT_EQ(BigUint::from_hex("DEAD"), BigUint::from_hex("dead"));
+}
+
+TEST(BigUint, BadLiteralsThrow) {
+  EXPECT_THROW(BigUint::from_dec(""), ArithmeticError);
+  EXPECT_THROW(BigUint::from_dec("12a"), ArithmeticError);
+  EXPECT_THROW(BigUint::from_hex(""), ArithmeticError);
+  EXPECT_THROW(BigUint::from_hex("xyz"), ArithmeticError);
+}
+
+TEST(BigUint, ComparisonOrdering) {
+  const BigUint a = BigUint::from_dec("999999999999999999999");
+  const BigUint b = BigUint::from_dec("1000000000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, a);
+  EXPECT_LE(a, a);
+  EXPECT_LT(BigUint(0), BigUint(1));
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs) {
+  const BigUint a = BigUint::from_hex("ffffffffffffffff");
+  EXPECT_EQ((a + BigUint(1)).to_hex(), "10000000000000000");
+}
+
+TEST(BigUint, SubtractionBorrows) {
+  const BigUint a = BigUint::from_hex("10000000000000000");
+  EXPECT_EQ((a - BigUint(1)).to_hex(), "ffffffffffffffff");
+  EXPECT_EQ(a - a, BigUint(0));
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint(1) - BigUint(2), ArithmeticError);
+}
+
+TEST(BigUint, MultiplicationKnownValues) {
+  const BigUint a = BigUint::from_dec("12345678901234567890");
+  const BigUint b = BigUint::from_dec("98765432109876543210");
+  EXPECT_EQ((a * b).to_dec(), "1219326311370217952237463801111263526900");
+  EXPECT_EQ(a * BigUint(0), BigUint(0));
+  EXPECT_EQ(a * BigUint(1), a);
+}
+
+TEST(BigUint, ShiftsAreInverse) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint x = BigUint::random_bits(rng, 200 + static_cast<unsigned>(i));
+    const unsigned s = static_cast<unsigned>(rng.next_below(130));
+    EXPECT_EQ((x << s) >> s, x);
+  }
+}
+
+TEST(BigUint, ShiftLeftMultipliesByPowerOfTwo) {
+  const BigUint x = BigUint::from_dec("123456789");
+  EXPECT_EQ(x << 5, x * BigUint(32));
+  EXPECT_EQ(x << 0, x);
+}
+
+TEST(BigUint, ShiftRightDropsBits) {
+  EXPECT_EQ(BigUint(0b1011) >> 1, BigUint(0b101));
+  EXPECT_EQ(BigUint(1) >> 1, BigUint(0));
+  EXPECT_EQ(BigUint(7) >> 64, BigUint(0));
+}
+
+TEST(BigUint, BitAccess) {
+  const BigUint x = BigUint::from_hex("8000000000000001");
+  EXPECT_TRUE(x.bit(0));
+  EXPECT_TRUE(x.bit(63));
+  EXPECT_FALSE(x.bit(1));
+  EXPECT_FALSE(x.bit(64));
+  EXPECT_EQ(x.bit_length(), 64u);
+}
+
+TEST(BigUint, DivModSmallDivisor) {
+  const BigUint n = BigUint::from_dec("1000000000000000000007");
+  const auto dm = divmod(n, BigUint(13));
+  EXPECT_EQ(dm.quotient * BigUint(13) + dm.remainder, n);
+  EXPECT_LT(dm.remainder, BigUint(13));
+}
+
+TEST(BigUint, DivModKnownValue) {
+  const BigUint n = BigUint::from_dec("10000000000000000000000000000000000000001");
+  const BigUint d = BigUint::from_dec("333333333333333333333");
+  const auto dm = divmod(n, d);
+  EXPECT_EQ(dm.quotient.to_dec(), "30000000000000000000");
+  EXPECT_EQ(dm.remainder.to_dec(), "10000000000000000001");
+}
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW(divmod(BigUint(1), BigUint(0)), ArithmeticError);
+}
+
+TEST(BigUint, DividendSmallerThanDivisor) {
+  const auto dm = divmod(BigUint(5), BigUint::from_dec("1000000000000"));
+  EXPECT_TRUE(dm.quotient.is_zero());
+  EXPECT_EQ(dm.remainder, BigUint(5));
+}
+
+// Property sweep: divmod round-trips for random operand sizes (exercises the
+// Knuth-D correction paths).
+class DivModProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DivModProperty, RoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const unsigned nbits = 1 + static_cast<unsigned>(rng.next_below(1200));
+    const unsigned dbits = 1 + static_cast<unsigned>(rng.next_below(nbits));
+    const BigUint n = BigUint::random_bits(rng, nbits);
+    const BigUint d = BigUint::random_bits(rng, dbits);
+    const auto dm = divmod(n, d);
+    EXPECT_EQ(dm.quotient * d + dm.remainder, n);
+    EXPECT_LT(dm.remainder, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivModProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// Property sweep: ring axioms on random values.
+class RingProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RingProperty, Axioms) {
+  Rng rng(GetParam() * 77);
+  for (int i = 0; i < 40; ++i) {
+    const BigUint a = BigUint::random_bits(rng, 64 + static_cast<unsigned>(rng.next_below(512)));
+    const BigUint b = BigUint::random_bits(rng, 64 + static_cast<unsigned>(rng.next_below(512)));
+    const BigUint c = BigUint::random_bits(rng, 64 + static_cast<unsigned>(rng.next_below(512)));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingProperty, ::testing::Values(1u, 2u, 3u));
+
+TEST(BigUint, RandomBitsExactLength) {
+  Rng rng(42);
+  for (unsigned bits : {1u, 2u, 31u, 32u, 33u, 64u, 65u, 768u, 1024u}) {
+    EXPECT_EQ(BigUint::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(BigUint, RandomBelowRespectsBound) {
+  Rng rng(43);
+  const BigUint bound = BigUint::from_dec("1000000000000000000000000000007");
+  for (int i = 0; i < 100; ++i) EXPECT_LT(BigUint::random_below(rng, bound), bound);
+}
+
+TEST(Gcd, KnownValues) {
+  EXPECT_EQ(gcd(BigUint(12), BigUint(18)), BigUint(6));
+  EXPECT_EQ(gcd(BigUint(17), BigUint(13)), BigUint(1));
+  EXPECT_EQ(gcd(BigUint(0), BigUint(5)), BigUint(5));
+  EXPECT_EQ(gcd(BigUint(5), BigUint(0)), BigUint(5));
+}
+
+TEST(Gcd, LargeCommonFactor) {
+  const BigUint f = BigUint::from_dec("123456789012345678901");
+  EXPECT_EQ(gcd(f * BigUint(6), f * BigUint(4)), f * BigUint(2));
+}
+
+TEST(ModInverse, RoundTrip) {
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    BigUint m = BigUint::random_bits(rng, 128 + static_cast<unsigned>(rng.next_below(256)));
+    if (!m.is_odd()) m += BigUint(1);
+    BigUint a = BigUint::random_below(rng, m);
+    if (!(gcd(a, m) == BigUint(1))) continue;
+    const BigUint inv = mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigUint(1));
+    EXPECT_LT(inv, m);
+  }
+}
+
+TEST(ModInverse, NonCoprimeThrows) {
+  EXPECT_THROW(mod_inverse(BigUint(4), BigUint(8)), ArithmeticError);
+}
+
+TEST(PowU64, KnownValues) {
+  EXPECT_EQ(pow_u64(BigUint(2), 10), BigUint(1024));
+  EXPECT_EQ(pow_u64(BigUint(3), 0), BigUint(1));
+  EXPECT_EQ(pow_u64(BigUint(10), 30).to_dec(), "1000000000000000000000000000000");
+}
+
+TEST(BigUint, ToU64OverflowThrows) {
+  EXPECT_THROW(BigUint::from_dec("18446744073709551616").to_u64(), ArithmeticError);
+}
+
+}  // namespace
+}  // namespace dslayer::bigint

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dct/idct.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer::dct {
+namespace {
+
+Block zeros() { return Block{}; }
+
+TEST(Dct, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  Block spatial{};
+  for (auto& v : spatial) v = static_cast<double>(rng.next_in(-128, 127));
+  const Block coeffs = dct_8x8(spatial);
+  const Block back = idct_8x8_reference(coeffs);
+  for (std::size_t k = 0; k < 64; ++k) EXPECT_NEAR(back[k], spatial[k], 1e-9) << k;
+}
+
+TEST(Dct, DcOnlyBlockIsFlat) {
+  Block coeffs = zeros();
+  coeffs[0] = 64.0;  // pure DC
+  const Block out = idct_8x8_reference(coeffs);
+  for (std::size_t k = 0; k < 64; ++k) EXPECT_NEAR(out[k], 64.0 / 8.0, 1e-12);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  // Orthonormal transform: sum of squares is invariant.
+  Rng rng(2);
+  Block spatial{};
+  double energy_in = 0.0;
+  for (auto& v : spatial) {
+    v = static_cast<double>(rng.next_in(-255, 255));
+    energy_in += v * v;
+  }
+  double energy_out = 0.0;
+  for (const double c : dct_8x8(spatial)) energy_out += c * c;
+  EXPECT_NEAR(energy_out, energy_in, 1e-6 * energy_in);
+}
+
+TEST(Dct, Linearity) {
+  Rng rng(3);
+  Block a{}, b{}, sum{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    a[k] = static_cast<double>(rng.next_in(-100, 100));
+    b[k] = static_cast<double>(rng.next_in(-100, 100));
+    sum[k] = a[k] + b[k];
+  }
+  const Block fa = dct_8x8(a), fb = dct_8x8(b), fsum = dct_8x8(sum);
+  for (std::size_t k = 0; k < 64; ++k) EXPECT_NEAR(fsum[k], fa[k] + fb[k], 1e-9);
+}
+
+TEST(FixedPoint, ZeroBlockMapsToZero) {
+  const IntBlock zero{};
+  for (const auto v : idct_8x8_row_col(zero)) EXPECT_EQ(v, 0);
+  for (const auto v : idct_8x8_fused(zero)) EXPECT_EQ(v, 0);
+}
+
+TEST(FixedPoint, DcOnlyBlock) {
+  IntBlock coeffs{};
+  coeffs[0] = 2048;
+  const IntBlock rc = idct_8x8_row_col(coeffs);
+  const IntBlock fused = idct_8x8_fused(coeffs);
+  for (std::size_t k = 0; k < 64; ++k) {
+    EXPECT_NEAR(rc[k], 256, 1) << k;  // 2048 / 8
+    EXPECT_NEAR(fused[k], 256, 1) << k;
+  }
+}
+
+class IdctAccuracy : public ::testing::TestWithParam<bool> {};
+
+TEST_P(IdctAccuracy, PeakErrorWithinConformanceBound) {
+  // IEEE-1180-flavoured probe: peak absolute error against the reference
+  // over random [-300, 300] blocks stays within 2 LSB (the fixed-point
+  // datapaths keep >= 11 fractional bits internally).
+  const double peak = idct_peak_error(GetParam(), 200, 77);
+  EXPECT_LE(peak, 2.0) << (GetParam() ? "fused" : "row-col");
+  EXPECT_GT(peak, 0.0);  // it IS a fixed-point approximation
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, IdctAccuracy, ::testing::Bool(),
+                         [](const auto& info) { return info.param ? "Fused" : "RowCol"; });
+
+TEST(FixedPoint, AlgorithmsAgreeWithEachOther) {
+  // The two hardware algorithm families compute the same transform: their
+  // outputs differ by at most their combined rounding error.
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntBlock coeffs{};
+    for (auto& v : coeffs) v = static_cast<std::int32_t>(rng.next_in(-300, 300));
+    const IntBlock a = idct_8x8_row_col(coeffs);
+    const IntBlock b = idct_8x8_fused(coeffs);
+    for (std::size_t k = 0; k < 64; ++k) {
+      EXPECT_LE(std::abs(a[k] - b[k]), 3) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(FixedPoint, LargeCoefficientsDoNotOverflow) {
+  IntBlock coeffs{};
+  for (auto& v : coeffs) v = 2047;  // worst-case dequantized magnitude
+  const IntBlock rc = idct_8x8_row_col(coeffs);
+  const IntBlock fused = idct_8x8_fused(coeffs);
+  Block exact{};
+  for (std::size_t k = 0; k < 64; ++k) exact[k] = 2047.0;
+  const Block reference = idct_8x8_reference(exact);
+  for (std::size_t k = 0; k < 64; ++k) {
+    EXPECT_NEAR(static_cast<double>(rc[k]), reference[k], 4.0) << k;
+    EXPECT_NEAR(static_cast<double>(fused[k]), reference[k], 4.0) << k;
+  }
+}
+
+}  // namespace
+}  // namespace dslayer::dct

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "analysis/evaluation_space.hpp"
+#include "domains/crypto.hpp"  // metric name constants
+#include "domains/media.hpp"
+#include "dsl/exploration.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer::domains {
+namespace {
+
+class MediaLayerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { layer_ = build_media_layer().release(); }
+  static void TearDownTestSuite() {
+    delete layer_;
+    layer_ = nullptr;
+  }
+  static dsl::DesignSpaceLayer* layer_;
+};
+
+dsl::DesignSpaceLayer* MediaLayerTest::layer_ = nullptr;
+
+TEST_F(MediaLayerTest, WellFormed) {
+  EXPECT_TRUE(layer_->validate().empty());
+  EXPECT_TRUE(layer_->index_warnings().empty());
+}
+
+TEST_F(MediaLayerTest, FiveHardCoresPlusSoftware) {
+  const dsl::Cdo* idct = layer_->space().find(kPathIdct);
+  ASSERT_NE(idct, nullptr);
+  EXPECT_EQ(layer_->cores_under(*idct).size(), 6u);
+  const dsl::Cdo* hw = layer_->space().find(kPathIdctHw);
+  EXPECT_EQ(layer_->cores_under(*hw).size(), 5u);
+}
+
+TEST_F(MediaLayerTest, CoresSplitByTechnologyFamily) {
+  const dsl::Cdo* um035 = layer_->space().find("IDCT.Hardware.um035");
+  const dsl::Cdo* um070 = layer_->space().find("IDCT.Hardware.um070");
+  ASSERT_NE(um035, nullptr);
+  ASSERT_NE(um070, nullptr);
+  EXPECT_EQ(layer_->cores_at(*um035).size(), 3u);  // IDCT 1, 2, 5
+  EXPECT_EQ(layer_->cores_at(*um070).size(), 2u);  // IDCT 3, 4
+}
+
+TEST_F(MediaLayerTest, EvalPointsExposeFiveHardCores) {
+  const auto points = idct_eval_points(*layer_);
+  ASSERT_EQ(points.size(), 5u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.metric("area"), 0.0) << p.id;
+    EXPECT_GT(p.metric("delay_ns"), 0.0) << p.id;
+    EXPECT_TRUE(p.attributes.contains("FabricationTechnology"));
+  }
+}
+
+TEST_F(MediaLayerTest, ClusteringRecoversFig3Groups) {
+  // The paper's Fig. 3: {IDCT 1, 2, 5} vs {IDCT 3, 4}.
+  const auto points = idct_eval_points(*layer_);
+  const auto clustering = analysis::cluster_k(points, {"area", "delay_ns"}, 2);
+  std::map<std::string, int> by_id;
+  for (std::size_t i = 0; i < points.size(); ++i) by_id[points[i].id] = clustering.assignment[i];
+  EXPECT_EQ(by_id["IDCT 1"], by_id["IDCT 2"]);
+  EXPECT_EQ(by_id["IDCT 1"], by_id["IDCT 5"]);
+  EXPECT_EQ(by_id["IDCT 3"], by_id["IDCT 4"]);
+  EXPECT_NE(by_id["IDCT 1"], by_id["IDCT 3"]);
+}
+
+TEST_F(MediaLayerTest, TechnologyExplainsClustersBest) {
+  const auto points = idct_eval_points(*layer_);
+  const auto suggestions = analysis::suggest_hierarchy(points, {"area", "delay_ns"}, 3);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].issue, "FabricationTechnology");
+  EXPECT_GT(suggestions[0].info_gain, 0.3);
+  EXPECT_EQ(suggestions[0].groups.at("0.35um").size(), 3u);
+  EXPECT_EQ(suggestions[0].groups.at("0.70um").size(), 2u);
+}
+
+TEST_F(MediaLayerTest, SameAlgorithmDifferentClusters) {
+  // The paper's key observation: designs 1 and 3 (here: same Row-Column
+  // algorithm, different technologies) land in different clusters, so the
+  // algorithm-level view alone is uninformative.
+  const auto points = idct_eval_points(*layer_);
+  const auto clustering = analysis::cluster_k(points, {"area", "delay_ns"}, 2);
+  int c1 = -1, c3 = -1;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].id == "IDCT 1") c1 = clustering.assignment[i];
+    if (points[i].id == "IDCT 3") c3 = clustering.assignment[i];
+  }
+  EXPECT_NE(c1, c3);
+  // And IDCT 1 / IDCT 3 really do share the algorithm attribute.
+  const auto attr = [&points](const char* id) {
+    for (const auto& p : points) {
+      if (p.id == id) return p.attributes.at(kIdctAlgorithm);
+    }
+    return std::string{};
+  };
+  EXPECT_EQ(attr("IDCT 1"), attr("IDCT 3"));
+}
+
+TEST_F(MediaLayerTest, ExplorationDescendsTechnologyFamilies) {
+  dsl::ExplorationSession s(*layer_, kPathIdct);
+  s.set_requirement(kIdctPrecision, 12.0);
+  s.decide("ImplementationStyle", "Hardware");
+  EXPECT_EQ(s.candidates().size(), 5u);
+  s.decide("FabricationTechnology", "0.35um");
+  EXPECT_EQ(s.candidates().size(), 3u);
+  s.decide(kIdctAlgorithm, "Row-Column");
+  EXPECT_EQ(s.candidates().size(), 2u);  // IDCT 1 and IDCT 5
+  s.decide("LayoutStyle", "std-cell");
+  ASSERT_EQ(s.candidates().size(), 1u);
+  EXPECT_EQ(s.candidates()[0]->name(), "IDCT 1");
+}
+
+TEST_F(MediaLayerTest, FamiliesHaveDistinctMetricRanges) {
+  // Committing to a family gives the designer a much tighter range — the
+  // point of pruning by evaluation-space proximity.
+  dsl::ExplorationSession all(*layer_, kPathIdctHw);
+  dsl::ExplorationSession fast(*layer_, "IDCT.Hardware.um035");
+  const auto r_all = all.metric_range(kMetricArea);
+  const auto r_fast = fast.metric_range(kMetricArea);
+  ASSERT_TRUE(r_all.has_value());
+  ASSERT_TRUE(r_fast.has_value());
+  EXPECT_LT(r_fast->max - r_fast->min, (r_all->max - r_all->min) * 0.5);
+}
+
+TEST_F(MediaLayerTest, HardCoresExecuteTheirAlgorithm) {
+  // The media cores are real implementations: each hard core's algorithm
+  // family computes the transform within conformance error of the
+  // double-precision reference.
+  const dsl::Cdo* hw = layer_->space().find(kPathIdctHw);
+  Rng rng(5);
+  dct::IntBlock coeffs{};
+  dct::Block exact{};
+  for (std::size_t k = 0; k < 64; ++k) {
+    coeffs[k] = static_cast<std::int32_t>(rng.next_in(-300, 300));
+    exact[k] = coeffs[k];
+  }
+  const dct::Block reference = dct::idct_8x8_reference(exact);
+  for (const dsl::Core* core : layer_->cores_under(*hw)) {
+    const dct::IntBlock out = execute_idct_core(*core, coeffs);
+    for (std::size_t k = 0; k < 64; ++k) {
+      EXPECT_NEAR(static_cast<double>(out[k]), reference[k], 2.0) << core->name() << " k=" << k;
+    }
+  }
+}
+
+TEST_F(MediaLayerTest, SoftwareCoreIsNotExecutableAsHardware) {
+  const dsl::Cdo* idct = layer_->space().find(kPathIdct);
+  for (const dsl::Core* core : layer_->cores_under(*idct)) {
+    if (core->binding("ImplementationStyle")->as_text() != "Software") continue;
+    EXPECT_THROW(execute_idct_core(*core, dct::IntBlock{}), PreconditionError);
+  }
+}
+
+TEST_F(MediaLayerTest, BehavioralDescriptionsAttachedToFamilies) {
+  const dsl::Cdo* um035 = layer_->space().find("IDCT.Hardware.um035");
+  EXPECT_EQ(um035->local_behaviors().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dslayer::domains

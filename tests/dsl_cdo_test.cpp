@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "behavior/behavior.hpp"
+#include "dsl/cdo.hpp"
+#include "support/error.hpp"
+
+namespace dslayer::dsl {
+namespace {
+
+/// A small three-level space: Op -> {A, B}; A -> {X, Y}.
+DesignSpace small_space() {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op", "root doc");
+  root.add_property(Property::requirement("EOL", ValueDomain::positive_integers(), "len"));
+  root.add_property(Property::generalized_issue("Class", {"A", "B"}, "split"));
+  Cdo& a = root.specialize("A");
+  a.add_property(Property::generalized_issue("Sub", {"X", "Y"}, "split again"));
+  a.specialize("X");
+  a.specialize("Y");
+  root.specialize("B");
+  return space;
+}
+
+TEST(Cdo, NameValidation) {
+  DesignSpace space;
+  EXPECT_THROW(space.add_root(""), DefinitionError);
+  EXPECT_THROW(space.add_root("has.dot"), DefinitionError);
+  EXPECT_THROW(space.add_root("has@at"), DefinitionError);
+  EXPECT_THROW(space.add_root("has*star"), DefinitionError);
+}
+
+TEST(Cdo, DuplicateRootThrows) {
+  DesignSpace space;
+  space.add_root("Op");
+  EXPECT_THROW(space.add_root("Op"), DefinitionError);
+}
+
+TEST(Cdo, PathsAndDepths) {
+  const DesignSpace space = small_space();
+  const Cdo* x = space.find("Op.A.X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->path(), "Op.A.X");
+  EXPECT_EQ(x->depth(), 2u);
+  EXPECT_EQ(x->parent()->name(), "A");
+  EXPECT_EQ(space.find("Op")->depth(), 0u);
+}
+
+TEST(Cdo, FindMissingPathsReturnsNull) {
+  const DesignSpace space = small_space();
+  EXPECT_EQ(space.find("Op.C"), nullptr);
+  EXPECT_EQ(space.find("Nope"), nullptr);
+  EXPECT_EQ(space.find(""), nullptr);
+}
+
+TEST(Cdo, AtMostOneGeneralizedIssue) {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op");
+  root.add_property(Property::generalized_issue("G1", {"a", "b"}, ""));
+  EXPECT_THROW(root.add_property(Property::generalized_issue("G2", {"c", "d"}, "")),
+               DefinitionError);
+}
+
+TEST(Cdo, GeneralizedIssueNeedsOptionDomain) {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op");
+  Property p = Property::design_issue("G", ValueDomain::positive_integers(), "");
+  p.generalized = true;
+  EXPECT_THROW(root.add_property(std::move(p)), DefinitionError);
+}
+
+TEST(Cdo, PropertyNameCollisionIncludesInherited) {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op");
+  root.add_property(Property::requirement("EOL", ValueDomain::positive_integers(), ""));
+  root.add_property(Property::generalized_issue("Class", {"A"}, ""));
+  Cdo& a = root.specialize("A");
+  EXPECT_THROW(a.add_property(Property::requirement("EOL", ValueDomain::any(), "")),
+               DefinitionError);
+}
+
+TEST(Cdo, InheritanceWalksAncestors) {
+  const DesignSpace space = small_space();
+  const Cdo* x = space.find("Op.A.X");
+  const Property* eol = x->find_property("EOL");
+  ASSERT_NE(eol, nullptr);
+  EXPECT_EQ(eol->name, "EOL");
+  EXPECT_EQ(x->property_owner("EOL")->name(), "Op");
+  EXPECT_EQ(x->find_property("Missing"), nullptr);
+}
+
+TEST(Cdo, VisibleCollectsRootFirst) {
+  const DesignSpace space = small_space();
+  const auto props = space.find("Op.A.X")->visible_properties();
+  ASSERT_EQ(props.size(), 3u);  // EOL, Class, Sub
+  EXPECT_EQ(props[0]->name, "EOL");
+  EXPECT_EQ(props[2]->name, "Sub");
+}
+
+TEST(Cdo, SpecializeValidations) {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op");
+  EXPECT_THROW(root.specialize("A"), DefinitionError);  // no generalized issue
+  root.add_property(Property::generalized_issue("Class", {"A", "B"}, ""));
+  root.specialize("A");
+  EXPECT_THROW(root.specialize("A"), DefinitionError);  // already specialized
+  EXPECT_THROW(root.specialize("C"), DefinitionError);  // unknown option
+}
+
+TEST(Cdo, SpecializeWithCustomName) {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op");
+  root.add_property(Property::generalized_issue("Tech", {"0.35um"}, ""));
+  Cdo& child = root.specialize("0.35um", "um035");
+  EXPECT_EQ(child.name(), "um035");
+  EXPECT_EQ(child.specializing_option(), "0.35um");
+  EXPECT_EQ(root.child_for_option("0.35um"), &child);
+  EXPECT_EQ(root.child_for_option("0.70um"), nullptr);
+}
+
+TEST(Cdo, LeavesHaveNoGeneralizedIssue) {
+  const DesignSpace space = small_space();
+  EXPECT_FALSE(space.find("Op")->is_leaf());
+  EXPECT_FALSE(space.find("Op.A")->is_leaf());
+  EXPECT_TRUE(space.find("Op.A.X")->is_leaf());
+  EXPECT_TRUE(space.find("Op.B")->is_leaf());
+}
+
+TEST(Cdo, SubtreePreOrder) {
+  const DesignSpace space = small_space();
+  const auto nodes = space.find("Op")->subtree();
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_EQ(nodes[0]->name(), "Op");
+  EXPECT_EQ(nodes[1]->name(), "A");
+  EXPECT_EQ(nodes.back()->name(), "B");
+  EXPECT_EQ(space.all().size(), 5u);
+}
+
+TEST(Cdo, BehaviorsInheritedMostSpecificFirst) {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op");
+  root.add_property(Property::generalized_issue("Class", {"A"}, ""));
+  root.add_behavior(behavior::paper_pencil_bd(32));
+  Cdo& a = root.specialize("A");
+  a.add_behavior(behavior::montgomery_bd(2, 32));
+  const auto bds = a.visible_behaviors();
+  ASSERT_EQ(bds.size(), 2u);
+  EXPECT_EQ(bds[0]->name(), "Montgomery_r2");
+  EXPECT_EQ(bds[1]->name(), "PaperAndPencil");
+}
+
+TEST(Cdo, DuplicateBehaviorNameThrows) {
+  DesignSpace space;
+  Cdo& root = space.add_root("Op");
+  root.add_behavior(behavior::montgomery_bd(2, 32));
+  EXPECT_THROW(root.add_behavior(behavior::montgomery_bd(2, 64)), DefinitionError);
+}
+
+TEST(Cdo, DocumentRendersProperties) {
+  const DesignSpace space = small_space();
+  const std::string doc = space.find("Op")->document(true);
+  EXPECT_NE(doc.find("CDO Op"), std::string::npos);
+  EXPECT_NE(doc.find("[requirement] EOL"), std::string::npos);
+  EXPECT_NE(doc.find("generalized"), std::string::npos);
+  EXPECT_NE(doc.find("CDO Op.A.X"), std::string::npos);  // recursive
+}
+
+}  // namespace
+}  // namespace dslayer::dsl

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "dsl/path.hpp"
+#include "support/error.hpp"
+
+namespace dslayer::dsl {
+namespace {
+
+TEST(Path, ParseWithPattern) {
+  const PropertyPath p = PropertyPath::parse("Radix@*.Hardware.Montgomery");
+  EXPECT_EQ(p.property(), "Radix");
+  EXPECT_EQ(p.pattern(), "*.Hardware.Montgomery");
+  EXPECT_EQ(p.to_string(), "Radix@*.Hardware.Montgomery");
+}
+
+TEST(Path, ParseBareProperty) {
+  const PropertyPath p = PropertyPath::parse("EOL");
+  EXPECT_EQ(p.property(), "EOL");
+  EXPECT_TRUE(p.pattern().empty());
+  EXPECT_EQ(p.to_string(), "EOL");
+}
+
+TEST(Path, ParseTrimsWhitespace) {
+  const PropertyPath p = PropertyPath::parse(" Radix @ OMM ");
+  EXPECT_EQ(p.property(), "Radix");
+  EXPECT_EQ(p.pattern(), "OMM");
+}
+
+TEST(Path, MalformedThrows) {
+  EXPECT_THROW(PropertyPath::parse("@X"), DefinitionError);
+  EXPECT_THROW(PropertyPath::parse("a@b@c"), DefinitionError);
+  EXPECT_THROW(PropertyPath("", "x"), DefinitionError);
+}
+
+TEST(Path, EmptyPatternMatchesAnything) {
+  const PropertyPath p = PropertyPath::parse("EOL");
+  EXPECT_TRUE(p.matches("Operator"));
+  EXPECT_TRUE(p.matches("A.B.C"));
+}
+
+TEST(Path, LeadingWildcardMatchesSuffix) {
+  const PropertyPath p = PropertyPath::parse("Radix@*.Hardware.Montgomery");
+  EXPECT_TRUE(p.matches("Operator.Modular.Multiplier.Hardware.Montgomery"));
+  EXPECT_TRUE(p.matches("Hardware.Montgomery"));
+  EXPECT_FALSE(p.matches("Operator.Modular.Multiplier.Hardware"));
+  EXPECT_FALSE(p.matches("Operator.Modular.Multiplier.Hardware.Brickell"));
+}
+
+TEST(Path, ExactPatternMatchesWholePath) {
+  const PropertyPath p = PropertyPath::parse("X@Operator.Modular");
+  EXPECT_TRUE(p.matches("Operator.Modular"));
+  EXPECT_FALSE(p.matches("Operator.Modular.Multiplier"));
+}
+
+TEST(Path, SingleNameMatchesFinalSegment) {
+  // Paper's "ModuloIsOdd@OMM" style.
+  const PropertyPath p = PropertyPath::parse("M@Multiplier");
+  EXPECT_TRUE(p.matches("Multiplier"));
+  EXPECT_TRUE(p.matches("Operator.Modular.Multiplier"));
+  EXPECT_FALSE(p.matches("Operator.Modular.Multiplier.Hardware"));
+}
+
+TEST(Path, InteriorWildcard) {
+  const PropertyPath p = PropertyPath::parse("X@Operator.*.Hardware");
+  EXPECT_TRUE(p.matches("Operator.Modular.Multiplier.Hardware"));
+  EXPECT_TRUE(p.matches("Operator.Hardware"));  // '*' can be empty
+  EXPECT_FALSE(p.matches("Other.Modular.Hardware"));
+}
+
+TEST(Path, TrailingWildcard) {
+  const PropertyPath p = PropertyPath::parse("X@Operator.*");
+  EXPECT_TRUE(p.matches("Operator"));
+  EXPECT_TRUE(p.matches("Operator.Modular.Multiplier"));
+  EXPECT_FALSE(p.matches("IDCT.Hardware"));
+}
+
+TEST(MatchSegments, MultipleWildcards) {
+  EXPECT_TRUE(match_segments({"*", "b", "*", "d"}, {"a", "b", "c", "d"}));
+  EXPECT_TRUE(match_segments({"*", "b", "*", "d"}, {"b", "d"}));
+  EXPECT_FALSE(match_segments({"*", "b", "*", "d"}, {"a", "c", "d"}));
+  EXPECT_TRUE(match_segments({"*"}, {}));
+  EXPECT_TRUE(match_segments({}, {}));
+  EXPECT_FALSE(match_segments({}, {"a"}));
+}
+
+TEST(Path, Equality) {
+  EXPECT_EQ(PropertyPath::parse("A@B"), PropertyPath("A", "B"));
+  EXPECT_NE(PropertyPath::parse("A@B"), PropertyPath::parse("A@C"));
+}
+
+}  // namespace
+}  // namespace dslayer::dsl

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "domains/crypto.hpp"
+#include "dsl/shell.hpp"
+
+namespace dslayer::dsl {
+namespace {
+
+struct ShellRun {
+  int failures;
+  std::string output;
+};
+
+ShellRun run(const DesignSpaceLayer& layer, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  const int failures = run_shell(layer, in, out);
+  return {failures, out.str()};
+}
+
+class ShellTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { layer_ = domains::build_crypto_layer().release(); }
+  static void TearDownTestSuite() {
+    delete layer_;
+    layer_ = nullptr;
+  }
+  static DesignSpaceLayer* layer_;
+};
+
+DesignSpaceLayer* ShellTest::layer_ = nullptr;
+
+TEST_F(ShellTest, HelpListsCommands) {
+  const ShellRun r = run(*layer_, "help\n");
+  EXPECT_EQ(r.failures, 0);
+  for (const char* cmd : {"open", "req", "decide", "ranges", "decompose", "trace"}) {
+    EXPECT_NE(r.output.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(ShellTest, TreeShowsHierarchyAndCensus) {
+  const ShellRun r = run(*layer_, "tree\n");
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.output.find("Operator"), std::string::npos);
+  EXPECT_NE(r.output.find("Montgomery"), std::string::npos);
+  EXPECT_NE(r.output.find("cores)"), std::string::npos);
+}
+
+TEST_F(ShellTest, FullWalkthroughScript) {
+  const ShellRun r = run(*layer_,
+                         "open Operator.Modular.Multiplier\n"
+                         "req EffectiveOperandLength 768\n"
+                         "req ModuloIsOdd Guaranteed\n"
+                         "req LatencySingleOperation 8\n"
+                         "decide ImplementationStyle Hardware\n"
+                         "decide Algorithm Montgomery\n"
+                         "decide LoopAdder CSA\n"
+                         "derived LatencyCycles\n"
+                         "range area\n"
+                         "report\n"
+                         "quit\n");
+  EXPECT_EQ(r.failures, 0) << r.output;
+  EXPECT_NE(r.output.find("scope Operator.Modular.Multiplier.Hardware.Montgomery"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("769"), std::string::npos);  // CC2 at radix default 2
+  EXPECT_NE(r.output.find("Candidate cores"), std::string::npos);
+}
+
+TEST_F(ShellTest, MultiWordOptionTextSurvives) {
+  const ShellRun r = run(*layer_,
+                         "open Operator.Modular.Multiplier\n"
+                         "req OperandCoding 2's complement\n"
+                         "report\n");
+  EXPECT_EQ(r.failures, 0) << r.output;
+  EXPECT_NE(r.output.find("OperandCoding = 2's complement"), std::string::npos);
+}
+
+TEST_F(ShellTest, ErrorsAreReportedNotFatal) {
+  const ShellRun r = run(*layer_,
+                         "candidates\n"                 // no session yet
+                         "open No.Such.Path\n"          // unknown path
+                         "open Operator.Modular.Multiplier\n"
+                         "decide NoSuchIssue X\n"       // unknown issue
+                         "bogus-command\n"
+                         "candidates\n");               // still works
+  EXPECT_EQ(r.failures, 4);
+  EXPECT_NE(r.output.find("no session"), std::string::npos);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+  // The final candidates listing ran after all the errors.
+  EXPECT_NE(r.output.find("mm1_w8"), std::string::npos);
+}
+
+TEST_F(ShellTest, VetoedDecisionReportsConstraint) {
+  const ShellRun r = run(*layer_,
+                         "open Operator.Modular.Multiplier.Hardware\n"
+                         "req EffectiveOperandLength 768\n"
+                         "req ModuloIsOdd NotGuaranteed\n"
+                         "decide Algorithm Montgomery\n"
+                         "options Algorithm\n");
+  EXPECT_EQ(r.failures, 1);
+  EXPECT_NE(r.output.find("CC1"), std::string::npos);
+  EXPECT_NE(r.output.find("Brickell"), std::string::npos);
+}
+
+TEST_F(ShellTest, RangesCommandShowsWhatIf) {
+  const ShellRun r = run(*layer_,
+                         "open Operator.Modular.Multiplier.Hardware\n"
+                         "req EffectiveOperandLength 768\n"
+                         "ranges Algorithm clock_ns\n");
+  EXPECT_EQ(r.failures, 0) << r.output;
+  EXPECT_NE(r.output.find("Montgomery: ["), std::string::npos);
+  EXPECT_NE(r.output.find("Brickell: ["), std::string::npos);
+}
+
+TEST_F(ShellTest, DocAndTraceAndComments) {
+  const ShellRun r = run(*layer_,
+                         "# a comment line\n"
+                         "doc Operator.Modular.Multiplier\n"
+                         "open Operator.Modular.Multiplier\n"
+                         "req EffectiveOperandLength 1024\n"
+                         "trace\n");
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.output.find("ModuloIsOdd"), std::string::npos);            // Fig. 8 doc
+  EXPECT_NE(r.output.find("requirement set: EffectiveOperandLength"), std::string::npos);
+}
+
+TEST_F(ShellTest, QuitStopsProcessing) {
+  const ShellRun r = run(*layer_, "quit\nbogus\n");
+  EXPECT_EQ(r.failures, 0);  // bogus never ran
+}
+
+}  // namespace
+}  // namespace dslayer::dsl

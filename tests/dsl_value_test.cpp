@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "dsl/property.hpp"
+#include "dsl/value.hpp"
+#include "support/error.hpp"
+
+namespace dslayer::dsl {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value{}.empty());
+  EXPECT_EQ(Value::number(3.5).as_number(), 3.5);
+  EXPECT_EQ(Value::text("Montgomery").as_text(), "Montgomery");
+  EXPECT_TRUE(Value::flag(true).as_flag());
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW(Value::number(1).as_text(), PreconditionError);
+  EXPECT_THROW(Value::text("x").as_number(), PreconditionError);
+  EXPECT_THROW(Value{}.as_flag(), PreconditionError);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::number(768).to_string(), "768");
+  EXPECT_EQ(Value::number(2.5).to_string(), "2.5");
+  EXPECT_EQ(Value::text("CSA").to_string(), "CSA");
+  EXPECT_EQ(Value::flag(false).to_string(), "false");
+  EXPECT_EQ(Value{}.to_string(), "<empty>");
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value::number(2), Value::number(2));
+  EXPECT_NE(Value::number(2), Value::number(3));
+  EXPECT_NE(Value::number(2), Value::text("2"));
+  EXPECT_EQ(Value{}, Value{});
+}
+
+TEST(Domain, Options) {
+  const ValueDomain d = ValueDomain::options({"Hardware", "Software"});
+  EXPECT_TRUE(d.contains(Value::text("Hardware")));
+  EXPECT_FALSE(d.contains(Value::text("Firmware")));
+  EXPECT_FALSE(d.contains(Value::number(1)));
+  EXPECT_TRUE(d.has_option("Software"));
+  EXPECT_EQ(d.describe(), "{Hardware, Software}");
+  EXPECT_THROW(ValueDomain::options({}), PreconditionError);
+}
+
+TEST(Domain, RealRange) {
+  const ValueDomain d = ValueDomain::real_range(0.0, 8.0);
+  EXPECT_TRUE(d.contains(Value::number(0.0)));
+  EXPECT_TRUE(d.contains(Value::number(8.0)));
+  EXPECT_FALSE(d.contains(Value::number(8.01)));
+  EXPECT_FALSE(d.contains(Value::text("8")));
+  EXPECT_THROW(ValueDomain::real_range(2.0, 1.0), PreconditionError);
+}
+
+TEST(Domain, PowersOfTwo) {
+  // Req1's SetOfValues = { 2^i }.
+  const ValueDomain d = ValueDomain::powers_of_two();
+  for (double v : {1.0, 2.0, 4.0, 1024.0, 65536.0}) {
+    EXPECT_TRUE(d.contains(Value::number(v))) << v;
+  }
+  for (double v : {0.0, 3.0, 768.0, 2.5, -4.0}) {
+    EXPECT_FALSE(d.contains(Value::number(v))) << v;
+  }
+}
+
+TEST(Domain, PositiveIntegers) {
+  const ValueDomain d = ValueDomain::positive_integers();
+  EXPECT_TRUE(d.contains(Value::number(768)));
+  EXPECT_FALSE(d.contains(Value::number(0)));
+  EXPECT_FALSE(d.contains(Value::number(1.5)));
+}
+
+TEST(Domain, CustomIntegerSet) {
+  // Number of Slices: { i : EOL mod i = 0 } with EOL = 768.
+  const ValueDomain d = ValueDomain::integer_set(
+      [](std::int64_t i) { return i >= 1 && 768 % i == 0; }, "{ i | 768 mod i = 0 }");
+  EXPECT_TRUE(d.contains(Value::number(12)));
+  EXPECT_FALSE(d.contains(Value::number(5)));
+  EXPECT_EQ(d.describe(), "{ i | 768 mod i = 0 }");
+}
+
+TEST(Domain, FlagsAndAny) {
+  EXPECT_TRUE(ValueDomain::flags().contains(Value::flag(true)));
+  EXPECT_FALSE(ValueDomain::flags().contains(Value::number(1)));
+  EXPECT_TRUE(ValueDomain::any().contains(Value::text("anything")));
+  EXPECT_FALSE(ValueDomain::any().contains(Value{}));
+}
+
+TEST(Domain, OptionListOnlyForOptions) {
+  EXPECT_THROW(ValueDomain::any().option_list(), PreconditionError);
+  EXPECT_THROW(ValueDomain::any().has_option("x"), PreconditionError);
+}
+
+TEST(Property, Builders) {
+  const Property req = Property::requirement("EOL", ValueDomain::positive_integers(),
+                                             "operand length", Unit::kBits);
+  EXPECT_EQ(req.kind, PropertyKind::kRequirement);
+  EXPECT_EQ(req.unit, Unit::kBits);
+  EXPECT_FALSE(req.generalized);
+
+  const Property gi = Property::generalized_issue("Style", {"HW", "SW"}, "doc");
+  EXPECT_TRUE(gi.generalized);
+  EXPECT_EQ(gi.kind, PropertyKind::kDesignIssue);
+
+  const Property fom = Property::figure_of_merit("area", Unit::kGates, "doc");
+  EXPECT_EQ(fom.kind, PropertyKind::kFigureOfMerit);
+}
+
+TEST(Property, WithDefaultValidatesDomain) {
+  EXPECT_NO_THROW(Property::design_issue("Radix", ValueDomain::powers_of_two(), "doc")
+                      .with_default(Value::number(2)));
+  EXPECT_THROW(Property::design_issue("Radix", ValueDomain::powers_of_two(), "doc")
+                   .with_default(Value::number(3)),
+               PreconditionError);
+}
+
+TEST(Property, ComplianceOnlyForRequirements) {
+  EXPECT_THROW(Property::design_issue("X", ValueDomain::any(), "doc")
+                   .with_compliance(Compliance::kCoreAtMost, "m"),
+               PreconditionError);
+  const Property p = Property::requirement("L", ValueDomain::real_range(0, 10), "doc")
+                         .with_compliance(Compliance::kCoreAtMost, "latency");
+  EXPECT_EQ(p.compliance, Compliance::kCoreAtMost);
+  EXPECT_EQ(p.compliance_key, "latency");
+}
+
+TEST(Property, WithoutCoreFiltering) {
+  const Property p =
+      Property::design_issue("NumberOfSlices", ValueDomain::positive_integers(), "doc")
+          .without_core_filtering();
+  EXPECT_FALSE(p.filters_cores);
+}
+
+}  // namespace
+}  // namespace dslayer::dsl

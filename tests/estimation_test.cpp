@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "estimation/estimators.hpp"
+#include "support/error.hpp"
+
+namespace dslayer::estimation {
+namespace {
+
+EstimateInput input_for(const behavior::BehavioralDescription& bd, unsigned radix = 2) {
+  EstimateInput in;
+  in.bd = &bd;
+  in.eol_bits = 768;
+  in.radix = radix;
+  in.datapath_bits = 64;
+  in.technology = tech::technology(tech::Process::k035um, tech::LayoutStyle::kStandardCell);
+  return in;
+}
+
+TEST(DelayEstimator, NullBdThrows) {
+  BehaviorDelayEstimator tool;
+  EXPECT_THROW(tool.estimate(EstimateInput{}), PreconditionError);
+}
+
+TEST(DelayEstimator, RanksRadix2BelowRadix4) {
+  // Radix-2 Montgomery's loop has gated partial products; radix 4 has real
+  // digit multiplies in the path.
+  const auto bd2 = behavior::montgomery_bd(2, 64);
+  const auto bd4 = behavior::montgomery_bd(4, 64);
+  BehaviorDelayEstimator tool;
+  EXPECT_LT(tool.estimate(input_for(bd2, 2)), tool.estimate(input_for(bd4, 4)));
+}
+
+TEST(DelayEstimator, TechnologyScales) {
+  const auto bd = behavior::montgomery_bd(2, 64);
+  BehaviorDelayEstimator tool;
+  EstimateInput in = input_for(bd);
+  const double fast = tool.estimate(in);
+  in.technology = tech::technology(tech::Process::k070um, tech::LayoutStyle::kStandardCell);
+  EXPECT_NEAR(tool.estimate(in) / fast, 2.0, 0.01);
+}
+
+TEST(DelayEstimator, UsesLoopPathWhenLoopExists) {
+  // The straight-line tail (final subtraction) must not dominate the rank.
+  const auto bd = behavior::montgomery_bd(2, 64);
+  BehaviorDelayEstimator tool;
+  const auto delay_fn = [](const behavior::BehavioralDescription::Op& op) {
+    return BehaviorDelayEstimator::op_delay_ns(
+        op, tech::technology(tech::Process::k035um, tech::LayoutStyle::kStandardCell));
+  };
+  EXPECT_DOUBLE_EQ(tool.estimate(input_for(bd)), bd.loop_critical_path(delay_fn));
+}
+
+TEST(CyclesEstimator, MatchesTripCount) {
+  const auto bd = behavior::montgomery_bd(2, 64);
+  LatencyCyclesEstimator tool;
+  EXPECT_DOUBLE_EQ(tool.estimate(input_for(bd, 2)), 769.0);
+  EstimateInput in4 = input_for(bd, 4);
+  EXPECT_DOUBLE_EQ(tool.estimate(in4), 385.0);
+}
+
+TEST(AreaEstimator, FusedIdctSmallerThanRowCol) {
+  // Fewer multipliers -> less area (the Loeffler-style trade-off).
+  const auto rc = behavior::idct_row_col_bd(16);
+  const auto fused = behavior::idct_fused_bd(16);
+  BehaviorAreaEstimator tool;
+  EXPECT_GT(tool.estimate(input_for(rc)), tool.estimate(input_for(fused)));
+}
+
+TEST(PowerEstimator, PositiveAndTechDependent) {
+  const auto bd = behavior::idct_row_col_bd(16);
+  BehaviorPowerEstimator tool;
+  EstimateInput in = input_for(bd);
+  const double p35 = tool.estimate(in);
+  in.technology = tech::technology(tech::Process::k070um, tech::LayoutStyle::kStandardCell);
+  const double p70 = tool.estimate(in);
+  EXPECT_GT(p35, 0.0);
+  EXPECT_NE(p35, p70);
+}
+
+TEST(Registry, StandardToolsPresent) {
+  const EstimatorRegistry reg = EstimatorRegistry::standard();
+  EXPECT_NE(reg.find("BehaviorDelayEstimator"), nullptr);
+  EXPECT_NE(reg.find("LatencyCyclesEstimator"), nullptr);
+  EXPECT_NE(reg.find("BehaviorAreaEstimator"), nullptr);
+  EXPECT_NE(reg.find("BehaviorPowerEstimator"), nullptr);
+  EXPECT_EQ(reg.find("NoSuchTool"), nullptr);
+  EXPECT_EQ(reg.names().size(), 4u);
+}
+
+TEST(Registry, DuplicateNameThrows) {
+  EstimatorRegistry reg = EstimatorRegistry::standard();
+  EXPECT_THROW(reg.add(std::make_unique<BehaviorDelayEstimator>()), DefinitionError);
+  EXPECT_THROW(reg.add(nullptr), PreconditionError);
+}
+
+TEST(Registry, UnitsDeclared) {
+  const EstimatorRegistry reg = EstimatorRegistry::standard();
+  EXPECT_EQ(reg.find("BehaviorDelayEstimator")->unit(), Unit::kNanoseconds);
+  EXPECT_EQ(reg.find("BehaviorPowerEstimator")->unit(), Unit::kMilliwatts);
+}
+
+TEST(OpDelay, PowerOfTwoRadixOpsAreFree) {
+  behavior::BehavioralDescription::Op op;
+  op.kind = behavior::OpKind::kDivRadix;
+  op.width_bits = 64;
+  EXPECT_DOUBLE_EQ(BehaviorDelayEstimator::op_delay_ns(
+                       op, tech::technology(tech::Process::k035um,
+                                            tech::LayoutStyle::kStandardCell)),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace dslayer::estimation

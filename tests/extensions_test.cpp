@@ -1,0 +1,341 @@
+// Tests for the extension features: Karatsuba multiplication, m-ary
+// exponentiation, the composed exponentiator designs, and the power
+// requirement (the paper's Section 6 work-in-progress items).
+
+#include <gtest/gtest.h>
+
+#include "bigint/modular.hpp"
+#include "domains/crypto.hpp"
+#include "dsl/serialize.hpp"
+#include "rtl/exponentiator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer {
+namespace {
+
+using bigint::BigUint;
+
+// --- Karatsuba ----------------------------------------------------------------
+
+TEST(Karatsuba, MatchesSchoolbookOnSmallValues) {
+  EXPECT_EQ(bigint::karatsuba_mul(BigUint(0), BigUint(5)), BigUint(0));
+  EXPECT_EQ(bigint::karatsuba_mul(BigUint(7), BigUint(6)), BigUint(42));
+}
+
+class KaratsubaSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KaratsubaSweep, AgreesWithOperatorStar) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const unsigned abits = 32 + static_cast<unsigned>(rng.next_below(4000));
+    const unsigned bbits = 32 + static_cast<unsigned>(rng.next_below(4000));
+    const BigUint a = BigUint::random_bits(rng, abits);
+    const BigUint b = BigUint::random_bits(rng, bbits);
+    const BigUint expected = a * b;  // dispatches internally
+    EXPECT_EQ(bigint::karatsuba_mul(a, b), expected) << abits << "x" << bbits;
+    // And the product has the right magnitude.
+    EXPECT_LE(expected.bit_length(), abits + bbits);
+    EXPECT_GE(expected.bit_length(), abits + bbits - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KaratsubaSweep, ::testing::Values(11u, 22u, 33u));
+
+TEST(Karatsuba, VeryAsymmetricOperands) {
+  Rng rng(9);
+  const BigUint big = BigUint::random_bits(rng, 5000);
+  const BigUint small = BigUint::random_bits(rng, 40);
+  // Cross-check against shift-add reference for a power-of-two-ish factor.
+  EXPECT_EQ(bigint::karatsuba_mul(big, BigUint(1) << 37), big << 37);
+  EXPECT_EQ(bigint::karatsuba_mul(big, small), bigint::karatsuba_mul(small, big));
+}
+
+// --- m-ary exponentiation -------------------------------------------------------
+
+TEST(MaryExp, AgreesWithBinaryAcrossWindows) {
+  Rng rng(13);
+  BigUint m = BigUint::random_bits(rng, 384);
+  if (!m.is_odd()) m += BigUint(1);
+  bigint::MontgomeryContext ctx(m);
+  for (int i = 0; i < 5; ++i) {
+    const BigUint base = BigUint::random_below(rng, m);
+    const BigUint exp = BigUint::random_bits(rng, 128);
+    const BigUint expected = ctx.mod_exp(base, exp);
+    for (unsigned w : {1u, 2u, 3u, 4u, 6u}) {
+      EXPECT_EQ(ctx.mod_exp_mary(base, exp, w), expected) << "window " << w;
+    }
+  }
+}
+
+TEST(MaryExp, EdgeExponents) {
+  const BigUint m(1000000007);
+  bigint::MontgomeryContext ctx(m);
+  EXPECT_EQ(ctx.mod_exp_mary(BigUint(2), BigUint(0), 4), BigUint(1));
+  EXPECT_EQ(ctx.mod_exp_mary(BigUint(2), BigUint(1), 4), BigUint(2));
+  EXPECT_EQ(ctx.mod_exp_mary(BigUint(2), BigUint(10), 4), BigUint(1024));
+}
+
+TEST(MaryExp, BadWindowThrows) {
+  const BigUint m(97);
+  bigint::MontgomeryContext ctx(m);
+  EXPECT_THROW(ctx.mod_exp_mary(BigUint(2), BigUint(3), 0), PreconditionError);
+  EXPECT_THROW(ctx.mod_exp_mary(BigUint(2), BigUint(3), 9), PreconditionError);
+}
+
+TEST(MaryExp, MultiplicationCountModel) {
+  // Window 1 is the binary method: ~1.5 muls per bit.
+  const double binary = bigint::MontgomeryContext::mary_multiplications(768, 1);
+  EXPECT_NEAR(binary, 1.5 * 768 + 2, 2.0);
+  // Wider windows reduce the count until the table cost dominates.
+  const double w2 = bigint::MontgomeryContext::mary_multiplications(768, 2);
+  const double w4 = bigint::MontgomeryContext::mary_multiplications(768, 4);
+  const double w8 = bigint::MontgomeryContext::mary_multiplications(768, 8);
+  EXPECT_LT(w2, binary);
+  EXPECT_LT(w4, w2);
+  EXPECT_GT(w8, w4);  // 254 precompute muls outweigh the window savings
+}
+
+// --- composed exponentiator designs -----------------------------------------------
+
+rtl::MultiplierDesign multiplier_768(int design, unsigned width) {
+  const tech::Technology t035 =
+      tech::technology(tech::Process::k035um, tech::LayoutStyle::kStandardCell);
+  return rtl::MultiplierDesign::for_operand_length(
+      rtl::make_config(rtl::table1_catalog()[static_cast<std::size_t>(design - 1)], width, t035),
+      768);
+}
+
+TEST(Exponentiator, WindowTradesAreaForDelay) {
+  const auto mult = multiplier_768(5, 64);
+  const rtl::ExponentiatorDesign binary(mult, rtl::ExpMethod::kBinary);
+  const rtl::ExponentiatorDesign mary16(mult, rtl::ExpMethod::kMary16);
+  EXPECT_LT(mary16.modexp_us(768), binary.modexp_us(768));
+  EXPECT_GT(mary16.area(768), binary.area(768));
+  EXPECT_LT(mary16.multiplications(768), binary.multiplications(768));
+}
+
+TEST(Exponentiator, NarrowMultiplierRejected) {
+  const auto narrow = rtl::MultiplierDesign(
+      rtl::make_config(rtl::table1_catalog()[1], 64,
+                       tech::technology(tech::Process::k035um,
+                                        tech::LayoutStyle::kStandardCell)),
+      4);  // 256-bit datapath
+  const rtl::ExponentiatorDesign expo(narrow, rtl::ExpMethod::kBinary);
+  EXPECT_THROW(expo.modexp_us(768), PreconditionError);
+  EXPECT_THROW(expo.area(768), PreconditionError);
+  EXPECT_NO_THROW(expo.modexp_us(256));
+}
+
+TEST(Exponentiator, LabelAndMethodNames) {
+  const rtl::ExponentiatorDesign expo(multiplier_768(5, 64), rtl::ExpMethod::kMary4);
+  EXPECT_EQ(expo.label(5), "#5_64/m-ary-4");
+  EXPECT_EQ(to_string(rtl::ExpMethod::kBinary), "Binary");
+  EXPECT_EQ(window_bits(rtl::ExpMethod::kMary16), 4u);
+}
+
+TEST(Exponentiator, ModexpTimeIsMulsTimesMulLatency) {
+  const auto mult = multiplier_768(2, 64);
+  const rtl::ExponentiatorDesign expo(mult, rtl::ExpMethod::kBinary);
+  EXPECT_NEAR(expo.modexp_us(768),
+              expo.multiplications(768) * mult.latency_ns(768) / 1000.0, 1e-9);
+}
+
+// --- domain integration --------------------------------------------------------------
+
+TEST(CryptoExtensions, ExponentiatorCoresIndexed) {
+  auto layer = domains::build_crypto_layer();
+  const dsl::Cdo* expo = layer->space().find(domains::kPathExponentiator);
+  ASSERT_NE(expo, nullptr);
+  // 2 multiplier designs x 2 widths x 3 methods + the hand-built coproc.
+  EXPECT_EQ(layer->cores_under(*expo).size(), 13u);
+}
+
+TEST(CryptoExtensions, ExponentiatorExploration) {
+  auto layer = domains::build_crypto_layer();
+  dsl::ExplorationSession s(*layer, domains::kPathExponentiator);
+  s.set_requirement(domains::kModExpLatency, 1500.0);
+  const auto fast = s.candidates();
+  ASSERT_FALSE(fast.empty());
+  for (const dsl::Core* core : fast) {
+    EXPECT_LE(core->metric(domains::kMetricModExpUs768).value(), 1500.0) << core->name();
+  }
+  s.decide(domains::kExpMethod, "m-ary-16");
+  for (const dsl::Core* core : s.candidates()) {
+    EXPECT_EQ(core->binding(domains::kExpMethod), dsl::Value::text("m-ary-16"));
+  }
+}
+
+TEST(CryptoExtensions, ExponentiatorCoreRoundTrip) {
+  auto layer = domains::build_crypto_layer();
+  const dsl::Cdo* expo = layer->space().find(domains::kPathExponentiator);
+  for (const dsl::Core* core : layer->cores_under(*expo)) {
+    if (core->name() == "rsa_coprocessor_upm") continue;  // hand-entered datasheet core
+    const rtl::ExponentiatorDesign design = domains::exponentiator_from_core(*core);
+    EXPECT_NEAR(design.modexp_us(768), core->metric(domains::kMetricModExpUs768).value(), 1e-6)
+        << core->name();
+    EXPECT_NEAR(design.area(768), core->metric(domains::kMetricArea).value(), 1e-6)
+        << core->name();
+  }
+}
+
+TEST(CryptoExtensions, PowerBudgetFiltersMonotonically) {
+  auto layer = domains::build_crypto_layer();
+  std::size_t previous = 1000;
+  for (const double budget : {1.0e12, 400.0, 250.0, 120.0}) {
+    dsl::ExplorationSession s(*layer, domains::kPathOMMHM);
+    s.set_requirement(domains::kEOL, 768.0);
+    s.set_requirement(domains::kPowerBudget, budget);
+    const std::size_t count = s.candidates().size();
+    EXPECT_LE(count, previous) << budget;
+    previous = count;
+  }
+}
+
+TEST(CryptoExtensions, PowerBudgetDoesNotTouchSoftware) {
+  auto layer = domains::build_crypto_layer();
+  dsl::ExplorationSession s(*layer, domains::kPathOMMS);
+  s.set_requirement(domains::kEOL, 768.0);
+  const std::size_t before = s.candidates().size();
+  s.set_requirement(domains::kPowerBudget, 1.0);  // absurdly tight
+  EXPECT_EQ(s.candidates().size(), before);  // SW cores don't draw the HW budget
+}
+
+// --- behavioral decomposition (DI7, Section 5.1.6) --------------------------------
+
+TEST(BehavioralDecomposition, EnumeratesMontgomeryLoopOperators) {
+  auto layer = domains::build_crypto_layer();
+  dsl::ExplorationSession s(*layer, domains::kPathOMMHM);
+  const auto sites = s.behavioral_decomposition();
+  ASSERT_FALSE(sites.empty());
+  // The loop additions of Fig. 10 line 3 resolve to the Adder CDO.
+  int adds_on_line_3 = 0;
+  for (const auto& site : sites) {
+    if (site.kind == behavior::OpKind::kAdd && site.line == 3) {
+      ++adds_on_line_3;
+      EXPECT_EQ(site.cdo_path, domains::kPathAdder);
+      EXPECT_EQ(site.width_bits, 64u);
+    }
+  }
+  EXPECT_EQ(adds_on_line_3, 2);
+}
+
+TEST(BehavioralDecomposition, OpensOperatorSubSession) {
+  auto layer = domains::build_crypto_layer();
+  dsl::ExplorationSession s(*layer, domains::kPathOMMHM);
+  for (const auto& site : s.behavioral_decomposition()) {
+    if (site.kind != behavior::OpKind::kAdd || site.line != 3) continue;
+    dsl::ExplorationSession sub = s.open_operator_session(site);
+    // WordSize carried over from the operator's datapath width.
+    EXPECT_EQ(sub.value_of(domains::kWordSize), dsl::Value::number(64));
+    EXPECT_EQ(sub.current().path(), domains::kPathAdder);
+    // The sub-exploration works: only adders of sufficient width remain.
+    for (const dsl::Core* core : sub.candidates()) {
+      EXPECT_GE(core->metric(domains::kMetricWidth).value(), 64.0) << core->name();
+    }
+    sub.decide(domains::kAdderAlgorithm, "CSA");
+    EXPECT_FALSE(sub.candidates().empty());
+    break;
+  }
+}
+
+TEST(BehavioralDecomposition, UnmappedOperatorsReported) {
+  auto layer = domains::build_crypto_layer();
+  dsl::ExplorationSession s(*layer, domains::kPathOMMHM);
+  for (const auto& site : s.behavioral_decomposition()) {
+    if (site.kind == behavior::OpKind::kSelect) {
+      EXPECT_TRUE(site.cdo_path.empty());  // no class registered for muxes
+      EXPECT_THROW(s.open_operator_session(site), ExplorationError);
+    }
+  }
+}
+
+TEST(BehavioralDecomposition, NoBdVisibleThrows) {
+  auto layer = domains::build_crypto_layer();
+  dsl::ExplorationSession s(*layer, domains::kPathAdder);
+  EXPECT_THROW(s.behavioral_decomposition(), ExplorationError);
+}
+
+TEST(BehavioralDecomposition, UnknownOperatorClassRejected) {
+  auto layer = domains::build_crypto_layer();
+  EXPECT_THROW(layer->set_operator_class(behavior::OpKind::kCompare, "No.Such.Cdo"),
+               DefinitionError);
+}
+
+// --- coexisting hierarchies (Section 6 future work) ------------------------------
+
+domains::CryptoLayerOptions tech_first_options() {
+  domains::CryptoLayerOptions options;
+  options.hierarchy = domains::OmmHierarchy::kTechnologyFirst;
+  return options;
+}
+
+TEST(CoexistingHierarchies, TechnologyFirstLayerWellFormed) {
+  auto layer = domains::build_crypto_layer(tech_first_options());
+  EXPECT_TRUE(layer->validate().empty());
+  EXPECT_TRUE(layer->index_warnings().empty());
+  EXPECT_NE(layer->space().find(domains::kPathOMMH35), nullptr);
+  EXPECT_NE(layer->space().find(domains::kPathOMMH70), nullptr);
+  EXPECT_EQ(layer->space().find(domains::kPathOMMHM), nullptr);  // no algorithm children
+}
+
+TEST(CoexistingHierarchies, SameCorePopulationDifferentPartition) {
+  auto algo = domains::build_crypto_layer();
+  auto tech = domains::build_crypto_layer(tech_first_options());
+  const auto hw_a = algo->cores_under(*algo->space().find(domains::kPathOMMH));
+  const auto hw_b = tech->cores_under(*tech->space().find(domains::kPathOMMH));
+  EXPECT_EQ(hw_a.size(), hw_b.size());
+  // The partition differs: 0.35um cores (incl. gate-array) vs 0.70um cores.
+  EXPECT_EQ(tech->cores_at(*tech->space().find(domains::kPathOMMH35)).size(), 42u);
+  EXPECT_EQ(tech->cores_at(*tech->space().find(domains::kPathOMMH70)).size(), 4u);
+}
+
+TEST(CoexistingHierarchies, GeneralizedTechnologyDecisionDescends) {
+  auto layer = domains::build_crypto_layer(tech_first_options());
+  dsl::ExplorationSession s(*layer, domains::kPathOMMH);
+  s.set_requirement(domains::kEOL, 768.0);
+  s.decide(domains::kFabTech, "0.70um");
+  EXPECT_EQ(s.current().path(), domains::kPathOMMH70);
+  EXPECT_EQ(s.candidates().size(), 4u);
+  // The algorithm is now a regular trade-off issue inside the family.
+  s.decide(domains::kAlgorithm, "Montgomery");
+  EXPECT_EQ(s.current().path(), domains::kPathOMMH70);  // no descend
+  EXPECT_EQ(s.candidates().size(), 2u);
+}
+
+TEST(CoexistingHierarchies, ConstraintsApplyInBothHierarchies) {
+  auto layer = domains::build_crypto_layer(tech_first_options());
+  dsl::ExplorationSession s(*layer, domains::kPathOMMH);
+  s.set_requirement(domains::kEOL, 768.0);
+  s.set_requirement(domains::kModuloIsOdd, "NotGuaranteed");
+  // CC1 still vetoes Montgomery even though Algorithm is a regular issue.
+  EXPECT_THROW(s.decide(domains::kAlgorithm, "Montgomery"), ExplorationError);
+  // CC2 derives on the Hardware CDO in this hierarchy.
+  s.set_requirement(domains::kModuloIsOdd, "Guaranteed");
+  const auto cycles = s.derived(domains::kLatencyCycles);
+  ASSERT_TRUE(cycles.has_value());
+  EXPECT_DOUBLE_EQ(cycles->as_number(), 769.0);
+}
+
+TEST(CoexistingHierarchies, TechnologyFirstSerializes) {
+  auto layer = domains::build_crypto_layer(tech_first_options());
+  const auto imported = dsl::import_layer(dsl::export_layer(*layer));
+  EXPECT_EQ(imported.layer->space().all().size(), layer->space().all().size());
+  EXPECT_NE(imported.layer->space().find(domains::kPathOMMH35), nullptr);
+}
+
+TEST(CoexistingHierarchies, OptionRangesAnswerTheTradeOffQuestion) {
+  // Section 5.1.5's what-if query: ranges per alternative before deciding.
+  auto layer = domains::build_crypto_layer();
+  dsl::ExplorationSession s(*layer, domains::kPathOMMH);
+  s.set_requirement(domains::kEOL, 768.0);
+  const auto ranges = s.option_ranges(domains::kAlgorithm, domains::kMetricClockNs);
+  ASSERT_EQ(ranges.size(), 2u);
+  // Montgomery's clock range sits below Brickell's (Fig. 9).
+  EXPECT_LT(ranges.at("Montgomery").min, ranges.at("Brickell").min);
+  EXPECT_GT(ranges.at("Montgomery").count, 0u);
+  EXPECT_GT(ranges.at("Brickell").count, 0u);
+}
+
+}  // namespace
+}  // namespace dslayer

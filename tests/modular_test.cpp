@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "bigint/modular.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer::bigint {
+namespace {
+
+BigUint odd_random(Rng& rng, unsigned bits) {
+  BigUint m = BigUint::random_bits(rng, bits);
+  if (!m.is_odd()) m += BigUint(1);
+  return m;
+}
+
+TEST(ModAddSub, Basics) {
+  const BigUint m(97);
+  EXPECT_EQ(mod_add(BigUint(90), BigUint(10), m), BigUint(3));
+  EXPECT_EQ(mod_add(BigUint(1), BigUint(2), m), BigUint(3));
+  EXPECT_EQ(mod_sub(BigUint(3), BigUint(10), m), BigUint(90));
+  EXPECT_EQ(mod_sub(BigUint(10), BigUint(3), m), BigUint(7));
+}
+
+TEST(ModAddSub, UnreducedInputsThrow) {
+  EXPECT_THROW(mod_add(BigUint(100), BigUint(1), BigUint(97)), PreconditionError);
+  EXPECT_THROW(mod_sub(BigUint(1), BigUint(100), BigUint(97)), PreconditionError);
+}
+
+TEST(PaperPencil, MatchesDirectComputation) {
+  const BigUint m(1000003);
+  EXPECT_EQ(mod_mul_paper_pencil(BigUint(999999), BigUint(999999), m),
+            BigUint((999999ULL * 999999ULL) % 1000003ULL));
+}
+
+TEST(Brickell, EdgeCases) {
+  const BigUint m(97);
+  EXPECT_EQ(mod_mul_brickell(BigUint(0), BigUint(50), m), BigUint(0));
+  EXPECT_EQ(mod_mul_brickell(BigUint(1), BigUint(50), m), BigUint(50));
+  EXPECT_EQ(mod_mul_brickell(BigUint(96), BigUint(96), m), BigUint(1));
+}
+
+TEST(Brickell, WorksForEvenModulus) {
+  // Unlike Montgomery, Brickell has no oddness restriction (the paper's
+  // reason for keeping the dominated algorithm in the layer).
+  const BigUint m(100);
+  EXPECT_EQ(mod_mul_brickell(BigUint(37), BigUint(41), m), BigUint(37 * 41 % 100));
+}
+
+TEST(Brickell, InvalidRadixThrows) {
+  const BigUint m(97);
+  EXPECT_THROW(mod_mul_brickell_radix(BigUint(1), BigUint(1), m, 3), PreconditionError);
+  EXPECT_THROW(mod_mul_brickell_radix(BigUint(1), BigUint(1), m, 0), PreconditionError);
+}
+
+class BrickellRadixSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BrickellRadixSweep, AgreesWithPaperPencil) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const BigUint m = odd_random(rng, 32 + static_cast<unsigned>(rng.next_below(700)));
+    const BigUint a = BigUint::random_below(rng, m);
+    const BigUint b = BigUint::random_below(rng, m);
+    const BigUint expected = mod_mul_paper_pencil(a, b, m);
+    EXPECT_EQ(mod_mul_brickell_radix(a, b, m, GetParam()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, BrickellRadixSweep, ::testing::Values(2u, 4u, 8u, 16u, 256u));
+
+TEST(MontgomeryContext, RejectsBadModuli) {
+  EXPECT_THROW(MontgomeryContext(BigUint(0)), ArithmeticError);
+  EXPECT_THROW(MontgomeryContext(BigUint(100)), ArithmeticError);  // even (CC1)
+}
+
+TEST(MontgomeryContext, ConstantsAreConsistent) {
+  const BigUint m = BigUint::from_dec("170141183460469231731687303715884105727");
+  MontgomeryContext ctx(m);
+  // r_mod_m = R mod m, r2 = R^2 mod m.
+  BigUint r{1};
+  r <<= static_cast<unsigned>(ctx.word_count() * 32);
+  EXPECT_EQ(ctx.r_mod_m(), r % m);
+  EXPECT_EQ(ctx.r2_mod_m(), (r % m) * (r % m) % m);
+  // m * m' == -1 mod 2^32.
+  const std::uint64_t prod = m.limb(0) * static_cast<std::uint64_t>(ctx.m_prime());
+  EXPECT_EQ(static_cast<std::uint32_t>(prod), 0xFFFFFFFFu);
+}
+
+TEST(MontgomeryContext, ToFromMontRoundTrip) {
+  Rng rng(17);
+  const BigUint m = odd_random(rng, 256);
+  MontgomeryContext ctx(m);
+  for (int i = 0; i < 30; ++i) {
+    const BigUint x = BigUint::random_below(rng, m);
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+  }
+}
+
+TEST(MontgomeryContext, MulMatchesReference) {
+  Rng rng(18);
+  for (int i = 0; i < 30; ++i) {
+    const BigUint m = odd_random(rng, 64 + static_cast<unsigned>(rng.next_below(512)));
+    const BigUint a = BigUint::random_below(rng, m);
+    const BigUint b = BigUint::random_below(rng, m);
+    EXPECT_EQ(mod_mul_montgomery(a, b, m), mod_mul_paper_pencil(a, b, m));
+  }
+}
+
+TEST(ModExp, SmallKnownValues) {
+  const BigUint m(1000000007);
+  MontgomeryContext ctx(m);
+  EXPECT_EQ(ctx.mod_exp(BigUint(2), BigUint(10)), BigUint(1024));
+  EXPECT_EQ(ctx.mod_exp(BigUint(2), BigUint(0)), BigUint(1));
+  EXPECT_EQ(ctx.mod_exp(BigUint(0), BigUint(5)), BigUint(0));
+}
+
+TEST(ModExp, FermatLittleTheorem) {
+  // p = 2^127 - 1 is prime: a^(p-1) == 1 mod p.
+  const BigUint p = BigUint::from_dec("170141183460469231731687303715884105727");
+  MontgomeryContext ctx(p);
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    const BigUint a = BigUint::random_below(rng, p);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(ctx.mod_exp(a, p - BigUint(1)), BigUint(1));
+  }
+}
+
+TEST(ModExp, BrickellAndMontgomeryAgree) {
+  Rng rng(77);
+  for (int i = 0; i < 8; ++i) {
+    const BigUint m = odd_random(rng, 128);
+    const BigUint base = BigUint::random_below(rng, m);
+    const BigUint exp = BigUint::random_bits(rng, 48);
+    MontgomeryContext ctx(m);
+    EXPECT_EQ(mod_exp_brickell(base, exp, m), ctx.mod_exp(base, exp));
+  }
+}
+
+TEST(ModExp, RsaRoundTrip) {
+  // Tiny RSA with real primes: (m^e)^d == m mod n. This is the paper's
+  // target application (digital signature / public key encryption [10]).
+  const BigUint p = BigUint::from_dec("57896044618658097711785492504343953926634992332820282019728792003956564820063");
+  const BigUint q = BigUint::from_dec("162259276829213363391578010288127");  // 2^107-1
+  const BigUint n = p * q;
+  const BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+  const BigUint e(65537);
+  const BigUint d = mod_inverse(e, phi);
+  MontgomeryContext ctx(n);
+  const BigUint msg = BigUint::from_dec("123456789012345678901234567890");
+  const BigUint cipher = ctx.mod_exp(msg, e);
+  EXPECT_NE(cipher, msg);
+  EXPECT_EQ(ctx.mod_exp(cipher, d), msg);
+}
+
+TEST(ModExp, ModulusOneGivesZero) {
+  EXPECT_EQ(mod_exp_brickell(BigUint(5), BigUint(3), BigUint(1)), BigUint(0));
+}
+
+class CrossAlgorithmSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CrossAlgorithmSweep, AllModMulAlgorithmsAgree) {
+  Rng rng(GetParam() * 1337);
+  for (int i = 0; i < 25; ++i) {
+    const BigUint m = odd_random(rng, 32 + static_cast<unsigned>(rng.next_below(1000)));
+    const BigUint a = BigUint::random_below(rng, m);
+    const BigUint b = BigUint::random_below(rng, m);
+    const BigUint expected = mod_mul_paper_pencil(a, b, m);
+    EXPECT_EQ(mod_mul_brickell(a, b, m), expected);
+    EXPECT_EQ(mod_mul_montgomery(a, b, m), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossAlgorithmSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dslayer::bigint

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bigint/modular.hpp"
+#include "bigint/montgomery_variants.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer::bigint {
+namespace {
+
+struct WordOperands {
+  std::vector<std::uint32_t> a, b, m;
+  std::uint32_t m_prime;
+  BigUint expected;  // a * b * R^-1 mod m
+};
+
+WordOperands random_operands(Rng& rng, unsigned bits) {
+  BigUint m = BigUint::random_bits(rng, bits);
+  if (!m.is_odd()) m += BigUint(1);
+  const BigUint a = BigUint::random_below(rng, m);
+  const BigUint b = BigUint::random_below(rng, m);
+  const std::size_t s = m.limb_count();
+
+  WordOperands ops;
+  ops.a.resize(s);
+  ops.b.resize(s);
+  ops.m.resize(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    ops.a[i] = a.limb(i);
+    ops.b[i] = b.limb(i);
+    ops.m[i] = m.limb(i);
+  }
+  ops.m_prime = mont_word_inverse(ops.m[0]);
+  BigUint r{1};
+  r <<= static_cast<unsigned>(s * 32);
+  const BigUint rinv = mod_inverse(r % m, m);
+  ops.expected = ((a * b) % m) * rinv % m;
+  return ops;
+}
+
+TEST(MontWordInverse, IsNegatedInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t m0 = static_cast<std::uint32_t>(rng.next_u64()) | 1u;
+    const std::uint32_t mp = mont_word_inverse(m0);
+    EXPECT_EQ(static_cast<std::uint32_t>(m0 * mp), 0xFFFFFFFFu) << m0;
+  }
+}
+
+TEST(MontWordInverse, EvenWordThrows) {
+  EXPECT_THROW(mont_word_inverse(4u), PreconditionError);
+}
+
+TEST(Variants, ToStringNames) {
+  EXPECT_EQ(to_string(MontVariant::kSOS), "SOS");
+  EXPECT_EQ(to_string(MontVariant::kCIOS), "CIOS");
+  EXPECT_EQ(to_string(MontVariant::kFIOS), "FIOS");
+  EXPECT_EQ(to_string(MontVariant::kFIPS), "FIPS");
+  EXPECT_EQ(to_string(MontVariant::kCIHS), "CIHS");
+}
+
+TEST(Variants, RejectsBadInputs) {
+  std::vector<std::uint32_t> a{1}, b{1}, m{15}, out(1), m2{16};
+  // even modulus
+  EXPECT_THROW(mont_mul_cios(a, b, m2, 1, out, nullptr), PreconditionError);
+  // size mismatch
+  std::vector<std::uint32_t> a2{1, 2};
+  EXPECT_THROW(mont_mul_cios(a2, b, m, mont_word_inverse(15), out, nullptr), PreconditionError);
+  // unreduced operand
+  std::vector<std::uint32_t> big{20};
+  EXPECT_THROW(mont_mul_cios(big, b, m, mont_word_inverse(15), out, nullptr), PreconditionError);
+}
+
+// Every variant computes a*b*R^-1 mod m, across operand sizes and seeds.
+class VariantCorrectness
+    : public ::testing::TestWithParam<std::tuple<MontVariant, unsigned>> {};
+
+TEST_P(VariantCorrectness, MatchesReference) {
+  const auto [variant, bits] = GetParam();
+  Rng rng(bits * 31 + static_cast<unsigned>(variant));
+  for (int i = 0; i < 25; ++i) {
+    const WordOperands ops = random_operands(rng, bits);
+    std::vector<std::uint32_t> out(ops.m.size());
+    mont_mul(variant, ops.a, ops.b, ops.m, ops.m_prime, out, nullptr);
+    EXPECT_EQ(BigUint::from_limbs(out), ops.expected)
+        << to_string(variant) << " bits=" << bits << " iter=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAllSizes, VariantCorrectness,
+    ::testing::Combine(::testing::ValuesIn(kAllMontVariants),
+                       ::testing::Values(32u, 33u, 64u, 96u, 256u, 768u, 1024u)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "b";
+    });
+
+// Edge operands: zero, one, m-1.
+class VariantEdgeCases : public ::testing::TestWithParam<MontVariant> {};
+
+TEST_P(VariantEdgeCases, ZeroOneAndMaxOperands) {
+  Rng rng(11);
+  BigUint m = BigUint::random_bits(rng, 160);
+  if (!m.is_odd()) m += BigUint(1);
+  const std::size_t s = m.limb_count();
+  std::vector<std::uint32_t> mv(s), zero(s, 0), one(s, 0), max(s), out(s);
+  for (std::size_t i = 0; i < s; ++i) mv[i] = m.limb(i);
+  one[0] = 1;
+  const BigUint m_minus_1 = m - BigUint(1);
+  for (std::size_t i = 0; i < s; ++i) max[i] = m_minus_1.limb(i);
+  const std::uint32_t mp = mont_word_inverse(mv[0]);
+
+  BigUint r{1};
+  r <<= static_cast<unsigned>(s * 32);
+  const BigUint rinv = mod_inverse(r % m, m);
+
+  mont_mul(GetParam(), zero, max, mv, mp, out, nullptr);
+  EXPECT_TRUE(BigUint::from_limbs(out).is_zero());
+
+  mont_mul(GetParam(), one, one, mv, mp, out, nullptr);
+  EXPECT_EQ(BigUint::from_limbs(out), rinv % m);
+
+  mont_mul(GetParam(), max, max, mv, mp, out, nullptr);
+  EXPECT_EQ(BigUint::from_limbs(out), (m_minus_1 * m_minus_1 % m) * rinv % m);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantEdgeCases, ::testing::ValuesIn(kAllMontVariants),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(OpCounts, QuadraticInWordCount) {
+  // mults must grow ~4x when the operand doubles (2s^2 + O(s) law of [12]).
+  Rng rng(5);
+  for (MontVariant v : kAllMontVariants) {
+    const WordOperands small = random_operands(rng, 256);   // s = 8
+    const WordOperands large = random_operands(rng, 512);   // s = 16
+    std::vector<std::uint32_t> out_s(small.m.size()), out_l(large.m.size());
+    OpCounts cs, cl;
+    mont_mul(v, small.a, small.b, small.m, small.m_prime, out_s, &cs);
+    mont_mul(v, large.a, large.b, large.m, large.m_prime, out_l, &cl);
+    EXPECT_GT(cs.word_mults, 0u);
+    const double ratio = static_cast<double>(cl.word_mults) / static_cast<double>(cs.word_mults);
+    EXPECT_GT(ratio, 3.3) << to_string(v);
+    EXPECT_LT(ratio, 4.7) << to_string(v);
+  }
+}
+
+TEST(OpCounts, MultCountNearTheoreticalLaw) {
+  // [12]: all five methods need 2s^2 + s single-precision multiplications
+  // (give or take the quotient-digit products).
+  Rng rng(6);
+  const WordOperands ops = random_operands(rng, 1024);  // s = 32
+  const double s = 32.0;
+  for (MontVariant v : kAllMontVariants) {
+    std::vector<std::uint32_t> out(ops.m.size());
+    OpCounts c;
+    mont_mul(v, ops.a, ops.b, ops.m, ops.m_prime, out, &c);
+    EXPECT_GE(static_cast<double>(c.word_mults), 2 * s * s) << to_string(v);
+    EXPECT_LE(static_cast<double>(c.word_mults), 2 * s * s + 3 * s) << to_string(v);
+  }
+}
+
+TEST(OpCounts, AccumulateAcrossRuns) {
+  Rng rng(8);
+  const WordOperands ops = random_operands(rng, 128);
+  std::vector<std::uint32_t> out(ops.m.size());
+  OpCounts total;
+  mont_mul_cios(ops.a, ops.b, ops.m, ops.m_prime, out, &total);
+  const OpCounts once = total;
+  mont_mul_cios(ops.a, ops.b, ops.m, ops.m_prime, out, &total);
+  EXPECT_EQ(total.word_mults, 2 * once.word_mults);
+  EXPECT_EQ(total.loads, 2 * once.loads);
+}
+
+TEST(Variants, SingleWordModulus) {
+  // s = 1 exercises all the loop boundaries.
+  std::vector<std::uint32_t> a{123456u}, b{654321u}, m{0xFFFFFFFBu}, out(1);
+  const std::uint32_t mp = mont_word_inverse(m[0]);
+  const BigUint mb(0xFFFFFFFBu);
+  BigUint r{1};
+  r <<= 32;
+  const BigUint rinv = mod_inverse(r % mb, mb);
+  const BigUint expected = (BigUint(123456u) * BigUint(654321u) % mb) * rinv % mb;
+  for (MontVariant v : kAllMontVariants) {
+    mont_mul(v, a, b, m, mp, out, nullptr);
+    EXPECT_EQ(BigUint::from_limbs(out), expected) << to_string(v);
+  }
+}
+
+}  // namespace
+}  // namespace dslayer::bigint

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "bigint/modular.hpp"
+#include "rtl/modmul_design.hpp"
+#include "rtl/simulator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer::rtl {
+namespace {
+
+const tech::Technology k035 =
+    tech::technology(tech::Process::k035um, tech::LayoutStyle::kStandardCell);
+
+SliceConfig montgomery_csa(unsigned width) {
+  SliceConfig c;
+  c.algorithm = Algorithm::kMontgomery;
+  c.radix = 2;
+  c.adder = AdderKind::kCarrySave;
+  c.multiplier = MultiplierKind::kNone;
+  c.slice_width = width;
+  c.technology = k035;
+  return c;
+}
+
+TEST(SliceConfig, DigitArithmetic) {
+  SliceConfig c = montgomery_csa(64);
+  EXPECT_EQ(c.digit_bits(), 1u);
+  EXPECT_EQ(c.digits(768), 768u);
+  c.radix = 4;
+  EXPECT_EQ(c.digit_bits(), 2u);
+  EXPECT_EQ(c.digits(768), 384u);
+  EXPECT_EQ(c.digits(7), 4u);  // ceil
+  c.radix = 3;
+  EXPECT_THROW(c.digit_bits(), PreconditionError);
+}
+
+TEST(SliceDesign, RejectsInconsistentConfigs) {
+  SliceConfig c = montgomery_csa(64);
+  c.multiplier = MultiplierKind::kArray;  // radix 2 with a digit multiplier
+  EXPECT_THROW(SliceDesign{c}, DefinitionError);
+
+  SliceConfig c2 = montgomery_csa(64);
+  c2.radix = 4;  // radix 4 without one
+  EXPECT_THROW(SliceDesign{c2}, DefinitionError);
+
+  SliceConfig c3 = montgomery_csa(2);  // below minimum width
+  EXPECT_THROW(SliceDesign{c3}, DefinitionError);
+}
+
+TEST(SliceDesign, PartsSumToArea) {
+  const SliceDesign d(montgomery_csa(64));
+  double sum = 0.0;
+  for (const Part& p : d.parts()) sum += p.eval.area;
+  EXPECT_NEAR(d.area(), sum * 1.05, 1e-6);  // routing overhead
+  EXPECT_GT(d.parts().size(), 5u);
+}
+
+TEST(SliceDesign, ClockIsCriticalPathPlusSetup) {
+  const SliceDesign d(montgomery_csa(64));
+  double path = 0.0;
+  for (const Part& p : d.parts()) {
+    if (p.on_critical_path) path += p.eval.delay_ns;
+  }
+  EXPECT_GT(d.clock_ns(), path);  // + fanout + setup
+}
+
+// --- Table 1 structural relationships --------------------------------------------
+
+TEST(Table1, CatalogHasEightDesigns) {
+  const auto& catalog = table1_catalog();
+  ASSERT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog[0].design_no, 1);
+  EXPECT_EQ(catalog[7].design_no, 8);
+  EXPECT_EQ(catalog[6].algorithm, Algorithm::kBrickell);
+  EXPECT_EQ(catalog[4].multiplier, MultiplierKind::kMuxBased);
+}
+
+TEST(Table1, CsaClockFlatClaClockGrows) {
+  // Design #1 (CLA) clock grows markedly with width; #2 (CSA) stays flat.
+  const auto clock = [](int design, unsigned w) {
+    return SliceDesign(make_config(table1_catalog()[static_cast<std::size_t>(design - 1)], w,
+                                   k035))
+        .clock_ns();
+  };
+  const double cla_growth = clock(1, 128) / clock(1, 8);
+  const double csa_growth = clock(2, 128) / clock(2, 8);
+  EXPECT_GT(cla_growth, 2.0);
+  EXPECT_LT(csa_growth, 1.4);
+}
+
+TEST(Table1, CsaCostsMoreAreaThanCla) {
+  // The redundant residue register doubles: #2 larger than #1 at any width.
+  for (unsigned w : kTable1SliceWidths) {
+    const double a1 = SliceDesign(make_config(table1_catalog()[0], w, k035)).area();
+    const double a2 = SliceDesign(make_config(table1_catalog()[1], w, k035)).area();
+    EXPECT_GT(a2, a1) << w;
+  }
+}
+
+TEST(Table1, Radix4HalvesCycles) {
+  const SliceDesign r2(make_config(table1_catalog()[1], 64, k035));  // #2
+  const SliceDesign r4(make_config(table1_catalog()[4], 64, k035));  // #5 (radix 4)
+  EXPECT_NEAR(r4.cycles(768) / r2.cycles(768), 0.5, 0.02);
+}
+
+TEST(Table1, MuxMultiplierSmallerAndFasterThanArray) {
+  // #5 (CSA MUX) vs #4 (CSA MUL) at every width.
+  for (unsigned w : kTable1SliceWidths) {
+    const SliceDesign mul(make_config(table1_catalog()[3], w, k035));
+    const SliceDesign mux(make_config(table1_catalog()[4], w, k035));
+    EXPECT_LT(mux.area(), mul.area()) << w;
+    EXPECT_LT(mux.clock_ns(), mul.clock_ns()) << w;
+  }
+}
+
+TEST(Table1, MontgomeryDominatesBrickell) {
+  // Fig. 9's claim, at the slice level: same adder/radix, Montgomery is
+  // faster (fewer cycles, shorter clock) and smaller.
+  for (unsigned w : kTable1SliceWidths) {
+    const SliceDesign mont(make_config(table1_catalog()[1], w, k035));  // #2 M CSA
+    const SliceDesign bric(make_config(table1_catalog()[7], w, k035));  // #8 B CSA
+    EXPECT_LT(mont.area(), bric.area()) << w;
+    EXPECT_LT(mont.clock_ns(), bric.clock_ns()) << w;
+    EXPECT_LT(mont.latency_ns(w), bric.latency_ns(w)) << w;
+  }
+}
+
+TEST(Table1, LatencyCyclesMatchAlgorithmLaw) {
+  const SliceDesign mont(make_config(table1_catalog()[0], 64, k035));  // #1 M CLA r2
+  EXPECT_DOUBLE_EQ(mont.cycles(64), 65.0);  // n + 1
+  const SliceDesign csa(make_config(table1_catalog()[1], 64, k035));   // #2 M CSA r2
+  EXPECT_DOUBLE_EQ(csa.cycles(64), 67.0);   // + 2 resolve
+  const SliceDesign bric(make_config(table1_catalog()[6], 64, k035));  // #7 B CLA r2
+  EXPECT_DOUBLE_EQ(bric.cycles(64), 72.0);  // + reduction pipeline
+}
+
+TEST(Table1, OldProcessScalesAreaAndClock) {
+  const tech::Technology t070 =
+      tech::technology(tech::Process::k070um, tech::LayoutStyle::kStandardCell);
+  const SliceDesign fast(make_config(table1_catalog()[1], 64, k035));
+  const SliceDesign slow(make_config(table1_catalog()[1], 64, t070));
+  EXPECT_NEAR(slow.area() / fast.area(), 4.0, 0.05);
+  EXPECT_NEAR(slow.clock_ns() / fast.clock_ns(), 2.0, 0.05);
+}
+
+// --- multiplier composition -----------------------------------------------------
+
+TEST(MultiplierDesign, ForOperandLengthCeils) {
+  EXPECT_EQ(MultiplierDesign::for_operand_length(montgomery_csa(64), 768).num_slices(), 12u);
+  EXPECT_EQ(MultiplierDesign::for_operand_length(montgomery_csa(64), 769).num_slices(), 13u);
+  EXPECT_EQ(MultiplierDesign::for_operand_length(montgomery_csa(128), 1024).num_slices(), 8u);
+}
+
+TEST(MultiplierDesign, AreaScalesWithSlices) {
+  const MultiplierDesign one(montgomery_csa(64), 1);
+  const MultiplierDesign twelve(montgomery_csa(64), 12);
+  EXPECT_GT(twelve.area(), 11.0 * one.slice().area());
+  EXPECT_DOUBLE_EQ(twelve.clock_ns(), one.clock_ns());
+  EXPECT_EQ(twelve.datapath_bits(), 768u);
+}
+
+TEST(MultiplierDesign, PipelineFillAddsCycles) {
+  const MultiplierDesign m(montgomery_csa(64), 12);
+  EXPECT_DOUBLE_EQ(m.cycles(768), m.slice().cycles(768) + 12.0);
+}
+
+TEST(MultiplierDesign, Fig6HardwareLatencies) {
+  // #5_16 at 1024 bits should land near the paper's ~2 us; #8_64 near ~4.3 us.
+  const auto latency_us = [](int design, unsigned w) {
+    const SliceConfig c =
+        make_config(table1_catalog()[static_cast<std::size_t>(design - 1)], w, k035);
+    return MultiplierDesign::for_operand_length(c, 1024).latency_ns(1024) / 1000.0;
+  };
+  EXPECT_NEAR(latency_us(5, 16), 1.96, 0.4);
+  EXPECT_NEAR(latency_us(8, 64), 4.32, 0.9);
+}
+
+TEST(MultiplierDesign, PowerPositiveAndTechDependent) {
+  const MultiplierDesign m35(montgomery_csa(64), 4);
+  SliceConfig c70 = montgomery_csa(64);
+  c70.technology = tech::technology(tech::Process::k070um, tech::LayoutStyle::kStandardCell);
+  const MultiplierDesign m70(c70, 4);
+  EXPECT_GT(m35.power_mw(), 0.0);
+  EXPECT_GT(m70.power_mw(), m35.power_mw());  // higher voltage era dominates
+}
+
+TEST(MultiplierDesign, Label) {
+  EXPECT_EQ(MultiplierDesign(montgomery_csa(64), 12).label(2), "#2_64");
+}
+
+// --- functional simulators --------------------------------------------------------
+
+class SimulatorSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimulatorSweep, MontgomeryMatchesReference) {
+  const unsigned radix = GetParam();
+  Rng rng(radix * 1000 + 1);
+  for (int i = 0; i < 25; ++i) {
+    bigint::BigUint m = bigint::BigUint::random_bits(
+        rng, 16 + static_cast<unsigned>(rng.next_below(500)));
+    if (!m.is_odd()) m += bigint::BigUint(1);
+    const auto a = bigint::BigUint::random_below(rng, m);
+    const auto b = bigint::BigUint::random_below(rng, m);
+    EXPECT_EQ(montgomery_hw_modmul(a, b, m, radix), bigint::mod_mul_paper_pencil(a, b, m));
+  }
+}
+
+TEST_P(SimulatorSweep, BrickellMatchesReference) {
+  const unsigned radix = GetParam();
+  Rng rng(radix * 1000 + 2);
+  for (int i = 0; i < 25; ++i) {
+    bigint::BigUint m = bigint::BigUint::random_bits(
+        rng, 16 + static_cast<unsigned>(rng.next_below(500)));
+    if (!m.is_odd()) m += bigint::BigUint(1);
+    const auto a = bigint::BigUint::random_below(rng, m);
+    const auto b = bigint::BigUint::random_below(rng, m);
+    EXPECT_EQ(simulate_brickell(a, b, m, radix).value, bigint::mod_mul_paper_pencil(a, b, m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, SimulatorSweep, ::testing::Values(2u, 4u, 8u, 16u, 256u));
+
+TEST(Simulator, MontgomeryIterationCountIsDigitsPlusOne) {
+  Rng rng(4);
+  bigint::BigUint m = bigint::BigUint::random_bits(rng, 96);
+  if (!m.is_odd()) m += bigint::BigUint(1);
+  const auto a = bigint::BigUint::random_below(rng, m);
+  const auto b = bigint::BigUint::random_below(rng, m);
+  EXPECT_EQ(simulate_montgomery(a, b, m, 2).iterations, 97u);      // n + 1
+  EXPECT_EQ(simulate_montgomery(a, b, m, 4).iterations, 49u);      // 48 digits + 1
+  EXPECT_LE(simulate_montgomery(a, b, m, 2).corrections, 1u);      // R < 2M
+}
+
+TEST(Simulator, MontgomeryValueIsAbRInverse) {
+  Rng rng(5);
+  bigint::BigUint m = bigint::BigUint::random_bits(rng, 128);
+  if (!m.is_odd()) m += bigint::BigUint(1);
+  const auto a = bigint::BigUint::random_below(rng, m);
+  const auto b = bigint::BigUint::random_below(rng, m);
+  const auto result = simulate_montgomery(a, b, m, 2);
+  bigint::BigUint r{1};
+  r <<= result.iterations;  // radix 2: one bit per iteration
+  const auto rinv = bigint::mod_inverse(r % m, m);
+  EXPECT_EQ(result.value, ((a * b) % m) * rinv % m);
+}
+
+TEST(Simulator, BrickellCorrectionsBounded) {
+  // Per iteration the residue stays < m, so corrections <= radix per step.
+  Rng rng(6);
+  bigint::BigUint m = bigint::BigUint::random_bits(rng, 200);
+  if (!m.is_odd()) m += bigint::BigUint(1);
+  const auto a = bigint::BigUint::random_below(rng, m);
+  const auto b = bigint::BigUint::random_below(rng, m);
+  const auto result = simulate_brickell(a, b, m, 4);
+  EXPECT_LE(result.corrections, result.iterations * 4);
+}
+
+TEST(Simulator, EvenModulusRejectedByMontgomeryOnly) {
+  const bigint::BigUint m(100);
+  const bigint::BigUint a(37), b(41);
+  EXPECT_THROW(simulate_montgomery(a, b, m, 2), PreconditionError);
+  EXPECT_EQ(simulate_brickell(a, b, m, 2).value, bigint::BigUint(37 * 41 % 100));
+}
+
+}  // namespace
+}  // namespace dslayer::rtl

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace dslayer {
+namespace {
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("alone", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"Operator", "Modular", "Multiplier"};
+  EXPECT_EQ(join(parts, "."), "Operator.Modular.Multiplier");
+  EXPECT_EQ(split(join(parts, "."), '.'), parts);
+}
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}, "."), ""); }
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("CaRrY-SaVe"), "carry-save"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("0x1234", "0x"));
+  EXPECT_FALSE(starts_with("x1234", "0x"));
+  EXPECT_FALSE(starts_with("0", "0x"));
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Montgomery", "MONTGOMERY"));
+  EXPECT_FALSE(iequals("Montgomery", "Montgomer"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(Strings, CatMixesTypes) { EXPECT_EQ(cat("w=", 64, ", k=", 2.5), "w=64, k=2.5"); }
+
+TEST(Strings, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(1234.5678, 6), "1234.57");
+}
+
+// --- units -------------------------------------------------------------------
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(convert(2500.0, Unit::kNanoseconds, Unit::kMicroseconds), 2.5);
+  EXPECT_DOUBLE_EQ(convert(2.5, Unit::kMicroseconds, Unit::kNanoseconds), 2500.0);
+}
+
+TEST(Units, FrequencyPeriodConversions) {
+  EXPECT_DOUBLE_EQ(convert(100.0, Unit::kMegahertz, Unit::kNanoseconds), 10.0);
+  EXPECT_DOUBLE_EQ(convert(4.0, Unit::kNanoseconds, Unit::kMegahertz), 250.0);
+}
+
+TEST(Units, IdentityConversion) {
+  EXPECT_DOUBLE_EQ(convert(7.0, Unit::kGates, Unit::kGates), 7.0);
+}
+
+TEST(Units, InvalidConversionThrows) {
+  EXPECT_THROW(convert(1.0, Unit::kGates, Unit::kNanoseconds), PreconditionError);
+  EXPECT_THROW(convert(0.0, Unit::kMegahertz, Unit::kNanoseconds), PreconditionError);
+}
+
+TEST(Units, QuantityToString) {
+  EXPECT_EQ(to_string(Quantity{2.37, Unit::kNanoseconds}), "2.37 ns");
+  EXPECT_EQ(to_string(Quantity{42.0, Unit::kNone}), "42");
+}
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoundZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+// --- table --------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer |    23 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, LeftAlignOverride) {
+  TextTable t({"a", "b"});
+  t.set_align(1, Align::kLeft);
+  t.add_row({"x", "1"});
+  t.add_row({"y", "22"});
+  EXPECT_NE(t.render().find("| x | 1  |"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, RulesDoNotCountAsRows) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+// --- error macros ---------------------------------------------------------------
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    DSLAYER_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyCatchable) {
+  EXPECT_THROW(throw DefinitionError("x"), Error);
+  EXPECT_THROW(throw ExplorationError("x"), Error);
+  EXPECT_THROW(throw ArithmeticError("x"), Error);
+}
+
+}  // namespace
+}  // namespace dslayer

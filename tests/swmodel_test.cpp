@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "bigint/modular.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "swmodel/swmodel.hpp"
+
+namespace dslayer::swmodel {
+namespace {
+
+using bigint::MontVariant;
+
+SoftwareCore make(MontVariant v, CodeQuality q) { return SoftwareCore(v, q, pentium60()); }
+
+TEST(Processor, Pentium60Defaults) {
+  const ProcessorModel p = pentium60();
+  EXPECT_EQ(p.name, "Pentium 60");
+  EXPECT_DOUBLE_EQ(p.clock_mhz, 60.0);
+  EXPECT_GT(p.mul_cycles, p.add_cycles);
+  EXPECT_GT(p.c_overhead, 1.0);
+}
+
+TEST(Core, Labels) {
+  EXPECT_EQ(make(MontVariant::kCIOS, CodeQuality::kC).label(), "CIOS C code");
+  EXPECT_EQ(make(MontVariant::kCIHS, CodeQuality::kAssembly).label(), "CIHS ASM");
+}
+
+TEST(Core, CSlowerThanAssemblyByConstantFactor) {
+  for (MontVariant v : bigint::kAllMontVariants) {
+    const double asm_us = make(v, CodeQuality::kAssembly).mont_mul_us(1024);
+    const double c_us = make(v, CodeQuality::kC).mont_mul_us(1024);
+    EXPECT_NEAR(c_us / asm_us, pentium60().c_overhead, 1e-9) << to_string(v);
+  }
+}
+
+TEST(Core, Fig6Ranges) {
+  // The paper's Fig. 6 at 1024 bits: ASM routines in the high hundreds of
+  // microseconds, C routines in the several-thousand range.
+  for (MontVariant v : bigint::kAllMontVariants) {
+    const double asm_us = make(v, CodeQuality::kAssembly).mont_mul_us(1024);
+    const double c_us = make(v, CodeQuality::kC).mont_mul_us(1024);
+    EXPECT_GT(asm_us, 400.0) << to_string(v);
+    EXPECT_LT(asm_us, 1300.0) << to_string(v);
+    EXPECT_GT(c_us, 4000.0) << to_string(v);
+    EXPECT_LT(c_us, 9000.0) << to_string(v);
+  }
+}
+
+TEST(Core, TimeGrowsQuadratically) {
+  const SoftwareCore core = make(MontVariant::kCIOS, CodeQuality::kAssembly);
+  const double t512 = core.mont_mul_us(512);
+  const double t1024 = core.mont_mul_us(1024);
+  EXPECT_GT(t1024 / t512, 3.3);
+  EXPECT_LT(t1024 / t512, 4.5);
+}
+
+TEST(Core, ModExpIsBitCountTimesMultiplications) {
+  const SoftwareCore core = make(MontVariant::kCIOS, CodeQuality::kAssembly);
+  const double one = core.mont_mul_us(768);
+  EXPECT_NEAR(core.mod_exp_us(768), (1.5 * 768 + 2) * one, 1e-6);
+}
+
+TEST(Core, OpCountsExposed) {
+  const auto counts = make(MontVariant::kSOS, CodeQuality::kC).op_counts(1024);
+  EXPECT_GT(counts.word_mults, 2000u);  // 2s^2 + s at s = 32
+  EXPECT_GT(counts.loads, counts.stores);
+}
+
+TEST(Core, SubWordOperandsOccupyOneWord) {
+  // Tiny operands still cost one machine word of arithmetic.
+  const SoftwareCore core = make(MontVariant::kSOS, CodeQuality::kC);
+  EXPECT_DOUBLE_EQ(core.mont_mul_us(16), core.mont_mul_us(32));
+  EXPECT_GT(core.mont_mul_us(16), 0.0);
+}
+
+TEST(Core, CodeSizeOrdering) {
+  // Assembly denser than C; product scanning code larger than SOS.
+  EXPECT_LT(make(MontVariant::kSOS, CodeQuality::kAssembly).code_size_bytes(),
+            make(MontVariant::kSOS, CodeQuality::kC).code_size_bytes());
+  EXPECT_LT(make(MontVariant::kSOS, CodeQuality::kAssembly).code_size_bytes(),
+            make(MontVariant::kFIPS, CodeQuality::kAssembly).code_size_bytes());
+}
+
+TEST(Core, ExecuteMatchesReference) {
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) {
+    bigint::BigUint m = bigint::BigUint::random_bits(rng, 256);
+    if (!m.is_odd()) m += bigint::BigUint(1);
+    const auto a = bigint::BigUint::random_below(rng, m);
+    const auto b = bigint::BigUint::random_below(rng, m);
+    const auto expected = bigint::mod_mul_paper_pencil(a, b, m);
+    for (MontVariant v : bigint::kAllMontVariants) {
+      EXPECT_EQ(make(v, CodeQuality::kAssembly).execute(a, b, m), expected) << to_string(v);
+    }
+  }
+}
+
+TEST(Core, ExecuteRejectsEvenModulus) {
+  EXPECT_THROW(make(MontVariant::kCIOS, CodeQuality::kC)
+                   .execute(bigint::BigUint(3), bigint::BigUint(5), bigint::BigUint(100)),
+               PreconditionError);
+}
+
+TEST(Catalog, TenCores) {
+  const auto catalog = software_catalog();
+  EXPECT_EQ(catalog.size(), 10u);  // 5 variants x {C, ASM}
+  int asm_count = 0;
+  for (const auto& core : catalog) {
+    if (core.quality() == CodeQuality::kAssembly) ++asm_count;
+  }
+  EXPECT_EQ(asm_count, 5);
+}
+
+class HardwareGapSweep : public ::testing::TestWithParam<MontVariant> {};
+
+TEST_P(HardwareGapSweep, SoftwareOrdersOfMagnitudeSlowerThanFig6Hardware) {
+  // Fig. 6's central claim: the fastest software is still >100x slower than
+  // the hardware cores (1.96-4.32 us).
+  const double asm_us = make(GetParam(), CodeQuality::kAssembly).mont_mul_us(1024);
+  EXPECT_GT(asm_us / 4.32, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, HardwareGapSweep,
+                         ::testing::ValuesIn(bigint::kAllMontVariants),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace dslayer::swmodel

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "tech/components.hpp"
+#include "tech/technology.hpp"
+
+namespace dslayer::tech {
+namespace {
+
+const Technology k035 = technology(Process::k035um, LayoutStyle::kStandardCell);
+const Technology k070 = technology(Process::k070um, LayoutStyle::kStandardCell);
+const Technology k035ga = technology(Process::k035um, LayoutStyle::kGateArray);
+
+TEST(Technology, BaselineScalesAreUnity) {
+  EXPECT_DOUBLE_EQ(k035.delay_scale, 1.0);
+  EXPECT_DOUBLE_EQ(k035.area_scale, 1.0);
+}
+
+TEST(Technology, ProcessScaling) {
+  // 0.7um: ~2x slower, ~4x larger (constant-field scaling).
+  EXPECT_DOUBLE_EQ(k070.delay_scale, 2.0);
+  EXPECT_DOUBLE_EQ(k070.area_scale, 4.0);
+  EXPECT_GT(k070.power_coeff, k035.power_coeff);
+}
+
+TEST(Technology, GateArrayPenalty) {
+  EXPECT_GT(k035ga.delay_scale, k035.delay_scale);
+  EXPECT_GT(k035ga.area_scale, k035.area_scale);
+  EXPECT_LT(k035ga.area_scale, k070.area_scale);  // still denser than old process
+}
+
+TEST(Technology, Names) {
+  EXPECT_EQ(k035.name(), "0.35um std-cell");
+  EXPECT_EQ(technology(Process::k070um, LayoutStyle::kGateArray).name(), "0.70um gate-array");
+}
+
+TEST(Technology, AllTechnologiesIsCartesianProduct) {
+  EXPECT_EQ(all_technologies().size(), 4u);
+}
+
+TEST(Components, AreaScalesLinearlyWithWidth) {
+  for (const auto& fn : {carry_lookahead_adder, carry_save_row, ripple_carry_adder, comparator,
+                         mux2, mux4}) {
+    const double a32 = fn(32, k035).area;
+    const double a64 = fn(64, k035).area;
+    EXPECT_NEAR(a64 / a32, 2.0, 0.01);
+  }
+}
+
+TEST(Components, CarrySaveDelayIsWidthIndependent) {
+  // The structural reason Table 1's CSA clocks stay flat.
+  EXPECT_DOUBLE_EQ(carry_save_row(8, k035).delay_ns, carry_save_row(128, k035).delay_ns);
+}
+
+TEST(Components, CarryLookaheadDelayGrowsLogarithmically) {
+  const double d8 = carry_lookahead_adder(8, k035).delay_ns;
+  const double d16 = carry_lookahead_adder(16, k035).delay_ns;
+  const double d32 = carry_lookahead_adder(32, k035).delay_ns;
+  const double d128 = carry_lookahead_adder(128, k035).delay_ns;
+  EXPECT_LT(d8, d16);
+  EXPECT_LT(d16, d32);
+  EXPECT_LT(d32, d128);
+  // log growth: equal increments per doubling.
+  EXPECT_NEAR(d32 - d16, d16 - d8, 1e-9);
+}
+
+TEST(Components, RippleDelayGrowsLinearly) {
+  const double d8 = ripple_carry_adder(8, k035).delay_ns;
+  const double d16 = ripple_carry_adder(16, k035).delay_ns;
+  const double d32 = ripple_carry_adder(32, k035).delay_ns;
+  EXPECT_NEAR(d32 - d16, 2.0 * (d16 - d8), 1e-9);
+  // Ripple is slower than CLA at width but cheaper in area.
+  EXPECT_GT(ripple_carry_adder(64, k035).delay_ns, carry_lookahead_adder(64, k035).delay_ns);
+  EXPECT_LT(ripple_carry_adder(64, k035).area, carry_lookahead_adder(64, k035).area);
+}
+
+TEST(Components, ComparatorNeedsCarryChain) {
+  // Brickell's structural penalty: comparison delay grows with width.
+  EXPECT_GT(comparator(128, k035).delay_ns, comparator(8, k035).delay_ns);
+}
+
+TEST(Components, MuxMultiplierBeatsArrayMultiplier) {
+  // Table 1's MUX-vs-MUL relationship at radix 4.
+  const GateEval mux = mux_digit_multiplier(2, 64, k035);
+  const GateEval arr = array_digit_multiplier(2, 64, k035);
+  EXPECT_LT(mux.area, arr.area);
+  EXPECT_LT(mux.delay_ns, arr.delay_ns);
+  // And the mux delay is width-independent while the array's grows.
+  EXPECT_DOUBLE_EQ(mux_digit_multiplier(2, 8, k035).delay_ns,
+                   mux_digit_multiplier(2, 128, k035).delay_ns);
+  EXPECT_GT(array_digit_multiplier(2, 128, k035).delay_ns,
+            array_digit_multiplier(2, 8, k035).delay_ns);
+}
+
+TEST(Components, TechnologyScalingAppliesEverywhere) {
+  const GateEval base = carry_lookahead_adder(64, k035);
+  const GateEval old = carry_lookahead_adder(64, k070);
+  EXPECT_NEAR(old.area / base.area, 4.0, 0.01);
+  EXPECT_NEAR(old.delay_ns / base.delay_ns, 2.0, 0.01);
+}
+
+TEST(Components, RegisterBank) {
+  EXPECT_GT(register_bank(64, k035).area, register_bank(32, k035).area);
+  EXPECT_GT(register_setup_ns(k070), register_setup_ns(k035));
+}
+
+TEST(Components, QLogicGrowsWithDigitWidth) {
+  EXPECT_GT(montgomery_q_logic(2, k035).delay_ns, montgomery_q_logic(1, k035).delay_ns);
+  EXPECT_GT(montgomery_q_logic(4, k035).area, montgomery_q_logic(1, k035).area);
+}
+
+TEST(Components, FanoutDelayKicksInAboveEight) {
+  EXPECT_DOUBLE_EQ(fanout_delay_ns(8, k035), 0.0);
+  EXPECT_GT(fanout_delay_ns(16, k035), 0.0);
+  EXPECT_GT(fanout_delay_ns(128, k035), fanout_delay_ns(16, k035));
+}
+
+TEST(Components, PrecomputeUnitGrowsWithRadix) {
+  EXPECT_GT(multiple_precompute_unit(3, k035).area, multiple_precompute_unit(2, k035).area);
+  EXPECT_DOUBLE_EQ(multiple_precompute_unit(2, k035).delay_ns, 0.0);
+}
+
+TEST(Components, ZeroWidthThrows) {
+  EXPECT_THROW(carry_lookahead_adder(0, k035), PreconditionError);
+  EXPECT_THROW(comparator(0, k035), PreconditionError);
+  EXPECT_THROW(array_digit_multiplier(0, 8, k035), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dslayer::tech

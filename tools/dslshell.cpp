@@ -1,0 +1,57 @@
+// dslshell — interactive conceptual design over a design space layer.
+//
+// Usage:
+//   dslshell crypto            the Section 5 cryptography layer
+//   dslshell crypto-tech       the technology-first coexisting hierarchy
+//   dslshell media             the Figs. 2-4 IDCT layer
+//   dslshell <file>            a layer in dslayer-format 1 (see dsl/serialize)
+//
+// Then type `help`. Commands also stream from a pipe, so exploration
+// sessions can be scripted:
+//   printf 'open Operator.Modular.Multiplier\nreq EffectiveOperandLength 768\n' | dslshell crypto
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "domains/crypto.hpp"
+#include "domains/media.hpp"
+#include "dsl/serialize.hpp"
+#include "dsl/shell.hpp"
+
+using namespace dslayer;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "crypto";
+  std::unique_ptr<dsl::DesignSpaceLayer> layer;
+  try {
+    if (which == "crypto") {
+      layer = domains::build_crypto_layer();
+    } else if (which == "crypto-tech") {
+      domains::CryptoLayerOptions options;
+      options.hierarchy = domains::OmmHierarchy::kTechnologyFirst;
+      layer = domains::build_crypto_layer(options);
+    } else if (which == "media") {
+      layer = domains::build_media_layer();
+    } else {
+      std::ifstream file(which);
+      if (!file) {
+        std::cerr << "cannot open layer file '" << which << "'\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << file.rdbuf();
+      dsl::ImportResult imported = dsl::import_layer(text.str());
+      for (const auto& warning : imported.warnings) std::cerr << "warning: " << warning << "\n";
+      layer = std::move(imported.layer);
+    }
+  } catch (const Error& e) {
+    std::cerr << "failed to load layer: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "dslayer shell — layer '" << layer->name() << "' (" << layer->space().all().size()
+            << " CDOs). Type 'help'.\n";
+  const int failures = dsl::run_shell(*layer, std::cin, std::cout);
+  return failures == 0 ? 0 : 1;
+}
