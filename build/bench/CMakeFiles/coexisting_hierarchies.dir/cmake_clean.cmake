@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexisting_hierarchies.dir/coexisting_hierarchies.cpp.o"
+  "CMakeFiles/coexisting_hierarchies.dir/coexisting_hierarchies.cpp.o.d"
+  "coexisting_hierarchies"
+  "coexisting_hierarchies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexisting_hierarchies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coexisting_hierarchies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for coexisting_hierarchies.
+# This may be replaced when dependencies are built.

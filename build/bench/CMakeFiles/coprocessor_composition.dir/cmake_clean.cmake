@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coprocessor_composition.dir/coprocessor_composition.cpp.o"
+  "CMakeFiles/coprocessor_composition.dir/coprocessor_composition.cpp.o.d"
+  "coprocessor_composition"
+  "coprocessor_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coprocessor_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

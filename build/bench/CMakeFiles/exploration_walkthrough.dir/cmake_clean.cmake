@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploration_walkthrough.dir/exploration_walkthrough.cpp.o"
+  "CMakeFiles/exploration_walkthrough.dir/exploration_walkthrough.cpp.o.d"
+  "exploration_walkthrough"
+  "exploration_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploration_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_montgomery_tradeoffs.dir/fig12_montgomery_tradeoffs.cpp.o"
+  "CMakeFiles/fig12_montgomery_tradeoffs.dir/fig12_montgomery_tradeoffs.cpp.o.d"
+  "fig12_montgomery_tradeoffs"
+  "fig12_montgomery_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_montgomery_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_3_idct_clusters.dir/fig2_3_idct_clusters.cpp.o"
+  "CMakeFiles/fig2_3_idct_clusters.dir/fig2_3_idct_clusters.cpp.o.d"
+  "fig2_3_idct_clusters"
+  "fig2_3_idct_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_3_idct_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_impl_style.dir/fig6_impl_style.cpp.o"
+  "CMakeFiles/fig6_impl_style.dir/fig6_impl_style.cpp.o.d"
+  "fig6_impl_style"
+  "fig6_impl_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_impl_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_algorithm_space.dir/fig9_algorithm_space.cpp.o"
+  "CMakeFiles/fig9_algorithm_space.dir/fig9_algorithm_space.cpp.o.d"
+  "fig9_algorithm_space"
+  "fig9_algorithm_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_algorithm_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_report.dir/hierarchy_report.cpp.o"
+  "CMakeFiles/hierarchy_report.dir/hierarchy_report.cpp.o.d"
+  "hierarchy_report"
+  "hierarchy_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_extension.dir/power_extension.cpp.o"
+  "CMakeFiles/power_extension.dir/power_extension.cpp.o.d"
+  "power_extension"
+  "power_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

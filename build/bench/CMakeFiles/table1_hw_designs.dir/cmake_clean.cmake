@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hw_designs.dir/table1_hw_designs.cpp.o"
+  "CMakeFiles/table1_hw_designs.dir/table1_hw_designs.cpp.o.d"
+  "table1_hw_designs"
+  "table1_hw_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hw_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

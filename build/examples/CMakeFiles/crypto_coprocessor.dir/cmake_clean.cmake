@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_coprocessor.dir/crypto_coprocessor.cpp.o"
+  "CMakeFiles/crypto_coprocessor.dir/crypto_coprocessor.cpp.o.d"
+  "crypto_coprocessor"
+  "crypto_coprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_coprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idct_explorer.dir/idct_explorer.cpp.o"
+  "CMakeFiles/idct_explorer.dir/idct_explorer.cpp.o.d"
+  "idct_explorer"
+  "idct_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idct_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

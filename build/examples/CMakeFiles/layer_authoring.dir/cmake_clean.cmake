@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_authoring.dir/layer_authoring.cpp.o"
+  "CMakeFiles/layer_authoring.dir/layer_authoring.cpp.o.d"
+  "layer_authoring"
+  "layer_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_exchange.dir/library_exchange.cpp.o"
+  "CMakeFiles/library_exchange.dir/library_exchange.cpp.o.d"
+  "library_exchange"
+  "library_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_analysis.dir/evaluation_space.cpp.o"
+  "CMakeFiles/dslayer_analysis.dir/evaluation_space.cpp.o.d"
+  "libdslayer_analysis.a"
+  "libdslayer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_behavior.dir/behavior.cpp.o"
+  "CMakeFiles/dslayer_behavior.dir/behavior.cpp.o.d"
+  "libdslayer_behavior.a"
+  "libdslayer_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/biguint.cpp" "src/bigint/CMakeFiles/dslayer_bigint.dir/biguint.cpp.o" "gcc" "src/bigint/CMakeFiles/dslayer_bigint.dir/biguint.cpp.o.d"
+  "/root/repo/src/bigint/modular.cpp" "src/bigint/CMakeFiles/dslayer_bigint.dir/modular.cpp.o" "gcc" "src/bigint/CMakeFiles/dslayer_bigint.dir/modular.cpp.o.d"
+  "/root/repo/src/bigint/montgomery_variants.cpp" "src/bigint/CMakeFiles/dslayer_bigint.dir/montgomery_variants.cpp.o" "gcc" "src/bigint/CMakeFiles/dslayer_bigint.dir/montgomery_variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dslayer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_bigint.dir/biguint.cpp.o"
+  "CMakeFiles/dslayer_bigint.dir/biguint.cpp.o.d"
+  "CMakeFiles/dslayer_bigint.dir/modular.cpp.o"
+  "CMakeFiles/dslayer_bigint.dir/modular.cpp.o.d"
+  "CMakeFiles/dslayer_bigint.dir/montgomery_variants.cpp.o"
+  "CMakeFiles/dslayer_bigint.dir/montgomery_variants.cpp.o.d"
+  "libdslayer_bigint.a"
+  "libdslayer_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_dct.dir/idct.cpp.o"
+  "CMakeFiles/dslayer_dct.dir/idct.cpp.o.d"
+  "libdslayer_dct.a"
+  "libdslayer_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

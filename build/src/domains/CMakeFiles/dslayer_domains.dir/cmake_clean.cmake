@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_domains.dir/crypto.cpp.o"
+  "CMakeFiles/dslayer_domains.dir/crypto.cpp.o.d"
+  "CMakeFiles/dslayer_domains.dir/media.cpp.o"
+  "CMakeFiles/dslayer_domains.dir/media.cpp.o.d"
+  "libdslayer_domains.a"
+  "libdslayer_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

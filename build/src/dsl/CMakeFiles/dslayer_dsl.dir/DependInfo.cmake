@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/cdo.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/cdo.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/cdo.cpp.o.d"
+  "/root/repo/src/dsl/constraint.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/constraint.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/constraint.cpp.o.d"
+  "/root/repo/src/dsl/core_library.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/core_library.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/core_library.cpp.o.d"
+  "/root/repo/src/dsl/exploration.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/exploration.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/exploration.cpp.o.d"
+  "/root/repo/src/dsl/layer.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/layer.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/layer.cpp.o.d"
+  "/root/repo/src/dsl/path.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/path.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/path.cpp.o.d"
+  "/root/repo/src/dsl/property.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/property.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/property.cpp.o.d"
+  "/root/repo/src/dsl/serialize.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/serialize.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/serialize.cpp.o.d"
+  "/root/repo/src/dsl/shell.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/shell.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/shell.cpp.o.d"
+  "/root/repo/src/dsl/value.cpp" "src/dsl/CMakeFiles/dslayer_dsl.dir/value.cpp.o" "gcc" "src/dsl/CMakeFiles/dslayer_dsl.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/behavior/CMakeFiles/dslayer_behavior.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/dslayer_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/dslayer_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dslayer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

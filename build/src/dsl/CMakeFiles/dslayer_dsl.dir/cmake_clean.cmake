@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_dsl.dir/cdo.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/cdo.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/constraint.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/constraint.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/core_library.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/core_library.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/exploration.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/exploration.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/layer.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/layer.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/path.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/path.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/property.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/property.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/serialize.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/serialize.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/shell.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/shell.cpp.o.d"
+  "CMakeFiles/dslayer_dsl.dir/value.cpp.o"
+  "CMakeFiles/dslayer_dsl.dir/value.cpp.o.d"
+  "libdslayer_dsl.a"
+  "libdslayer_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

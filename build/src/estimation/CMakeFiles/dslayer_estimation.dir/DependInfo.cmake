@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/estimators.cpp" "src/estimation/CMakeFiles/dslayer_estimation.dir/estimators.cpp.o" "gcc" "src/estimation/CMakeFiles/dslayer_estimation.dir/estimators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/behavior/CMakeFiles/dslayer_behavior.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/dslayer_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dslayer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

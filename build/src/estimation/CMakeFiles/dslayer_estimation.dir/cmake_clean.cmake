@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_estimation.dir/estimators.cpp.o"
+  "CMakeFiles/dslayer_estimation.dir/estimators.cpp.o.d"
+  "libdslayer_estimation.a"
+  "libdslayer_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

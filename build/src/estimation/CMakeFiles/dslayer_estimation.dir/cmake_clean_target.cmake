@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdslayer_estimation.a"
+)

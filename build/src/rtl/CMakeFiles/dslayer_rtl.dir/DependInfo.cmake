@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/exponentiator.cpp" "src/rtl/CMakeFiles/dslayer_rtl.dir/exponentiator.cpp.o" "gcc" "src/rtl/CMakeFiles/dslayer_rtl.dir/exponentiator.cpp.o.d"
+  "/root/repo/src/rtl/modmul_design.cpp" "src/rtl/CMakeFiles/dslayer_rtl.dir/modmul_design.cpp.o" "gcc" "src/rtl/CMakeFiles/dslayer_rtl.dir/modmul_design.cpp.o.d"
+  "/root/repo/src/rtl/simulator.cpp" "src/rtl/CMakeFiles/dslayer_rtl.dir/simulator.cpp.o" "gcc" "src/rtl/CMakeFiles/dslayer_rtl.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/dslayer_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/dslayer_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dslayer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_rtl.dir/exponentiator.cpp.o"
+  "CMakeFiles/dslayer_rtl.dir/exponentiator.cpp.o.d"
+  "CMakeFiles/dslayer_rtl.dir/modmul_design.cpp.o"
+  "CMakeFiles/dslayer_rtl.dir/modmul_design.cpp.o.d"
+  "CMakeFiles/dslayer_rtl.dir/simulator.cpp.o"
+  "CMakeFiles/dslayer_rtl.dir/simulator.cpp.o.d"
+  "libdslayer_rtl.a"
+  "libdslayer_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

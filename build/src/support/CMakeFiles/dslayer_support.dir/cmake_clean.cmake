@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_support.dir/error.cpp.o"
+  "CMakeFiles/dslayer_support.dir/error.cpp.o.d"
+  "CMakeFiles/dslayer_support.dir/strings.cpp.o"
+  "CMakeFiles/dslayer_support.dir/strings.cpp.o.d"
+  "CMakeFiles/dslayer_support.dir/table.cpp.o"
+  "CMakeFiles/dslayer_support.dir/table.cpp.o.d"
+  "CMakeFiles/dslayer_support.dir/units.cpp.o"
+  "CMakeFiles/dslayer_support.dir/units.cpp.o.d"
+  "libdslayer_support.a"
+  "libdslayer_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_swmodel.dir/swmodel.cpp.o"
+  "CMakeFiles/dslayer_swmodel.dir/swmodel.cpp.o.d"
+  "libdslayer_swmodel.a"
+  "libdslayer_swmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_swmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslayer_tech.dir/components.cpp.o"
+  "CMakeFiles/dslayer_tech.dir/components.cpp.o.d"
+  "CMakeFiles/dslayer_tech.dir/technology.cpp.o"
+  "CMakeFiles/dslayer_tech.dir/technology.cpp.o.d"
+  "libdslayer_tech.a"
+  "libdslayer_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslayer_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domains_media_test.dir/domains_media_test.cpp.o"
+  "CMakeFiles/domains_media_test.dir/domains_media_test.cpp.o.d"
+  "domains_media_test"
+  "domains_media_test.pdb"
+  "domains_media_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domains_media_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for domains_media_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_cdo_test.dir/dsl_cdo_test.cpp.o"
+  "CMakeFiles/dsl_cdo_test.dir/dsl_cdo_test.cpp.o.d"
+  "dsl_cdo_test"
+  "dsl_cdo_test.pdb"
+  "dsl_cdo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_cdo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

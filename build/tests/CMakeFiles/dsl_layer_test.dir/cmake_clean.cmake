@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_layer_test.dir/dsl_layer_test.cpp.o"
+  "CMakeFiles/dsl_layer_test.dir/dsl_layer_test.cpp.o.d"
+  "dsl_layer_test"
+  "dsl_layer_test.pdb"
+  "dsl_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_path_test.dir/dsl_path_test.cpp.o"
+  "CMakeFiles/dsl_path_test.dir/dsl_path_test.cpp.o.d"
+  "dsl_path_test"
+  "dsl_path_test.pdb"
+  "dsl_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

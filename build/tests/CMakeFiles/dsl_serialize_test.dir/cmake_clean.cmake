@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_serialize_test.dir/dsl_serialize_test.cpp.o"
+  "CMakeFiles/dsl_serialize_test.dir/dsl_serialize_test.cpp.o.d"
+  "dsl_serialize_test"
+  "dsl_serialize_test.pdb"
+  "dsl_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

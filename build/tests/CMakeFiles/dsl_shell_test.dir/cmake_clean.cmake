@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_shell_test.dir/dsl_shell_test.cpp.o"
+  "CMakeFiles/dsl_shell_test.dir/dsl_shell_test.cpp.o.d"
+  "dsl_shell_test"
+  "dsl_shell_test.pdb"
+  "dsl_shell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_shell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

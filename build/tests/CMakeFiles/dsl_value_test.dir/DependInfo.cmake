@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsl_value_test.cpp" "tests/CMakeFiles/dsl_value_test.dir/dsl_value_test.cpp.o" "gcc" "tests/CMakeFiles/dsl_value_test.dir/dsl_value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/domains/CMakeFiles/dslayer_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/dslayer_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dslayer_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/dslayer_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/dslayer_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/swmodel/CMakeFiles/dslayer_swmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/dslayer_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/behavior/CMakeFiles/dslayer_behavior.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/dslayer_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/dct/CMakeFiles/dslayer_dct.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dslayer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_value_test.dir/dsl_value_test.cpp.o"
+  "CMakeFiles/dsl_value_test.dir/dsl_value_test.cpp.o.d"
+  "dsl_value_test"
+  "dsl_value_test.pdb"
+  "dsl_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploration_fuzz_test.dir/exploration_fuzz_test.cpp.o"
+  "CMakeFiles/exploration_fuzz_test.dir/exploration_fuzz_test.cpp.o.d"
+  "exploration_fuzz_test"
+  "exploration_fuzz_test.pdb"
+  "exploration_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploration_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montgomery_variants_test.dir/montgomery_variants_test.cpp.o"
+  "CMakeFiles/montgomery_variants_test.dir/montgomery_variants_test.cpp.o.d"
+  "montgomery_variants_test"
+  "montgomery_variants_test.pdb"
+  "montgomery_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montgomery_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

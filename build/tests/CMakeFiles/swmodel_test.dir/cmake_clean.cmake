@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmodel_test.dir/swmodel_test.cpp.o"
+  "CMakeFiles/swmodel_test.dir/swmodel_test.cpp.o.d"
+  "swmodel_test"
+  "swmodel_test.pdb"
+  "swmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

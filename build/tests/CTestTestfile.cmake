@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/dct_test[1]_include.cmake")
+include("/root/repo/build/tests/biguint_test[1]_include.cmake")
+include("/root/repo/build/tests/modular_test[1]_include.cmake")
+include("/root/repo/build/tests/montgomery_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/tech_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/swmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/estimation_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_value_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_path_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_cdo_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_constraint_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_layer_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_exploration_test[1]_include.cmake")
+include("/root/repo/build/tests/domains_crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/domains_media_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_shell_test[1]_include.cmake")
+include("/root/repo/build/tests/exploration_fuzz_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dslshell.dir/dslshell.cpp.o"
+  "CMakeFiles/dslshell.dir/dslshell.cpp.o.d"
+  "dslshell"
+  "dslshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dslshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
