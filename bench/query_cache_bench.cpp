@@ -1,0 +1,140 @@
+// Measures the indexed + cached query layer on a deliberately oversized
+// library: the Table 1 catalog swept across widths and technologies and
+// replicated to ~10k cores, then the coprocessor exploration's hot queries
+// (candidates / metric_range / option_ranges) repeated as an interactive
+// session would — once with the session memoization disabled (the
+// pre-index recompute-everything behavior) and once with it enabled. The
+// QueryStats counters show where the work went.
+
+#include <chrono>
+#include <iostream>
+
+#include "domains/crypto.hpp"
+#include "rtl/modmul_design.hpp"
+#include "support/strings.hpp"
+#include "tech/technology.hpp"
+
+using namespace dslayer;
+using namespace dslayer::domains;
+
+namespace {
+
+constexpr std::size_t kTargetCores = 10000;
+constexpr int kRepeats = 40;
+
+/// Fills `lib` with ~10k synthetic hardware OMM cores: every Table 1
+/// design at every width and technology, replicated with small metric
+/// jitter so each copy is a distinct catalog entry. The bindings are the
+/// complete hardware-slice set, so the latency/power core filters can
+/// reconstruct each core's SliceConfig exactly as for the real library.
+std::size_t populate_synthetic_library(dsl::ReuseLibrary& lib) {
+  std::size_t added = 0;
+  std::size_t serial = 0;
+  while (added < kTargetCores) {
+    for (const rtl::CatalogEntry& entry : rtl::table1_catalog()) {
+      for (const unsigned width : rtl::kTable1SliceWidths) {
+        for (const tech::Process process : {tech::Process::k035um, tech::Process::k070um}) {
+          if (added >= kTargetCores) return added;
+          const tech::Technology& technology =
+              tech::technology(process, tech::LayoutStyle::kStandardCell);
+          const rtl::SliceConfig config = rtl::make_config(entry, width, technology);
+          const rtl::SliceDesign slice(config);
+          const double jitter = 1.0 + 0.001 * static_cast<double>(serial % 97);
+          dsl::Core core(cat("syn_", serial++, "_mm", entry.design_no, "_w", width, "_",
+                             technology.name()),
+                         kPathOMM);
+          core.bind(kImplStyle, dsl::Value::text("Hardware"))
+              .bind(kAlgorithm, dsl::Value::text(rtl::to_string(entry.algorithm)))
+              .bind(kRadix, dsl::Value::number(entry.radix))
+              .bind(kLoopAdder, dsl::Value::text(rtl::to_string(entry.adder)))
+              .bind(kLoopMultiplier, dsl::Value::text(rtl::to_string(entry.multiplier)))
+              .bind(kSliceWidth, dsl::Value::number(width))
+              .bind(kLayoutStyle, dsl::Value::text(tech::to_string(technology.layout)))
+              .bind(kFabTech, dsl::Value::text(tech::to_string(technology.process)))
+              .bind(kResultCoding,
+                    dsl::Value::text(entry.adder == rtl::AdderKind::kCarrySave
+                                         ? "Redundant"
+                                         : "2's complement"))
+              .bind(kOperandCoding, dsl::Value::text("2's complement"));
+          core.set_metric(kMetricArea, slice.area() * jitter)
+              .set_metric(kMetricClockNs, slice.clock_ns() * jitter)
+              .set_metric(kMetricLatencyNs, slice.latency_ns(width) * jitter)
+              .set_metric(kMetricWidth, width);
+          lib.add(std::move(core));
+          ++added;
+        }
+      }
+    }
+  }
+  return added;
+}
+
+/// The hot-query loop an interactive session hammers after every decision:
+/// candidate census, area range, and the Section 5.1.5 what-if ranges for
+/// the still-open Algorithm issue. Returns a checksum so the work cannot
+/// be optimized away.
+std::size_t query_round(const dsl::ExplorationSession& s) {
+  std::size_t checksum = s.candidates().size();
+  if (const auto area = s.metric_range(kMetricArea)) checksum += area->count;
+  for (const auto& [option, range] : s.option_ranges(kAlgorithm, kMetricClockNs)) {
+    checksum += option.size() + range.count;
+  }
+  return checksum;
+}
+
+double run_timed(const dsl::ExplorationSession& s, std::size_t& checksum) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRepeats; ++i) checksum += query_round(s);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+dsl::ExplorationSession scripted_session(const dsl::DesignSpaceLayer& layer) {
+  dsl::ExplorationSession s(layer, kPathOMM);
+  apply_coprocessor_spec(s);
+  s.decide(kImplStyle, "Hardware");
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  auto layer = build_crypto_layer();
+  const std::size_t synthetic = populate_synthetic_library(layer->add_library("syn-hardcores"));
+  const std::size_t indexed = layer->index_cores();
+  std::cout << "=== Query cache benchmark ===\n";
+  std::cout << "synthetic cores: " << synthetic << " (indexed total: " << indexed << ")\n";
+  std::cout << "scripted exploration: coprocessor spec (Fig. 8) + ImplementationStyle=Hardware\n";
+  std::cout << "query round: candidates + area range + Algorithm what-if ranges, x" << kRepeats
+            << "\n\n";
+
+  std::size_t checksum_off = 0;
+  dsl::ExplorationSession uncached = scripted_session(*layer);
+  uncached.set_query_cache(false);
+  uncached.reset_query_stats();
+  layer->reset_query_stats();
+  const double ms_off = run_timed(uncached, checksum_off);
+  std::cout << "cache off: " << format_double(ms_off, 4) << " ms\n";
+  std::cout << "  session: " << uncached.query_stats().summary() << "\n";
+  std::cout << "  layer:   " << layer->query_stats().summary() << "\n\n";
+
+  std::size_t checksum_on = 0;
+  dsl::ExplorationSession cached = scripted_session(*layer);
+  cached.reset_query_stats();
+  layer->reset_query_stats();
+  const double ms_on = run_timed(cached, checksum_on);
+  std::cout << "cache on:  " << format_double(ms_on, 4) << " ms\n";
+  std::cout << "  session: " << cached.query_stats().summary() << "\n";
+  std::cout << "  layer:   " << layer->query_stats().summary() << "\n\n";
+
+  if (checksum_on != checksum_off) {
+    std::cout << "MISMATCH: cached and uncached query results differ (" << checksum_on
+              << " != " << checksum_off << ")\n";
+    return 1;
+  }
+  const double speedup = ms_on > 0.0 ? ms_off / ms_on : 0.0;
+  std::cout << "identical results (checksum " << checksum_on << "); speedup: "
+            << format_double(speedup, 3) << "x " << (speedup >= 5.0 ? "(>= 5x: PASS)" : "(< 5x)")
+            << "\n";
+  return speedup >= 5.0 ? 0 : 1;
+}

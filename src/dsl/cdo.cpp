@@ -132,11 +132,8 @@ std::vector<const Cdo*> Cdo::children() const {
 }
 
 std::vector<const Cdo*> Cdo::subtree() const {
-  std::vector<const Cdo*> out{this};
-  for (const auto& c : children_) {
-    const auto sub = c->subtree();
-    out.insert(out.end(), sub.begin(), sub.end());
-  }
+  std::vector<const Cdo*> out;
+  visit([&out](const Cdo& c) { out.push_back(&c); });
   return out;
 }
 
@@ -229,8 +226,7 @@ const Cdo* DesignSpace::find(const std::string& path) const {
 std::vector<const Cdo*> DesignSpace::all() const {
   std::vector<const Cdo*> out;
   for (const auto& r : roots_) {
-    const auto sub = r->subtree();
-    out.insert(out.end(), sub.begin(), sub.end());
+    r->visit([&out](const Cdo& c) { out.push_back(&c); });
   }
   return out;
 }

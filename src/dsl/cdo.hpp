@@ -101,6 +101,15 @@ class Cdo {
   /// This CDO and every descendant, pre-order.
   std::vector<const Cdo*> subtree() const;
 
+  /// Applies `fn` to this CDO and every descendant, pre-order, without
+  /// materializing a vector — the hot-path traversal behind subtree(),
+  /// DesignSpace::all(), and the layer's subtree core index.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    fn(*this);
+    for (const auto& c : children_) c->visit(fn);
+  }
+
   // -- behavioral descriptions ----------------------------------------------------
 
   /// Attaches an algorithmic-level behavioral description (Fig. 10).

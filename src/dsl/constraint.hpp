@@ -22,6 +22,7 @@
 //                               Montgomery loop are dominated).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -101,6 +102,11 @@ class ConsistencyConstraint {
   /// True if every independent property has a (non-empty) binding.
   bool independents_bound(const Bindings& bindings) const;
 
+  /// How often this constraint's relation has been evaluated (violated()
+  /// or evaluate()) since construction — the per-constraint view of
+  /// QueryStats::constraint_evaluations, useful for spotting hot CCs.
+  std::uint64_t evaluations() const { return evaluations_; }
+
   /// Renders "CC1: <doc>  Indep={...} Dep={...} Relation: <kind>".
   std::string describe() const;
 
@@ -115,6 +121,7 @@ class ConsistencyConstraint {
   std::function<bool(const Bindings&)> violated_;
   std::function<Value(const Bindings&)> compute_;
   std::string estimator_name_;
+  mutable std::uint64_t evaluations_ = 0;
 };
 
 /// Helper for relation predicates: value of `property`, or an empty Value.

@@ -57,11 +57,9 @@ ReuseLibrary::ReuseLibrary(std::string name) : name_(std::move(name)) {
 }
 
 Core& ReuseLibrary::add(Core core) {
-  for (const auto& existing : cores_) {
-    if (existing->name() == core.name()) {
-      throw DefinitionError(
-          cat("core '", core.name(), "' already exists in library '", name_, "'"));
-    }
+  if (!names_.insert(core.name()).second) {
+    throw DefinitionError(
+        cat("core '", core.name(), "' already exists in library '", name_, "'"));
   }
   core.set_library(name_);
   cores_.push_back(std::make_unique<Core>(std::move(core)));

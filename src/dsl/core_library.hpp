@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -87,8 +88,11 @@ class ReuseLibrary {
   const std::string& name() const { return name_; }
 
   /// Adds a core (stamps the library name); returns a stable reference —
-  /// cores are never reallocated once added.
+  /// cores are never reallocated once added. Duplicate detection is a set
+  /// lookup, so bulk catalog loads stay linear in the number of cores.
   Core& add(Core core);
+
+  bool contains(const std::string& core_name) const { return names_.contains(core_name); }
 
   std::size_t size() const { return cores_.size(); }
 
@@ -97,6 +101,7 @@ class ReuseLibrary {
  private:
   std::string name_;
   std::vector<std::unique_ptr<Core>> cores_;  // unique_ptr => stable addresses
+  std::set<std::string> names_;               // duplicate-name index
 };
 
 }  // namespace dslayer::dsl

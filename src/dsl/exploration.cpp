@@ -47,7 +47,18 @@ const Property& ExplorationSession::require_property(const std::string& name,
   return *p;
 }
 
-Bindings ExplorationSession::bindings() const {
+const Bindings& ExplorationSession::bindings() const {
+  if (cache_enabled_ && bindings_generation_ == generation_) {
+    ++stats_.cache_hits;
+    return bindings_cache_;
+  }
+  ++stats_.cache_misses;
+  bindings_cache_ = compute_bindings();
+  bindings_generation_ = generation_;
+  return bindings_cache_;
+}
+
+Bindings ExplorationSession::compute_bindings() const {
   Bindings out;
   for (const auto& [name, entry] : entries_) {
     if (!entry.value.empty()) out[name] = entry.value;
@@ -63,9 +74,8 @@ Bindings ExplorationSession::bindings() const {
 }
 
 void ExplorationSession::check_ordering(const std::string& name) const {
-  const Bindings bound = bindings();
-  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
-    if (!cc->constrains(name)) continue;
+  const Bindings& bound = bindings();
+  for (const ConsistencyConstraint* cc : layer_->constraint_index(*current_).constraining(name)) {
     for (const PropertyPath& indep : cc->independent()) {
       // Ordering is enforced between DESIGN ISSUES: a dependent issue may
       // only be decided after its independent issues. Requirement
@@ -92,12 +102,12 @@ void ExplorationSession::check_consistency(const std::string& name, const Value&
   // scan in the callers).
   Bindings tentative = bindings();
   tentative[name] = value;
-  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+  for (const ConsistencyConstraint* cc : layer_->constraint_index(*current_).constraining(name)) {
     if (cc->kind() != RelationKind::kInconsistentOptions &&
         cc->kind() != RelationKind::kDominanceElimination) {
       continue;
     }
-    if (!cc->constrains(name)) continue;
+    ++stats_.constraint_evaluations;
     if (cc->violated(tentative)) {
       const char* why = cc->kind() == RelationKind::kDominanceElimination
                             ? "eliminated as inferior"
@@ -112,13 +122,13 @@ void ExplorationSession::check_consistency(const std::string& name, const Value&
 void ExplorationSession::scan_conflicts(const std::string& name) {
   // After an independent changed, record which constraints are now violated
   // (their dependents have just been flagged for re-assessment).
-  const Bindings bound = bindings();
-  for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+  const Bindings& bound = bindings();
+  for (const ConsistencyConstraint* cc : layer_->constraint_index(*current_).depending_on(name)) {
     if (cc->kind() != RelationKind::kInconsistentOptions &&
         cc->kind() != RelationKind::kDominanceElimination) {
       continue;
     }
-    if (!cc->depends_on(name)) continue;
+    ++stats_.constraint_evaluations;
     if (cc->violated(bound)) {
       log(cat("CONFLICT ", cc->id(), ": current values violate '", cc->doc(),
               "' — re-assess the flagged properties"));
@@ -133,8 +143,8 @@ void ExplorationSession::invalidate_dependents(const std::string& name) {
   while (!frontier.empty()) {
     const std::string changed = std::move(frontier.back());
     frontier.pop_back();
-    for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
-      if (!cc->depends_on(changed)) continue;
+    for (const ConsistencyConstraint* cc :
+         layer_->constraint_index(*current_).depending_on(changed)) {
       for (const PropertyPath& dep : cc->dependent()) {
         const auto it = entries_.find(dep.property());
         if (it == entries_.end() || it->second.state != State::kSet ||
@@ -163,6 +173,7 @@ void ExplorationSession::set_requirement(const std::string& name, Value value) {
   e.value = std::move(value);
   e.state = State::kSet;
   e.is_requirement = true;
+  touch();
   log(cat(revision ? "requirement revised: " : "requirement set: ", name, " = ",
           e.value.to_string()));
   invalidate_dependents(name);
@@ -193,6 +204,7 @@ void ExplorationSession::decide(const std::string& name, Value value) {
   e.value = value;
   e.state = State::kSet;
   e.is_requirement = false;
+  touch();
   log(cat(revision ? "decision revised: " : "decision: ", name, " = ", value.to_string()));
   invalidate_dependents(name);
   scan_conflicts(name);
@@ -204,6 +216,7 @@ void ExplorationSession::decide(const std::string& name, Value value) {
                                 "' has no specialized CDO — layer is incomplete"));
     }
     current_ = child;
+    touch();
     log(cat("descended to '", current_->path(), "' (design space pruned)"));
   }
 }
@@ -239,6 +252,7 @@ void ExplorationSession::retract(const std::string& name) {
       ++iter;
     }
   }
+  touch();
   invalidate_dependents(name);
 }
 
@@ -250,6 +264,7 @@ void ExplorationSession::reaffirm(const std::string& name) {
   // Re-check the kept value against the current context.
   check_consistency(name, it->second.value);
   it->second.state = State::kSet;
+  touch();
   log(cat("re-affirmed: ", name, " = ", it->second.value.to_string()));
 }
 
@@ -292,16 +307,22 @@ std::vector<std::pair<std::string, std::string>> ExplorationSession::eliminated_
   DSLAYER_REQUIRE(p.domain.kind() == ValueDomain::Kind::kOptions,
                   "eliminated_options needs an enumerated design issue");
   std::vector<std::pair<std::string, std::string>> out;
-  const Bindings base = bindings();
+  // Mirror decide()'s veto exactly: a constraint eliminates an option only
+  // when `issue` is in its DEPENDENT set. Constraints that merely depend on
+  // `issue` (independent side) do not veto — decide() accepts the option and
+  // flags the constraint's dependents for re-assessment instead (see
+  // reassessment_flags()). Matching the independent side here used to report
+  // options as eliminated that decide() would happily accept.
+  Bindings tentative = bindings();
   for (const std::string& option : p.domain.option_list()) {
-    Bindings tentative = base;
     tentative[issue] = Value::text(option);
-    for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
+    for (const ConsistencyConstraint* cc :
+         layer_->constraint_index(*current_).constraining(issue)) {
       if (cc->kind() != RelationKind::kInconsistentOptions &&
           cc->kind() != RelationKind::kDominanceElimination) {
         continue;
       }
-      if (!cc->constrains(issue) && !cc->depends_on(issue)) continue;
+      ++stats_.constraint_evaluations;
       if (cc->violated(tentative)) {
         out.emplace_back(option, cc->id());
         break;
@@ -311,9 +332,49 @@ std::vector<std::pair<std::string, std::string>> ExplorationSession::eliminated_
   return out;
 }
 
-std::vector<const Core*> ExplorationSession::candidates() const {
-  std::vector<const Core*> cores = layer_->cores_under(*current_);
-  const Bindings bound = bindings();
+std::vector<std::pair<std::string, std::string>> ExplorationSession::reassessment_flags(
+    const std::string& issue) const {
+  const Property& p = require_property(issue, PropertyKind::kDesignIssue);
+  DSLAYER_REQUIRE(p.domain.kind() == ValueDomain::Kind::kOptions,
+                  "reassessment_flags needs an enumerated design issue");
+  std::vector<std::pair<std::string, std::string>> out;
+  Bindings tentative = bindings();
+  for (const std::string& option : p.domain.option_list()) {
+    tentative[issue] = Value::text(option);
+    for (const ConsistencyConstraint* cc :
+         layer_->constraint_index(*current_).depending_on(issue)) {
+      if (cc->kind() != RelationKind::kInconsistentOptions &&
+          cc->kind() != RelationKind::kDominanceElimination) {
+        continue;
+      }
+      // The dependent side already vetoes through eliminated_options();
+      // only a pure independent role flags re-assessment.
+      if (cc->constrains(issue)) continue;
+      ++stats_.constraint_evaluations;
+      if (cc->violated(tentative)) {
+        out.emplace_back(option, cc->id());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const std::vector<const Core*>& ExplorationSession::candidates() const {
+  if (cache_enabled_ && candidates_generation_ == generation_) {
+    ++stats_.cache_hits;
+    return candidates_cache_;
+  }
+  ++stats_.cache_misses;
+  candidates_cache_ = compute_candidates();
+  candidates_generation_ = generation_;
+  return candidates_cache_;
+}
+
+std::vector<const Core*> ExplorationSession::compute_candidates() const {
+  const std::vector<const Core*>& cores = layer_->cores_under(*current_);
+  const Bindings& bound = bindings();
+  const ConstraintIndex& idx = layer_->constraint_index(*current_);
 
   const auto complies = [&](const Core& core) {
     // 1. Every explicitly decided, core-filtering design issue must match
@@ -351,11 +412,8 @@ std::vector<const Core*> ExplorationSession::candidates() const {
     //    cores even before the designer touches the corresponding issue).
     Bindings merged = bound;
     for (const auto& [k, v] : core.bindings()) merged[k] = v;
-    for (const ConsistencyConstraint* cc : layer_->constraints_at(*current_)) {
-      if (cc->kind() != RelationKind::kInconsistentOptions &&
-          cc->kind() != RelationKind::kDominanceElimination) {
-        continue;
-      }
+    for (const ConsistencyConstraint* cc : idx.predicates) {
+      ++stats_.constraint_evaluations;
       if (cc->violated(merged)) return false;
     }
     return true;
@@ -363,6 +421,7 @@ std::vector<const Core*> ExplorationSession::candidates() const {
 
   std::vector<const Core*> out;
   for (const Core* core : cores) {
+    ++stats_.compliance_checks;
     if (complies(*core)) out.push_back(core);
   }
   return out;
@@ -394,46 +453,58 @@ std::map<std::string, ExplorationSession::MetricRange> ExplorationSession::optio
   DSLAYER_REQUIRE(p.domain.kind() == ValueDomain::Kind::kOptions,
                   "option_ranges needs an enumerated design issue");
 
-  const std::vector<const Core*> base = candidates();
-  std::map<std::string, MetricRange> result;
-  for (const std::string& option : available_options(issue)) {
-    // Tentative candidate set for this option.
-    std::vector<const Core*> kept;
-    if (p.generalized) {
-      // Deciding a generalized option descends: the survivors are the base
-      // candidates indexed under that option's specialized CDO.
-      const Cdo* owner = current_->property_owner(issue);
-      const Cdo* child = owner == nullptr ? nullptr : owner->child_for_option(option);
-      if (child == nullptr) continue;
-      std::set<const Core*> in_region;
-      for (const Core* core : layer_->cores_under(*child)) in_region.insert(core);
-      for (const Core* core : base) {
-        if (in_region.contains(core)) kept.push_back(core);
-      }
-    } else if (!p.filters_cores) {
-      kept = base;  // integration parameters do not filter
-    } else {
-      for (const Core* core : base) {
-        const auto binding = core->binding(issue);
-        if (binding.has_value() && *binding == Value::text(option)) kept.push_back(core);
-      }
-    }
+  const std::vector<const Core*>& base = candidates();
+  const auto options = available_options(issue);
+  const std::set<std::string> open(options.begin(), options.end());
 
-    MetricRange range;
-    bool first = true;
-    for (const Core* core : kept) {
-      const auto v = core->metric(metric);
-      if (!v.has_value()) continue;
-      if (first) {
-        range.min = range.max = *v;
-        first = false;
-      } else {
-        range.min = std::min(range.min, *v);
-        range.max = std::max(range.max, *v);
-      }
-      ++range.count;
+  const auto fold = [](MetricRange& range, double v) {
+    if (range.count == 0) {
+      range.min = range.max = v;
+    } else {
+      range.min = std::min(range.min, v);
+      range.max = std::max(range.max, v);
     }
-    result[option] = range;
+    ++range.count;
+  };
+
+  std::map<std::string, MetricRange> result;
+  if (!p.generalized && !p.filters_cores) {
+    // Integration parameters do not filter: every option keeps the full
+    // candidate set, so one shared range serves all of them.
+    MetricRange shared;
+    for (const Core* core : base) {
+      if (const auto v = core->metric(metric)) fold(shared, *v);
+    }
+    if (shared.count > 0) {
+      for (const std::string& option : options) result[option] = shared;
+    }
+    return result;
+  }
+
+  // One partitioning pass over the cached candidates (no per-option
+  // rescans). Options no metric-reporting core lands in are simply absent —
+  // every returned range has count > 0.
+  const Cdo* owner = p.generalized ? current_->property_owner(issue) : nullptr;
+  for (const Core* core : base) {
+    const auto v = core->metric(metric);
+    if (!v.has_value()) continue;
+    std::string option;
+    if (p.generalized) {
+      // Deciding a generalized option descends: the core's option is the
+      // specializing child (of the issue's owner) its indexed CDO sits
+      // under.
+      for (const Cdo* c = layer_->indexed_cdo(*core); c != nullptr; c = c->parent()) {
+        if (c->parent() == owner) {
+          option = c->specializing_option();
+          break;
+        }
+      }
+    } else if (const auto binding = core->binding(issue);
+               binding.has_value() && binding->kind() == Value::Kind::kText) {
+      option = binding->as_text();
+    }
+    if (option.empty() || !open.contains(option)) continue;
+    fold(result[option], *v);
   }
   return result;
 }
@@ -532,7 +603,7 @@ std::string ExplorationSession::report() const {
     if (entry.state == State::kNeedsReassessment) os << "  [NEEDS RE-ASSESSMENT]";
     os << "\n";
   }
-  const auto cores = candidates();
+  const auto& cores = candidates();
   os << "Candidate cores: " << cores.size() << "\n";
   for (const Core* core : cores) os << "  " << core->describe() << "\n";
   return os.str();

@@ -21,11 +21,13 @@
 //    extends to the exploration itself.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "dsl/layer.hpp"
+#include "dsl/query_stats.hpp"
 
 namespace dslayer::dsl {
 
@@ -91,22 +93,39 @@ class ExplorationSession {
   std::vector<std::string> pending_reassessment() const;
 
   /// Full value snapshot: structural + explicit values, then property
-  /// defaults for everything else visible.
-  Bindings bindings() const;
+  /// defaults for everything else visible. Memoized behind the session's
+  /// generation counter; the reference is valid until the next
+  /// set_requirement/decide/retract/reaffirm.
+  const Bindings& bindings() const;
 
   /// Options of `issue` not eliminated by consistency constraints under the
   /// current bindings.
   std::vector<std::string> available_options(const std::string& issue) const;
 
-  /// Options eliminated, with the vetoing constraint id.
+  /// Options eliminated, with the vetoing constraint id. Mirrors decide()'s
+  /// veto exactly: only constraints whose DEPENDENT set contains `issue`
+  /// eliminate an option. Options that merely conflict through the
+  /// independent side are decidable (decide() flags the dependents for
+  /// re-assessment instead) and are reported by reassessment_flags().
   std::vector<std::pair<std::string, std::string>> eliminated_options(
+      const std::string& issue) const;
+
+  /// Options of `issue` that decide() would ACCEPT but that immediately
+  /// violate a constraint through `issue`'s independent side — choosing
+  /// them flags the constraint's decided dependents for re-assessment.
+  /// Reported with the conflicting constraint id so the designer sees the
+  /// consequence before committing.
+  std::vector<std::pair<std::string, std::string>> reassessment_flags(
       const std::string& issue) const;
 
   // -- retrieval ----------------------------------------------------------------
 
   /// Cores in the selected design-space region complying with every
-  /// decision, requirement, and constraint.
-  std::vector<const Core*> candidates() const;
+  /// decision, requirement, and constraint. Memoized behind the session's
+  /// generation counter (one scan serves report(), metric_range() and
+  /// option_ranges() until the next value change); the reference is valid
+  /// until the next mutating call.
+  const std::vector<const Core*>& candidates() const;
 
   /// Range of a figure of merit over the candidates that report it.
   struct MetricRange {
@@ -120,9 +139,11 @@ class ExplorationSession {
   /// undecided design issue, the range of `metric` over the candidates the
   /// session would retain after tentatively deciding that option —
   /// "allowing the designer to consider the performance ranges and other
-  /// figures of merit, for each such alternatives". Options whose
-  /// tentative candidate set is empty map to a zero-count range; options
-  /// vetoed by constraints are omitted.
+  /// figures of merit, for each such alternatives". The cached candidate
+  /// set is partitioned once across all options (not rescanned per
+  /// option). Options vetoed by constraints are omitted, as are options
+  /// whose tentative candidates report no value for `metric` — every range
+  /// returned has count > 0 and meaningful min/max.
   std::map<std::string, MetricRange> option_ranges(const std::string& issue,
                                                    const std::string& metric) const;
 
@@ -174,6 +195,19 @@ class ExplorationSession {
   /// Human-readable session summary: scope, values, candidates, ranges.
   std::string report() const;
 
+  // -- query cache & observability ---------------------------------------------------
+
+  /// Enables/disables the memoization of bindings() and candidates().
+  /// Disabled, every query recomputes from scratch (the pre-index
+  /// behavior) — kept for benchmarking and distrust-the-cache debugging.
+  void set_query_cache(bool enabled) { cache_enabled_ = enabled; }
+  bool query_cache_enabled() const { return cache_enabled_; }
+
+  /// Counters for this session's queries: constraint evaluations, core
+  /// compliance checks, cache hits/misses.
+  const QueryStats& query_stats() const { return stats_; }
+  void reset_query_stats() const { stats_.reset(); }
+
  private:
   struct Entry {
     Value value;
@@ -189,11 +223,28 @@ class ExplorationSession {
   void invalidate_dependents(const std::string& name);
   void log(std::string message);
 
+  /// Invalidates the memoized queries (bump after every value or scope
+  /// mutation — the caches re-fill lazily).
+  void touch() { ++generation_; }
+
+  Bindings compute_bindings() const;
+  std::vector<const Core*> compute_candidates() const;
+
   const DesignSpaceLayer* layer_;
   const Cdo* root_;
   const Cdo* current_;
   std::map<std::string, Entry> entries_;
   std::vector<std::string> trace_;
+
+  // Memoized query layer: results tagged with the generation they were
+  // computed at; any mutation bumps generation_ and implicitly invalidates.
+  bool cache_enabled_ = true;
+  std::uint64_t generation_ = 1;
+  mutable std::uint64_t bindings_generation_ = 0;  // 0 = never computed
+  mutable Bindings bindings_cache_;
+  mutable std::uint64_t candidates_generation_ = 0;
+  mutable std::vector<const Core*> candidates_cache_;
+  mutable QueryStats stats_;
 };
 
 }  // namespace dslayer::dsl

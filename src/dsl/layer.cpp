@@ -8,6 +8,23 @@
 
 namespace dslayer::dsl {
 
+namespace {
+const std::vector<const Core*> kNoCores;
+const std::vector<const ConsistencyConstraint*> kNoConstraints;
+}  // namespace
+
+const std::vector<const ConsistencyConstraint*>& ConstraintIndex::constraining(
+    const std::string& property) const {
+  const auto it = by_dependent.find(property);
+  return it == by_dependent.end() ? kNoConstraints : it->second;
+}
+
+const std::vector<const ConsistencyConstraint*>& ConstraintIndex::depending_on(
+    const std::string& property) const {
+  const auto it = by_independent.find(property);
+  return it == by_independent.end() ? kNoConstraints : it->second;
+}
+
 DesignSpaceLayer::DesignSpaceLayer(std::string name) : name_(std::move(name)) {
   if (name_.empty()) throw DefinitionError("design space layer needs a name");
 }
@@ -35,6 +52,8 @@ ReuseLibrary* DesignSpaceLayer::library(const std::string& name) {
 
 std::size_t DesignSpaceLayer::index_cores() {
   index_.clear();
+  core_cdo_.clear();
+  subtree_index_.clear();
   index_warnings_.clear();
   std::size_t indexed = 0;
   for (const auto& lib : libraries_) {
@@ -70,41 +89,89 @@ std::size_t DesignSpaceLayer::index_cores() {
         cdo = child;
       }
       index_[cdo].push_back(core);
+      core_cdo_[core] = cdo;
       ++indexed;
     }
   }
+  // Cumulative subtree index: one pre-order pass per root accumulates the
+  // cores of every descendant, replacing the per-call subtree() walk that
+  // cores_under() used to do.
+  ++stats_.index_rebuilds;
+  for (const Cdo* root : space_.roots()) build_subtree_index(*root);
   return indexed;
 }
 
-std::vector<const Core*> DesignSpaceLayer::cores_at(const Cdo& cdo) const {
-  const auto it = index_.find(&cdo);
-  return it == index_.end() ? std::vector<const Core*>{} : it->second;
+const std::vector<const Core*>& DesignSpaceLayer::build_subtree_index(const Cdo& cdo) const {
+  std::vector<const Core*> out;
+  if (const auto it = index_.find(&cdo); it != index_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  for (const Cdo* child : cdo.children()) {
+    const auto& sub = build_subtree_index(*child);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return subtree_index_[&cdo] = std::move(out);
 }
 
-std::vector<const Core*> DesignSpaceLayer::cores_under(const Cdo& cdo) const {
-  std::vector<const Core*> out;
-  for (const Cdo* node : cdo.subtree()) {
-    const auto it = index_.find(node);
-    if (it != index_.end()) out.insert(out.end(), it->second.begin(), it->second.end());
+const std::vector<const Core*>& DesignSpaceLayer::cores_at(const Cdo& cdo) const {
+  const auto it = index_.find(&cdo);
+  return it == index_.end() ? kNoCores : it->second;
+}
+
+const std::vector<const Core*>& DesignSpaceLayer::cores_under(const Cdo& cdo) const {
+  const auto it = subtree_index_.find(&cdo);
+  if (it != subtree_index_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
   }
-  return out;
+  // CDO created (or queried) after the last index_cores() pass: index its
+  // subtree on demand.
+  ++stats_.cache_misses;
+  ++stats_.index_rebuilds;
+  return build_subtree_index(cdo);
+}
+
+const Cdo* DesignSpaceLayer::indexed_cdo(const Core& core) const {
+  const auto it = core_cdo_.find(&core);
+  return it == core_cdo_.end() ? nullptr : it->second;
 }
 
 void DesignSpaceLayer::add_constraint(ConsistencyConstraint cc) {
-  for (const auto& existing : constraints_) {
-    if (existing.id() == cc.id()) {
-      throw DefinitionError(cat("constraint '", cc.id(), "' already defined"));
-    }
+  if (!constraint_ids_.insert(cc.id()).second) {
+    throw DefinitionError(cat("constraint '", cc.id(), "' already defined"));
   }
   constraints_.push_back(std::move(cc));
+  // The adjacency lists hold pointers into constraints_, so any growth
+  // (reallocation) invalidates every cached index.
+  constraint_index_.clear();
 }
 
-std::vector<const ConsistencyConstraint*> DesignSpaceLayer::constraints_at(const Cdo& cdo) const {
-  std::vector<const ConsistencyConstraint*> out;
-  for (const auto& cc : constraints_) {
-    if (cc.applies_at(cdo)) out.push_back(&cc);
+const std::vector<const ConsistencyConstraint*>& DesignSpaceLayer::constraints_at(
+    const Cdo& cdo) const {
+  return constraint_index(cdo).all;
+}
+
+const ConstraintIndex& DesignSpaceLayer::constraint_index(const Cdo& cdo) const {
+  if (const auto it = constraint_index_.find(&cdo); it != constraint_index_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
   }
-  return out;
+  ++stats_.cache_misses;
+  ++stats_.index_rebuilds;
+  ConstraintIndex index;
+  for (const auto& cc : constraints_) {
+    if (!cc.applies_at(cdo)) continue;
+    index.all.push_back(&cc);
+    if (cc.kind() == RelationKind::kInconsistentOptions ||
+        cc.kind() == RelationKind::kDominanceElimination) {
+      index.predicates.push_back(&cc);
+    }
+    for (const PropertyPath& dep : cc.dependent()) index.by_dependent[dep.property()].push_back(&cc);
+    for (const PropertyPath& indep : cc.independent()) {
+      index.by_independent[indep.property()].push_back(&cc);
+    }
+  }
+  return constraint_index_[&cdo] = std::move(index);
 }
 
 void DesignSpaceLayer::set_context_builder(ContextBuilder builder) {

@@ -16,15 +16,36 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "dsl/cdo.hpp"
 #include "dsl/constraint.hpp"
 #include "dsl/core_library.hpp"
+#include "dsl/query_stats.hpp"
 #include "estimation/estimators.hpp"
 
 namespace dslayer::dsl {
+
+/// Per-CDO constraint adjacency, built once and reused by every query that
+/// used to rescan the full constraint list: the constraints in scope, the
+/// predicate subset (InconsistentOptions/DominanceElimination — the only
+/// kinds candidates() evaluates), and property-name lookups for both sides
+/// of the dependency relation.
+struct ConstraintIndex {
+  std::vector<const ConsistencyConstraint*> all;
+  std::vector<const ConsistencyConstraint*> predicates;
+  std::map<std::string, std::vector<const ConsistencyConstraint*>> by_dependent;
+  std::map<std::string, std::vector<const ConsistencyConstraint*>> by_independent;
+
+  /// Constraints whose dependent set contains `property` (veto side).
+  const std::vector<const ConsistencyConstraint*>& constraining(const std::string& property) const;
+
+  /// Constraints whose independent set contains `property` (re-assessment
+  /// side).
+  const std::vector<const ConsistencyConstraint*>& depending_on(const std::string& property) const;
+};
 
 class DesignSpaceLayer {
  public:
@@ -58,17 +79,24 @@ class DesignSpaceLayer {
   /// nullptr if no library has that name.
   ReuseLibrary* library(const std::string& name);
 
-  /// (Re)indexes every core of every library onto the CDO hierarchy.
-  /// Returns the number of cores indexed; resolution problems are appended
-  /// to index_warnings().
+  /// (Re)indexes every core of every library onto the CDO hierarchy and
+  /// rebuilds the cumulative per-CDO subtree core index behind
+  /// cores_under(). Returns the number of cores indexed; resolution
+  /// problems are appended to index_warnings().
   std::size_t index_cores();
 
   /// Cores indexed exactly at this CDO.
-  std::vector<const Core*> cores_at(const Cdo& cdo) const;
+  const std::vector<const Core*>& cores_at(const Cdo& cdo) const;
 
   /// Cores indexed at this CDO or any descendant (the design-space region
-  /// the CDO represents).
-  std::vector<const Core*> cores_under(const Cdo& cdo) const;
+  /// the CDO represents). Served from the cumulative subtree index built by
+  /// index_cores(); the returned reference is stable until the next
+  /// index_cores() call.
+  const std::vector<const Core*>& cores_under(const Cdo& cdo) const;
+
+  /// The CDO an indexed core resolved to (its most specific family);
+  /// nullptr if the core was never indexed.
+  const Cdo* indexed_cdo(const Core& core) const;
 
   const std::vector<std::string>& index_warnings() const { return index_warnings_; }
 
@@ -77,8 +105,14 @@ class DesignSpaceLayer {
   void add_constraint(ConsistencyConstraint cc);
   const std::vector<ConsistencyConstraint>& constraints() const { return constraints_; }
 
-  /// Constraints in scope at a CDO.
-  std::vector<const ConsistencyConstraint*> constraints_at(const Cdo& cdo) const;
+  /// Constraints in scope at a CDO (the index's `all` list; the reference
+  /// is stable until the next add_constraint()).
+  const std::vector<const ConsistencyConstraint*>& constraints_at(const Cdo& cdo) const;
+
+  /// Full constraint adjacency for a CDO — applicable constraints plus
+  /// property-name lookups. Built lazily per CDO, invalidated by
+  /// add_constraint(); new CDOs are indexed on first query.
+  const ConstraintIndex& constraint_index(const Cdo& cdo) const;
 
   // -- estimation --------------------------------------------------------------
 
@@ -121,17 +155,37 @@ class DesignSpaceLayer {
   /// libraries) — the paper's "self-documented" claim made executable.
   std::string document() const;
 
+  // -- observability ---------------------------------------------------------------
+
+  /// Counters for the layer-side caches (constraint index, subtree core
+  /// index): hits, misses, rebuilds.
+  const QueryStats& query_stats() const { return stats_; }
+  void reset_query_stats() const { stats_.reset(); }
+
  private:
+  /// Builds (and caches) the cumulative core list of `cdo`'s subtree.
+  const std::vector<const Core*>& build_subtree_index(const Cdo& cdo) const;
+
   std::string name_;
   DesignSpace space_;
   std::vector<std::unique_ptr<ReuseLibrary>> libraries_;
   std::vector<ConsistencyConstraint> constraints_;
+  std::set<std::string> constraint_ids_;  // duplicate-id index
   estimation::EstimatorRegistry estimators_ = estimation::EstimatorRegistry::standard();
   std::map<const Cdo*, std::vector<const Core*>> index_;
+  std::map<const Core*, const Cdo*> core_cdo_;  // reverse of index_
   std::vector<std::string> index_warnings_;
   std::map<std::string, CoreFilter> core_filters_;
   std::map<behavior::OpKind, std::string> operator_classes_;
   ContextBuilder context_builder_;
+
+  // Lazily filled, invalidation-aware query indexes (mutable: queries are
+  // logically const). constraint_index_ is cleared by add_constraint();
+  // subtree_index_ is rebuilt by index_cores() and filled on demand for
+  // CDOs created after the last indexing pass.
+  mutable std::map<const Cdo*, ConstraintIndex> constraint_index_;
+  mutable std::map<const Cdo*, std::vector<const Core*>> subtree_index_;
+  mutable QueryStats stats_;
 };
 
 }  // namespace dslayer::dsl

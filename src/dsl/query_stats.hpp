@@ -1,0 +1,37 @@
+// Observability counters for the indexed + cached query layer.
+//
+// Interactive exploration (Section 5) asks the same questions — what
+// options remain, what cores comply, what metric ranges follow — after
+// every decision. QueryStats makes the cost of answering them visible:
+// how many constraint predicates were evaluated, how many cores went
+// through compliance checks, and how often the memoized caches and the
+// per-CDO indexes absorbed a query instead of a rescan. Both
+// DesignSpaceLayer and ExplorationSession expose one; the shell's `stats`
+// command prints them.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace dslayer::dsl {
+
+struct QueryStats {
+  std::uint64_t constraint_evaluations = 0;  ///< predicate violated() calls issued
+  std::uint64_t compliance_checks = 0;       ///< cores run through the candidate filter
+  std::uint64_t cache_hits = 0;              ///< queries answered from a memoized result
+  std::uint64_t cache_misses = 0;            ///< queries that had to recompute
+  std::uint64_t index_rebuilds = 0;          ///< per-CDO index (re)constructions
+
+  void reset() { *this = QueryStats{}; }
+
+  std::string summary() const {
+    std::ostringstream os;
+    os << "constraint evaluations: " << constraint_evaluations
+       << "  compliance checks: " << compliance_checks << "  cache hits: " << cache_hits
+       << "  cache misses: " << cache_misses << "  index rebuilds: " << index_rebuilds;
+    return os.str();
+  }
+};
+
+}  // namespace dslayer::dsl

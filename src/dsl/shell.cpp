@@ -20,7 +20,7 @@ constexpr const char* kHelp = R"(commands:
   decide <name> <value>    decide a design issue
   retract <name>           withdraw a value (ascends for generalized issues)
   reaffirm <name>          confirm a value flagged for re-assessment
-  options <issue>          available / eliminated options
+  options <issue>          available / eliminated / re-assessment-flagging options
   ranges <issue> <metric>  what-if metric ranges per option (Sec. 5.1.5)
   candidates               compliant cores in the selected region
   range <metric>           metric range over the candidates
@@ -30,6 +30,8 @@ constexpr const char* kHelp = R"(commands:
   pending                  properties awaiting re-assessment
   report                   session summary
   trace                    session history
+  stats [reset]            query-cache / index counters (layer + session)
+  cache on|off             enable/disable the session's query memoization
   help                     this text
   quit                     leave the shell)";
 
@@ -120,6 +122,9 @@ int run_shell(const DesignSpaceLayer& layer, std::istream& in, std::ostream& out
         for (const auto& [option, cc] : need_session().eliminated_options(words[1])) {
           out << "  " << option << "  [eliminated by " << cc << "]\n";
         }
+        for (const auto& [option, cc] : need_session().reassessment_flags(words[1])) {
+          out << "  " << option << "  [flags re-assessment via " << cc << "]\n";
+        }
       } else if (cmd == "ranges") {
         DSLAYER_REQUIRE(words.size() >= 3, "usage: ranges <issue> <metric>");
         for (const auto& [option, range] : need_session().option_ranges(words[1], words[2])) {
@@ -160,6 +165,23 @@ int run_shell(const DesignSpaceLayer& layer, std::istream& in, std::ostream& out
         out << need_session().report();
       } else if (cmd == "trace") {
         for (const auto& entry : need_session().trace()) out << "  - " << entry << "\n";
+      } else if (cmd == "stats") {
+        if (words.size() > 1 && words[1] == "reset") {
+          layer.reset_query_stats();
+          if (session != nullptr) session->reset_query_stats();
+          out << "counters reset\n";
+        } else {
+          out << "layer:   " << layer.query_stats().summary() << "\n";
+          if (session != nullptr) {
+            out << "session: " << session->query_stats().summary() << " (cache "
+                << (session->query_cache_enabled() ? "on" : "off") << ")\n";
+          }
+        }
+      } else if (cmd == "cache") {
+        DSLAYER_REQUIRE(words.size() >= 2 && (words[1] == "on" || words[1] == "off"),
+                        "usage: cache on|off");
+        need_session().set_query_cache(words[1] == "on");
+        out << "query cache " << words[1] << "\n";
       } else {
         throw ExplorationError(cat("unknown command '", cmd, "' (try: help)"));
       }

@@ -40,6 +40,27 @@ TEST_F(ShellTest, HelpListsCommands) {
   }
 }
 
+TEST_F(ShellTest, StatsAndCacheCommands) {
+  const ShellRun r = run(*layer_,
+                         "stats\n"
+                         "open Operator.Modular.Multiplier\n"
+                         "candidates\n"
+                         "candidates\n"
+                         "stats\n"
+                         "cache off\n"
+                         "stats\n"
+                         "stats reset\n"
+                         "cache bogus\n");
+  EXPECT_EQ(r.failures, 1);  // only `cache bogus` fails
+  EXPECT_NE(r.output.find("layer:"), std::string::npos);
+  EXPECT_NE(r.output.find("session:"), std::string::npos);
+  EXPECT_NE(r.output.find("cache hits"), std::string::npos);
+  EXPECT_NE(r.output.find("(cache on)"), std::string::npos);
+  EXPECT_NE(r.output.find("(cache off)"), std::string::npos);
+  EXPECT_NE(r.output.find("counters reset"), std::string::npos);
+  EXPECT_NE(r.output.find("usage: cache on|off"), std::string::npos);
+}
+
 TEST_F(ShellTest, TreeShowsHierarchyAndCensus) {
   const ShellRun r = run(*layer_, "tree\n");
   EXPECT_EQ(r.failures, 0);
