@@ -7,17 +7,29 @@
 // Paper points (area, delay ns): #1 (34491, 351), #2 (37299, 175),
 // #3 (47533, 262), #4 (67106, 166), #5 (46604, 138), #6 (37829, 201).
 
+#include <fstream>
 #include <iostream>
 
 #include "analysis/evaluation_space.hpp"
 #include "rtl/modmul_design.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 using namespace dslayer;
 using namespace dslayer::rtl;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
   constexpr unsigned kEol = 64;
   constexpr unsigned kWidth = 64;
   std::cout << "=== Fig. 12: evaluation space for 64-bit Montgomery multiplications, "
@@ -53,8 +65,9 @@ int main() {
   }
   std::cout << table.render();
 
+  const std::vector<std::size_t> pareto = analysis::pareto_front(points, {"area", "delay_ns"});
   std::cout << "\nPareto-optimal designs (area x delay): ";
-  for (const std::size_t i : analysis::pareto_front(points, {"area", "delay_ns"})) {
+  for (const std::size_t i : pareto) {
     std::cout << points[i].id << " ";
   }
   std::cout << "\n\nTrade-off observations (paper's Section 5.1.6 narrative):\n";
@@ -73,5 +86,38 @@ int main() {
   std::cout << "  radix 4 vs 2 (#5 vs #2): delay x"
             << format_double(p5.at("delay_ns") / p2.at("delay_ns"), 3) << " for area x"
             << format_double(p5.at("area") / p2.at("area"), 3) << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out.precision(17);
+    out << "{\n"
+        << "  \"bench\": \"fig12_montgomery_tradeoffs\",\n"
+        << "  \"eol\": " << kEol << ",\n  \"slice_width\": " << kWidth << ",\n"
+        << "  \"designs\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const analysis::EvalPoint& p = points[i];
+      const int design = static_cast<int>(i) + 1;
+      out << "    {\"id\": \"" << telemetry::json_escape(p.id) << "\", "
+          << "\"radix\": " << p.attributes.at("Radix") << ", "
+          << "\"adder\": \"" << telemetry::json_escape(p.attributes.at("Adder")) << "\", "
+          << "\"mult\": \"" << telemetry::json_escape(p.attributes.at("Mult")) << "\", "
+          << "\"area\": " << p.metrics.at("area") << ", "
+          << "\"delay_ns\": " << p.metrics.at("delay_ns") << ", "
+          << "\"paper_area\": " << paper.at(design).first << ", "
+          << "\"paper_delay_ns\": " << paper.at(design).second << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"pareto\": [";
+    for (std::size_t i = 0; i < pareto.size(); ++i) {
+      out << "\"" << telemetry::json_escape(points[pareto[i]].id) << "\""
+          << (i + 1 < pareto.size() ? ", " : "");
+    }
+    out << "]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -7,11 +7,13 @@
 // QueryStats counters show where the work went.
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "domains/crypto.hpp"
 #include "rtl/modmul_design.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "tech/technology.hpp"
 
 using namespace dslayer;
@@ -96,9 +98,46 @@ dsl::ExplorationSession scripted_session(const dsl::DesignSpaceLayer& layer) {
   return s;
 }
 
+void json_stats(std::ostream& out, const char* indent, const dsl::QueryStats& s) {
+  out << indent << "\"constraint_evaluations\": " << s.constraint_evaluations << ",\n"
+      << indent << "\"compliance_checks\": " << s.compliance_checks << ",\n"
+      << indent << "\"cache_hits\": " << s.cache_hits << ",\n"
+      << indent << "\"cache_misses\": " << s.cache_misses << ",\n"
+      << indent << "\"index_rebuilds\": " << s.index_rebuilds << "\n";
+}
+
+struct PhaseResult {
+  double wall_ms = 0.0;
+  dsl::QueryStats session;
+  dsl::QueryStats layer;
+  std::uint64_t events_seen = 0;
+  std::uint64_t timed_queries = 0;
+};
+
+void json_phase(std::ostream& out, const char* indent, const PhaseResult& p) {
+  out << indent << "  \"wall_ms\": " << p.wall_ms << ",\n"
+      << indent << "  \"events_seen\": " << p.events_seen << ",\n"
+      << indent << "  \"timed_queries\": " << p.timed_queries << ",\n"
+      << indent << "  \"session\": {\n";
+  json_stats(out, cat(indent, "    ").c_str(), p.session);
+  out << indent << "  },\n" << indent << "  \"layer\": {\n";
+  json_stats(out, cat(indent, "    ").c_str(), p.layer);
+  out << indent << "  }\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
   auto layer = build_crypto_layer();
   const std::size_t synthetic = populate_synthetic_library(layer->add_library("syn-hardcores"));
   const std::size_t indexed = layer->index_cores();
@@ -109,32 +148,64 @@ int main() {
             << "\n\n";
 
   std::size_t checksum_off = 0;
+  PhaseResult off;
   dsl::ExplorationSession uncached = scripted_session(*layer);
   uncached.set_query_cache(false);
   uncached.reset_query_stats();
   layer->reset_query_stats();
-  const double ms_off = run_timed(uncached, checksum_off);
-  std::cout << "cache off: " << format_double(ms_off, 4) << " ms\n";
-  std::cout << "  session: " << uncached.query_stats().summary() << "\n";
-  std::cout << "  layer:   " << layer->query_stats().summary() << "\n\n";
+  off.wall_ms = run_timed(uncached, checksum_off);
+  off.session = uncached.query_stats();
+  off.layer = layer->query_stats();
+  off.events_seen = uncached.telemetry().ring().total_seen();
+  off.timed_queries = uncached.telemetry().count_of(telemetry::EventKind::kQueryTimed);
+  std::cout << "cache off: " << format_double(off.wall_ms, 4) << " ms\n";
+  std::cout << "  session: " << off.session.summary() << "\n";
+  std::cout << "  layer:   " << off.layer.summary() << "\n\n";
 
   std::size_t checksum_on = 0;
+  PhaseResult on;
   dsl::ExplorationSession cached = scripted_session(*layer);
   cached.reset_query_stats();
   layer->reset_query_stats();
-  const double ms_on = run_timed(cached, checksum_on);
-  std::cout << "cache on:  " << format_double(ms_on, 4) << " ms\n";
-  std::cout << "  session: " << cached.query_stats().summary() << "\n";
-  std::cout << "  layer:   " << layer->query_stats().summary() << "\n\n";
+  on.wall_ms = run_timed(cached, checksum_on);
+  on.session = cached.query_stats();
+  on.layer = layer->query_stats();
+  on.events_seen = cached.telemetry().ring().total_seen();
+  on.timed_queries = cached.telemetry().count_of(telemetry::EventKind::kQueryTimed);
+  std::cout << "cache on:  " << format_double(on.wall_ms, 4) << " ms\n";
+  std::cout << "  session: " << on.session.summary() << "\n";
+  std::cout << "  layer:   " << on.layer.summary() << "\n\n";
 
   if (checksum_on != checksum_off) {
     std::cout << "MISMATCH: cached and uncached query results differ (" << checksum_on
               << " != " << checksum_off << ")\n";
     return 1;
   }
-  const double speedup = ms_on > 0.0 ? ms_off / ms_on : 0.0;
+  const double speedup = on.wall_ms > 0.0 ? off.wall_ms / on.wall_ms : 0.0;
   std::cout << "identical results (checksum " << checksum_on << "); speedup: "
             << format_double(speedup, 3) << "x " << (speedup >= 5.0 ? "(>= 5x: PASS)" : "(< 5x)")
             << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out.precision(17);
+    out << "{\n"
+        << "  \"bench\": \"query_cache\",\n"
+        << "  \"synthetic_cores\": " << synthetic << ",\n"
+        << "  \"indexed_cores\": " << indexed << ",\n"
+        << "  \"repeats\": " << kRepeats << ",\n"
+        << "  \"checksum\": " << checksum_on << ",\n"
+        << "  \"journal_events\": " << cached.journal().size() << ",\n"
+        << "  \"cache_off\": {\n";
+    json_phase(out, "  ", off);
+    out << "  },\n  \"cache_on\": {\n";
+    json_phase(out, "  ", on);
+    out << "  },\n  \"speedup\": " << speedup << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return speedup >= 5.0 ? 0 : 1;
 }

@@ -1,8 +1,30 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, and run the full test suite (ROADMAP.md).
+# CI pipeline (ROADMAP.md):
+#   1. tier-1 gate — configure, build, run the full test suite;
+#   2. sanitizer pass — the same tests under ASan+UBSan in a second build
+#      dir (benches/examples off: the 10k-core bench is not meaningful
+#      instrumented);
+#   3. benchmark telemetry — the query-cache and Fig. 12 benches emit
+#      machine-readable BENCH_*.json at the repo root for trend tracking.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "=== [1/3] tier-1: build + tests ==="
 cmake -B build -S .
 cmake --build build -j
-cd build && ctest --output-on-failure
+(cd build && ctest --output-on-failure)
+
+echo "=== [2/3] sanitizers: ASan+UBSan build + tests ==="
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DDSLAYER_BUILD_BENCH=OFF \
+  -DDSLAYER_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS"
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure)
+
+echo "=== [3/3] benchmark telemetry (BENCH_*.json) ==="
+./build/bench/query_cache_bench --json BENCH_query_cache.json
+./build/bench/fig12_montgomery_tradeoffs --json BENCH_fig12_montgomery_tradeoffs.json
+echo "CI OK"

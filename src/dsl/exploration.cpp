@@ -1,6 +1,8 @@
 #include "dsl/exploration.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <ostream>
 #include <set>
 #include <sstream>
 
@@ -8,6 +10,48 @@
 #include "support/strings.hpp"
 
 namespace dslayer::dsl {
+
+namespace {
+
+using telemetry::EventKind;
+
+/// Journal encoding of a Value: a kind tag plus a payload that replays to
+/// the exact same Value ("num:" uses 17 significant digits so doubles
+/// round-trip bit-exactly through strtod).
+std::string encode_value(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_number());
+      return cat("num:", buf);
+    }
+    case Value::Kind::kText:
+      return cat("txt:", v.as_text());
+    case Value::Kind::kFlag:
+      return v.as_flag() ? "flag:true" : "flag:false";
+    case Value::Kind::kEmpty:
+      break;
+  }
+  return "empty";
+}
+
+Value decode_value(const std::string& encoded) {
+  if (starts_with(encoded, "num:")) {
+    const std::string payload = encoded.substr(4);
+    char* end = nullptr;
+    const double number = std::strtod(payload.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == payload.c_str()) {
+      throw ExplorationError(cat("journal value '", encoded, "' is not a number"));
+    }
+    return Value::number(number);
+  }
+  if (starts_with(encoded, "txt:")) return Value::text(encoded.substr(4));
+  if (encoded == "flag:true") return Value::flag(true);
+  if (encoded == "flag:false") return Value::flag(false);
+  throw ExplorationError(cat("journal value '", encoded, "' has no known kind tag"));
+}
+
+}  // namespace
 
 ExplorationSession::ExplorationSession(const DesignSpaceLayer& layer,
                                        const std::string& class_path)
@@ -18,6 +62,10 @@ ExplorationSession::ExplorationSession(const DesignSpaceLayer& layer,
   }
   root_ = cdo;
   current_ = cdo;
+  journal_ = std::make_shared<telemetry::JournalSink>(std::initializer_list<EventKind>{
+      EventKind::kSessionOpened, EventKind::kRequirementSet, EventKind::kDecision,
+      EventKind::kRetract, EventKind::kReaffirm});
+  telemetry_.add_sink(journal_);
   // Record the generalized options already implied by the class path as
   // structural decisions (they were "made" by choosing this class).
   for (const Cdo* c = cdo; c->parent() != nullptr; c = c->parent()) {
@@ -31,6 +79,7 @@ ExplorationSession::ExplorationSession(const DesignSpaceLayer& layer,
     }
   }
   log(cat("session opened at '", class_path, "'"));
+  telemetry_.emit(EventKind::kSessionOpened, root_->path());
 }
 
 const Property& ExplorationSession::require_property(const std::string& name,
@@ -49,10 +98,11 @@ const Property& ExplorationSession::require_property(const std::string& name,
 
 const Bindings& ExplorationSession::bindings() const {
   if (cache_enabled_ && bindings_generation_ == generation_) {
-    ++stats_.cache_hits;
+    telemetry_.emit(EventKind::kCacheHit, "bindings");
     return bindings_cache_;
   }
-  ++stats_.cache_misses;
+  telemetry_.emit(EventKind::kCacheMiss, "bindings");
+  telemetry::ScopedTimer timer(&telemetry_, "bindings");
   bindings_cache_ = compute_bindings();
   bindings_generation_ = generation_;
   return bindings_cache_;
@@ -107,11 +157,13 @@ void ExplorationSession::check_consistency(const std::string& name, const Value&
         cc->kind() != RelationKind::kDominanceElimination) {
       continue;
     }
-    ++stats_.constraint_evaluations;
+    telemetry_.count(EventKind::kConstraintEvaluated);
     if (cc->violated(tentative)) {
       const char* why = cc->kind() == RelationKind::kDominanceElimination
                             ? "eliminated as inferior"
                             : "inconsistent";
+      telemetry_.emit(EventKind::kOptionEliminated, name,
+                      cat(value.to_string(), " vetoed by ", cc->id()));
       throw ExplorationError(
           cat("constraint ", cc->id(), ": '", name, "' = ", value.to_string(), " is ", why,
               " with the current values (", cc->doc(), ")"));
@@ -128,7 +180,7 @@ void ExplorationSession::scan_conflicts(const std::string& name) {
         cc->kind() != RelationKind::kDominanceElimination) {
       continue;
     }
-    ++stats_.constraint_evaluations;
+    telemetry_.count(EventKind::kConstraintEvaluated);
     if (cc->violated(bound)) {
       log(cat("CONFLICT ", cc->id(), ": current values violate '", cc->doc(),
               "' — re-assess the flagged properties"));
@@ -154,6 +206,8 @@ void ExplorationSession::invalidate_dependents(const std::string& name) {
         it->second.state = State::kNeedsReassessment;
         log(cat("'", dep.property(), "' flagged for re-assessment (", cc->id(),
                 ": independent '", changed, "' changed)"));
+        telemetry_.emit(EventKind::kReassessmentFlagged, dep.property(),
+                        cat(cc->id(), ": independent '", changed, "' changed"));
         frontier.push_back(dep.property());
       }
     }
@@ -176,6 +230,7 @@ void ExplorationSession::set_requirement(const std::string& name, Value value) {
   touch();
   log(cat(revision ? "requirement revised: " : "requirement set: ", name, " = ",
           e.value.to_string()));
+  telemetry_.emit(EventKind::kRequirementSet, name, encode_value(e.value));
   invalidate_dependents(name);
   scan_conflicts(name);
 }
@@ -206,6 +261,7 @@ void ExplorationSession::decide(const std::string& name, Value value) {
   e.is_requirement = false;
   touch();
   log(cat(revision ? "decision revised: " : "decision: ", name, " = ", value.to_string()));
+  telemetry_.emit(EventKind::kDecision, name, encode_value(value));
   invalidate_dependents(name);
   scan_conflicts(name);
 
@@ -253,6 +309,7 @@ void ExplorationSession::retract(const std::string& name) {
     }
   }
   touch();
+  telemetry_.emit(EventKind::kRetract, name);
   invalidate_dependents(name);
 }
 
@@ -266,6 +323,7 @@ void ExplorationSession::reaffirm(const std::string& name) {
   it->second.state = State::kSet;
   touch();
   log(cat("re-affirmed: ", name, " = ", it->second.value.to_string()));
+  telemetry_.emit(EventKind::kReaffirm, name);
 }
 
 ExplorationSession::State ExplorationSession::state_of(const std::string& name) const {
@@ -313,6 +371,7 @@ std::vector<std::pair<std::string, std::string>> ExplorationSession::eliminated_
   // flags the constraint's dependents for re-assessment instead (see
   // reassessment_flags()). Matching the independent side here used to report
   // options as eliminated that decide() would happily accept.
+  telemetry::ScopedTimer timer(&telemetry_, "eliminated_options");
   Bindings tentative = bindings();
   for (const std::string& option : p.domain.option_list()) {
     tentative[issue] = Value::text(option);
@@ -322,8 +381,9 @@ std::vector<std::pair<std::string, std::string>> ExplorationSession::eliminated_
           cc->kind() != RelationKind::kDominanceElimination) {
         continue;
       }
-      ++stats_.constraint_evaluations;
+      telemetry_.count(EventKind::kConstraintEvaluated);
       if (cc->violated(tentative)) {
+        telemetry_.emit(EventKind::kOptionEliminated, issue, cat(option, " by ", cc->id()));
         out.emplace_back(option, cc->id());
         break;
       }
@@ -350,7 +410,7 @@ std::vector<std::pair<std::string, std::string>> ExplorationSession::reassessmen
       // The dependent side already vetoes through eliminated_options();
       // only a pure independent role flags re-assessment.
       if (cc->constrains(issue)) continue;
-      ++stats_.constraint_evaluations;
+      telemetry_.count(EventKind::kConstraintEvaluated);
       if (cc->violated(tentative)) {
         out.emplace_back(option, cc->id());
         break;
@@ -362,10 +422,11 @@ std::vector<std::pair<std::string, std::string>> ExplorationSession::reassessmen
 
 const std::vector<const Core*>& ExplorationSession::candidates() const {
   if (cache_enabled_ && candidates_generation_ == generation_) {
-    ++stats_.cache_hits;
+    telemetry_.emit(EventKind::kCacheHit, "candidates");
     return candidates_cache_;
   }
-  ++stats_.cache_misses;
+  telemetry_.emit(EventKind::kCacheMiss, "candidates");
+  telemetry::ScopedTimer timer(&telemetry_, "candidates");
   candidates_cache_ = compute_candidates();
   candidates_generation_ = generation_;
   return candidates_cache_;
@@ -413,7 +474,7 @@ std::vector<const Core*> ExplorationSession::compute_candidates() const {
     Bindings merged = bound;
     for (const auto& [k, v] : core.bindings()) merged[k] = v;
     for (const ConsistencyConstraint* cc : idx.predicates) {
-      ++stats_.constraint_evaluations;
+      telemetry_.count(EventKind::kConstraintEvaluated);
       if (cc->violated(merged)) return false;
     }
     return true;
@@ -421,7 +482,7 @@ std::vector<const Core*> ExplorationSession::compute_candidates() const {
 
   std::vector<const Core*> out;
   for (const Core* core : cores) {
-    ++stats_.compliance_checks;
+    telemetry_.count(EventKind::kComplianceCheck);
     if (complies(*core)) out.push_back(core);
   }
   return out;
@@ -429,6 +490,7 @@ std::vector<const Core*> ExplorationSession::compute_candidates() const {
 
 std::optional<ExplorationSession::MetricRange> ExplorationSession::metric_range(
     const std::string& metric) const {
+  telemetry::ScopedTimer timer(&telemetry_, "metric_range");
   MetricRange range;
   bool first = true;
   for (const Core* core : candidates()) {
@@ -452,6 +514,7 @@ std::map<std::string, ExplorationSession::MetricRange> ExplorationSession::optio
   const Property& p = require_property(issue, PropertyKind::kDesignIssue);
   DSLAYER_REQUIRE(p.domain.kind() == ValueDomain::Kind::kOptions,
                   "option_ranges needs an enumerated design issue");
+  telemetry::ScopedTimer timer(&telemetry_, "option_ranges");
 
   const std::vector<const Core*>& base = candidates();
   const auto options = available_options(issue);
@@ -591,6 +654,71 @@ ExplorationSession ExplorationSession::open_operator_session(const OperatorSite&
 }
 
 void ExplorationSession::log(std::string message) { trace_.push_back(std::move(message)); }
+
+void ExplorationSession::export_journal(std::ostream& out) const {
+  for (const telemetry::Event& event : journal()) {
+    out << telemetry::to_jsonl(event) << '\n';
+  }
+}
+
+std::string ExplorationSession::export_journal() const {
+  std::ostringstream os;
+  export_journal(os);
+  return os.str();
+}
+
+ExplorationSession ExplorationSession::replay(const DesignSpaceLayer& layer,
+                                              const std::string& jsonl) {
+  std::optional<ExplorationSession> session;
+  std::istringstream in(jsonl);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    const auto event = telemetry::parse_event_jsonl(line);
+    if (!event.has_value()) {
+      throw ExplorationError(cat("journal line ", line_no, " is not a telemetry event: ", line));
+    }
+    if (event->kind == EventKind::kSessionOpened) {
+      if (session.has_value()) {
+        throw ExplorationError(cat("journal line ", line_no,
+                                   ": second SessionOpened — one journal holds one session"));
+      }
+      session.emplace(layer, event->subject);
+      continue;
+    }
+    const bool mutating =
+        event->kind == EventKind::kRequirementSet || event->kind == EventKind::kDecision ||
+        event->kind == EventKind::kRetract || event->kind == EventKind::kReaffirm;
+    if (!mutating) continue;  // observational events carry no state
+    if (!session.has_value()) {
+      throw ExplorationError(
+          cat("journal line ", line_no, ": ", telemetry::to_string(event->kind),
+              " precedes SessionOpened (journal truncated?)"));
+    }
+    switch (event->kind) {
+      case EventKind::kRequirementSet:
+        session->set_requirement(event->subject, decode_value(event->detail));
+        break;
+      case EventKind::kDecision:
+        session->decide(event->subject, decode_value(event->detail));
+        break;
+      case EventKind::kRetract:
+        session->retract(event->subject);
+        break;
+      case EventKind::kReaffirm:
+        session->reaffirm(event->subject);
+        break;
+      default:
+        break;
+    }
+  }
+  if (!session.has_value()) {
+    throw ExplorationError("journal contains no SessionOpened event");
+  }
+  return std::move(*session);
+}
 
 std::string ExplorationSession::report() const {
   std::ostringstream os;

@@ -22,12 +22,15 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "dsl/layer.hpp"
 #include "dsl/query_stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace dslayer::dsl {
 
@@ -188,12 +191,38 @@ class ExplorationSession {
   /// ExplorationError if the site has no registered class.
   ExplorationSession open_operator_session(const OperatorSite& site) const;
 
-  // -- self-documentation -----------------------------------------------------------
+  // -- self-documentation & telemetry ---------------------------------------------
 
+  /// Legacy human-readable log lines (kept for scripts and examples; the
+  /// structured record lives in telemetry()).
   const std::vector<std::string>& trace() const { return trace_; }
 
   /// Human-readable session summary: scope, values, candidates, ranges.
   std::string report() const;
+
+  /// The session's telemetry hub: typed events (ring buffer), aggregate
+  /// counters, and per-query-kind latency histograms. Mutable through a
+  /// const session — observing a query is not a state change.
+  telemetry::Telemetry& telemetry() const { return telemetry_; }
+
+  /// The replay journal: every state-mutating event (SessionOpened,
+  /// RequirementSet, Decision, Retract, Reaffirm) since construction, in
+  /// order, unbounded.
+  const std::vector<telemetry::Event>& journal() const { return journal_->events(); }
+
+  /// Writes the replay journal as JSONL (one event per line) — the
+  /// record half of record/replay debugging.
+  void export_journal(std::ostream& out) const;
+  std::string export_journal() const;
+
+  /// Rebuilds a session from a JSONL journal: the first event must be
+  /// SessionOpened; RequirementSet/Decision/Retract/Reaffirm events are
+  /// re-applied in sequence, everything else is ignored. Because the
+  /// engine is deterministic, the result's report() and candidates() match
+  /// the recording session's byte for byte. Throws ExplorationError on
+  /// malformed journals and surfaces the same errors the original calls
+  /// would have raised.
+  static ExplorationSession replay(const DesignSpaceLayer& layer, const std::string& jsonl);
 
   // -- query cache & observability ---------------------------------------------------
 
@@ -204,9 +233,10 @@ class ExplorationSession {
   bool query_cache_enabled() const { return cache_enabled_; }
 
   /// Counters for this session's queries: constraint evaluations, core
-  /// compliance checks, cache hits/misses.
-  const QueryStats& query_stats() const { return stats_; }
-  void reset_query_stats() const { stats_.reset(); }
+  /// compliance checks, cache hits/misses. A view over the telemetry
+  /// counters (resetting them does not erase the event trace or journal).
+  QueryStats query_stats() const { return stats_view(telemetry_); }
+  void reset_query_stats() const { telemetry_.reset_counters(); }
 
  private:
   struct Entry {
@@ -244,7 +274,12 @@ class ExplorationSession {
   mutable Bindings bindings_cache_;
   mutable std::uint64_t candidates_generation_ = 0;
   mutable std::vector<const Core*> candidates_cache_;
-  mutable QueryStats stats_;
+
+  // Telemetry hub plus the always-attached replay journal (an unbounded
+  // JournalSink over the mutating kinds; shared_ptr because the hub owns
+  // its sinks type-erased and the session needs typed access).
+  mutable telemetry::Telemetry telemetry_;
+  std::shared_ptr<telemetry::JournalSink> journal_;
 };
 
 }  // namespace dslayer::dsl

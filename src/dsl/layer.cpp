@@ -96,7 +96,9 @@ std::size_t DesignSpaceLayer::index_cores() {
   // Cumulative subtree index: one pre-order pass per root accumulates the
   // cores of every descendant, replacing the per-call subtree() walk that
   // cores_under() used to do.
-  ++stats_.index_rebuilds;
+  telemetry::ScopedTimer timer(&telemetry_, "index_cores");
+  telemetry_.emit(telemetry::EventKind::kIndexRebuild, "subtree-core-index",
+                  cat(indexed, " cores"));
   for (const Cdo* root : space_.roots()) build_subtree_index(*root);
   return indexed;
 }
@@ -121,13 +123,13 @@ const std::vector<const Core*>& DesignSpaceLayer::cores_at(const Cdo& cdo) const
 const std::vector<const Core*>& DesignSpaceLayer::cores_under(const Cdo& cdo) const {
   const auto it = subtree_index_.find(&cdo);
   if (it != subtree_index_.end()) {
-    ++stats_.cache_hits;
+    telemetry_.count(telemetry::EventKind::kCacheHit);
     return it->second;
   }
   // CDO created (or queried) after the last index_cores() pass: index its
   // subtree on demand.
-  ++stats_.cache_misses;
-  ++stats_.index_rebuilds;
+  telemetry_.count(telemetry::EventKind::kCacheMiss);
+  telemetry_.count(telemetry::EventKind::kIndexRebuild);
   return build_subtree_index(cdo);
 }
 
@@ -153,11 +155,12 @@ const std::vector<const ConsistencyConstraint*>& DesignSpaceLayer::constraints_a
 
 const ConstraintIndex& DesignSpaceLayer::constraint_index(const Cdo& cdo) const {
   if (const auto it = constraint_index_.find(&cdo); it != constraint_index_.end()) {
-    ++stats_.cache_hits;
+    telemetry_.count(telemetry::EventKind::kCacheHit);
     return it->second;
   }
-  ++stats_.cache_misses;
-  ++stats_.index_rebuilds;
+  telemetry_.count(telemetry::EventKind::kCacheMiss);
+  telemetry_.count(telemetry::EventKind::kIndexRebuild);
+  telemetry::ScopedTimer timer(&telemetry_, "constraint_index");
   ConstraintIndex index;
   for (const auto& cc : constraints_) {
     if (!cc.applies_at(cdo)) continue;

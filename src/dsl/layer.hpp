@@ -158,9 +158,14 @@ class DesignSpaceLayer {
   // -- observability ---------------------------------------------------------------
 
   /// Counters for the layer-side caches (constraint index, subtree core
-  /// index): hits, misses, rebuilds.
-  const QueryStats& query_stats() const { return stats_; }
-  void reset_query_stats() const { stats_.reset(); }
+  /// index): hits, misses, rebuilds. A view over the telemetry counters.
+  QueryStats query_stats() const { return stats_view(telemetry_); }
+  void reset_query_stats() const { telemetry_.reset_counters(); }
+
+  /// The layer's telemetry hub. Layer-side events are counter-only (the
+  /// subtree/constraint caches are hot and shared across sessions); attach
+  /// a sink here to change that.
+  telemetry::Telemetry& telemetry() const { return telemetry_; }
 
  private:
   /// Builds (and caches) the cumulative core list of `cdo`'s subtree.
@@ -185,7 +190,7 @@ class DesignSpaceLayer {
   // CDOs created after the last indexing pass.
   mutable std::map<const Cdo*, ConstraintIndex> constraint_index_;
   mutable std::map<const Cdo*, std::vector<const Core*>> subtree_index_;
-  mutable QueryStats stats_;
+  mutable telemetry::Telemetry telemetry_;
 };
 
 }  // namespace dslayer::dsl

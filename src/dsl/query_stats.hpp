@@ -5,14 +5,20 @@
 // every decision. QueryStats makes the cost of answering them visible:
 // how many constraint predicates were evaluated, how many cores went
 // through compliance checks, and how often the memoized caches and the
-// per-CDO indexes absorbed a query instead of a rescan. Both
-// DesignSpaceLayer and ExplorationSession expose one; the shell's `stats`
-// command prints them.
+// per-CDO indexes absorbed a query instead of a rescan.
+//
+// Since the telemetry subsystem landed, QueryStats is a VIEW over a
+// Telemetry hub's per-kind event counters (stats_view below), not a set
+// of hand-bumped fields: DesignSpaceLayer and ExplorationSession count
+// or emit typed events (support/telemetry.hpp) and derive these numbers
+// on demand. The shell's `stats` command prints them.
 #pragma once
 
 #include <cstdint>
 #include <sstream>
 #include <string>
+
+#include "support/telemetry.hpp"
 
 namespace dslayer::dsl {
 
@@ -23,8 +29,6 @@ struct QueryStats {
   std::uint64_t cache_misses = 0;            ///< queries that had to recompute
   std::uint64_t index_rebuilds = 0;          ///< per-CDO index (re)constructions
 
-  void reset() { *this = QueryStats{}; }
-
   std::string summary() const {
     std::ostringstream os;
     os << "constraint evaluations: " << constraint_evaluations
@@ -33,5 +37,17 @@ struct QueryStats {
     return os.str();
   }
 };
+
+/// Builds the QueryStats view from a hub's aggregate event counters.
+inline QueryStats stats_view(const telemetry::Telemetry& t) {
+  using telemetry::EventKind;
+  QueryStats s;
+  s.constraint_evaluations = t.count_of(EventKind::kConstraintEvaluated);
+  s.compliance_checks = t.count_of(EventKind::kComplianceCheck);
+  s.cache_hits = t.count_of(EventKind::kCacheHit);
+  s.cache_misses = t.count_of(EventKind::kCacheMiss);
+  s.index_rebuilds = t.count_of(EventKind::kIndexRebuild);
+  return s;
+}
 
 }  // namespace dslayer::dsl

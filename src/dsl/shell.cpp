@@ -1,12 +1,15 @@
 #include "dsl/shell.hpp"
 
+#include <fstream>
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <sstream>
 
 #include "dsl/exploration.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 
 namespace dslayer::dsl {
 
@@ -29,11 +32,42 @@ constexpr const char* kHelp = R"(commands:
   decompose                behavioral decomposition sites (DI7)
   pending                  properties awaiting re-assessment
   report                   session summary
-  trace                    session history
+  trace [filter]           structured session events; filters: decisions, cache,
+                           legacy, or an event kind name (e.g. QueryTimed)
+  trace export <file>      write the session's replay journal as JSONL
+  trace replay <file>      rebuild a session deterministically from a journal
+  timings                  per-query-kind latency histograms (count/p50/p95/max)
   stats [reset]            query-cache / index counters (layer + session)
   cache on|off             enable/disable the session's query memoization
   help                     this text
   quit                     leave the shell)";
+
+/// One line per structured event: sequence number, kind, payload.
+void print_event(std::ostream& out, const telemetry::Event& e) {
+  out << "  #" << e.seq << " " << telemetry::to_string(e.kind);
+  if (!e.subject.empty()) out << " " << e.subject;
+  if (!e.detail.empty()) out << " " << e.detail;
+  if (e.kind == telemetry::EventKind::kQueryTimed) {
+    out << " " << format_double(e.duration_us, 4) << "us";
+  }
+  out << "\n";
+}
+
+void print_timings(std::ostream& out, const std::string& scope,
+                   const std::map<std::string, telemetry::TimingSummary>& timings) {
+  if (timings.empty()) {
+    out << scope << ": no timed queries yet\n";
+    return;
+  }
+  out << scope << ":\n";
+  for (const auto& [name, t] : timings) {
+    out << "  " << name << "  n=" << t.count << "  p50=" << format_double(t.p50_us, 4)
+        << "us  p95=" << format_double(t.p95_us, 4) << "us  max="
+        << format_double(t.max_us, 4) << "us  total=" << format_double(t.total_us, 4)
+        << "us\n";
+  }
+}
+
 
 /// Parses "768" as a number, anything else as option text.
 Value parse_value(const std::string& token) {
@@ -163,8 +197,66 @@ int run_shell(const DesignSpaceLayer& layer, std::istream& in, std::ostream& out
         for (const auto& name : need_session().pending_reassessment()) out << "  " << name << "\n";
       } else if (cmd == "report") {
         out << need_session().report();
+      } else if (cmd == "trace" && words.size() >= 2 && words[1] == "export") {
+        DSLAYER_REQUIRE(words.size() >= 3, "usage: trace export <file>");
+        const std::string path = rest_from(2);
+        ExplorationSession& s = need_session();
+        // The journal travels through the pluggable JSONL sink, so a file
+        // written here is exactly what a live-attached sink would produce.
+        telemetry::JsonlFileSink sink(path);
+        for (const auto& event : s.journal()) sink.on_event(event);
+        out << "exported " << s.journal().size() << " events to " << path << "\n";
+      } else if (cmd == "trace" && words.size() >= 2 && words[1] == "replay") {
+        DSLAYER_REQUIRE(words.size() >= 3, "usage: trace replay <file>");
+        const std::string path = rest_from(2);
+        std::ifstream file(path);
+        if (!file.is_open()) throw ExplorationError(cat("cannot read journal '", path, "'"));
+        std::ostringstream text;
+        text << file.rdbuf();
+        session =
+            std::make_unique<ExplorationSession>(ExplorationSession::replay(layer, text.str()));
+        out << "replayed " << session->journal().size() << " events; scope "
+            << session->current().path() << ", " << session->candidates().size()
+            << " candidates\n";
       } else if (cmd == "trace") {
-        for (const auto& entry : need_session().trace()) out << "  - " << entry << "\n";
+        ExplorationSession& s = need_session();
+        if (words.size() >= 2 && words[1] == "legacy") {
+          for (const auto& entry : s.trace()) out << "  - " << entry << "\n";
+        } else {
+          using telemetry::EventKind;
+          const auto matches = [&words](EventKind kind) {
+            if (words.size() < 2 || words[1] == "all") return true;
+            if (words[1] == "decisions") {
+              return kind == EventKind::kSessionOpened || kind == EventKind::kRequirementSet ||
+                     kind == EventKind::kDecision || kind == EventKind::kRetract ||
+                     kind == EventKind::kReaffirm || kind == EventKind::kReassessmentFlagged ||
+                     kind == EventKind::kOptionEliminated;
+            }
+            if (words[1] == "cache") {
+              return kind == EventKind::kCacheHit || kind == EventKind::kCacheMiss ||
+                     kind == EventKind::kIndexRebuild;
+            }
+            const auto exact = telemetry::parse_event_kind(words[1]);
+            if (!exact.has_value()) {
+              throw ExplorationError(
+                  cat("unknown trace filter '", words[1],
+                      "' (try: decisions, cache, legacy, all, or an event kind)"));
+            }
+            return kind == *exact;
+          };
+          const auto& ring = s.telemetry().ring();
+          if (ring.dropped() > 0) {
+            out << "  (" << ring.dropped() << " earlier events dropped by the ring buffer)\n";
+          }
+          for (const auto& event : ring.snapshot()) {
+            if (matches(event.kind)) print_event(out, event);
+          }
+        }
+      } else if (cmd == "timings") {
+        print_timings(out, "layer", layer.telemetry().timings());
+        if (session != nullptr) {
+          print_timings(out, "session", session->telemetry().timings());
+        }
       } else if (cmd == "stats") {
         if (words.size() > 1 && words[1] == "reset") {
           layer.reset_query_stats();

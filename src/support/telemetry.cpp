@@ -1,0 +1,359 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::telemetry {
+
+namespace {
+
+constexpr std::array<const char*, kEventKindCount> kKindNames = {
+    "SessionOpened",       "RequirementSet",      "Decision",
+    "Retract",             "Reaffirm",            "OptionEliminated",
+    "ReassessmentFlagged", "ConstraintEvaluated", "ComplianceCheck",
+    "CacheHit",            "CacheMiss",           "IndexRebuild",
+    "QueryTimed",
+};
+
+/// Shortest decimal rendering that round-trips an IEEE double through
+/// strtod (17 significant digits), so journaled durations and encoded
+/// numbers replay byte-exactly.
+std::string round_trip_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+std::optional<EventKind> parse_event_kind(std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (name == kKindNames[i]) return static_cast<EventKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const Event& event) {
+  return cat("{\"seq\":", event.seq, ",\"kind\":\"", to_string(event.kind), "\",\"subject\":\"",
+             json_escape(event.subject), "\",\"detail\":\"", json_escape(event.detail),
+             "\",\"us\":", round_trip_double(event.duration_us), "}");
+}
+
+namespace {
+
+/// Minimal scanner for the flat one-line objects to_jsonl() emits (string
+/// and number values only, no nesting). Tolerates reordered keys and
+/// whitespace; returns false on malformed input.
+struct JsonScanner {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < s.size()) {
+      const char c = s[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= s.size()) return false;
+      const char esc = s[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > s.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // We only emit \u00XX for control bytes; decode the Latin-1
+          // subset and degrade the rest to '?'.
+          out += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < s.size() && (std::isdigit(static_cast<unsigned char>(s[pos])) != 0 ||
+                              s[pos] == '-' || s[pos] == '+' || s[pos] == '.' || s[pos] == 'e' ||
+                              s[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) return false;
+    const std::string token(s.substr(start, pos - start));
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+};
+
+}  // namespace
+
+std::optional<Event> parse_event_jsonl(std::string_view line) {
+  const std::string_view trimmed = trim(line);
+  JsonScanner scan{trimmed};
+  if (!scan.consume('{')) return std::nullopt;
+
+  Event event;
+  bool saw_kind = false;
+  bool first = true;
+  while (true) {
+    scan.skip_ws();
+    if (scan.consume('}')) break;
+    if (!first && !scan.consume(',')) return std::nullopt;
+    first = false;
+
+    std::string key;
+    if (!scan.parse_string(key) || !scan.consume(':')) return std::nullopt;
+    if (key == "kind") {
+      std::string name;
+      if (!scan.parse_string(name)) return std::nullopt;
+      const auto kind = parse_event_kind(name);
+      if (!kind.has_value()) return std::nullopt;
+      event.kind = *kind;
+      saw_kind = true;
+    } else if (key == "subject") {
+      if (!scan.parse_string(event.subject)) return std::nullopt;
+    } else if (key == "detail") {
+      if (!scan.parse_string(event.detail)) return std::nullopt;
+    } else if (key == "seq") {
+      double v = 0.0;
+      if (!scan.parse_number(v)) return std::nullopt;
+      event.seq = static_cast<std::uint64_t>(v);
+    } else if (key == "us") {
+      if (!scan.parse_number(event.duration_us)) return std::nullopt;
+    } else {
+      // Unknown keys (schema growth) are skipped if string- or
+      // number-valued.
+      std::string ignored_s;
+      double ignored_n = 0.0;
+      scan.skip_ws();
+      const bool ok = scan.pos < scan.s.size() && scan.s[scan.pos] == '"'
+                          ? scan.parse_string(ignored_s)
+                          : scan.parse_number(ignored_n);
+      if (!ok) return std::nullopt;
+    }
+  }
+  scan.skip_ws();
+  if (scan.pos != scan.s.size() || !saw_kind) return std::nullopt;
+  return event;
+}
+
+// ---------------------------------------------------------------------------
+// RingBufferSink
+// ---------------------------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  buffer_.reserve(std::min<std::size_t>(capacity_, 256));
+}
+
+void RingBufferSink::on_event(const Event& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<Event> RingBufferSink::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t RingBufferSink::dropped() const { return total_ - buffer_.size(); }
+
+void RingBufferSink::clear() {
+  buffer_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// JournalSink
+// ---------------------------------------------------------------------------
+
+JournalSink::JournalSink(std::initializer_list<EventKind> kinds) : filtered_(true) {
+  for (const EventKind kind : kinds) accept_[static_cast<std::size_t>(kind)] = true;
+}
+
+bool JournalSink::accepts(EventKind kind) const {
+  return !filtered_ || accept_[static_cast<std::size_t>(kind)];
+}
+
+void JournalSink::on_event(const Event& event) {
+  if (accepts(event.kind)) events_.push_back(event);
+}
+
+// ---------------------------------------------------------------------------
+// JsonlFileSink
+// ---------------------------------------------------------------------------
+
+struct JsonlFileSink::Impl {
+  std::ofstream out;
+};
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : path_(path), impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::out | std::ios::trunc);
+  if (!impl_->out.is_open()) {
+    throw Error(cat("telemetry: cannot open JSONL sink '", path, "' for writing"));
+  }
+}
+
+JsonlFileSink::~JsonlFileSink() = default;
+
+void JsonlFileSink::on_event(const Event& event) {
+  impl_->out << to_jsonl(event) << '\n';
+  impl_->out.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+Telemetry::Telemetry(std::size_t ring_capacity) : ring_(ring_capacity) {}
+
+std::uint64_t Telemetry::emit(EventKind kind, std::string subject, std::string detail,
+                              double duration_us) {
+  Event event;
+  event.seq = ++seq_;
+  event.kind = kind;
+  event.subject = std::move(subject);
+  event.detail = std::move(detail);
+  event.duration_us = duration_us;
+  ++counts_[static_cast<std::size_t>(kind)];
+  ring_.on_event(event);
+  for (const auto& sink : sinks_) sink->on_event(event);
+  return event.seq;
+}
+
+void Telemetry::record_timing(const std::string& query_kind, double duration_us) {
+  histograms_[query_kind].record(duration_us);
+  emit(EventKind::kQueryTimed, query_kind, {}, duration_us);
+}
+
+std::map<std::string, TimingSummary> Telemetry::timings() const {
+  std::map<std::string, TimingSummary> out;
+  for (const auto& [name, histogram] : histograms_) {
+    TimingSummary summary;
+    summary.count = histogram.count;
+    summary.p50_us = histogram.quantile_us(0.50);
+    summary.p95_us = histogram.quantile_us(0.95);
+    summary.max_us = histogram.max_us;
+    summary.total_us = histogram.total_us;
+    out[name] = summary;
+  }
+  return out;
+}
+
+void Telemetry::add_sink(std::shared_ptr<EventSink> sink) {
+  DSLAYER_REQUIRE(sink != nullptr, "telemetry sink must not be null");
+  sinks_.push_back(std::move(sink));
+}
+
+void Telemetry::reset_counters() {
+  counts_.fill(0);
+  histograms_.clear();
+}
+
+void Telemetry::Histogram::record(double us) {
+  const double ns = us * 1000.0;
+  std::size_t bucket = 0;
+  if (ns >= 1.0) {
+    const auto n = static_cast<std::uint64_t>(std::min(ns, 9.0e18));
+    bucket = static_cast<std::size_t>(std::bit_width(n)) - 1;  // floor(log2 n)
+  }
+  ++buckets[std::min<std::size_t>(bucket, buckets.size() - 1)];
+  ++count;
+  max_us = std::max(max_us, us);
+  total_us += us;
+}
+
+double Telemetry::Histogram::quantile_us(double q) const {
+  if (count == 0) return 0.0;
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= std::max<std::uint64_t>(rank, 1)) {
+      // Upper bound of bucket i, capped by the exact max.
+      const double upper_ns = static_cast<double>(1ULL << std::min<std::size_t>(i + 1, 62));
+      return std::min(upper_ns / 1000.0, max_us);
+    }
+  }
+  return max_us;
+}
+
+}  // namespace dslayer::telemetry

@@ -1,0 +1,259 @@
+// Structured exploration telemetry: typed events, pluggable sinks, timers.
+//
+// The paper's interactive loop (Section 5) is a dialogue of decisions,
+// eliminations, and re-assessments. This module turns that dialogue into a
+// first-class, queryable record instead of a flat string log:
+//
+//   * Event — a typed record (kind, monotonic sequence number, subject,
+//     detail, optional duration) of one step of an exploration or one
+//     query-layer action;
+//   * EventSink — pluggable observers. RingBufferSink keeps the last N
+//     events in memory (the shell's `trace` view); JsonlFileSink streams
+//     every event as one JSON line to a file; JournalSink keeps an
+//     unbounded, kind-filtered journal (the record/replay substrate);
+//   * Telemetry — the per-object hub: assigns sequence numbers, fans
+//     events out to sinks, keeps aggregate per-kind counters for
+//     high-frequency kinds that are counted but not materialized
+//     (ConstraintEvaluated, ComplianceCheck on the hot candidate scan),
+//     and owns per-query-kind latency histograms;
+//   * ScopedTimer — RAII wall-clock probe feeding a named histogram and
+//     emitting a QueryTimed event on scope exit.
+//
+// Layering: this is a support module — it knows nothing about CDOs,
+// sessions, or values. The dsl layer encodes its payloads into the
+// subject/detail strings (see ExplorationSession::export_journal()).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dslayer::telemetry {
+
+/// Everything the exploration and query layers report. Order is part of
+/// the JSONL schema only through to_string(); new kinds append.
+enum class EventKind : std::uint8_t {
+  kSessionOpened,        ///< subject = CDO class path
+  kRequirementSet,       ///< subject = property, detail = encoded value
+  kDecision,             ///< subject = issue, detail = encoded value
+  kRetract,              ///< subject = property
+  kReaffirm,             ///< subject = property
+  kOptionEliminated,     ///< subject = issue, detail = option + constraint id
+  kReassessmentFlagged,  ///< subject = property, detail = constraint id
+  kConstraintEvaluated,  ///< counted only (hot path) — predicate violated() calls
+  kComplianceCheck,      ///< counted only (hot path) — cores run through the filter
+  kCacheHit,             ///< subject = which memoized query answered
+  kCacheMiss,            ///< subject = which memoized query recomputed
+  kIndexRebuild,         ///< subject = which index was (re)built
+  kQueryTimed,           ///< subject = query kind, duration_us = wall time
+};
+
+inline constexpr std::size_t kEventKindCount = 13;
+
+/// Stable wire name ("Decision", "CacheHit", ...).
+const char* to_string(EventKind kind);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<EventKind> parse_event_kind(std::string_view name);
+
+/// One telemetry record. `seq` is monotonic per Telemetry hub, so a
+/// journal's order is reconstructible even after sink-side filtering.
+struct Event {
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kSessionOpened;
+  std::string subject;
+  std::string detail;
+  double duration_us = 0.0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslash,
+/// control characters; non-ASCII bytes pass through untouched).
+std::string json_escape(std::string_view s);
+
+/// Renders one event as a single JSON line (no trailing newline):
+/// {"seq":3,"kind":"Decision","subject":"Algorithm","detail":"txt:Montgomery","us":0}
+std::string to_jsonl(const Event& event);
+
+/// Parses a line produced by to_jsonl (tolerant of key order and extra
+/// whitespace). nullopt on malformed input or unknown kind.
+std::optional<Event> parse_event_jsonl(std::string_view line);
+
+/// Observer interface; implementations must tolerate high event rates.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events,
+/// counting (not failing on) overflow.
+class RingBufferSink final : public EventSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+
+  void on_event(const Event& event) override;
+
+  /// Oldest-first copy of the retained events.
+  std::vector<Event> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_seen() const { return total_; }
+  /// Events evicted by overflow (total_seen - retained).
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> buffer_;  // ring once full; next_ is the write head
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Unbounded in-memory sink retaining only the listed kinds (all kinds
+/// when the filter is empty). The session's replay journal is one of
+/// these over the state-mutating kinds.
+class JournalSink final : public EventSink {
+ public:
+  JournalSink() = default;
+  explicit JournalSink(std::initializer_list<EventKind> kinds);
+
+  void on_event(const Event& event) override;
+
+  const std::vector<Event>& events() const { return events_; }
+  bool accepts(EventKind kind) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::array<bool, kEventKindCount> accept_{};
+  bool filtered_ = false;
+  std::vector<Event> events_;
+};
+
+/// Streams every event as one JSON line; flushes per event so journals
+/// survive crashes (this sink is for debugging, not the hot path).
+/// Throws dslayer::Error if the file cannot be opened.
+class JsonlFileSink final : public EventSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  void on_event(const Event& event) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// count / p50 / p95 / max / total of one named latency population.
+/// Quantiles are read from power-of-two nanosecond buckets, so they are
+/// upper-bound estimates accurate to 2x (see DESIGN.md §8); count, max,
+/// and total are exact.
+struct TimingSummary {
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double max_us = 0.0;
+  double total_us = 0.0;
+};
+
+/// The hub: sequence numbers, sinks, counters, histograms. One per
+/// instrumented object (DesignSpaceLayer, ExplorationSession).
+class Telemetry {
+ public:
+  explicit Telemetry(std::size_t ring_capacity = 4096);
+
+  /// Materializes an event: assigns the next sequence number, bumps the
+  /// per-kind counter, and fans out to the ring buffer and every added
+  /// sink. Returns the assigned sequence number.
+  std::uint64_t emit(EventKind kind, std::string subject = {}, std::string detail = {},
+                     double duration_us = 0.0);
+
+  /// Counter-only fast path for high-frequency kinds: no Event is
+  /// allocated and sinks are not notified.
+  void count(EventKind kind, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(kind)] += n;
+  }
+
+  /// Total occurrences of `kind`, through either emit() or count().
+  std::uint64_t count_of(EventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Records one latency sample into the named histogram and emits a
+  /// QueryTimed event.
+  void record_timing(const std::string& query_kind, double duration_us);
+
+  /// Snapshot of every named histogram.
+  std::map<std::string, TimingSummary> timings() const;
+
+  /// The built-in bounded recent-events view.
+  RingBufferSink& ring() { return ring_; }
+  const RingBufferSink& ring() const { return ring_; }
+
+  /// Attaches an additional sink (journal, JSONL file, test probe...).
+  void add_sink(std::shared_ptr<EventSink> sink);
+
+  /// Zeroes counters and histograms. The ring buffer and attached sinks
+  /// keep their contents (resetting stats must not erase the trace); the
+  /// sequence counter is never reset so event ids stay unique.
+  void reset_counters();
+
+ private:
+  /// Power-of-two nanosecond buckets: bucket i holds samples in
+  /// [2^i, 2^(i+1)) ns; 0 ns lands in bucket 0. 64 buckets cover any
+  /// double duration.
+  struct Histogram {
+    std::array<std::uint64_t, 64> buckets{};
+    std::uint64_t count = 0;
+    double max_us = 0.0;
+    double total_us = 0.0;
+
+    void record(double us);
+    double quantile_us(double q) const;  ///< bucket upper bound at quantile q
+  };
+
+  std::uint64_t seq_ = 0;
+  std::array<std::uint64_t, kEventKindCount> counts_{};
+  RingBufferSink ring_;
+  std::vector<std::shared_ptr<EventSink>> sinks_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII wall-clock probe: times its own lifetime and reports it to
+/// `telemetry` under `query_kind`. Null-safe (a disabled probe costs one
+/// branch). Move-only.
+class ScopedTimer {
+ public:
+  ScopedTimer(Telemetry* telemetry, std::string query_kind)
+      : telemetry_(telemetry),
+        query_kind_(std::move(query_kind)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (telemetry_ == nullptr) return;
+    const auto stop = std::chrono::steady_clock::now();
+    telemetry_->record_timing(query_kind_,
+                              std::chrono::duration<double, std::micro>(stop - start_).count());
+  }
+
+ private:
+  Telemetry* telemetry_;
+  std::string query_kind_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dslayer::telemetry

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "domains/crypto.hpp"
 #include "dsl/shell.hpp"
+#include "support/strings.hpp"
 
 namespace dslayer::dsl {
 namespace {
@@ -35,7 +38,10 @@ DesignSpaceLayer* ShellTest::layer_ = nullptr;
 TEST_F(ShellTest, HelpListsCommands) {
   const ShellRun r = run(*layer_, "help\n");
   EXPECT_EQ(r.failures, 0);
-  for (const char* cmd : {"open", "req", "decide", "ranges", "decompose", "trace"}) {
+  for (const char* cmd : {"open", "req", "decide", "ranges", "decompose", "trace", "stats",
+                          "cache", "timings", "trace export", "trace replay", "pending",
+                          "report", "candidates", "derived", "rank", "retract", "reaffirm",
+                          "options", "range", "doc", "tree", "quit", "help"}) {
     EXPECT_NE(r.output.find(cmd), std::string::npos) << cmd;
   }
 }
@@ -141,10 +147,122 @@ TEST_F(ShellTest, DocAndTraceAndComments) {
                          "doc Operator.Modular.Multiplier\n"
                          "open Operator.Modular.Multiplier\n"
                          "req EffectiveOperandLength 1024\n"
-                         "trace\n");
+                         "trace\n"
+                         "trace legacy\n");
   EXPECT_EQ(r.failures, 0);
   EXPECT_NE(r.output.find("ModuloIsOdd"), std::string::npos);            // Fig. 8 doc
+  // Structured view: typed events with sequence numbers...
+  EXPECT_NE(r.output.find("#1 SessionOpened Operator.Modular.Multiplier"), std::string::npos);
+  EXPECT_NE(r.output.find("RequirementSet EffectiveOperandLength num:1024"), std::string::npos);
+  // ...and the legacy prose log is still reachable.
   EXPECT_NE(r.output.find("requirement set: EffectiveOperandLength"), std::string::npos);
+}
+
+TEST_F(ShellTest, TraceFiltersByKindGroup) {
+  const ShellRun r = run(*layer_,
+                         "open Operator.Modular.Multiplier\n"
+                         "req EffectiveOperandLength 768\n"
+                         "decide ImplementationStyle Hardware\n"
+                         "trace decisions\n");
+  EXPECT_EQ(r.failures, 0) << r.output;
+  EXPECT_NE(r.output.find("Decision ImplementationStyle txt:Hardware"), std::string::npos);
+  EXPECT_NE(r.output.find("RequirementSet EffectiveOperandLength"), std::string::npos);
+  // Query-layer noise is filtered out of the decision view.
+  EXPECT_EQ(r.output.find("CacheMiss"), std::string::npos);
+
+  const ShellRun c = run(*layer_,
+                         "open Operator.Modular.Multiplier\n"
+                         "candidates\n"
+                         "candidates\n"
+                         "trace cache\n");
+  EXPECT_EQ(c.failures, 0) << c.output;
+  EXPECT_NE(c.output.find("CacheMiss candidates"), std::string::npos);
+  EXPECT_NE(c.output.find("CacheHit candidates"), std::string::npos);
+  EXPECT_EQ(c.output.find("SessionOpened"), std::string::npos);
+}
+
+TEST_F(ShellTest, TraceExactKindFilterAndBadFilter) {
+  const ShellRun r = run(*layer_,
+                         "open Operator.Modular.Multiplier\n"
+                         "candidates\n"
+                         "trace QueryTimed\n"
+                         "trace bogus-filter\n");
+  EXPECT_EQ(r.failures, 1);
+  EXPECT_NE(r.output.find("QueryTimed candidates"), std::string::npos);
+  EXPECT_NE(r.output.find("unknown trace filter 'bogus-filter'"), std::string::npos);
+}
+
+TEST_F(ShellTest, TimingsReportNonZeroHistograms) {
+  const ShellRun r = run(*layer_,
+                         "timings\n"  // before any session: layer section only
+                         "open Operator.Modular.Multiplier\n"
+                         "req EffectiveOperandLength 768\n"
+                         "decide ImplementationStyle Hardware\n"
+                         "candidates\n"
+                         "range area\n"
+                         "ranges Algorithm clock_ns\n"
+                         "timings\n");
+  EXPECT_EQ(r.failures, 0) << r.output;
+  EXPECT_NE(r.output.find("layer:"), std::string::npos);
+  EXPECT_NE(r.output.find("session:"), std::string::npos);
+  for (const char* kind : {"candidates", "bindings", "metric_range", "option_ranges"}) {
+    EXPECT_NE(r.output.find(cat("  ", kind, "  n=")), std::string::npos) << kind;
+  }
+  EXPECT_EQ(r.output.find("n=0"), std::string::npos);  // every histogram has samples
+  EXPECT_NE(r.output.find("p50="), std::string::npos);
+  EXPECT_NE(r.output.find("p95="), std::string::npos);
+  EXPECT_NE(r.output.find("max="), std::string::npos);
+}
+
+TEST_F(ShellTest, TraceExportAndReplayRoundTrip) {
+  const std::string path = testing::TempDir() + "/shell_journal.jsonl";
+  const ShellRun original = run(*layer_,
+                                cat("open Operator.Modular.Multiplier\n",
+                                    "req EffectiveOperandLength 768\n",
+                                    "req ModuloIsOdd Guaranteed\n",
+                                    "decide ImplementationStyle Hardware\n",
+                                    "decide Algorithm Montgomery\n",
+                                    "trace export ", path, "\n", "report\n"));
+  EXPECT_EQ(original.failures, 0) << original.output;
+  EXPECT_NE(original.output.find(cat("exported 5 events to ", path)), std::string::npos);
+
+  const ShellRun replayed =
+      run(*layer_, cat("trace replay ", path, "\n", "report\n"));
+  EXPECT_EQ(replayed.failures, 0) << replayed.output;
+  EXPECT_NE(replayed.output.find("replayed 5 events"), std::string::npos);
+
+  // The replayed session's report is byte-identical to the original's.
+  const auto report_of = [](const std::string& output) {
+    return output.substr(output.find("Exploration of"));
+  };
+  ASSERT_NE(original.output.find("Exploration of"), std::string::npos);
+  ASSERT_NE(replayed.output.find("Exploration of"), std::string::npos);
+  EXPECT_EQ(report_of(original.output), report_of(replayed.output));
+  std::remove(path.c_str());
+}
+
+TEST_F(ShellTest, TraceAndExportNeedASessionAndAReadableFile) {
+  const ShellRun r = run(*layer_,
+                         "trace\n"
+                         "trace export /tmp/never_written.jsonl\n"
+                         "timings\n"
+                         "trace replay /no/such/journal.jsonl\n");
+  EXPECT_EQ(r.failures, 3);  // timings without a session is fine (layer view)
+  EXPECT_NE(r.output.find("no session"), std::string::npos);
+  EXPECT_NE(r.output.find("cannot read journal"), std::string::npos);
+  EXPECT_NE(r.output.find("layer:"), std::string::npos);
+}
+
+TEST_F(ShellTest, ReplayRejectsMalformedJournal) {
+  const std::string path = testing::TempDir() + "/broken_journal.jsonl";
+  {
+    std::ofstream out(path);
+    out << "this is not json\n";
+  }
+  const ShellRun r = run(*layer_, cat("trace replay ", path, "\n"));
+  EXPECT_EQ(r.failures, 1);
+  EXPECT_NE(r.output.find("not a telemetry event"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST_F(ShellTest, QuitStopsProcessing) {

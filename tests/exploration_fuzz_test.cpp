@@ -11,7 +11,10 @@
 //       candidate set;
 //   I5  every pending-reassessment property still has a value;
 //   I6  all rejections surface as ExplorationError (never a crash or a
-//       foreign exception type).
+//       foreign exception type);
+//   I7  (replay determinism) exporting the session's journal and replaying
+//       it into a fresh session reproduces the final report() and
+//       candidate set byte for byte.
 
 #include <gtest/gtest.h>
 
@@ -136,6 +139,15 @@ TEST_P(ExplorationFuzz, RandomWalkPreservesInvariants) {
     }
     check_invariants(s, root_path);
   }
+
+  // I7: the journal is a faithful recording — replaying it rebuilds an
+  // identical session (rejected actions never reach the journal, so the
+  // replay applies cleanly).
+  const std::string journal = s.export_journal();
+  const ExplorationSession replayed = ExplorationSession::replay(*layer, journal);
+  EXPECT_EQ(replayed.report(), s.report());
+  EXPECT_EQ(replayed.candidates(), s.candidates());
+  EXPECT_EQ(replayed.current().path(), s.current().path());
 }
 
 INSTANTIATE_TEST_SUITE_P(Walks, ExplorationFuzz,
@@ -172,6 +184,9 @@ TEST(ExplorationFuzz, TechnologyFirstHierarchyWalk) {
     }
     check_invariants(s, domains::kPathOMMH);
   }
+  const ExplorationSession replayed = ExplorationSession::replay(*layer, s.export_journal());
+  EXPECT_EQ(replayed.report(), s.report());
+  EXPECT_EQ(replayed.candidates(), s.candidates());
 }
 
 }  // namespace
