@@ -11,10 +11,9 @@
 #include <iostream>
 
 #include "domains/crypto.hpp"
-#include "rtl/modmul_design.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
-#include "tech/technology.hpp"
+#include "synthetic_library.hpp"
 
 using namespace dslayer;
 using namespace dslayer::domains;
@@ -23,53 +22,6 @@ namespace {
 
 constexpr std::size_t kTargetCores = 10000;
 constexpr int kRepeats = 40;
-
-/// Fills `lib` with ~10k synthetic hardware OMM cores: every Table 1
-/// design at every width and technology, replicated with small metric
-/// jitter so each copy is a distinct catalog entry. The bindings are the
-/// complete hardware-slice set, so the latency/power core filters can
-/// reconstruct each core's SliceConfig exactly as for the real library.
-std::size_t populate_synthetic_library(dsl::ReuseLibrary& lib) {
-  std::size_t added = 0;
-  std::size_t serial = 0;
-  while (added < kTargetCores) {
-    for (const rtl::CatalogEntry& entry : rtl::table1_catalog()) {
-      for (const unsigned width : rtl::kTable1SliceWidths) {
-        for (const tech::Process process : {tech::Process::k035um, tech::Process::k070um}) {
-          if (added >= kTargetCores) return added;
-          const tech::Technology& technology =
-              tech::technology(process, tech::LayoutStyle::kStandardCell);
-          const rtl::SliceConfig config = rtl::make_config(entry, width, technology);
-          const rtl::SliceDesign slice(config);
-          const double jitter = 1.0 + 0.001 * static_cast<double>(serial % 97);
-          dsl::Core core(cat("syn_", serial++, "_mm", entry.design_no, "_w", width, "_",
-                             technology.name()),
-                         kPathOMM);
-          core.bind(kImplStyle, dsl::Value::text("Hardware"))
-              .bind(kAlgorithm, dsl::Value::text(rtl::to_string(entry.algorithm)))
-              .bind(kRadix, dsl::Value::number(entry.radix))
-              .bind(kLoopAdder, dsl::Value::text(rtl::to_string(entry.adder)))
-              .bind(kLoopMultiplier, dsl::Value::text(rtl::to_string(entry.multiplier)))
-              .bind(kSliceWidth, dsl::Value::number(width))
-              .bind(kLayoutStyle, dsl::Value::text(tech::to_string(technology.layout)))
-              .bind(kFabTech, dsl::Value::text(tech::to_string(technology.process)))
-              .bind(kResultCoding,
-                    dsl::Value::text(entry.adder == rtl::AdderKind::kCarrySave
-                                         ? "Redundant"
-                                         : "2's complement"))
-              .bind(kOperandCoding, dsl::Value::text("2's complement"));
-          core.set_metric(kMetricArea, slice.area() * jitter)
-              .set_metric(kMetricClockNs, slice.clock_ns() * jitter)
-              .set_metric(kMetricLatencyNs, slice.latency_ns(width) * jitter)
-              .set_metric(kMetricWidth, width);
-          lib.add(std::move(core));
-          ++added;
-        }
-      }
-    }
-  }
-  return added;
-}
 
 /// The hot-query loop an interactive session hammers after every decision:
 /// candidate census, area range, and the Section 5.1.5 what-if ranges for
@@ -139,7 +91,8 @@ int main(int argc, char** argv) {
     }
   }
   auto layer = build_crypto_layer();
-  const std::size_t synthetic = populate_synthetic_library(layer->add_library("syn-hardcores"));
+  const std::size_t synthetic =
+      bench::populate_synthetic_library(layer->add_library("syn-hardcores"), kTargetCores);
   const std::size_t indexed = layer->index_cores();
   std::cout << "=== Query cache benchmark ===\n";
   std::cout << "synthetic cores: " << synthetic << " (indexed total: " << indexed << ")\n";

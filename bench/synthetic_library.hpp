@@ -1,0 +1,61 @@
+// Shared synthetic reuse library for the benchmarks: the Table 1 catalog
+// swept across widths and technologies and replicated (with small metric
+// jitter so each copy is a distinct catalog entry) until `target` cores
+// exist. The bindings are the complete hardware-slice set, so the
+// latency/power core filters can reconstruct each core's SliceConfig
+// exactly as for the real library.
+#pragma once
+
+#include <cstddef>
+
+#include "domains/crypto.hpp"
+#include "rtl/modmul_design.hpp"
+#include "support/strings.hpp"
+#include "tech/technology.hpp"
+
+namespace dslayer::bench {
+
+inline std::size_t populate_synthetic_library(dsl::ReuseLibrary& lib, std::size_t target) {
+  using namespace dslayer::domains;
+  std::size_t added = 0;
+  std::size_t serial = 0;
+  while (added < target) {
+    for (const rtl::CatalogEntry& entry : rtl::table1_catalog()) {
+      for (const unsigned width : rtl::kTable1SliceWidths) {
+        for (const tech::Process process : {tech::Process::k035um, tech::Process::k070um}) {
+          if (added >= target) return added;
+          const tech::Technology& technology =
+              tech::technology(process, tech::LayoutStyle::kStandardCell);
+          const rtl::SliceConfig config = rtl::make_config(entry, width, technology);
+          const rtl::SliceDesign slice(config);
+          const double jitter = 1.0 + 0.001 * static_cast<double>(serial % 97);
+          dsl::Core core(cat("syn_", serial++, "_mm", entry.design_no, "_w", width, "_",
+                             technology.name()),
+                         kPathOMM);
+          core.bind(kImplStyle, dsl::Value::text("Hardware"))
+              .bind(kAlgorithm, dsl::Value::text(rtl::to_string(entry.algorithm)))
+              .bind(kRadix, dsl::Value::number(entry.radix))
+              .bind(kLoopAdder, dsl::Value::text(rtl::to_string(entry.adder)))
+              .bind(kLoopMultiplier, dsl::Value::text(rtl::to_string(entry.multiplier)))
+              .bind(kSliceWidth, dsl::Value::number(width))
+              .bind(kLayoutStyle, dsl::Value::text(tech::to_string(technology.layout)))
+              .bind(kFabTech, dsl::Value::text(tech::to_string(technology.process)))
+              .bind(kResultCoding,
+                    dsl::Value::text(entry.adder == rtl::AdderKind::kCarrySave
+                                         ? "Redundant"
+                                         : "2's complement"))
+              .bind(kOperandCoding, dsl::Value::text("2's complement"));
+          core.set_metric(kMetricArea, slice.area() * jitter)
+              .set_metric(kMetricClockNs, slice.clock_ns() * jitter)
+              .set_metric(kMetricLatencyNs, slice.latency_ns(width) * jitter)
+              .set_metric(kMetricWidth, width);
+          lib.add(std::move(core));
+          ++added;
+        }
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace dslayer::bench

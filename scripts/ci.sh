@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
 # CI pipeline (ROADMAP.md):
-#   1. tier-1 gate — configure, build, run the full test suite;
-#   2. sanitizer pass — the same tests under ASan+UBSan in a second build
-#      dir (benches/examples off: the 10k-core bench is not meaningful
+#   1. tier-1 gate — configure, build, run the fast unit/integration tests
+#      (everything not labeled tier2);
+#   2. tier-2 — fuzz / stress / service concurrency tests in the same tree;
+#   3. sanitizer pass — tier-1 under ASan+UBSan in a second build dir
+#      (benches/examples off: the 10k-core bench is not meaningful
 #      instrumented);
-#   3. benchmark telemetry — the query-cache and Fig. 12 benches emit
-#      machine-readable BENCH_*.json at the repo root for trend tracking.
+#   4. ThreadSanitizer — the concurrency stress tests (tier2) in a TSan
+#      build, gating the exploration service's locking model;
+#   5. benchmark telemetry — the query-cache, Fig. 12, and service
+#      throughput benches emit machine-readable BENCH_*.json at the repo
+#      root for trend tracking.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/3] tier-1: build + tests ==="
+echo "=== [1/5] tier-1: build + tests ==="
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure)
+(cd build && ctest -LE tier2 --output-on-failure)
 
-echo "=== [2/3] sanitizers: ASan+UBSan build + tests ==="
+echo "=== [2/5] tier-2: fuzz + stress + service tests ==="
+(cd build && ctest -L tier2 --output-on-failure)
+
+echo "=== [3/5] sanitizers: ASan+UBSan build + tier-1 tests ==="
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -22,9 +30,20 @@ cmake -B build-asan -S . \
   -DDSLAYER_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS"
 cmake --build build-asan -j
-(cd build-asan && ctest --output-on-failure)
+(cd build-asan && ctest -LE tier2 --output-on-failure)
 
-echo "=== [3/3] benchmark telemetry (BENCH_*.json) ==="
+echo "=== [4/5] ThreadSanitizer: service concurrency stress ==="
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DDSLAYER_BUILD_BENCH=OFF \
+  -DDSLAYER_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS"
+cmake --build build-tsan -j --target service_stress_test exploration_fuzz_test
+(cd build-tsan && ctest -L tier2 --output-on-failure)
+
+echo "=== [5/5] benchmark telemetry (BENCH_*.json) ==="
 ./build/bench/query_cache_bench --json BENCH_query_cache.json
 ./build/bench/fig12_montgomery_tradeoffs --json BENCH_fig12_montgomery_tradeoffs.json
+./build/bench/service_throughput --json BENCH_service_throughput.json
 echo "CI OK"

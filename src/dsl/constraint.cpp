@@ -129,7 +129,7 @@ bool ConsistencyConstraint::violated(const Bindings& bindings) const {
   DSLAYER_REQUIRE(kind_ == RelationKind::kInconsistentOptions ||
                       kind_ == RelationKind::kDominanceElimination,
                   "violated() is only defined for predicate relations");
-  ++evaluations_;
+  evaluations_.add(1);
   if (!independents_bound(bindings)) return false;
   for (const PropertyPath& p : dependent_) {
     if (get_or_empty(bindings, p.property()).empty()) return false;
@@ -143,7 +143,7 @@ Value ConsistencyConstraint::evaluate(const Bindings& bindings) const {
     throw ExplorationError(cat("constraint ", id_,
                                ": independent set not fully addressed yet"));
   }
-  ++evaluations_;
+  evaluations_.add(1);
   return compute_(bindings);
 }
 

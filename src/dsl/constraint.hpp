@@ -30,6 +30,7 @@
 
 #include "dsl/path.hpp"
 #include "dsl/value.hpp"
+#include "support/relaxed_counter.hpp"
 
 namespace dslayer::dsl {
 
@@ -105,7 +106,9 @@ class ConsistencyConstraint {
   /// How often this constraint's relation has been evaluated (violated()
   /// or evaluate()) since construction — the per-constraint view of
   /// QueryStats::constraint_evaluations, useful for spotting hot CCs.
-  std::uint64_t evaluations() const { return evaluations_; }
+  /// Atomic: the service evaluates shared-layer constraints from many
+  /// reader threads at once.
+  std::uint64_t evaluations() const { return evaluations_.get(); }
 
   /// Renders "CC1: <doc>  Indep={...} Dep={...} Relation: <kind>".
   std::string describe() const;
@@ -121,7 +124,7 @@ class ConsistencyConstraint {
   std::function<bool(const Bindings&)> violated_;
   std::function<Value(const Bindings&)> compute_;
   std::string estimator_name_;
-  mutable std::uint64_t evaluations_ = 0;
+  mutable RelaxedCounter evaluations_;
 };
 
 /// Helper for relation predicates: value of `property`, or an empty Value.

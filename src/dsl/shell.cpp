@@ -6,7 +6,6 @@
 #include <ostream>
 #include <sstream>
 
-#include "dsl/exploration.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
@@ -89,198 +88,217 @@ void print_tree(std::ostream& out, const DesignSpaceLayer& layer, const Cdo& cdo
 
 }  // namespace
 
-int run_shell(const DesignSpaceLayer& layer, std::istream& in, std::ostream& out) {
-  std::unique_ptr<ExplorationSession> session;
-  int failures = 0;
+ExplorationSession& ShellEngine::need_session() {
+  if (session_ == nullptr) throw ExplorationError("no session — use: open <cdo-path>");
+  return *session_;
+}
 
-  const auto need_session = [&]() -> ExplorationSession& {
-    if (session == nullptr) throw ExplorationError("no session — use: open <cdo-path>");
-    return *session;
+std::string ShellEngine::journal_jsonl() const {
+  return session_ == nullptr ? std::string{} : session_->export_journal();
+}
+
+void ShellEngine::restore_from_journal(const std::string& jsonl) {
+  session_ = std::make_unique<ExplorationSession>(ExplorationSession::replay(*layer_, jsonl));
+}
+
+ShellEngine::Status ShellEngine::execute(const std::string& line, std::ostream& out) {
+  const auto words = split(std::string(trim(line)), ' ');
+  if (words.empty() || words[0].empty() || words[0][0] == '#') return Status::kEmpty;
+  try {
+    return dispatch(words, out);
+  } catch (const Error& e) {
+    out << "error: " << e.what() << "\n";
+    return Status::kError;
+  }
+}
+
+ShellEngine::Status ShellEngine::dispatch(const std::vector<std::string>& words,
+                                          std::ostream& out) {
+  const std::string& cmd = words[0];
+  const DesignSpaceLayer& layer = *layer_;
+  // Everything after the first two words joins back together so option
+  // texts with spaces ("2's complement") survive.
+  const auto rest_from = [&words](std::size_t i) {
+    std::vector<std::string> tail(words.begin() + static_cast<std::ptrdiff_t>(i), words.end());
+    return join(tail, " ");
   };
 
+  if (cmd == "quit" || cmd == "exit") {
+    return Status::kQuit;
+  } else if (cmd == "help") {
+    out << kHelp << "\n";
+  } else if (cmd == "tree") {
+    for (const Cdo* root : layer.space().roots()) print_tree(out, layer, *root, 0);
+  } else if (cmd == "doc") {
+    if (words.size() > 1) {
+      const Cdo* cdo = layer.space().find(words[1]);
+      if (cdo == nullptr) throw ExplorationError(cat("no CDO '", words[1], "'"));
+      out << cdo->document(false);
+    } else {
+      out << layer.document();
+    }
+  } else if (cmd == "open") {
+    DSLAYER_REQUIRE(words.size() >= 2, "usage: open <path>");
+    session_ = std::make_unique<ExplorationSession>(layer, words[1]);
+    out << "session at " << session_->current().path() << ", "
+        << session_->candidates().size() << " candidates\n";
+  } else if (cmd == "req" || cmd == "decide") {
+    DSLAYER_REQUIRE(words.size() >= 3, "usage: req|decide <name> <value>");
+    const Value value = parse_value(rest_from(2));
+    if (cmd == "req") {
+      need_session().set_requirement(words[1], value);
+    } else {
+      need_session().decide(words[1], value);
+    }
+    out << "ok; scope " << need_session().current().path() << ", "
+        << need_session().candidates().size() << " candidates\n";
+  } else if (cmd == "retract") {
+    DSLAYER_REQUIRE(words.size() >= 2, "usage: retract <name>");
+    need_session().retract(words[1]);
+    out << "ok; scope " << need_session().current().path() << "\n";
+  } else if (cmd == "reaffirm") {
+    DSLAYER_REQUIRE(words.size() >= 2, "usage: reaffirm <name>");
+    need_session().reaffirm(words[1]);
+    out << "ok\n";
+  } else if (cmd == "options") {
+    DSLAYER_REQUIRE(words.size() >= 2, "usage: options <issue>");
+    for (const auto& option : need_session().available_options(words[1])) {
+      out << "  " << option << "\n";
+    }
+    for (const auto& [option, cc] : need_session().eliminated_options(words[1])) {
+      out << "  " << option << "  [eliminated by " << cc << "]\n";
+    }
+    for (const auto& [option, cc] : need_session().reassessment_flags(words[1])) {
+      out << "  " << option << "  [flags re-assessment via " << cc << "]\n";
+    }
+  } else if (cmd == "ranges") {
+    DSLAYER_REQUIRE(words.size() >= 3, "usage: ranges <issue> <metric>");
+    for (const auto& [option, range] : need_session().option_ranges(words[1], words[2])) {
+      out << "  " << option << ": [" << format_double(range.min) << ", "
+          << format_double(range.max) << "] over " << range.count << " cores\n";
+    }
+  } else if (cmd == "candidates") {
+    for (const Core* core : need_session().candidates()) {
+      out << "  " << core->describe() << "\n";
+    }
+  } else if (cmd == "range") {
+    DSLAYER_REQUIRE(words.size() >= 2, "usage: range <metric>");
+    const auto range = need_session().metric_range(words[1]);
+    if (range.has_value()) {
+      out << "[" << format_double(range->min) << ", " << format_double(range->max)
+          << "] over " << range->count << " cores\n";
+    } else {
+      out << "no candidate reports '" << words[1] << "'\n";
+    }
+  } else if (cmd == "derived") {
+    DSLAYER_REQUIRE(words.size() >= 2, "usage: derived <property>");
+    const auto value = need_session().derived(words[1]);
+    out << (value.has_value() ? value->to_string() : "<not derivable yet>") << "\n";
+  } else if (cmd == "rank") {
+    DSLAYER_REQUIRE(words.size() >= 2, "usage: rank <property>");
+    for (const auto& rank : need_session().rank_behaviors(words[1])) {
+      out << "  " << rank.bd_name << "  " << format_double(rank.value) << "\n";
+    }
+  } else if (cmd == "decompose") {
+    for (const auto& site : need_session().behavioral_decomposition()) {
+      out << "  " << behavior::to_string(site.kind) << " line " << site.line << " ["
+          << site.width_bits << "b] -> "
+          << (site.cdo_path.empty() ? "<no operator class>" : site.cdo_path) << "\n";
+    }
+  } else if (cmd == "pending") {
+    for (const auto& name : need_session().pending_reassessment()) out << "  " << name << "\n";
+  } else if (cmd == "report") {
+    out << need_session().report();
+  } else if (cmd == "trace" && words.size() >= 2 && words[1] == "export") {
+    DSLAYER_REQUIRE(words.size() >= 3, "usage: trace export <file>");
+    const std::string path = rest_from(2);
+    ExplorationSession& s = need_session();
+    // The journal travels through the pluggable JSONL sink, so a file
+    // written here is exactly what a live-attached sink would produce.
+    telemetry::JsonlFileSink sink(path);
+    for (const auto& event : s.journal()) sink.on_event(event);
+    out << "exported " << s.journal().size() << " events to " << path << "\n";
+  } else if (cmd == "trace" && words.size() >= 2 && words[1] == "replay") {
+    DSLAYER_REQUIRE(words.size() >= 3, "usage: trace replay <file>");
+    const std::string path = rest_from(2);
+    std::ifstream file(path);
+    if (!file.is_open()) throw ExplorationError(cat("cannot read journal '", path, "'"));
+    std::ostringstream text;
+    text << file.rdbuf();
+    restore_from_journal(text.str());
+    out << "replayed " << session_->journal().size() << " events; scope "
+        << session_->current().path() << ", " << session_->candidates().size()
+        << " candidates\n";
+  } else if (cmd == "trace") {
+    ExplorationSession& s = need_session();
+    if (words.size() >= 2 && words[1] == "legacy") {
+      for (const auto& entry : s.trace()) out << "  - " << entry << "\n";
+    } else {
+      using telemetry::EventKind;
+      const auto matches = [&words](EventKind kind) {
+        if (words.size() < 2 || words[1] == "all") return true;
+        if (words[1] == "decisions") {
+          return kind == EventKind::kSessionOpened || kind == EventKind::kRequirementSet ||
+                 kind == EventKind::kDecision || kind == EventKind::kRetract ||
+                 kind == EventKind::kReaffirm || kind == EventKind::kReassessmentFlagged ||
+                 kind == EventKind::kOptionEliminated;
+        }
+        if (words[1] == "cache") {
+          return kind == EventKind::kCacheHit || kind == EventKind::kCacheMiss ||
+                 kind == EventKind::kIndexRebuild;
+        }
+        const auto exact = telemetry::parse_event_kind(words[1]);
+        if (!exact.has_value()) {
+          throw ExplorationError(
+              cat("unknown trace filter '", words[1],
+                  "' (try: decisions, cache, legacy, all, or an event kind)"));
+        }
+        return kind == *exact;
+      };
+      const auto& ring = s.telemetry().ring();
+      if (ring.dropped() > 0) {
+        out << "  (" << ring.dropped() << " earlier events dropped by the ring buffer)\n";
+      }
+      for (const auto& event : ring.snapshot()) {
+        if (matches(event.kind)) print_event(out, event);
+      }
+    }
+  } else if (cmd == "timings") {
+    print_timings(out, "layer", layer.telemetry().timings());
+    if (session_ != nullptr) {
+      print_timings(out, "session", session_->telemetry().timings());
+    }
+  } else if (cmd == "stats") {
+    if (words.size() > 1 && words[1] == "reset") {
+      layer.reset_query_stats();
+      if (session_ != nullptr) session_->reset_query_stats();
+      out << "counters reset\n";
+    } else {
+      out << "layer:   " << layer.query_stats().summary() << "\n";
+      if (session_ != nullptr) {
+        out << "session: " << session_->query_stats().summary() << " (cache "
+            << (session_->query_cache_enabled() ? "on" : "off") << ")\n";
+      }
+    }
+  } else if (cmd == "cache") {
+    DSLAYER_REQUIRE(words.size() >= 2 && (words[1] == "on" || words[1] == "off"),
+                    "usage: cache on|off");
+    need_session().set_query_cache(words[1] == "on");
+    out << "query cache " << words[1] << "\n";
+  } else {
+    throw ExplorationError(cat("unknown command '", cmd, "' (try: help)"));
+  }
+  return Status::kOk;
+}
+
+int run_shell(const DesignSpaceLayer& layer, std::istream& in, std::ostream& out) {
+  ShellEngine engine(layer);
+  int failures = 0;
   std::string line;
   while (std::getline(in, line)) {
-    const auto words = split(std::string(trim(line)), ' ');
-    if (words.empty() || words[0].empty() || words[0][0] == '#') continue;
-    const std::string& cmd = words[0];
-    // Everything after the first two words joins back together so option
-    // texts with spaces ("2's complement") survive.
-    const auto rest_from = [&words](std::size_t i) {
-      std::vector<std::string> tail(words.begin() + static_cast<std::ptrdiff_t>(i), words.end());
-      return join(tail, " ");
-    };
-
-    try {
-      if (cmd == "quit" || cmd == "exit") {
-        break;
-      } else if (cmd == "help") {
-        out << kHelp << "\n";
-      } else if (cmd == "tree") {
-        for (const Cdo* root : layer.space().roots()) print_tree(out, layer, *root, 0);
-      } else if (cmd == "doc") {
-        if (words.size() > 1) {
-          const Cdo* cdo = layer.space().find(words[1]);
-          if (cdo == nullptr) throw ExplorationError(cat("no CDO '", words[1], "'"));
-          out << cdo->document(false);
-        } else {
-          out << layer.document();
-        }
-      } else if (cmd == "open") {
-        DSLAYER_REQUIRE(words.size() >= 2, "usage: open <path>");
-        session = std::make_unique<ExplorationSession>(layer, words[1]);
-        out << "session at " << session->current().path() << ", "
-            << session->candidates().size() << " candidates\n";
-      } else if (cmd == "req" || cmd == "decide") {
-        DSLAYER_REQUIRE(words.size() >= 3, "usage: req|decide <name> <value>");
-        const Value value = parse_value(rest_from(2));
-        if (cmd == "req") {
-          need_session().set_requirement(words[1], value);
-        } else {
-          need_session().decide(words[1], value);
-        }
-        out << "ok; scope " << need_session().current().path() << ", "
-            << need_session().candidates().size() << " candidates\n";
-      } else if (cmd == "retract") {
-        DSLAYER_REQUIRE(words.size() >= 2, "usage: retract <name>");
-        need_session().retract(words[1]);
-        out << "ok; scope " << need_session().current().path() << "\n";
-      } else if (cmd == "reaffirm") {
-        DSLAYER_REQUIRE(words.size() >= 2, "usage: reaffirm <name>");
-        need_session().reaffirm(words[1]);
-        out << "ok\n";
-      } else if (cmd == "options") {
-        DSLAYER_REQUIRE(words.size() >= 2, "usage: options <issue>");
-        for (const auto& option : need_session().available_options(words[1])) {
-          out << "  " << option << "\n";
-        }
-        for (const auto& [option, cc] : need_session().eliminated_options(words[1])) {
-          out << "  " << option << "  [eliminated by " << cc << "]\n";
-        }
-        for (const auto& [option, cc] : need_session().reassessment_flags(words[1])) {
-          out << "  " << option << "  [flags re-assessment via " << cc << "]\n";
-        }
-      } else if (cmd == "ranges") {
-        DSLAYER_REQUIRE(words.size() >= 3, "usage: ranges <issue> <metric>");
-        for (const auto& [option, range] : need_session().option_ranges(words[1], words[2])) {
-          out << "  " << option << ": [" << format_double(range.min) << ", "
-              << format_double(range.max) << "] over " << range.count << " cores\n";
-        }
-      } else if (cmd == "candidates") {
-        for (const Core* core : need_session().candidates()) {
-          out << "  " << core->describe() << "\n";
-        }
-      } else if (cmd == "range") {
-        DSLAYER_REQUIRE(words.size() >= 2, "usage: range <metric>");
-        const auto range = need_session().metric_range(words[1]);
-        if (range.has_value()) {
-          out << "[" << format_double(range->min) << ", " << format_double(range->max)
-              << "] over " << range->count << " cores\n";
-        } else {
-          out << "no candidate reports '" << words[1] << "'\n";
-        }
-      } else if (cmd == "derived") {
-        DSLAYER_REQUIRE(words.size() >= 2, "usage: derived <property>");
-        const auto value = need_session().derived(words[1]);
-        out << (value.has_value() ? value->to_string() : "<not derivable yet>") << "\n";
-      } else if (cmd == "rank") {
-        DSLAYER_REQUIRE(words.size() >= 2, "usage: rank <property>");
-        for (const auto& rank : need_session().rank_behaviors(words[1])) {
-          out << "  " << rank.bd_name << "  " << format_double(rank.value) << "\n";
-        }
-      } else if (cmd == "decompose") {
-        for (const auto& site : need_session().behavioral_decomposition()) {
-          out << "  " << behavior::to_string(site.kind) << " line " << site.line << " ["
-              << site.width_bits << "b] -> "
-              << (site.cdo_path.empty() ? "<no operator class>" : site.cdo_path) << "\n";
-        }
-      } else if (cmd == "pending") {
-        for (const auto& name : need_session().pending_reassessment()) out << "  " << name << "\n";
-      } else if (cmd == "report") {
-        out << need_session().report();
-      } else if (cmd == "trace" && words.size() >= 2 && words[1] == "export") {
-        DSLAYER_REQUIRE(words.size() >= 3, "usage: trace export <file>");
-        const std::string path = rest_from(2);
-        ExplorationSession& s = need_session();
-        // The journal travels through the pluggable JSONL sink, so a file
-        // written here is exactly what a live-attached sink would produce.
-        telemetry::JsonlFileSink sink(path);
-        for (const auto& event : s.journal()) sink.on_event(event);
-        out << "exported " << s.journal().size() << " events to " << path << "\n";
-      } else if (cmd == "trace" && words.size() >= 2 && words[1] == "replay") {
-        DSLAYER_REQUIRE(words.size() >= 3, "usage: trace replay <file>");
-        const std::string path = rest_from(2);
-        std::ifstream file(path);
-        if (!file.is_open()) throw ExplorationError(cat("cannot read journal '", path, "'"));
-        std::ostringstream text;
-        text << file.rdbuf();
-        session =
-            std::make_unique<ExplorationSession>(ExplorationSession::replay(layer, text.str()));
-        out << "replayed " << session->journal().size() << " events; scope "
-            << session->current().path() << ", " << session->candidates().size()
-            << " candidates\n";
-      } else if (cmd == "trace") {
-        ExplorationSession& s = need_session();
-        if (words.size() >= 2 && words[1] == "legacy") {
-          for (const auto& entry : s.trace()) out << "  - " << entry << "\n";
-        } else {
-          using telemetry::EventKind;
-          const auto matches = [&words](EventKind kind) {
-            if (words.size() < 2 || words[1] == "all") return true;
-            if (words[1] == "decisions") {
-              return kind == EventKind::kSessionOpened || kind == EventKind::kRequirementSet ||
-                     kind == EventKind::kDecision || kind == EventKind::kRetract ||
-                     kind == EventKind::kReaffirm || kind == EventKind::kReassessmentFlagged ||
-                     kind == EventKind::kOptionEliminated;
-            }
-            if (words[1] == "cache") {
-              return kind == EventKind::kCacheHit || kind == EventKind::kCacheMiss ||
-                     kind == EventKind::kIndexRebuild;
-            }
-            const auto exact = telemetry::parse_event_kind(words[1]);
-            if (!exact.has_value()) {
-              throw ExplorationError(
-                  cat("unknown trace filter '", words[1],
-                      "' (try: decisions, cache, legacy, all, or an event kind)"));
-            }
-            return kind == *exact;
-          };
-          const auto& ring = s.telemetry().ring();
-          if (ring.dropped() > 0) {
-            out << "  (" << ring.dropped() << " earlier events dropped by the ring buffer)\n";
-          }
-          for (const auto& event : ring.snapshot()) {
-            if (matches(event.kind)) print_event(out, event);
-          }
-        }
-      } else if (cmd == "timings") {
-        print_timings(out, "layer", layer.telemetry().timings());
-        if (session != nullptr) {
-          print_timings(out, "session", session->telemetry().timings());
-        }
-      } else if (cmd == "stats") {
-        if (words.size() > 1 && words[1] == "reset") {
-          layer.reset_query_stats();
-          if (session != nullptr) session->reset_query_stats();
-          out << "counters reset\n";
-        } else {
-          out << "layer:   " << layer.query_stats().summary() << "\n";
-          if (session != nullptr) {
-            out << "session: " << session->query_stats().summary() << " (cache "
-                << (session->query_cache_enabled() ? "on" : "off") << ")\n";
-          }
-        }
-      } else if (cmd == "cache") {
-        DSLAYER_REQUIRE(words.size() >= 2 && (words[1] == "on" || words[1] == "off"),
-                        "usage: cache on|off");
-        need_session().set_query_cache(words[1] == "on");
-        out << "query cache " << words[1] << "\n";
-      } else {
-        throw ExplorationError(cat("unknown command '", cmd, "' (try: help)"));
-      }
-    } catch (const Error& e) {
-      ++failures;
-      out << "error: " << e.what() << "\n";
-    }
+    const ShellEngine::Status status = engine.execute(line, out);
+    if (status == ShellEngine::Status::kQuit) break;
+    if (status == ShellEngine::Status::kError) ++failures;
   }
   return failures;
 }

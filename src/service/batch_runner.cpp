@@ -1,0 +1,178 @@
+#include "service/batch_runner.hpp"
+
+#include <chrono>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::service {
+
+namespace {
+
+void print_stats(SessionManager& manager, RequestExecutor& executor, std::ostream& out) {
+  const RequestExecutor::Stats xs = executor.stats();
+  const SessionManager::Stats ms = manager.stats();
+  out << "executor: accepted=" << xs.accepted << " executed=" << xs.executed
+      << " rejected=" << xs.rejected << " errors=" << xs.errors << " depth=" << xs.queue_depth
+      << " peak_depth=" << xs.peak_queue_depth << "\n";
+  out << "sessions: live=" << manager.session_count() << " created=" << ms.created
+      << " closed=" << ms.closed << " evicted=" << ms.evicted << " commands=" << ms.commands
+      << " migrations=" << ms.migrations << " migration_failures=" << ms.migration_failures
+      << "\n";
+  for (const auto& [name, t] : executor.telemetry().timings()) {
+    out << "  " << name << "  n=" << t.count << "  p50=" << format_double(t.p50_us, 4)
+        << "us  p95=" << format_double(t.p95_us, 4) << "us  max=" << format_double(t.max_us, 4)
+        << "us\n";
+  }
+}
+
+/// Handles one '!' line after draining. Returns false for unknown
+/// directives (reported on `out`).
+bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
+                   std::ostream& out) {
+  executor.drain();
+  const auto words = split(std::string(trim(line)), ' ');
+  const std::string& directive = words[0];
+  if (directive == "!drain") {
+    out << "drained\n";
+  } else if (directive == "!sessions") {
+    for (const auto& name : manager.session_names()) out << "  " << name << "\n";
+  } else if (directive == "!stats") {
+    print_stats(manager, executor, out);
+  } else if (directive == "!close") {
+    if (words.size() < 2) {
+      out << "error: usage: !close <session>\n";
+      return false;
+    }
+    out << (manager.close(words[1]) ? "closed " : "no session ") << words[1] << "\n";
+  } else {
+    out << "error: unknown directive '" << directive
+        << "' (try: !sessions, !stats, !close <session>, !drain)\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
+                       std::ostream& out) {
+  BatchSummary summary;
+  // Responses arrive on worker threads in completion order; the batch
+  // contract is submission order, so they park here until a flush.
+  std::mutex collect_lock;
+  std::map<std::uint64_t, Response> responses;
+
+  // Drains the executor and prints everything collected so far, in
+  // submission order. Runs at every directive (a synchronization point —
+  // the directive must observe exactly the state after the requests
+  // above it) and at end of input.
+  const auto flush = [&] {
+    executor.drain();
+    std::lock_guard<std::mutex> guard(collect_lock);
+    for (const auto& [id, response] : responses) {
+      if (response.status == ResponseStatus::kError) ++summary.errors;
+      out << render_response(response);
+    }
+    responses.clear();
+  };
+
+  std::uint64_t next_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_directive(line)) {
+      flush();
+      run_directive(manager, executor, line, out);
+      continue;
+    }
+    std::optional<Request> request;
+    try {
+      request = parse_request(line);
+    } catch (const Error& e) {
+      Response bad;
+      bad.id = ++next_id;
+      bad.session = "-";
+      bad.status = ResponseStatus::kError;
+      bad.output = cat("error: ", e.what(), "\n");
+      std::lock_guard<std::mutex> guard(collect_lock);
+      responses.emplace(bad.id, std::move(bad));
+      ++summary.requests;
+      continue;
+    }
+    if (!request.has_value()) continue;
+    request->id = ++next_id;
+    ++summary.requests;
+    executor.submit(*request, [&collect_lock, &responses](Response response) {
+      std::lock_guard<std::mutex> guard(collect_lock);
+      responses.emplace(response.id, std::move(response));
+    });
+  }
+  flush();
+  return summary;
+}
+
+BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::istream& in,
+                       std::ostream& out) {
+  BatchSummary summary;
+  std::mutex out_lock;  // responses print whole from worker threads
+  std::uint64_t next_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_directive(line)) {
+      std::lock_guard<std::mutex> guard(out_lock);
+      run_directive(manager, executor, line, out);
+      out.flush();
+      continue;
+    }
+    std::optional<Request> request;
+    try {
+      request = parse_request(line);
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> guard(out_lock);
+      out << "error: " << e.what() << "\n";
+      out.flush();
+      ++summary.errors;
+      continue;
+    }
+    if (!request.has_value()) continue;
+    request->id = ++next_id;
+    ++summary.requests;
+    const auto deliver = [&out_lock, &out, &summary](Response response) {
+      std::lock_guard<std::mutex> guard(out_lock);
+      if (response.status == ResponseStatus::kError) ++summary.errors;
+      out << render_response(response);
+      out.flush();
+    };
+    // Bounded retries make backpressure visible instead of blocking the
+    // reader forever: after `kRetries` full queues the request is
+    // reported rejected and the client may resubmit.
+    constexpr int kRetries = 50;
+    bool accepted = false;
+    for (int attempt = 0; attempt < kRetries && !accepted; ++attempt) {
+      accepted = executor.try_submit(*request, deliver);
+      if (!accepted) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!accepted) {
+      Response rejection;
+      rejection.id = request->id;
+      rejection.session = request->session;
+      rejection.status = ResponseStatus::kRejected;
+      rejection.output = "error: queue full — resubmit\n";
+      std::lock_guard<std::mutex> guard(out_lock);
+      ++summary.rejected;
+      out << render_response(rejection);
+      out.flush();
+    }
+  }
+  executor.drain();
+  return summary;
+}
+
+}  // namespace dslayer::service

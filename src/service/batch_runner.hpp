@@ -1,0 +1,42 @@
+// Stream front ends over the executor: batch and serve modes.
+//
+// Both read the newline-delimited protocol (protocol.hpp) from an input
+// stream and run every request through a RequestExecutor:
+//
+//   * run_batch  — submits everything (blocking submits, so backpressure
+//     throttles the reader instead of rejecting), drains, then prints
+//     all responses in SUBMISSION order. Scripted/test mode: output is
+//     deterministic given per-session determinism.
+//   * run_serve — prints each response as it COMPLETES (ids make the
+//     interleaving reconstructible), flushing per response. Interactive
+//     mode: a slow session never holds back output for the others. Uses
+//     try_submit with bounded retries so a stalled queue surfaces as
+//     `rejected` responses rather than silent blocking.
+//
+// Front-end directives (lines starting with '!') are synchronization
+// points: the runner drains the executor, then acts — `!sessions` lists
+// live sessions, `!stats` dumps executor + manager counters and latency
+// histograms, `!close <session>` closes one, `!drain` just drains.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "service/request_executor.hpp"
+#include "service/session_manager.hpp"
+
+namespace dslayer::service {
+
+struct BatchSummary {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected = 0;  ///< serve mode: retries exhausted
+};
+
+BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
+                       std::ostream& out);
+
+BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::istream& in,
+                       std::ostream& out);
+
+}  // namespace dslayer::service

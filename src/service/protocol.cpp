@@ -1,0 +1,46 @@
+#include "service/protocol.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::service {
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kError: return "error";
+    case ResponseStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+bool is_directive(std::string_view line) {
+  const std::string_view trimmed = trim(line);
+  return !trimmed.empty() && trimmed.front() == '!';
+}
+
+std::optional<Request> parse_request(std::string_view line) {
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') return std::nullopt;
+  const std::size_t gap = trimmed.find(' ');
+  if (gap == std::string_view::npos) {
+    throw ServiceError(cat("request '", std::string(trimmed),
+                           "' names a session but no command (expected: <session> <command...>)"));
+  }
+  Request request;
+  request.session = std::string(trimmed.substr(0, gap));
+  request.command = std::string(trim(trimmed.substr(gap + 1)));
+  if (request.command.empty()) {
+    throw ServiceError(cat("request for session '", request.session, "' has an empty command"));
+  }
+  return request;
+}
+
+std::string render_response(const Response& response) {
+  std::string out = cat("== ", response.id, " ", response.session, " ",
+                        to_string(response.status), "\n", response.output);
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  return out;
+}
+
+}  // namespace dslayer::service

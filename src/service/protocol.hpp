@@ -1,0 +1,60 @@
+// The service's newline-delimited request protocol.
+//
+// One request per line, reusing the shell command grammar verbatim after
+// a leading session name:
+//
+//   <session> <shell-command...>     e.g.  s1 open Operator.Modular.Multiplier
+//                                          s1 decide Algorithm Montgomery
+//                                          s2 candidates
+//
+// Blank lines and `#` comments are skipped. Lines starting with `!` are
+// front-end directives (handled synchronously by the batch runner, not
+// queued): `!sessions`, `!stats`, `!close <session>`, `!drain`.
+//
+// Every queued request yields exactly one Response. The batch front end
+// renders a response as a `== <id> <session> <ok|error|rejected>` header
+// line followed by the command's output, so multi-line outputs stay
+// unambiguous and a stream of responses is machine-splittable on `== `.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dslayer::service {
+
+struct Request {
+  std::uint64_t id = 0;  ///< submission order, assigned by the front end
+  std::string session;
+  std::string command;  ///< one shell-grammar command line
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk,
+  kError,     ///< the command failed ("error: ..." in output)
+  kRejected,  ///< backpressure: never executed, safe to retry
+};
+
+const char* to_string(ResponseStatus status);
+
+struct Response {
+  std::uint64_t id = 0;
+  std::string session;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string output;  ///< the command's shell output, newline-terminated
+  double latency_us = 0.0;  ///< queue wait + execution (0 for rejections)
+};
+
+/// Splits one protocol line into (session, command). nullopt for blank
+/// lines and comments. The caller assigns `id`. Throws ServiceError when
+/// a session name arrives without a command.
+std::optional<Request> parse_request(std::string_view line);
+
+/// True if the line is a front-end directive (starts with '!').
+bool is_directive(std::string_view line);
+
+/// Renders the `== <id> <session> <status>` header plus output.
+std::string render_response(const Response& response);
+
+}  // namespace dslayer::service

@@ -1,0 +1,166 @@
+#include "service/request_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::service {
+
+RequestExecutor::RequestExecutor(SessionManager& manager)
+    : RequestExecutor(manager, Options{}) {}
+
+RequestExecutor::RequestExecutor(SessionManager& manager, Options options)
+    : manager_(&manager), options_(options) {
+  DSLAYER_REQUIRE(options_.workers > 0, "executor needs at least one worker");
+  DSLAYER_REQUIRE(options_.queue_capacity > 0, "executor queue needs capacity for one request");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RequestExecutor::~RequestExecutor() { shutdown(); }
+
+void RequestExecutor::enqueue_locked(Item item) {
+  auto& strand = strands_[item.request.session];
+  if (strand == nullptr) {
+    strand = std::make_shared<Strand>();
+    strand->session = item.request.session;
+  }
+  strand->inbox.push_back(std::move(item));
+  ++pending_;
+  peak_pending_ = std::max(peak_pending_, pending_);
+  accepted_.add(1);
+  if (!strand->scheduled) {
+    strand->scheduled = true;
+    ready_.push_back(strand);
+    work_ready_.notify_one();
+  }
+}
+
+bool RequestExecutor::try_submit(Request request, Callback done) {
+  DSLAYER_REQUIRE(done != nullptr, "executor callback must not be null");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_ || pending_ >= options_.queue_capacity) {
+    rejected_.add(1);
+    return false;
+  }
+  Item item{std::move(request), std::move(done), std::chrono::steady_clock::now()};
+  enqueue_locked(std::move(item));
+  return true;
+}
+
+void RequestExecutor::submit(Request request, Callback done) {
+  DSLAYER_REQUIRE(done != nullptr, "executor callback must not be null");
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_free_.wait(lock, [this] { return stopping_ || pending_ < options_.queue_capacity; });
+  if (stopping_) throw ServiceError("executor is shut down");
+  Item item{std::move(request), std::move(done), std::chrono::steady_clock::now()};
+  enqueue_locked(std::move(item));
+}
+
+Response RequestExecutor::execute(Item& item) {
+  if (options_.injected_latency_us > 0.0) {
+    // Modeled remote-catalog round trip (see header); the sleep is the
+    // blocking component workers overlap.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(options_.injected_latency_us));
+  }
+  Response response;
+  response.id = item.request.id;
+  response.session = item.request.session;
+  std::ostringstream out;
+  try {
+    const dsl::ShellEngine::Status status =
+        manager_->execute(item.request.session, item.request.command, out);
+    response.status = status == dsl::ShellEngine::Status::kError ? ResponseStatus::kError
+                                                                 : ResponseStatus::kOk;
+  } catch (const Error& e) {
+    out << "error: " << e.what() << "\n";
+    response.status = ResponseStatus::kError;
+  }
+  response.output = out.str();
+  const auto finished = std::chrono::steady_clock::now();
+  response.latency_us =
+      std::chrono::duration<double, std::micro>(finished - item.enqueued).count();
+
+  const std::string verb = item.request.command.substr(0, item.request.command.find(' '));
+  {
+    std::lock_guard<std::mutex> telemetry_guard(telemetry_lock_);
+    telemetry_.record_timing("request", response.latency_us);
+    telemetry_.record_timing(cat("request.", verb), response.latency_us);
+  }
+  executed_.add(1);
+  if (response.status == ResponseStatus::kError) errors_.add(1);
+  return response;
+}
+
+void RequestExecutor::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const std::shared_ptr<Strand> strand = ready_.front();
+    ready_.pop_front();
+    // Drain this session's inbox to empty. Only this worker touches the
+    // strand while `scheduled` is true, so per-session order holds.
+    while (!strand->inbox.empty()) {
+      Item item = std::move(strand->inbox.front());
+      strand->inbox.pop_front();
+      lock.unlock();
+      Response response = execute(item);
+      item.done(std::move(response));
+      lock.lock();
+      --pending_;
+      space_free_.notify_one();
+      if (pending_ == 0) idle_.notify_all();
+    }
+    strand->scheduled = false;
+    // Drop the empty strand so long-running services don't accumulate a
+    // registry entry per session name ever seen.
+    if (const auto it = strands_.find(strand->session);
+        it != strands_.end() && it->second == strand) {
+      strands_.erase(it);
+    }
+  }
+}
+
+void RequestExecutor::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void RequestExecutor::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    idle_.wait(lock, [this] { return pending_ == 0; });
+    stopping_ = true;
+    work_ready_.notify_all();
+    space_free_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+RequestExecutor::Stats RequestExecutor::stats() const {
+  Stats stats;
+  stats.accepted = accepted_.get();
+  stats.executed = executed_.get();
+  stats.rejected = rejected_.get();
+  stats.errors = errors_.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.queue_depth = pending_;
+  stats.peak_queue_depth = peak_pending_;
+  return stats;
+}
+
+}  // namespace dslayer::service

@@ -1,0 +1,147 @@
+#include "service/session_manager.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::service {
+
+SessionManager::SessionManager(SharedLayer& shared) : SessionManager(shared, Options{}) {}
+
+SessionManager::SessionManager(SharedLayer& shared, Options options)
+    : shared_(&shared), options_(options) {
+  DSLAYER_REQUIRE(options_.max_sessions > 0, "session manager needs capacity for one session");
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::acquire(const std::string& name) {
+  DSLAYER_REQUIRE(!name.empty(), "session name must not be empty");
+  std::lock_guard<std::mutex> registry(registry_lock_);
+  const std::uint64_t now = ++touch_counter_;
+  if (const auto it = sessions_.find(name); it != sessions_.end()) {
+    it->second->last_touch = now;
+    return it->second;
+  }
+  if (sessions_.size() >= options_.max_sessions) {
+    // Evict the least-recently-used session whose lock is free (a held
+    // lock means a command is mid-flight — never yank state from under
+    // it). Eviction is the idle-session policy, so a later request for
+    // an evicted name simply starts a fresh session.
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (victim != sessions_.end() && it->second->last_touch >= victim->second->last_touch) {
+        continue;
+      }
+      if (it->second->lock.try_lock()) {
+        it->second->lock.unlock();
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) {
+      throw ServiceError(cat("session limit (", options_.max_sessions,
+                             ") reached and every session is busy"));
+    }
+    sessions_.erase(victim);
+    evicted_.add(1);
+  }
+  auto session = std::make_shared<Session>(shared_->layer());
+  session->epoch = shared_->epoch();
+  session->last_touch = now;
+  sessions_.emplace(name, session);
+  created_.add(1);
+  return session;
+}
+
+bool SessionManager::migrate(Session& session, const std::string& name, std::ostream& out) {
+  migrations_.add(1);
+  const std::string journal = session.engine.journal_jsonl();
+  session.engine.close_session();
+  session.epoch = shared_->epoch();
+  if (journal.empty()) return true;  // nothing to carry across the epoch
+  try {
+    session.engine.restore_from_journal(journal);
+    return true;
+  } catch (const Error& e) {
+    // The updated layer rejects part of the journaled history (e.g. a
+    // new constraint now vetoes an old decision). The session stays
+    // open-able but empty; the designer re-decides against the new space.
+    migration_failures_.add(1);
+    out << "error: session '" << name << "' could not be migrated to layer epoch "
+        << session.epoch << ": " << e.what() << "\n";
+    return false;
+  }
+}
+
+dsl::ShellEngine::Status SessionManager::execute(const std::string& session_name,
+                                                 const std::string& line, std::ostream& out) {
+  const std::shared_ptr<Session> session = acquire(session_name);
+  std::lock_guard<std::mutex> guard(session->lock);
+  const auto reader = shared_->read_lock();
+  commands_.add(1);
+  if (session->epoch != shared_->epoch() && !migrate(*session, session_name, out)) {
+    return dsl::ShellEngine::Status::kError;
+  }
+  const dsl::ShellEngine::Status status = session->engine.execute(line, out);
+  if (status == dsl::ShellEngine::Status::kQuit) {
+    session->engine.close_session();
+    close(session_name);
+    out << "closed\n";
+  }
+  return status;
+}
+
+bool SessionManager::close(const std::string& session) {
+  std::lock_guard<std::mutex> registry(registry_lock_);
+  const bool erased = sessions_.erase(session) > 0;
+  if (erased) closed_.add(1);
+  return erased;
+}
+
+std::size_t SessionManager::evict_idle(std::size_t keep_recent) {
+  std::lock_guard<std::mutex> registry(registry_lock_);
+  if (sessions_.size() <= keep_recent) return 0;
+  std::vector<std::uint64_t> touches;
+  touches.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) touches.push_back(session->last_touch);
+  std::sort(touches.begin(), touches.end(), std::greater<>());
+  const std::uint64_t cutoff = keep_recent == 0 ? touch_counter_ + 1 : touches[keep_recent - 1];
+  std::size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->last_touch < cutoff && it->second->lock.try_lock()) {
+      it->second->lock.unlock();
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  evicted_.add(evicted);
+  return evicted;
+}
+
+std::vector<std::string> SessionManager::session_names() const {
+  std::lock_guard<std::mutex> registry(registry_lock_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+std::size_t SessionManager::session_count() const {
+  std::lock_guard<std::mutex> registry(registry_lock_);
+  return sessions_.size();
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  Stats stats;
+  stats.created = created_.get();
+  stats.closed = closed_.get();
+  stats.evicted = evicted_.get();
+  stats.commands = commands_.get();
+  stats.migrations = migrations_.get();
+  stats.migration_failures = migration_failures_.get();
+  return stats;
+}
+
+}  // namespace dslayer::service

@@ -1,0 +1,121 @@
+// Named, concurrent exploration sessions over one SharedLayer.
+//
+// Each session is a ShellEngine (one open ExplorationSession plus the
+// command grammar) with a lock, the SharedLayer epoch its state was built
+// at, and an LRU timestamp. The manager owns the name -> session registry
+// and the lifecycle the service promises:
+//
+//   create    — sessions appear on first use of a name (bounded count;
+//               at capacity the least-recently-used idle session is
+//               evicted to make room);
+//   execute   — one shell-grammar command under the session lock and the
+//               shared reader lock; per-session ordering is the
+//               executor's strand guarantee, the lock makes even
+//               unordered direct calls safe;
+//   migrate   — a session built at an older epoch is rebuilt from its
+//               replay journal against the updated layer before its next
+//               command (coherent cache invalidation: every memoized
+//               per-session query is recomputed against the new layer);
+//   close     — explicit (`quit` command or close()) or by eviction.
+//
+// Lock order: a session lock may be held when the registry lock is taken
+// (the quit-path close); registry-side code only ever try_locks session
+// locks, so that nesting cannot deadlock. The shared reader lock is
+// innermost. Writers (SharedLayer::write) take no manager locks, so
+// catalog updates cannot deadlock against exploration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dsl/shell.hpp"
+#include "service/shared_layer.hpp"
+#include "support/relaxed_counter.hpp"
+
+namespace dslayer::service {
+
+class SessionManager {
+ public:
+  struct Options {
+    /// Hard bound on live sessions; creating past it evicts the LRU idle
+    /// session, or fails with ServiceError if every session is busy.
+    std::size_t max_sessions = 64;
+  };
+
+  /// Counter snapshot (see stats()).
+  struct Stats {
+    std::uint64_t created = 0;
+    std::uint64_t closed = 0;    ///< explicit close / quit
+    std::uint64_t evicted = 0;   ///< LRU-evicted at capacity or by evict_idle()
+    std::uint64_t commands = 0;  ///< execute() calls that reached an engine
+    std::uint64_t migrations = 0;
+    std::uint64_t migration_failures = 0;
+  };
+
+  explicit SessionManager(SharedLayer& shared);
+  SessionManager(SharedLayer& shared, Options options);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Executes one shell-grammar command line against the named session,
+  /// creating the session on first use. Migrates the session first if a
+  /// writer epoch has passed. `quit`/`exit` close the session. Writes the
+  /// command's output (or "error: ...") to `out`. Thread-safe. Throws
+  /// ServiceError only for manager-level failures (session limit with no
+  /// evictable session); command failures return kError.
+  dsl::ShellEngine::Status execute(const std::string& session, const std::string& line,
+                                   std::ostream& out);
+
+  /// Closes a session by name; false if it does not exist.
+  bool close(const std::string& session);
+
+  /// Evicts every session whose last touch is older than the newest
+  /// `keep_recent` touches and whose lock is free. Returns evicted count.
+  std::size_t evict_idle(std::size_t keep_recent);
+
+  std::vector<std::string> session_names() const;
+  std::size_t session_count() const;
+  Stats stats() const;
+
+  SharedLayer& shared() { return *shared_; }
+
+ private:
+  struct Session {
+    explicit Session(const dsl::DesignSpaceLayer& layer) : engine(layer) {}
+    std::mutex lock;
+    dsl::ShellEngine engine;
+    std::uint64_t epoch = 0;       ///< SharedLayer epoch the state is valid for
+    std::uint64_t last_touch = 0;  ///< manager touch counter (LRU)
+  };
+
+  /// Looks up or creates the named session; bumps its LRU stamp.
+  std::shared_ptr<Session> acquire(const std::string& name);
+
+  /// Rebuilds a stale session from its journal. Caller holds the session
+  /// lock and the shared reader lock. Returns false (with an "error: ..."
+  /// line on `out`) when the journal no longer replays cleanly — the
+  /// session is then left freshly closed at the new epoch.
+  bool migrate(Session& session, const std::string& name, std::ostream& out);
+
+  SharedLayer* shared_;
+  Options options_;
+
+  mutable std::mutex registry_lock_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::uint64_t touch_counter_ = 0;  // guarded by registry_lock_
+
+  RelaxedCounter created_;
+  RelaxedCounter closed_;
+  RelaxedCounter evicted_;
+  RelaxedCounter commands_;
+  RelaxedCounter migrations_;
+  RelaxedCounter migration_failures_;
+};
+
+}  // namespace dslayer::service

@@ -1,0 +1,22 @@
+#include "service/shared_layer.hpp"
+
+namespace dslayer::service {
+
+SharedLayer::SharedLayer(dsl::DesignSpaceLayer& layer) : layer_(&layer) {
+  std::unique_lock<std::shared_mutex> exclusive(mutex_);
+  reindex_and_prime();
+  epoch_.store(1, std::memory_order_release);
+}
+
+void SharedLayer::reindex_and_prime() {
+  layer_->index_cores();
+  // Touch every lazily-built per-CDO cache so no reader ever takes the
+  // map-inserting miss path. cores_under() also covers cores_at() (both
+  // read indexes index_cores() just rebuilt).
+  for (const dsl::Cdo* cdo : layer_->space().all()) {
+    (void)layer_->constraint_index(*cdo);
+    (void)layer_->cores_under(*cdo);
+  }
+}
+
+}  // namespace dslayer::service

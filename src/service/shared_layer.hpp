@@ -1,0 +1,83 @@
+// Thread-safe shared access to one DesignSpaceLayer (DESIGN.md §9).
+//
+// The paper's Fig. 1 shows several designers and IP providers around one
+// design space layer: designers explore (read) while providers update
+// catalogs (write). SharedLayer turns that picture into a concurrency
+// contract over the single-threaded DesignSpaceLayer:
+//
+//   * readers — exploration sessions executing queries/decisions — hold a
+//     SHARED lock, so any number run at once;
+//   * writers — catalog updates (`library()->add(...)` + re-index) and
+//     add_constraint() — get an EXCLUSIVE epoch: the writer runs alone,
+//     the layer is re-indexed and every lazily-filled query cache is
+//     re-primed, and the epoch counter is bumped.
+//
+// The epoch bump is the coherence signal: session-side memoized query
+// caches keyed to the old epoch are stale, and SessionManager rebuilds
+// such sessions deterministically from their replay journals before
+// letting them touch the new layer (migration-by-replay).
+//
+// Why prime()? DesignSpaceLayer fills its per-CDO constraint and subtree
+// indexes lazily inside logically-const queries. A first-touch miss under
+// a shared lock would be a data race (two readers inserting into the same
+// std::map). prime() walks every CDO under the exclusive lock and touches
+// every such cache, so readers only ever hit the populated, structurally
+// immutable fast path (const find + relaxed-atomic counter bumps).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "dsl/layer.hpp"
+
+namespace dslayer::service {
+
+class SharedLayer {
+ public:
+  /// Wraps (does not own) a fully built layer. Primes every query cache
+  /// immediately so readers can start at epoch 1.
+  explicit SharedLayer(dsl::DesignSpaceLayer& layer);
+
+  SharedLayer(const SharedLayer&) = delete;
+  SharedLayer& operator=(const SharedLayer&) = delete;
+
+  /// The current coherence generation. Bumped once per write(); a session
+  /// built at an older epoch must be migrated before its next command.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Acquires the shared (reader) lock for the caller's scope. Every
+  /// access to layer() outside write() must happen under one of these.
+  std::shared_lock<std::shared_mutex> read_lock() const {
+    return std::shared_lock<std::shared_mutex>(mutex_);
+  }
+
+  /// The wrapped layer. Const: readers cannot mutate it by construction.
+  const dsl::DesignSpaceLayer& layer() const { return *layer_; }
+
+  /// One exclusive writer epoch: runs `fn` on the mutable layer with all
+  /// readers excluded, then re-indexes cores, re-primes every query
+  /// cache, and publishes the new epoch. `fn` may add cores, libraries,
+  /// constraints, CDOs — anything a layer author could do.
+  template <typename Fn>
+  std::uint64_t write(Fn&& fn) {
+    std::unique_lock<std::shared_mutex> exclusive(mutex_);
+    fn(*layer_);
+    reindex_and_prime();
+    const std::uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+    epoch_.store(next, std::memory_order_release);
+    return next;
+  }
+
+ private:
+  /// index_cores() + first-touch of every per-CDO lazy cache. Caller must
+  /// hold the exclusive lock (or be the constructor).
+  void reindex_and_prime();
+
+  dsl::DesignSpaceLayer* layer_;
+  mutable std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace dslayer::service

@@ -48,6 +48,14 @@ class ArithmeticError : public Error {
   explicit ArithmeticError(const std::string& what) : Error(what) {}
 };
 
+/// Failures of the concurrent exploration service itself (unknown session,
+/// session limit reached, executor shut down, ...) as opposed to failures
+/// of the commands it executes, which stay ExplorationError.
+class ServiceError : public Error {
+ public:
+  explicit ServiceError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_precondition(std::string_view expr, std::string_view file, int line,
                                      std::string_view msg);

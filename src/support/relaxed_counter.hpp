@@ -1,0 +1,43 @@
+// A relaxed atomic event counter that stays copyable.
+//
+// The service layer (src/service) runs many exploration sessions over one
+// shared DesignSpaceLayer: the layer-side hot paths (constraint-index and
+// subtree-index lookups, constraint predicate evaluations) execute under a
+// SHARED reader lock, so their "how often did this happen" counters are
+// bumped from several threads at once. std::atomic gives the bump
+// well-defined semantics, but atomics are neither copyable nor movable —
+// and these counters live inside objects that must stay movable
+// (ConsistencyConstraint sits by value in a vector, Telemetry moves with
+// its ExplorationSession). RelaxedCounter wraps the atomic and copies by
+// snapshot.
+//
+// Memory ordering is relaxed throughout: the counters are monotonic event
+// tallies read for observability (QueryStats, per-constraint evaluation
+// counts), never used to publish other data. A copy taken while writers
+// are active is a point-in-time snapshot, which is all the stats surfaces
+// promise.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dslayer {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter(std::uint64_t value = 0) noexcept : value_(value) {}
+  RelaxedCounter(const RelaxedCounter& other) noexcept : value_(other.get()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    value_.store(other.get(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void set(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t get() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_;
+};
+
+}  // namespace dslayer

@@ -292,7 +292,7 @@ std::uint64_t Telemetry::emit(EventKind kind, std::string subject, std::string d
   event.subject = std::move(subject);
   event.detail = std::move(detail);
   event.duration_us = duration_us;
-  ++counts_[static_cast<std::size_t>(kind)];
+  counts_[static_cast<std::size_t>(kind)].add(1);
   ring_.on_event(event);
   for (const auto& sink : sinks_) sink->on_event(event);
   return event.seq;
@@ -323,7 +323,7 @@ void Telemetry::add_sink(std::shared_ptr<EventSink> sink) {
 }
 
 void Telemetry::reset_counters() {
-  counts_.fill(0);
+  for (RelaxedCounter& counter : counts_) counter.set(0);
   histograms_.clear();
 }
 

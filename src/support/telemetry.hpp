@@ -22,6 +22,16 @@
 // Layering: this is a support module — it knows nothing about CDOs,
 // sessions, or values. The dsl layer encodes its payloads into the
 // subject/detail strings (see ExplorationSession::export_journal()).
+//
+// Threading model (audited for the concurrent exploration service,
+// DESIGN.md §9): count()/count_of() are thread-safe (relaxed atomics) —
+// they are the only telemetry operations the layer-side query hot paths
+// perform under the service's SHARED reader lock. Everything else
+// (emit(), record_timing(), sinks, histograms, the sequence counter)
+// requires external synchronization: session hubs are guarded by the
+// service's per-session lock, and the shared layer's hub only emits or
+// times on exclusive-epoch paths (index_cores, first-touch index builds —
+// both pre-warmed by service::SharedLayer::prime()).
 #pragma once
 
 #include <array>
@@ -33,6 +43,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/relaxed_counter.hpp"
 
 namespace dslayer::telemetry {
 
@@ -180,14 +192,16 @@ class Telemetry {
                      double duration_us = 0.0);
 
   /// Counter-only fast path for high-frequency kinds: no Event is
-  /// allocated and sinks are not notified.
+  /// allocated and sinks are not notified. Thread-safe (relaxed atomic) —
+  /// shared-layer hot paths bump these concurrently under a reader lock.
   void count(EventKind kind, std::uint64_t n = 1) {
-    counts_[static_cast<std::size_t>(kind)] += n;
+    counts_[static_cast<std::size_t>(kind)].add(n);
   }
 
   /// Total occurrences of `kind`, through either emit() or count().
+  /// Thread-safe snapshot read.
   std::uint64_t count_of(EventKind kind) const {
-    return counts_[static_cast<std::size_t>(kind)];
+    return counts_[static_cast<std::size_t>(kind)].get();
   }
 
   /// Records one latency sample into the named histogram and emits a
@@ -224,7 +238,7 @@ class Telemetry {
   };
 
   std::uint64_t seq_ = 0;
-  std::array<std::uint64_t, kEventKindCount> counts_{};
+  std::array<RelaxedCounter, kEventKindCount> counts_{};
   RingBufferSink ring_;
   std::vector<std::shared_ptr<EventSink>> sinks_;
   std::map<std::string, Histogram> histograms_;

@@ -1,0 +1,396 @@
+// Unit tests for the concurrent exploration service: protocol parsing,
+// SharedLayer epochs and priming, SessionManager lifecycle (create /
+// execute / migrate / close / evict), executor submission, backpressure,
+// per-session ordering, and the batch front end. Fast and deterministic —
+// tier-1; the multi-threaded races live in service_stress_test (tier-2).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+#include "domains/crypto.hpp"
+#include "service/batch_runner.hpp"
+#include "service/protocol.hpp"
+#include "service/request_executor.hpp"
+#include "service/session_manager.hpp"
+#include "service/shared_layer.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer {
+namespace {
+
+using service::Request;
+using service::RequestExecutor;
+using service::Response;
+using service::ResponseStatus;
+using service::SessionManager;
+using service::SharedLayer;
+
+constexpr const char* kOmm = "Operator.Modular.Multiplier";
+
+// ---------------------------------------------------------------------------
+// protocol
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, ParsesSessionAndCommand) {
+  const auto request = service::parse_request("  s1   decide Algorithm Montgomery ");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->session, "s1");
+  EXPECT_EQ(request->command, "decide Algorithm Montgomery");
+}
+
+TEST(Protocol, SkipsBlankAndCommentLines) {
+  EXPECT_FALSE(service::parse_request("").has_value());
+  EXPECT_FALSE(service::parse_request("   ").has_value());
+  EXPECT_FALSE(service::parse_request("# comment").has_value());
+}
+
+TEST(Protocol, RejectsSessionWithoutCommand) {
+  EXPECT_THROW(service::parse_request("lonely"), ServiceError);
+  EXPECT_THROW(service::parse_request("s1    "), ServiceError);
+}
+
+TEST(Protocol, DetectsDirectives) {
+  EXPECT_TRUE(service::is_directive("!stats"));
+  EXPECT_TRUE(service::is_directive("  !close s1"));
+  EXPECT_FALSE(service::is_directive("s1 help"));
+}
+
+TEST(Protocol, RendersHeaderPlusOutput) {
+  Response response;
+  response.id = 7;
+  response.session = "s2";
+  response.status = ResponseStatus::kError;
+  response.output = "error: nope\n";
+  EXPECT_EQ(service::render_response(response), "== 7 s2 error\nerror: nope\n");
+}
+
+// ---------------------------------------------------------------------------
+// SharedLayer
+// ---------------------------------------------------------------------------
+
+TEST(SharedLayerTest, StartsAtEpochOneAndWriteBumps) {
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+  EXPECT_EQ(shared.epoch(), 1u);
+  EXPECT_EQ(shared.write([](dsl::DesignSpaceLayer&) {}), 2u);
+  EXPECT_EQ(shared.epoch(), 2u);
+}
+
+TEST(SharedLayerTest, PrimingCoversEveryCdo) {
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+  // After construction every per-CDO cache must answer as a pure hit:
+  // the miss counters stay flat across a full read sweep.
+  layer->reset_query_stats();
+  const auto reader = shared.read_lock();
+  for (const dsl::Cdo* cdo : shared.layer().space().all()) {
+    (void)shared.layer().constraint_index(*cdo);
+    (void)shared.layer().cores_under(*cdo);
+  }
+  EXPECT_EQ(shared.layer().query_stats().cache_misses, 0u);
+  EXPECT_GT(shared.layer().query_stats().cache_hits, 0u);
+}
+
+TEST(SharedLayerTest, WriteSeesNewCoresAndReprimes) {
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+  const dsl::Cdo* omm = layer->space().find(kOmm);
+  ASSERT_NE(omm, nullptr);
+  std::size_t before = 0;
+  {
+    const auto reader = shared.read_lock();
+    before = shared.layer().cores_under(*omm).size();
+  }
+  shared.write([&](dsl::DesignSpaceLayer& mutable_layer) {
+    dsl::Core core("extra_core", kOmm);
+    core.bind(domains::kImplStyle, dsl::Value::text("Hardware"));
+    core.set_metric(domains::kMetricArea, 1234.0);
+    mutable_layer.add_library("late-provider").add(std::move(core));
+  });
+  const auto reader = shared.read_lock();
+  EXPECT_EQ(shared.layer().cores_under(*omm).size(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+// ---------------------------------------------------------------------------
+
+class SessionManagerTest : public ::testing::Test {
+ protected:
+  SessionManagerTest() : layer_(domains::build_crypto_layer()), shared_(*layer_) {}
+
+  std::string run(SessionManager& manager, const std::string& session, const std::string& line) {
+    std::ostringstream out;
+    manager.execute(session, line, out);
+    return out.str();
+  }
+
+  std::unique_ptr<dsl::DesignSpaceLayer> layer_;
+  SharedLayer shared_;
+};
+
+TEST_F(SessionManagerTest, CreatesOnFirstUseAndExecutes) {
+  SessionManager manager(shared_);
+  const std::string output = run(manager, "alice", cat("open ", kOmm));
+  EXPECT_NE(output.find("session at Operator.Modular.Multiplier"), std::string::npos) << output;
+  EXPECT_EQ(manager.session_count(), 1u);
+  EXPECT_EQ(manager.stats().created, 1u);
+  EXPECT_NE(run(manager, "alice", "req EffectiveOperandLength 768").find("ok; scope"),
+            std::string::npos);
+}
+
+TEST_F(SessionManagerTest, SessionsAreIsolated) {
+  SessionManager manager(shared_);
+  run(manager, "alice", cat("open ", kOmm));
+  run(manager, "alice", "req EffectiveOperandLength 768");
+  run(manager, "bob", cat("open ", kOmm));
+  // bob's report must not contain alice's requirement.
+  const std::string bob_report = run(manager, "bob", "report");
+  EXPECT_EQ(bob_report.find("EffectiveOperandLength"), std::string::npos) << bob_report;
+}
+
+TEST_F(SessionManagerTest, QuitClosesTheSession) {
+  SessionManager manager(shared_);
+  run(manager, "alice", cat("open ", kOmm));
+  EXPECT_EQ(run(manager, "alice", "quit"), "closed\n");
+  EXPECT_EQ(manager.session_count(), 0u);
+  EXPECT_EQ(manager.stats().closed, 1u);
+}
+
+TEST_F(SessionManagerTest, CommandErrorsAreReportedNotThrown) {
+  SessionManager manager(shared_);
+  std::ostringstream out;
+  const auto status = manager.execute("alice", "candidates", out);
+  EXPECT_EQ(status, dsl::ShellEngine::Status::kError);
+  EXPECT_NE(out.str().find("error: no session"), std::string::npos) << out.str();
+}
+
+TEST_F(SessionManagerTest, EvictsLeastRecentlyUsedAtCapacity) {
+  SessionManager::Options options;
+  options.max_sessions = 2;
+  SessionManager manager(shared_, options);
+  run(manager, "a", cat("open ", kOmm));
+  run(manager, "b", cat("open ", kOmm));
+  run(manager, "c", cat("open ", kOmm));  // evicts "a" (LRU)
+  EXPECT_EQ(manager.session_count(), 2u);
+  EXPECT_EQ(manager.stats().evicted, 1u);
+  const auto names = manager.session_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST_F(SessionManagerTest, EvictIdleKeepsTheMostRecent) {
+  SessionManager manager(shared_);
+  run(manager, "a", cat("open ", kOmm));
+  run(manager, "b", cat("open ", kOmm));
+  run(manager, "c", cat("open ", kOmm));
+  EXPECT_EQ(manager.evict_idle(1), 2u);
+  EXPECT_EQ(manager.session_names(), std::vector<std::string>{"c"});
+}
+
+TEST_F(SessionManagerTest, MigratesAcrossWriterEpochPreservingState) {
+  SessionManager manager(shared_);
+  run(manager, "alice", cat("open ", kOmm));
+  run(manager, "alice", "req EffectiveOperandLength 768");
+  run(manager, "alice", "decide ImplementationStyle Hardware");
+  const std::string before = run(manager, "alice", "report");
+
+  shared_.write([](dsl::DesignSpaceLayer&) {});  // epoch bump only
+
+  const std::string after = run(manager, "alice", "report");
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(manager.stats().migrations, 1u);
+  EXPECT_EQ(manager.stats().migration_failures, 0u);
+}
+
+TEST_F(SessionManagerTest, MigrationSeesCatalogUpdates) {
+  SessionManager manager(shared_);
+  run(manager, "alice", cat("open ", kOmm));
+  const std::string before = run(manager, "alice", "req EffectiveOperandLength 8");
+  shared_.write([](dsl::DesignSpaceLayer& layer) {
+    dsl::Core core("hot_new_core", kOmm);
+    core.bind(domains::kImplStyle, dsl::Value::text("Hardware"))
+        .bind(domains::kSliceWidth, dsl::Value::number(8));
+    core.set_metric(domains::kMetricArea, 99.0).set_metric(domains::kMetricWidth, 8);
+    layer.add_library("late-provider").add(std::move(core));
+  });
+  // Same query after migration: one more candidate (the new core).
+  const std::string after = run(manager, "alice", "retract EffectiveOperandLength");
+  const std::string requery = run(manager, "alice", "req EffectiveOperandLength 8");
+  EXPECT_NE(before, requery);
+  EXPECT_EQ(manager.stats().migrations, 1u);
+}
+
+TEST_F(SessionManagerTest, FailedMigrationSurfacesAndLeavesFreshSession) {
+  SessionManager manager(shared_);
+  run(manager, "alice", cat("open ", kOmm));
+  run(manager, "alice", "decide ImplementationStyle Hardware");
+
+  // A new constraint that vetoes the already-decided option: the journal
+  // no longer replays, so migration must fail loudly.
+  shared_.write([](dsl::DesignSpaceLayer& layer) {
+    layer.add_constraint(dsl::ConsistencyConstraint::inconsistent_options(
+        "CCX", "hardware withdrawn by provider", {},
+        {dsl::PropertyPath::parse(cat(domains::kImplStyle, "@", kOmm))},
+        [](const dsl::Bindings& bindings) {
+          return dsl::get_or_empty(bindings, domains::kImplStyle).as_text() == "Hardware";
+        }));
+  });
+
+  std::ostringstream out;
+  const auto status = manager.execute("alice", "report", out);
+  EXPECT_EQ(status, dsl::ShellEngine::Status::kError);
+  EXPECT_NE(out.str().find("could not be migrated"), std::string::npos) << out.str();
+  EXPECT_EQ(manager.stats().migration_failures, 1u);
+  // The session survives, empty, at the new epoch: it can be re-opened.
+  EXPECT_NE(run(manager, "alice", cat("open ", kOmm)).find("session at"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RequestExecutor
+// ---------------------------------------------------------------------------
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : layer_(domains::build_crypto_layer()), shared_(*layer_), manager_(shared_) {}
+
+  Request make(std::uint64_t id, const std::string& session, const std::string& command) {
+    Request request;
+    request.id = id;
+    request.session = session;
+    request.command = command;
+    return request;
+  }
+
+  std::unique_ptr<dsl::DesignSpaceLayer> layer_;
+  SharedLayer shared_;
+  SessionManager manager_;
+};
+
+TEST_F(ExecutorTest, ExecutesAndInvokesCallback) {
+  RequestExecutor executor(manager_);
+  std::atomic<int> done{0};
+  std::string output;
+  std::mutex output_lock;
+  executor.submit(make(1, "s1", cat("open ", kOmm)), [&](Response response) {
+    std::lock_guard<std::mutex> guard(output_lock);
+    output = response.output;
+    EXPECT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_EQ(response.id, 1u);
+    EXPECT_GT(response.latency_us, 0.0);
+    ++done;
+  });
+  executor.drain();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_NE(output.find("session at"), std::string::npos);
+  EXPECT_EQ(executor.stats().executed, 1u);
+  const auto timings = executor.telemetry().timings();
+  EXPECT_EQ(timings.at("request").count, 1u);
+  EXPECT_EQ(timings.at("request.open").count, 1u);
+}
+
+TEST_F(ExecutorTest, BackpressureRejectsWhenFullThenRecovers) {
+  RequestExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.injected_latency_us = 100000.0;  // hold the slot long enough to observe
+  RequestExecutor executor(manager_, options);
+  std::atomic<int> completed{0};
+  const auto count = [&](Response) { ++completed; };
+
+  ASSERT_TRUE(executor.try_submit(make(1, "s1", "help"), count));
+  // The slot is taken until request 1 finishes its injected 100ms —
+  // an immediate second submit must be refused, not dropped silently.
+  EXPECT_FALSE(executor.try_submit(make(2, "s1", "help"), count));
+  EXPECT_EQ(executor.stats().rejected, 1u);
+
+  executor.drain();
+  EXPECT_TRUE(executor.try_submit(make(3, "s1", "help"), count));
+  executor.drain();
+  EXPECT_EQ(completed.load(), 2);
+  EXPECT_EQ(executor.stats().executed, 2u);
+  EXPECT_EQ(executor.stats().rejected, 1u);
+}
+
+TEST_F(ExecutorTest, PreservesPerSessionOrderAcrossWorkers) {
+  RequestExecutor::Options options;
+  options.workers = 4;
+  options.queue_capacity = 512;
+  RequestExecutor executor(manager_, options);
+  std::atomic<int> errors{0};
+  const auto check = [&](Response response) {
+    if (response.status != ResponseStatus::kOk) ++errors;
+  };
+  // req/retract pairs only succeed in exact submission order: a reordered
+  // retract hits "no value" and a reordered req double-binds nothing —
+  // any interleaving violation shows up as an error response.
+  std::uint64_t id = 0;
+  executor.submit(make(++id, "s1", cat("open ", kOmm)), check);
+  for (int i = 0; i < 40; ++i) {
+    executor.submit(make(++id, "s1", "req EffectiveOperandLength 768"), check);
+    executor.submit(make(++id, "s1", "retract EffectiveOperandLength"), check);
+  }
+  executor.drain();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(executor.stats().executed, 81u);
+}
+
+TEST_F(ExecutorTest, SubmitAfterShutdownThrows) {
+  RequestExecutor executor(manager_);
+  executor.shutdown();
+  EXPECT_FALSE(executor.try_submit(make(1, "s1", "help"), [](Response) {}));
+  EXPECT_THROW(executor.submit(make(2, "s1", "help"), [](Response) {}), ServiceError);
+}
+
+// ---------------------------------------------------------------------------
+// batch runner
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecutorTest, BatchRunsInSubmissionOrderWithDirectives) {
+  RequestExecutor::Options options;
+  options.workers = 4;
+  RequestExecutor executor(manager_, options);
+  std::istringstream in(cat("s1 open ", kOmm,
+                            "\n"
+                            "s2 open ", kOmm,
+                            "\n"
+                            "# a comment\n"
+                            "!sessions\n"
+                            "s1 quit\n"
+                            "!sessions\n"));
+  std::ostringstream out;
+  const auto summary = service::run_batch(manager_, executor, in, out);
+  EXPECT_EQ(summary.requests, 3u);
+  EXPECT_EQ(summary.errors, 0u);
+  const std::string text = out.str();
+  const auto pos1 = text.find("== 1 s1 ok");
+  const auto pos2 = text.find("== 2 s2 ok");
+  const auto list1 = text.find("  s1\n  s2\n");  // first !sessions: both live
+  const auto pos3 = text.find("== 3 s1 ok");
+  ASSERT_NE(pos1, std::string::npos) << text;
+  ASSERT_NE(pos2, std::string::npos) << text;
+  ASSERT_NE(list1, std::string::npos) << text;
+  ASSERT_NE(pos3, std::string::npos) << text;
+  EXPECT_LT(pos1, pos2);
+  EXPECT_LT(pos2, list1);
+  EXPECT_LT(list1, pos3);
+  // Second !sessions sees only s2 (s1 quit closed it).
+  EXPECT_NE(text.find("closed\n", pos3), std::string::npos) << text;
+  EXPECT_EQ(text.find("  s1\n", pos3), std::string::npos) << text;
+  EXPECT_NE(text.find("  s2\n", pos3), std::string::npos) << text;
+}
+
+TEST_F(ExecutorTest, BatchReportsMalformedLines) {
+  RequestExecutor executor(manager_);
+  std::istringstream in("lonely\n");
+  std::ostringstream out;
+  const auto summary = service::run_batch(manager_, executor, in, out);
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_NE(out.str().find("== 1 - error"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace dslayer

@@ -1,15 +1,35 @@
 // dslshell — interactive conceptual design over a design space layer.
 //
 // Usage:
-//   dslshell crypto            the Section 5 cryptography layer
-//   dslshell crypto-tech       the technology-first coexisting hierarchy
-//   dslshell media             the Figs. 2-4 IDCT layer
-//   dslshell <file>            a layer in dslayer-format 1 (see dsl/serialize)
+//   dslshell [layer] [mode options]
 //
-// Then type `help`. Commands also stream from a pipe, so exploration
-// sessions can be scripted:
+// Layers:
+//   crypto            the Section 5 cryptography layer (default)
+//   crypto-tech       the technology-first coexisting hierarchy
+//   media             the Figs. 2-4 IDCT layer
+//   <file>            a layer in dslayer-format 1 (see dsl/serialize)
+//
+// Modes:
+//   (none)            interactive shell over stdin; type `help`.
+//   --batch [file]    concurrent exploration service, batch mode: reads
+//                     `<session> <command>` protocol lines from the file
+//                     (or stdin when omitted/"-"), executes them on a
+//                     worker pool, prints responses in submission order.
+//   --serve           same protocol from stdin, but responses stream in
+//                     completion order as they finish.
+//
+// Service options (with --batch/--serve):
+//   --workers N       worker threads (default 2)
+//   --queue N         request queue capacity / backpressure bound (256)
+//   --max-sessions N  live session bound, LRU-evicted past it (64)
+//   --latency-us X    injected per-request latency simulating a remote
+//                     IP-provider catalog round trip (0)
+//
+// The interactive mode also streams from a pipe, so single sessions can
+// be scripted:
 //   printf 'open Operator.Modular.Multiplier\nreq EffectiveOperandLength 768\n' | dslshell crypto
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,36 +38,120 @@
 #include "domains/media.hpp"
 #include "dsl/serialize.hpp"
 #include "dsl/shell.hpp"
+#include "service/batch_runner.hpp"
 
 using namespace dslayer;
 
+namespace {
+
+struct CliOptions {
+  std::string layer = "crypto";
+  enum class Mode { kInteractive, kBatch, kServe } mode = Mode::kInteractive;
+  std::string batch_file = "-";
+  service::SessionManager::Options sessions;
+  service::RequestExecutor::Options executor;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [crypto|crypto-tech|media|<layer-file>]"
+               " [--batch [file]|--serve] [--workers N] [--queue N]"
+               " [--max-sessions N] [--latency-us X]\n";
+  return 2;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  bool layer_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_number = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::strtod(argv[++i], nullptr);
+      return out > 0;
+    };
+    double n = 0;
+    if (arg == "--batch") {
+      options.mode = CliOptions::Mode::kBatch;
+      if (i + 1 < argc && argv[i + 1][0] != '-') options.batch_file = argv[++i];
+    } else if (arg == "--serve") {
+      options.mode = CliOptions::Mode::kServe;
+    } else if (arg == "--workers") {
+      if (!next_number(n)) return false;
+      options.executor.workers = static_cast<std::size_t>(n);
+    } else if (arg == "--queue") {
+      if (!next_number(n)) return false;
+      options.executor.queue_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--max-sessions") {
+      if (!next_number(n)) return false;
+      options.sessions.max_sessions = static_cast<std::size_t>(n);
+    } else if (arg == "--latency-us") {
+      if (!next_number(n)) return false;
+      options.executor.injected_latency_us = n;
+    } else if (!layer_set && !arg.empty() && arg[0] != '-') {
+      options.layer = arg;
+      layer_set = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<dsl::DesignSpaceLayer> load_layer(const std::string& which) {
+  if (which == "crypto") return domains::build_crypto_layer();
+  if (which == "crypto-tech") {
+    domains::CryptoLayerOptions options;
+    options.hierarchy = domains::OmmHierarchy::kTechnologyFirst;
+    return domains::build_crypto_layer(options);
+  }
+  if (which == "media") return domains::build_media_layer();
+  std::ifstream file(which);
+  if (!file) throw Error("cannot open layer file '" + which + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  dsl::ImportResult imported = dsl::import_layer(text.str());
+  for (const auto& warning : imported.warnings) std::cerr << "warning: " << warning << "\n";
+  return std::move(imported.layer);
+}
+
+int run_service(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
+  service::SharedLayer shared(layer);
+  service::SessionManager manager(shared, options.sessions);
+  service::RequestExecutor executor(manager, options.executor);
+
+  service::BatchSummary summary;
+  if (options.mode == CliOptions::Mode::kServe) {
+    summary = service::run_serve(manager, executor, std::cin, std::cout);
+  } else if (options.batch_file == "-") {
+    summary = service::run_batch(manager, executor, std::cin, std::cout);
+  } else {
+    std::ifstream file(options.batch_file);
+    if (!file) {
+      std::cerr << "cannot open batch file '" << options.batch_file << "'\n";
+      return 2;
+    }
+    summary = service::run_batch(manager, executor, file, std::cout);
+  }
+  executor.shutdown();
+  return summary.errors == 0 && summary.rejected == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string which = argc > 1 ? argv[1] : "crypto";
+  CliOptions options;
+  if (!parse_cli(argc, argv, options)) return usage(argv[0]);
+
   std::unique_ptr<dsl::DesignSpaceLayer> layer;
   try {
-    if (which == "crypto") {
-      layer = domains::build_crypto_layer();
-    } else if (which == "crypto-tech") {
-      domains::CryptoLayerOptions options;
-      options.hierarchy = domains::OmmHierarchy::kTechnologyFirst;
-      layer = domains::build_crypto_layer(options);
-    } else if (which == "media") {
-      layer = domains::build_media_layer();
-    } else {
-      std::ifstream file(which);
-      if (!file) {
-        std::cerr << "cannot open layer file '" << which << "'\n";
-        return 2;
-      }
-      std::ostringstream text;
-      text << file.rdbuf();
-      dsl::ImportResult imported = dsl::import_layer(text.str());
-      for (const auto& warning : imported.warnings) std::cerr << "warning: " << warning << "\n";
-      layer = std::move(imported.layer);
-    }
+    layer = load_layer(options.layer);
   } catch (const Error& e) {
     std::cerr << "failed to load layer: " << e.what() << "\n";
     return 2;
+  }
+
+  if (options.mode != CliOptions::Mode::kInteractive) {
+    return run_service(*layer, options);
   }
 
   std::cout << "dslayer shell — layer '" << layer->name() << "' (" << layer->space().all().size()
