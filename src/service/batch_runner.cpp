@@ -33,11 +33,12 @@ void print_stats(SessionManager& manager, RequestExecutor& executor, std::ostrea
   }
 }
 
-/// Handles one '!' line after draining. Returns false for unknown
-/// directives (reported on `out`).
+/// Handles one '!' line. Callers must drain the executor first — and must
+/// do so *before* taking any lock a completion callback needs, or the
+/// drain waits on callbacks that wait on the lock. Returns false for
+/// unknown directives (reported on `out`).
 bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
                    std::ostream& out) {
-  executor.drain();
   const auto words = split(std::string(trim(line)), ' ');
   const std::string& directive = words[0];
   if (directive == "!drain") {
@@ -126,6 +127,9 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
   std::string line;
   while (std::getline(in, line)) {
     if (is_directive(line)) {
+      // Drain before locking: in-flight requests finish by delivering
+      // under out_lock, so draining while holding it would deadlock.
+      executor.drain();
       std::lock_guard<std::mutex> guard(out_lock);
       run_directive(manager, executor, line, out);
       out.flush();

@@ -140,10 +140,15 @@ void RequestExecutor::shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_ && workers_.empty()) return;
-    idle_.wait(lock, [this] { return pending_ == 0; });
+    // Fence the queue before draining: blocked submit() callers wake and
+    // observe stopping_ (they throw), try_submit() rejects, so pending_
+    // can only fall. Waiting for idle first would never return while
+    // producers keep enqueuing. Workers exit only once the ready queue is
+    // empty, so everything accepted before the fence still executes.
     stopping_ = true;
-    work_ready_.notify_all();
     space_free_.notify_all();
+    work_ready_.notify_all();
+    idle_.wait(lock, [this] { return pending_ == 0; });
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();

@@ -84,8 +84,9 @@ class RequestExecutor {
   /// Blocks until every accepted request has completed.
   void drain();
 
-  /// Drains, then stops and joins the workers. Idempotent; further
-  /// submissions are rejected.
+  /// Fences the queue (further try_submit() calls are rejected, blocked
+  /// submit() calls throw), drains every already-accepted request, then
+  /// joins the workers. Idempotent.
   void shutdown();
 
   Stats stats() const;

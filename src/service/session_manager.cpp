@@ -21,22 +21,20 @@ std::shared_ptr<SessionManager::Session> SessionManager::acquire(const std::stri
   const std::uint64_t now = ++touch_counter_;
   if (const auto it = sessions_.find(name); it != sessions_.end()) {
     it->second->last_touch = now;
+    it->second->pins.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
   if (sessions_.size() >= options_.max_sessions) {
-    // Evict the least-recently-used session whose lock is free (a held
-    // lock means a command is mid-flight — never yank state from under
-    // it). Eviction is the idle-session policy, so a later request for
-    // an evicted name simply starts a fresh session.
+    // Evict the least-recently-used unpinned session (a pin means a
+    // command is in flight or about to take the session lock — never
+    // yank state from under it). Eviction is the idle-session policy, so
+    // a later request for an evicted name simply starts a fresh session.
     auto victim = sessions_.end();
     for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
       if (victim != sessions_.end() && it->second->last_touch >= victim->second->last_touch) {
         continue;
       }
-      if (it->second->lock.try_lock()) {
-        it->second->lock.unlock();
-        victim = it;
-      }
+      if (it->second->pins.load(std::memory_order_relaxed) == 0) victim = it;
     }
     if (victim == sessions_.end()) {
       throw ServiceError(cat("session limit (", options_.max_sessions,
@@ -48,6 +46,7 @@ std::shared_ptr<SessionManager::Session> SessionManager::acquire(const std::stri
   auto session = std::make_shared<Session>(shared_->layer());
   session->epoch = shared_->epoch();
   session->last_touch = now;
+  session->pins.store(1, std::memory_order_relaxed);
   sessions_.emplace(name, session);
   created_.add(1);
   return session;
@@ -76,6 +75,12 @@ bool SessionManager::migrate(Session& session, const std::string& name, std::ost
 dsl::ShellEngine::Status SessionManager::execute(const std::string& session_name,
                                                  const std::string& line, std::ostream& out) {
   const std::shared_ptr<Session> session = acquire(session_name);
+  // acquire() pinned the session, so eviction cannot erase it before the
+  // session lock below is taken; unpin on every exit path.
+  struct Unpin {
+    Session* session;
+    ~Unpin() { session->pins.fetch_sub(1, std::memory_order_relaxed); }
+  } unpin{session.get()};
   std::lock_guard<std::mutex> guard(session->lock);
   const auto reader = shared_->read_lock();
   commands_.add(1);
@@ -85,10 +90,20 @@ dsl::ShellEngine::Status SessionManager::execute(const std::string& session_name
   const dsl::ShellEngine::Status status = session->engine.execute(line, out);
   if (status == dsl::ShellEngine::Status::kQuit) {
     session->engine.close_session();
-    close(session_name);
+    close_if_current(session_name, session);
     out << "closed\n";
   }
   return status;
+}
+
+bool SessionManager::close_if_current(const std::string& name,
+                                      const std::shared_ptr<Session>& expected) {
+  std::lock_guard<std::mutex> registry(registry_lock_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end() || it->second != expected) return false;
+  sessions_.erase(it);
+  closed_.add(1);
+  return true;
 }
 
 bool SessionManager::close(const std::string& session) {
@@ -108,8 +123,8 @@ std::size_t SessionManager::evict_idle(std::size_t keep_recent) {
   const std::uint64_t cutoff = keep_recent == 0 ? touch_counter_ + 1 : touches[keep_recent - 1];
   std::size_t evicted = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second->last_touch < cutoff && it->second->lock.try_lock()) {
-      it->second->lock.unlock();
+    if (it->second->last_touch < cutoff &&
+        it->second->pins.load(std::memory_order_relaxed) == 0) {
       it = sessions_.erase(it);
       ++evicted;
     } else {

@@ -19,12 +19,20 @@
 //   close     — explicit (`quit` command or close()) or by eviction.
 //
 // Lock order: a session lock may be held when the registry lock is taken
-// (the quit-path close); registry-side code only ever try_locks session
-// locks, so that nesting cannot deadlock. The shared reader lock is
+// (the quit-path close); registry-side code never blocks on a session
+// lock, so that nesting cannot deadlock. The shared reader lock is
 // innermost. Writers (SharedLayer::write) take no manager locks, so
 // catalog updates cannot deadlock against exploration.
+//
+// Eviction safety: acquire() pins the session (while still holding the
+// registry lock) and execute() unpins it once the command is done, so a
+// session handed to a caller cannot be evicted in the window between the
+// registry lookup and the caller taking the session lock. Eviction only
+// considers sessions with a zero pin count — every session-lock holder
+// pins first, so an unpinned session is guaranteed idle.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -76,7 +84,8 @@ class SessionManager {
   bool close(const std::string& session);
 
   /// Evicts every session whose last touch is older than the newest
-  /// `keep_recent` touches and whose lock is free. Returns evicted count.
+  /// `keep_recent` touches and that is not pinned by an in-flight
+  /// execute(). Returns evicted count.
   std::size_t evict_idle(std::size_t keep_recent);
 
   std::vector<std::string> session_names() const;
@@ -92,10 +101,17 @@ class SessionManager {
     dsl::ShellEngine engine;
     std::uint64_t epoch = 0;       ///< SharedLayer epoch the state is valid for
     std::uint64_t last_touch = 0;  ///< manager touch counter (LRU)
+    std::atomic<int> pins{0};      ///< in-flight execute() holds; guards eviction
   };
 
-  /// Looks up or creates the named session; bumps its LRU stamp.
+  /// Looks up or creates the named session; bumps its LRU stamp and pins
+  /// the session against eviction. The caller must unpin when done.
   std::shared_ptr<Session> acquire(const std::string& name);
+
+  /// Erases the registry entry for `name` only if it still points at
+  /// `expected` — the quit path runs on a session object that may have
+  /// been closed and its name reclaimed by a newer session meanwhile.
+  bool close_if_current(const std::string& name, const std::shared_ptr<Session>& expected);
 
   /// Rebuilds a stale session from its journal. Caller holds the session
   /// lock and the shared reader lock. Returns false (with an "error: ..."

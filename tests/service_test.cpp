@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "domains/crypto.hpp"
 #include "service/batch_runner.hpp"
@@ -345,6 +347,37 @@ TEST_F(ExecutorTest, SubmitAfterShutdownThrows) {
   EXPECT_THROW(executor.submit(make(2, "s1", "help"), [](Response) {}), ServiceError);
 }
 
+TEST_F(ExecutorTest, ShutdownFencesQueueAgainstBlockedProducers) {
+  // Regression: shutdown() used to wait for an empty queue *before*
+  // refusing new work, so a producer blocked in submit() could keep the
+  // queue occupied and shutdown() never returned. The fence must come
+  // first: the blocked producer throws, accepted work still completes.
+  RequestExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.injected_latency_us = 20000.0;  // keep the single slot occupied
+  RequestExecutor executor(manager_, options);
+  std::atomic<std::uint64_t> completed{0};
+  const auto count = [&](Response) { ++completed; };
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    std::uint64_t id = 0;
+    try {
+      for (;;) executor.submit(make(++id, "s1", "help"), count);
+    } catch (const ServiceError&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  executor.shutdown();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+  const auto stats = executor.stats();
+  EXPECT_EQ(stats.executed, stats.accepted);  // nothing accepted was dropped
+  EXPECT_EQ(completed.load(), stats.executed);
+  EXPECT_GE(stats.executed, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // batch runner
 // ---------------------------------------------------------------------------
@@ -381,6 +414,30 @@ TEST_F(ExecutorTest, BatchRunsInSubmissionOrderWithDirectives) {
   EXPECT_NE(text.find("closed\n", pos3), std::string::npos) << text;
   EXPECT_EQ(text.find("  s1\n", pos3), std::string::npos) << text;
   EXPECT_NE(text.find("  s2\n", pos3), std::string::npos) << text;
+}
+
+TEST_F(ExecutorTest, ServeDirectiveWithRequestsInFlightDoesNotDeadlock) {
+  // Regression: run_serve used to take the output lock and then drain
+  // inside the directive handler — but in-flight requests deliver their
+  // responses under that same lock, so a directive issued while requests
+  // were executing deadlocked the service. The injected latency below
+  // guarantees both opens are still in flight when '!stats' is read.
+  RequestExecutor::Options options;
+  options.workers = 2;
+  options.injected_latency_us = 20000.0;
+  RequestExecutor executor(manager_, options);
+  std::istringstream in(cat("s1 open ", kOmm, "\ns2 open ", kOmm, "\n!stats\ns1 help\n"));
+  std::ostringstream out;
+  const auto summary = service::run_serve(manager_, executor, in, out);
+  EXPECT_EQ(summary.requests, 3u);
+  EXPECT_EQ(summary.errors, 0u);
+  const std::string text = out.str();
+  // The directive is a synchronization point: both opens completed (and
+  // printed) before the stats snapshot, which therefore counts them.
+  const auto stats_pos = text.find("executor: accepted=2 executed=2");
+  ASSERT_NE(stats_pos, std::string::npos) << text;
+  EXPECT_LT(text.find("== 1 s1 ok"), stats_pos) << text;
+  EXPECT_LT(text.find("== 2 s2 ok"), stats_pos) << text;
 }
 
 TEST_F(ExecutorTest, BatchReportsMalformedLines) {
