@@ -1,0 +1,195 @@
+// Measures the cold candidate-matching path (DESIGN.md Section 10): the
+// legacy per-core scan — merged-bindings map rebuild plus string-keyed
+// lookups per core — against the columnar CoreFilterPlan engine (interned
+// symbols, structure-of-arrays columns, compiled predicate programs swept
+// over a survivor bitmask). Two scenarios on the ~10k-core synthetic
+// library:
+//
+//  * "declarative": the Fig. 8 coprocessor spec minus the latency bound,
+//    so every filtering step is expressible as equality / metric-bound /
+//    compiled-predicate kernels. This is the headline number and gates the
+//    exit code (>= 5x, byte-identical candidate sets).
+//  * "custom_filter": the full spec including LatencySingleOperation,
+//    whose opaque per-core CoreFilter caps the speedup — the honesty
+//    number.
+//
+// Both engines run with the session query cache OFF so every repeat pays
+// the cold scan, and both phases of a scenario report the deterministic
+// work counters (constraint evaluations, compliance checks, overlay
+// writes) that scripts/check_bench_counters.py guards against drift.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "domains/crypto.hpp"
+#include "support/strings.hpp"
+#include "support/telemetry.hpp"
+#include "synthetic_library.hpp"
+
+using namespace dslayer;
+using namespace dslayer::domains;
+
+namespace {
+
+constexpr std::size_t kTargetCores = 10000;
+constexpr int kRepeats = 40;
+
+struct PhaseResult {
+  double wall_ms = 0.0;
+  std::uint64_t constraint_evaluations = 0;
+  std::uint64_t compliance_checks = 0;
+  std::uint64_t overlay_writes = 0;
+};
+
+struct ScenarioResult {
+  std::size_t candidates = 0;
+  bool identical = false;
+  bool counters_match = false;
+  PhaseResult legacy;
+  PhaseResult columnar;
+  double speedup = 0.0;
+};
+
+/// Scripts one scenario's decisions/requirements onto a fresh session.
+using Script = void (*)(dsl::ExplorationSession&);
+
+void script_declarative(dsl::ExplorationSession& s) {
+  s.set_requirement(kEOL, 768.0);
+  s.set_requirement(kOperandCoding, "2's complement");
+  s.set_requirement(kResultCoding, "Redundant");
+  s.set_requirement(kModuloIsOdd, "Guaranteed");
+  s.decide(kImplStyle, "Hardware");
+}
+
+void script_custom_filter(dsl::ExplorationSession& s) {
+  apply_coprocessor_spec(s);  // includes LatencySingleOperation -> opaque filter
+  s.decide(kImplStyle, "Hardware");
+}
+
+PhaseResult run_phase(const dsl::DesignSpaceLayer& layer, Script script, bool columnar,
+                      std::vector<const dsl::Core*>& out) {
+  dsl::ExplorationSession s(layer, kPathOMM);
+  script(s);
+  s.set_query_cache(false);
+  s.set_columnar(columnar);
+  out = s.candidates();  // warm-up: layer-side caches + filter plan (writers prime these)
+  s.reset_query_stats();
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t checksum = 0;
+  for (int i = 0; i < kRepeats; ++i) checksum += s.candidates().size();
+  const auto stop = std::chrono::steady_clock::now();
+  if (checksum != out.size() * kRepeats) {
+    std::cerr << "unstable candidate count across repeats\n";
+    std::exit(2);
+  }
+  PhaseResult r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  const dsl::QueryStats stats = s.query_stats();
+  r.constraint_evaluations = stats.constraint_evaluations;
+  r.compliance_checks = stats.compliance_checks;
+  r.overlay_writes = s.telemetry().count_of(telemetry::EventKind::kOverlayWrite);
+  return r;
+}
+
+ScenarioResult run_scenario(const dsl::DesignSpaceLayer& layer, Script script) {
+  ScenarioResult r;
+  std::vector<const dsl::Core*> legacy_set;
+  std::vector<const dsl::Core*> columnar_set;
+  r.legacy = run_phase(layer, script, /*columnar=*/false, legacy_set);
+  r.columnar = run_phase(layer, script, /*columnar=*/true, columnar_set);
+  r.candidates = columnar_set.size();
+  r.identical = legacy_set == columnar_set;  // element-wise Core* equality
+  r.counters_match = r.legacy.constraint_evaluations == r.columnar.constraint_evaluations &&
+                     r.legacy.compliance_checks == r.columnar.compliance_checks;
+  r.speedup = r.columnar.wall_ms > 0.0 ? r.legacy.wall_ms / r.columnar.wall_ms : 0.0;
+  return r;
+}
+
+void print_scenario(const char* name, const ScenarioResult& r) {
+  std::cout << name << ":\n"
+            << "  legacy:   " << format_double(r.legacy.wall_ms, 4) << " ms  ("
+            << r.legacy.constraint_evaluations << " constraint evals, "
+            << r.legacy.compliance_checks << " compliance checks, " << r.legacy.overlay_writes
+            << " overlay writes)\n"
+            << "  columnar: " << format_double(r.columnar.wall_ms, 4) << " ms  ("
+            << r.columnar.constraint_evaluations << " constraint evals, "
+            << r.columnar.compliance_checks << " compliance checks, " << r.columnar.overlay_writes
+            << " overlay writes)\n"
+            << "  candidates: " << r.candidates << "; identical: " << (r.identical ? "yes" : "NO")
+            << "; counters match: " << (r.counters_match ? "yes" : "NO")
+            << "; speedup: " << format_double(r.speedup, 3) << "x\n\n";
+}
+
+void json_phase(std::ostream& out, const char* name, const PhaseResult& p) {
+  out << "    \"" << name << "\": {\n"
+      << "      \"wall_ms\": " << p.wall_ms << ",\n"
+      << "      \"constraint_evaluations\": " << p.constraint_evaluations << ",\n"
+      << "      \"compliance_checks\": " << p.compliance_checks << ",\n"
+      << "      \"overlay_writes\": " << p.overlay_writes << "\n"
+      << "    }";
+}
+
+void json_scenario(std::ostream& out, const char* name, const ScenarioResult& r) {
+  out << "  \"" << name << "\": {\n"
+      << "    \"candidates\": " << r.candidates << ",\n"
+      << "    \"identical\": " << (r.identical ? "true" : "false") << ",\n"
+      << "    \"counters_match\": " << (r.counters_match ? "true" : "false") << ",\n";
+  json_phase(out, "legacy", r.legacy);
+  out << ",\n";
+  json_phase(out, "columnar", r.columnar);
+  out << ",\n    \"speedup\": " << r.speedup << "\n  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+  auto layer = build_crypto_layer();
+  const std::size_t synthetic =
+      bench::populate_synthetic_library(layer->add_library("syn-hardcores"), kTargetCores);
+  const std::size_t indexed = layer->index_cores();
+  std::cout << "=== Candidate filter benchmark ===\n";
+  std::cout << "synthetic cores: " << synthetic << " (indexed total: " << indexed << ")\n";
+  std::cout << "cold candidates() x" << kRepeats << " per phase, session query cache off\n\n";
+
+  const ScenarioResult declarative = run_scenario(*layer, script_declarative);
+  print_scenario("declarative (Fig. 8 spec minus latency bound)", declarative);
+  const ScenarioResult custom = run_scenario(*layer, script_custom_filter);
+  print_scenario("custom_filter (full spec, opaque latency filter)", custom);
+
+  const bool ok = declarative.identical && declarative.counters_match && custom.identical &&
+                  custom.counters_match && declarative.speedup >= 5.0;
+  std::cout << "headline (declarative) speedup: " << format_double(declarative.speedup, 3) << "x "
+            << (declarative.speedup >= 5.0 ? "(>= 5x: PASS)" : "(< 5x)") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out.precision(17);
+    out << "{\n"
+        << "  \"bench\": \"candidate_filter\",\n"
+        << "  \"synthetic_cores\": " << synthetic << ",\n"
+        << "  \"indexed_cores\": " << indexed << ",\n"
+        << "  \"repeats\": " << kRepeats << ",\n";
+    json_scenario(out, "declarative", declarative);
+    out << ",\n";
+    json_scenario(out, "custom_filter", custom);
+    out << ",\n  \"speedup\": " << declarative.speedup << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return ok ? 0 : 1;
+}

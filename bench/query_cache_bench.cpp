@@ -47,6 +47,9 @@ dsl::ExplorationSession scripted_session(const dsl::DesignSpaceLayer& layer) {
   dsl::ExplorationSession s(layer, kPathOMM);
   apply_coprocessor_spec(s);
   s.decide(kImplStyle, "Hardware");
+  // Pin the legacy scan so this bench keeps measuring memoization alone;
+  // the columnar engine has its own bench (candidate_filter).
+  s.set_columnar(false);
   return s;
 }
 

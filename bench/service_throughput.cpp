@@ -64,14 +64,14 @@ struct RunResult {
 };
 
 RunResult run_one(service::SharedLayer& shared, std::size_t workers, std::size_t sessions,
-                  std::size_t rounds, double injected_latency_us) {
+                  std::size_t rounds, double injected_latency_us, std::size_t queue_capacity) {
   service::SessionManager::Options session_options;
   session_options.max_sessions = sessions + 1;
   service::SessionManager manager(shared, session_options);
 
   service::RequestExecutor::Options executor_options;
   executor_options.workers = workers;
-  executor_options.queue_capacity = 256;
+  executor_options.queue_capacity = queue_capacity;
   executor_options.injected_latency_us = injected_latency_us;
   service::RequestExecutor executor(manager, executor_options);
 
@@ -141,6 +141,7 @@ int main(int argc, char** argv) {
   double injected_latency_us = 25000.0;
   std::size_t sessions = 16;
   std::size_t rounds = 2;
+  std::size_t queue_capacity = 256;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -149,9 +150,11 @@ int main(int argc, char** argv) {
       injected_latency_us = std::strtod(argv[++i], nullptr);
     } else if (arg == "--rounds" && i + 1 < argc) {
       rounds = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--queue-capacity" && i + 1 < argc) {
+      queue_capacity = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--json <path>] [--latency-us X] [--rounds N]\n";
+                << " [--json <path>] [--latency-us X] [--rounds N] [--queue-capacity N]\n";
       return 2;
     }
   }
@@ -168,11 +171,12 @@ int main(int argc, char** argv) {
   std::cout << "sessions: " << sessions << "; script: " << session_script().size()
             << " commands x " << rounds << " rounds = " << requests_per_run << " requests\n";
   std::cout << "injected per-request latency (remote-catalog model): "
-            << format_double(injected_latency_us, 4) << "us\n\n";
+            << format_double(injected_latency_us, 4) << "us; queue capacity: " << queue_capacity
+            << "\n\n";
 
   std::vector<RunResult> runs;
   for (const std::size_t workers : {1u, 2u, 4u}) {
-    runs.push_back(run_one(shared, workers, sessions, rounds, injected_latency_us));
+    runs.push_back(run_one(shared, workers, sessions, rounds, injected_latency_us, queue_capacity));
     print_run(runs.back());
   }
 
@@ -197,6 +201,7 @@ int main(int argc, char** argv) {
         << "  \"synthetic_cores\": " << synthetic << ",\n"
         << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
         << "  \"injected_latency_us\": " << injected_latency_us << ",\n"
+        << "  \"queue_capacity\": " << queue_capacity << ",\n"
         << "  \"sessions\": " << sessions << ",\n"
         << "  \"requests_per_run\": " << requests_per_run << ",\n"
         << "  \"runs\": [\n";

@@ -8,9 +8,10 @@
 #      instrumented);
 #   4. ThreadSanitizer — the concurrency stress tests (tier2) in a TSan
 #      build, gating the exploration service's locking model;
-#   5. benchmark telemetry — the query-cache, Fig. 12, and service
-#      throughput benches emit machine-readable BENCH_*.json at the repo
-#      root for trend tracking.
+#   5. benchmark telemetry — the query-cache, candidate-filter, Fig. 12,
+#      and service throughput benches emit machine-readable BENCH_*.json at
+#      the repo root for trend tracking, and check_bench_counters.py gates
+#      their deterministic work counters against bench/baselines/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,8 +43,12 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j --target service_stress_test exploration_fuzz_test
 (cd build-tsan && ctest -L tier2 --output-on-failure)
 
-echo "=== [5/5] benchmark telemetry (BENCH_*.json) ==="
+echo "=== [5/5] benchmark telemetry (BENCH_*.json) + counter guard ==="
 ./build/bench/query_cache_bench --json BENCH_query_cache.json
+./build/bench/candidate_filter --json BENCH_candidate_filter.json
 ./build/bench/fig12_montgomery_tradeoffs --json BENCH_fig12_montgomery_tradeoffs.json
 ./build/bench/service_throughput --json BENCH_service_throughput.json
+# Wall-time-free regression gate: the deterministic work counters in the
+# bench JSON must match the committed baselines exactly.
+python3 scripts/check_bench_counters.py
 echo "CI OK"

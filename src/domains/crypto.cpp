@@ -274,16 +274,15 @@ void build_hierarchy(dsl::DesignSpaceLayer& layer, const CryptoLayerOptions& opt
 // ---------------------------------------------------------------------------
 
 void add_constraints(dsl::DesignSpaceLayer& layer, const CryptoLayerOptions& options) {
-  // CC1: the Montgomery algorithm requires an odd modulus.
-  layer.add_constraint(ConsistencyConstraint::inconsistent_options(
+  // CC1: the Montgomery algorithm requires an odd modulus. Stated as
+  // declarative atoms so the columnar filter compiles it (DESIGN.md §10).
+  layer.add_constraint(ConsistencyConstraint::inconsistent_when(
       "CC1", "Montgomery Algorithm requires odd modulo",
       {PropertyPath::parse(cat(kModuloIsOdd, "@Multiplier"))},
       {PropertyPath::parse(cat(kAlgorithm, "@*.Multiplier.Hardware"))},
-      [](const Bindings& b) {
-        return dsl::get_or_empty(b, kModuloIsOdd).as_text() == "NotGuaranteed" &&
-               dsl::get_or_empty(b, kAlgorithm).as_text() ==
-                   to_string(rtl::Algorithm::kMontgomery);
-      }));
+      {dsl::PredicateAtom::equals(kModuloIsOdd, Value::text("NotGuaranteed")),
+       dsl::PredicateAtom::equals(kAlgorithm,
+                                  Value::text(to_string(rtl::Algorithm::kMontgomery)))}));
 
   // CC2: the greater the radix, the smaller the latency in cycles:
   // L = 2 * EOL / R + 1 (the paper's closed form, defined for carry-save
@@ -314,62 +313,52 @@ void add_constraints(dsl::DesignSpaceLayer& layer, const CryptoLayerOptions& opt
   // CC4: for Montgomery with EOL >= 32, only carry-save adders should
   // implement the loop additions — anything else is dominated (unbounded
   // carry propagation, low performance, large area).
-  layer.add_constraint(ConsistencyConstraint::dominance(
+  layer.add_constraint(ConsistencyConstraint::dominance_when(
       "CC4", "Inferior solutions eliminated: Montgomery & EOL >= 32 requires Carry-Save adders",
       {PropertyPath::parse(cat(kEOL, "@Operator")),
        PropertyPath::parse(cat(kAlgorithm, "@*.Multiplier.Hardware"))},
       {PropertyPath::parse(cat(kLoopAdder, "@*.Multiplier.Hardware"))},
-      [](const Bindings& b) {
-        return dsl::get_or_empty(b, kAlgorithm).as_text() ==
-                   to_string(rtl::Algorithm::kMontgomery) &&
-               dsl::get_or_empty(b, kEOL).as_number() >= 32.0 &&
-               dsl::get_or_empty(b, kLoopAdder).as_text() !=
-                   to_string(rtl::AdderKind::kCarrySave);
-      }));
+      {dsl::PredicateAtom::equals(kAlgorithm,
+                                  Value::text(to_string(rtl::Algorithm::kMontgomery))),
+       dsl::PredicateAtom::compares(kEOL, dsl::PredicateAtom::Cmp::kGe, 32.0),
+       dsl::PredicateAtom::not_equals(kLoopAdder,
+                                      Value::text(to_string(rtl::AdderKind::kCarrySave)))}));
 
   // CC5 (the paper's "similar constraint"): multiplexer-based multipliers
   // for the loop multiplications, for any EOL (radix >= 4 designs only —
   // radix 2 has no digit multiplier).
-  layer.add_constraint(ConsistencyConstraint::dominance(
+  layer.add_constraint(ConsistencyConstraint::dominance_when(
       "CC5", "Multiplexer-based multipliers dominate for the loop multiplications (any EOL)",
       {PropertyPath::parse(cat(kAlgorithm, "@*.Multiplier.Hardware")),
        PropertyPath::parse(cat(kRadix, "@*.Multiplier.Hardware"))},
       {PropertyPath::parse(cat(kLoopMultiplier, "@*.Multiplier.Hardware"))},
-      [](const Bindings& b) {
-        return dsl::get_or_empty(b, kAlgorithm).as_text() ==
-                   to_string(rtl::Algorithm::kMontgomery) &&
-               dsl::get_or_empty(b, kRadix).as_number() >= 4.0 &&
-               dsl::get_or_empty(b, kLoopMultiplier).as_text() ==
-                   to_string(rtl::MultiplierKind::kArray);
-      }));
+      {dsl::PredicateAtom::equals(kAlgorithm,
+                                  Value::text(to_string(rtl::Algorithm::kMontgomery))),
+       dsl::PredicateAtom::compares(kRadix, dsl::PredicateAtom::Cmp::kGe, 4.0),
+       dsl::PredicateAtom::equals(kLoopMultiplier,
+                                  Value::text(to_string(rtl::MultiplierKind::kArray)))}));
   }
 
   // CC6 (Fig. 6's lesson as a heuristic): software cannot reach
   // sub-100-microsecond multiplications at cryptographic operand lengths.
-  layer.add_constraint(ConsistencyConstraint::inconsistent_options(
+  layer.add_constraint(ConsistencyConstraint::inconsistent_when(
       "CC6", "Software implementations cannot meet aggressive latency bounds (Fig. 6 ranges)",
       {PropertyPath::parse(cat(kLatencyBound, "@Multiplier")),
        PropertyPath::parse(cat(kEOL, "@Operator"))},
       {PropertyPath::parse(cat(kImplStyle, "@Multiplier"))},
-      [](const Bindings& b) {
-        return dsl::get_or_empty(b, kImplStyle).as_text() == "Software" &&
-               dsl::get_or_empty(b, kLatencyBound).as_number() < 100.0 &&
-               dsl::get_or_empty(b, kEOL).as_number() >= 256.0;
-      }));
+      {dsl::PredicateAtom::equals(kImplStyle, Value::text("Software")),
+       dsl::PredicateAtom::compares(kLatencyBound, dsl::PredicateAtom::Cmp::kLt, 100.0),
+       dsl::PredicateAtom::compares(kEOL, dsl::PredicateAtom::Cmp::kGe, 256.0)}));
 
   // CC7: the sliced datapath must cover the operand:
   // NumberOfSlices * SliceWidth >= EOL.
-  layer.add_constraint(ConsistencyConstraint::inconsistent_options(
+  layer.add_constraint(ConsistencyConstraint::inconsistent_when(
       "CC7", "Slices must cover the operand: NumberOfSlices x SliceWidth >= EOL",
       {PropertyPath::parse(cat(kEOL, "@Operator")),
        PropertyPath::parse(cat(kSliceWidth, "@*.Multiplier.Hardware"))},
       {PropertyPath::parse(cat(kNumSlices, "@*.Multiplier.Hardware"))},
-      [](const Bindings& b) {
-        const double eol = dsl::get_or_empty(b, kEOL).as_number();
-        const double w = dsl::get_or_empty(b, kSliceWidth).as_number();
-        const double n = dsl::get_or_empty(b, kNumSlices).as_number();
-        return n * w < eol;
-      }));
+      {dsl::PredicateAtom::product(kNumSlices, kSliceWidth, dsl::PredicateAtom::Cmp::kLt,
+                                   kEOL)}));
 }
 
 // ---------------------------------------------------------------------------

@@ -23,6 +23,77 @@ Value get_or_empty(const Bindings& bindings, const std::string& property) {
   return it == bindings.end() ? Value{} : it->second;
 }
 
+bool compare_numbers(double lhs, PredicateAtom::Cmp cmp, double rhs) {
+  switch (cmp) {
+    case PredicateAtom::Cmp::kEq: return lhs == rhs;
+    case PredicateAtom::Cmp::kNe: return lhs != rhs;
+    case PredicateAtom::Cmp::kLt: return lhs < rhs;
+    case PredicateAtom::Cmp::kLe: return lhs <= rhs;
+    case PredicateAtom::Cmp::kGt: return lhs > rhs;
+    case PredicateAtom::Cmp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+PredicateAtom PredicateAtom::equals(std::string property, Value constant) {
+  PredicateAtom a;
+  a.lhs = std::move(property);
+  a.cmp = Cmp::kEq;
+  a.rhs_const = std::move(constant);
+  return a;
+}
+
+PredicateAtom PredicateAtom::not_equals(std::string property, Value constant) {
+  PredicateAtom a = equals(std::move(property), std::move(constant));
+  a.cmp = Cmp::kNe;
+  return a;
+}
+
+PredicateAtom PredicateAtom::compares(std::string property, Cmp cmp, double constant) {
+  PredicateAtom a;
+  a.lhs = std::move(property);
+  a.cmp = cmp;
+  a.rhs_const = Value::number(constant);
+  return a;
+}
+
+PredicateAtom PredicateAtom::product(std::string a, std::string b, Cmp cmp,
+                                     std::string rhs_property) {
+  PredicateAtom atom;
+  atom.lhs = std::move(a);
+  atom.lhs_factor = std::move(b);
+  atom.cmp = cmp;
+  atom.rhs_property = std::move(rhs_property);
+  return atom;
+}
+
+bool PredicateAtom::holds(const Bindings& bindings) const {
+  const Value lhs_value = get_or_empty(bindings, lhs);
+  const Value rhs_value = rhs_property.empty() ? rhs_const : get_or_empty(bindings, rhs_property);
+  if (!lhs_factor.empty()) {
+    const Value factor = get_or_empty(bindings, lhs_factor);
+    if (lhs_value.kind() != Value::Kind::kNumber || factor.kind() != Value::Kind::kNumber ||
+        rhs_value.kind() != Value::Kind::kNumber) {
+      return false;
+    }
+    return compare_numbers(lhs_value.as_number() * factor.as_number(), cmp, rhs_value.as_number());
+  }
+  if (lhs_value.kind() == Value::Kind::kNumber && rhs_value.kind() == Value::Kind::kNumber) {
+    return compare_numbers(lhs_value.as_number(), cmp, rhs_value.as_number());
+  }
+  if (lhs_value.kind() == Value::Kind::kText && rhs_value.kind() == Value::Kind::kText) {
+    if (cmp == Cmp::kEq) return lhs_value.as_text() == rhs_value.as_text();
+    if (cmp == Cmp::kNe) return lhs_value.as_text() != rhs_value.as_text();
+    return false;
+  }
+  if (lhs_value.kind() == Value::Kind::kFlag && rhs_value.kind() == Value::Kind::kFlag) {
+    if (cmp == Cmp::kEq) return lhs_value.as_flag() == rhs_value.as_flag();
+    if (cmp == Cmp::kNe) return lhs_value.as_flag() != rhs_value.as_flag();
+    return false;
+  }
+  return false;  // kind mismatch / missing value / unordered kinds
+}
+
 namespace {
 
 void check_common(const std::string& id, const std::vector<PropertyPath>& dependent) {
@@ -55,6 +126,36 @@ ConsistencyConstraint ConsistencyConstraint::dominance(
   ConsistencyConstraint cc = inconsistent_options(std::move(id), std::move(doc),
                                                   std::move(independent), std::move(dependent),
                                                   std::move(violated));
+  cc.kind_ = RelationKind::kDominanceElimination;
+  return cc;
+}
+
+ConsistencyConstraint ConsistencyConstraint::inconsistent_when(std::string id, std::string doc,
+                                                               std::vector<PropertyPath> independent,
+                                                               std::vector<PropertyPath> dependent,
+                                                               std::vector<PredicateAtom> atoms) {
+  DSLAYER_REQUIRE(!atoms.empty(), "declarative predicate needs at least one atom");
+  // The lambda captures a copy of the atom list (not `this`): constraints
+  // are moved into the layer's storage after construction.
+  ConsistencyConstraint cc = inconsistent_options(
+      std::move(id), std::move(doc), std::move(independent), std::move(dependent),
+      [atoms](const Bindings& bindings) {
+        for (const PredicateAtom& atom : atoms) {
+          if (!atom.holds(bindings)) return false;
+        }
+        return true;
+      });
+  cc.atoms_ = std::move(atoms);
+  return cc;
+}
+
+ConsistencyConstraint ConsistencyConstraint::dominance_when(std::string id, std::string doc,
+                                                            std::vector<PropertyPath> independent,
+                                                            std::vector<PropertyPath> dependent,
+                                                            std::vector<PredicateAtom> atoms) {
+  ConsistencyConstraint cc = inconsistent_when(std::move(id), std::move(doc),
+                                               std::move(independent), std::move(dependent),
+                                               std::move(atoms));
   cc.kind_ = RelationKind::kDominanceElimination;
   return cc;
 }

@@ -48,6 +48,34 @@ enum class RelationKind {
 
 std::string to_string(RelationKind k);
 
+/// One declarative conjunct of a predicate relation: property <cmp>
+/// constant, property <cmp> property, or product (lhs * lhs_factor) <cmp>
+/// right side. A constraint stated as a conjunction of atoms is violated
+/// when EVERY atom holds — and, unlike an opaque lambda, can be compiled
+/// once per index generation into the columnar filter programs of
+/// dsl/core_table (DESIGN.md §10). Semantics of holds(): numbers compare
+/// numerically; texts compare with ==/!= only; a kind mismatch, a missing
+/// value, or a non-number in a product never holds.
+struct PredicateAtom {
+  enum class Cmp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  std::string lhs;         ///< left-side property name
+  std::string lhs_factor;  ///< non-empty: left side is lhs * lhs_factor
+  Cmp cmp = Cmp::kEq;
+  std::string rhs_property;  ///< non-empty: right side is a property
+  Value rhs_const;           ///< otherwise: this constant
+
+  static PredicateAtom equals(std::string property, Value constant);
+  static PredicateAtom not_equals(std::string property, Value constant);
+  static PredicateAtom compares(std::string property, Cmp cmp, double constant);
+  /// (a * b) <cmp> rhs_property — the CC7-style coverage shape.
+  static PredicateAtom product(std::string a, std::string b, Cmp cmp, std::string rhs_property);
+
+  bool holds(const Bindings& bindings) const;
+};
+
+bool compare_numbers(double lhs, PredicateAtom::Cmp cmp, double rhs);
+
 class ConsistencyConstraint {
  public:
   /// Predicate relations: `violated` returns true for value combinations
@@ -61,6 +89,21 @@ class ConsistencyConstraint {
   static ConsistencyConstraint dominance(
       std::string id, std::string doc, std::vector<PropertyPath> independent,
       std::vector<PropertyPath> dependent, std::function<bool(const Bindings&)> violated);
+
+  /// Declarative predicate relations: violated when EVERY atom holds.
+  /// Equivalent to the lambda forms above for row-wise evaluation, but
+  /// additionally compilable() into the columnar filter programs — prefer
+  /// these whenever the rule is expressible as a conjunction of atoms.
+  static ConsistencyConstraint inconsistent_when(std::string id, std::string doc,
+                                                 std::vector<PropertyPath> independent,
+                                                 std::vector<PropertyPath> dependent,
+                                                 std::vector<PredicateAtom> atoms);
+
+  /// Declarative dominance (CC4) — see inconsistent_when().
+  static ConsistencyConstraint dominance_when(std::string id, std::string doc,
+                                              std::vector<PropertyPath> independent,
+                                              std::vector<PropertyPath> dependent,
+                                              std::vector<PredicateAtom> atoms);
 
   /// Formula relation: derives the (single) dependent property's value from
   /// the independent values (CC2).
@@ -103,12 +146,26 @@ class ConsistencyConstraint {
   /// True if every independent property has a (non-empty) binding.
   bool independents_bound(const Bindings& bindings) const;
 
+  /// The declarative conjunction behind a predicate relation built with
+  /// inconsistent_when()/dominance_when(); empty for opaque lambdas.
+  const std::vector<PredicateAtom>& atoms() const { return atoms_; }
+
+  /// True when the predicate can be compiled into a columnar program
+  /// (i.e. it was stated declaratively). Opaque lambdas fall back to
+  /// row-wise evaluation in the columnar path.
+  bool compilable() const { return !atoms_.empty(); }
+
   /// How often this constraint's relation has been evaluated (violated()
   /// or evaluate()) since construction — the per-constraint view of
   /// QueryStats::constraint_evaluations, useful for spotting hot CCs.
   /// Atomic: the service evaluates shared-layer constraints from many
   /// reader threads at once.
   std::uint64_t evaluations() const { return evaluations_.get(); }
+
+  /// Bulk-credits `n` columnar evaluations to evaluations() — the compiled
+  /// programs never call violated(), so the engine reports the rows it
+  /// examined here to keep the per-constraint counter meaningful.
+  void note_bulk_evaluations(std::uint64_t n) const { evaluations_.add(n); }
 
   /// Renders "CC1: <doc>  Indep={...} Dep={...} Relation: <kind>".
   std::string describe() const;
@@ -123,6 +180,7 @@ class ConsistencyConstraint {
   std::vector<PropertyPath> dependent_;
   std::function<bool(const Bindings&)> violated_;
   std::function<Value(const Bindings&)> compute_;
+  std::vector<PredicateAtom> atoms_;  // non-empty iff built declaratively
   std::string estimator_name_;
   mutable RelaxedCounter evaluations_;
 };

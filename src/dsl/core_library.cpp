@@ -17,6 +17,7 @@ Core::Core(std::string name, std::string class_path)
 Core& Core::bind(const std::string& property, Value value) {
   DSLAYER_REQUIRE(!property.empty(), "binding needs a property name");
   DSLAYER_REQUIRE(!value.empty(), "binding needs a value");
+  symbol_bindings_[support::intern_symbol(property)] = value;
   bindings_[property] = std::move(value);
   return *this;
 }
@@ -29,6 +30,7 @@ std::optional<Value> Core::binding(const std::string& property) const {
 
 Core& Core::set_metric(const std::string& name, double value) {
   DSLAYER_REQUIRE(!name.empty(), "metric needs a name");
+  symbol_metrics_[support::intern_symbol(name)] = value;
   metrics_[name] = value;
   return *this;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dsl/value.hpp"
+#include "support/symbol.hpp"
 
 namespace dslayer::dsl {
 
@@ -56,11 +57,18 @@ class Core {
   std::optional<Value> binding(const std::string& property) const;
   const std::map<std::string, Value>& bindings() const { return bindings_; }
 
+  /// The same bindings keyed by interned symbol — what CoreTable reads so
+  /// columnar (re)indexing never compares strings. Maintained by bind().
+  const std::map<support::Symbol, Value>& symbol_bindings() const { return symbol_bindings_; }
+
   // -- metrics ----------------------------------------------------------------
 
   Core& set_metric(const std::string& name, double value);
   std::optional<double> metric(const std::string& name) const;
   const std::map<std::string, double>& metrics() const { return metrics_; }
+
+  /// Metrics keyed by interned symbol (see symbol_bindings()).
+  const std::map<support::Symbol, double>& symbol_metrics() const { return symbol_metrics_; }
 
   // -- views ------------------------------------------------------------------
 
@@ -76,6 +84,8 @@ class Core {
   std::string library_;
   std::map<std::string, Value> bindings_;
   std::map<std::string, double> metrics_;
+  std::map<support::Symbol, Value> symbol_bindings_;  // mirror of bindings_
+  std::map<support::Symbol, double> symbol_metrics_;  // mirror of metrics_
   std::vector<CoreView> views_;
 };
 

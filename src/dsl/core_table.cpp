@@ -1,0 +1,532 @@
+#include "dsl/core_table.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
+
+namespace dslayer::dsl {
+
+namespace {
+
+std::atomic<std::size_t> g_parallel_threshold{4096};
+
+constexpr std::size_t kWordsPerChunk = 32;  // 2048 rows per parallel chunk
+
+std::size_t popcount(const std::vector<std::uint64_t>& mask) {
+  std::size_t n = 0;
+  for (const std::uint64_t word : mask) n += static_cast<std::size_t>(std::popcount(word));
+  return n;
+}
+
+void mark(std::vector<std::uint64_t>& bits, std::size_t row) {
+  bits[row >> 6] |= (std::uint64_t{1} << (row & 63));
+}
+
+}  // namespace
+
+std::size_t columnar_parallel_threshold() {
+  return g_parallel_threshold.load(std::memory_order_relaxed);
+}
+
+void set_columnar_parallel_threshold(std::size_t rows) {
+  g_parallel_threshold.store(rows, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// CoreTable
+
+CoreTable::CoreTable(const std::vector<const Core*>& cores) : cores_(cores) {
+  words_ = (cores_.size() + 63) / 64;
+  for (std::size_t row = 0; row < cores_.size(); ++row) {
+    for (const auto& [symbol, value] : cores_[row]->symbol_bindings()) {
+      const ColumnKind kind = value.kind() == Value::Kind::kNumber ? ColumnKind::kNumber
+                              : value.kind() == Value::Kind::kText ? ColumnKind::kText
+                                                                   : ColumnKind::kMixed;
+      store(column_for(binding_index_, binding_columns_, symbol, kind), row, value);
+    }
+    for (const auto& [symbol, metric] : cores_[row]->symbol_metrics()) {
+      Column& column =
+          column_for(metric_index_, metric_columns_, symbol, ColumnKind::kNumber);
+      column.numbers[row] = metric;
+      mark(column.present, row);
+    }
+  }
+}
+
+CoreTable::Column& CoreTable::column_for(std::map<support::Symbol, std::size_t>& index,
+                                         std::vector<Column>& columns, support::Symbol symbol,
+                                         ColumnKind kind) {
+  if (const auto it = index.find(symbol); it != index.end()) {
+    Column& column = columns[it->second];
+    if (column.kind != kind && column.kind != ColumnKind::kMixed) degrade_to_mixed(column);
+    return column;
+  }
+  index.emplace(symbol, columns.size());
+  Column& column = columns.emplace_back();
+  column.symbol = symbol;
+  column.kind = kind;
+  column.present.assign(words_, 0);
+  switch (kind) {
+    case ColumnKind::kNumber: column.numbers.assign(cores_.size(), 0.0); break;
+    case ColumnKind::kText: column.texts.assign(cores_.size(), support::kNoSymbol); break;
+    case ColumnKind::kMixed:
+      column.values.assign(cores_.size(), Value{});
+      column.texts.assign(cores_.size(), support::kNoSymbol);
+      break;
+  }
+  return column;
+}
+
+void CoreTable::degrade_to_mixed(Column& column) {
+  const std::size_t rows = column.kind == ColumnKind::kNumber ? column.numbers.size()
+                                                              : column.texts.size();
+  std::vector<Value> values(rows);
+  std::vector<support::Symbol> texts(rows, support::kNoSymbol);
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (!column.has(row)) continue;
+    if (column.kind == ColumnKind::kNumber) {
+      values[row] = Value::number(column.numbers[row]);
+    } else {
+      values[row] = Value::text(support::symbol_name(column.texts[row]));
+      texts[row] = column.texts[row];
+    }
+  }
+  column.kind = ColumnKind::kMixed;
+  column.numbers.clear();
+  column.values = std::move(values);
+  column.texts = std::move(texts);
+}
+
+void CoreTable::store(Column& column, std::size_t row, const Value& value) {
+  switch (column.kind) {
+    case ColumnKind::kNumber:
+      column.numbers[row] = value.as_number();
+      break;
+    case ColumnKind::kText:
+      column.texts[row] = support::intern_symbol(value.as_text());
+      break;
+    case ColumnKind::kMixed:
+      column.values[row] = value;
+      column.texts[row] = value.kind() == Value::Kind::kText
+                              ? support::intern_symbol(value.as_text())
+                              : support::kNoSymbol;
+      break;
+  }
+  mark(column.present, row);
+}
+
+const CoreTable::Column* CoreTable::binding_column(support::Symbol symbol) const {
+  const auto it = binding_index_.find(symbol);
+  return it == binding_index_.end() ? nullptr : &binding_columns_[it->second];
+}
+
+const CoreTable::Column* CoreTable::metric_column(support::Symbol symbol) const {
+  const auto it = metric_index_.find(symbol);
+  return it == metric_index_.end() ? nullptr : &metric_columns_[it->second];
+}
+
+// ---------------------------------------------------------------------------
+// CoreFilterPlan
+
+CoreFilterPlan::CoreFilterPlan(
+    const std::vector<const Core*>& cores,
+    const std::vector<const ConsistencyConstraint*>& predicate_constraints)
+    : table(cores) {
+  const auto property_term = [&](const std::string& name) {
+    CompiledPredicate::Term term;
+    term.symbol = support::intern_symbol(name);
+    const CoreTable::Column* column = table.binding_column(term.symbol);
+    term.column = column == nullptr ? -1 : 0;  // column pointer re-resolved per query
+    return term;
+  };
+
+  predicates.reserve(predicate_constraints.size());
+  for (const ConsistencyConstraint* cc : predicate_constraints) {
+    CompiledPredicate predicate;
+    predicate.constraint = cc;
+    const auto add_reference = [&](support::Symbol symbol) {
+      for (const CompiledPredicate::Term& term : predicate.references) {
+        if (term.symbol == symbol) return;
+      }
+      CompiledPredicate::Term term;
+      term.symbol = symbol;
+      term.column = table.binding_column(symbol) == nullptr ? -1 : 0;
+      predicate.references.push_back(term);
+    };
+    for (const PropertyPath& path : cc->independent()) add_reference(path.property_symbol());
+    for (const PropertyPath& path : cc->dependent()) add_reference(path.property_symbol());
+
+    if (cc->compilable()) {
+      predicate.compiled = true;
+      for (const PredicateAtom& atom : cc->atoms()) {
+        CompiledPredicate::Op op;
+        op.cmp = atom.cmp;
+        op.lhs = property_term(atom.lhs);
+        if (!atom.lhs_factor.empty()) {
+          op.factor = property_term(atom.lhs_factor);
+          op.has_factor = true;
+        }
+        if (!atom.rhs_property.empty()) {
+          op.rhs = property_term(atom.rhs_property);
+        } else {
+          CompiledPredicate::Term term;  // pure constant
+          term.const_kind = atom.rhs_const.kind();
+          switch (atom.rhs_const.kind()) {
+            case Value::Kind::kNumber: term.number = atom.rhs_const.as_number(); break;
+            case Value::Kind::kText:
+              term.text = support::intern_symbol(atom.rhs_const.as_text());
+              break;
+            case Value::Kind::kFlag: term.flag = atom.rhs_const.as_flag(); break;
+            case Value::Kind::kEmpty: break;
+          }
+          op.rhs = term;
+        }
+        predicate.ops.push_back(std::move(op));
+      }
+    }
+    predicates.push_back(std::move(predicate));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BindingsOverlay
+
+std::size_t BindingsOverlay::apply(const Core& core) {
+  std::size_t writes = 0;
+  undo_.clear();
+  for (const auto& [key, value] : core.bindings()) {
+    const auto [it, inserted] = base_->try_emplace(key, value);
+    Undo undo;
+    undo.key = &key;
+    if (!inserted) {
+      if (it->second == value) continue;  // overlay is a no-op for this key
+      undo.previous = it->second;
+      it->second = value;
+    }
+    undo_.push_back(std::move(undo));
+    ++writes;
+  }
+  return writes;
+}
+
+void BindingsOverlay::revert() {
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    if (it->previous.empty()) {
+      base_->erase(*it->key);
+    } else {
+      (*base_)[*it->key] = std::move(it->previous);
+    }
+  }
+  undo_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// run_core_filter
+
+namespace {
+
+using Column = CoreTable::Column;
+using ColumnKind = CoreTable::ColumnKind;
+
+/// A fetched scalar: what one term yields for one row.
+struct Cell {
+  Value::Kind kind = Value::Kind::kEmpty;
+  double number = 0.0;
+  support::Symbol text = support::kNoSymbol;  // always interned when kind==kText
+  bool flag = false;
+};
+
+Cell cell_of_value(const Value& value) {
+  Cell cell;
+  cell.kind = value.kind();
+  switch (value.kind()) {
+    case Value::Kind::kNumber: cell.number = value.as_number(); break;
+    case Value::Kind::kText: cell.text = support::intern_symbol(value.as_text()); break;
+    case Value::Kind::kFlag: cell.flag = value.as_flag(); break;
+    case Value::Kind::kEmpty: break;
+  }
+  return cell;
+}
+
+/// A term bound to this query: the table column (if any) plus the
+/// constant the row falls back to (atom literal or session binding).
+struct ResolvedTerm {
+  const Column* column = nullptr;
+  Cell fallback;
+};
+
+ResolvedTerm resolve_term(const CoreTable& table, const CompiledPredicate::Term& term,
+                          const Bindings& bound) {
+  ResolvedTerm resolved;
+  if (term.symbol == support::kNoSymbol) {  // atom constant
+    resolved.fallback.kind = term.const_kind;
+    resolved.fallback.number = term.number;
+    resolved.fallback.text = term.text;
+    resolved.fallback.flag = term.flag;
+    return resolved;
+  }
+  if (term.column >= 0) resolved.column = table.binding_column(term.symbol);
+  const auto it = bound.find(support::symbol_name(term.symbol));
+  if (it != bound.end()) resolved.fallback = cell_of_value(it->second);
+  return resolved;
+}
+
+Cell fetch(const ResolvedTerm& term, std::size_t row) {
+  if (term.column != nullptr && term.column->has(row)) {
+    Cell cell;
+    switch (term.column->kind) {
+      case ColumnKind::kNumber:
+        cell.kind = Value::Kind::kNumber;
+        cell.number = term.column->numbers[row];
+        break;
+      case ColumnKind::kText:
+        cell.kind = Value::Kind::kText;
+        cell.text = term.column->texts[row];
+        break;
+      case ColumnKind::kMixed: {
+        const Value& value = term.column->values[row];
+        cell.kind = value.kind();
+        if (value.kind() == Value::Kind::kNumber) cell.number = value.as_number();
+        if (value.kind() == Value::Kind::kText) cell.text = term.column->texts[row];
+        if (value.kind() == Value::Kind::kFlag) cell.flag = value.as_flag();
+        break;
+      }
+    }
+    return cell;
+  }
+  return term.fallback;
+}
+
+/// Mirrors PredicateAtom::holds() over fetched cells.
+bool cells_hold(const Cell& lhs, PredicateAtom::Cmp cmp, const Cell& rhs) {
+  if (lhs.kind == Value::Kind::kNumber && rhs.kind == Value::Kind::kNumber) {
+    return compare_numbers(lhs.number, cmp, rhs.number);
+  }
+  if (lhs.kind == Value::Kind::kText && rhs.kind == Value::Kind::kText) {
+    if (cmp == PredicateAtom::Cmp::kEq) return lhs.text == rhs.text;
+    if (cmp == PredicateAtom::Cmp::kNe) return lhs.text != rhs.text;
+    return false;
+  }
+  if (lhs.kind == Value::Kind::kFlag && rhs.kind == Value::Kind::kFlag) {
+    if (cmp == PredicateAtom::Cmp::kEq) return lhs.flag == rhs.flag;
+    if (cmp == PredicateAtom::Cmp::kNe) return lhs.flag != rhs.flag;
+    return false;
+  }
+  return false;
+}
+
+struct ResolvedOp {
+  PredicateAtom::Cmp cmp = PredicateAtom::Cmp::kEq;
+  ResolvedTerm lhs;
+  ResolvedTerm factor;
+  ResolvedTerm rhs;
+  bool has_factor = false;
+};
+
+/// Sweeps the set bits of `mask`, clearing rows `keep` rejects. Parallel
+/// sweeps split on 64-row-aligned chunk boundaries: no two chunks touch
+/// the same mask word, so workers write disjoint memory.
+template <typename Keep>
+void sweep_mask(std::vector<std::uint64_t>& mask, bool parallel, const Keep& keep) {
+  const auto process = [&](std::size_t first_word, std::size_t last_word) {
+    for (std::size_t w = first_word; w < last_word; ++w) {
+      std::uint64_t bits = mask[w];
+      std::uint64_t cleared = 0;
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        if (!keep((w << 6) + static_cast<std::size_t>(bit))) {
+          cleared |= (std::uint64_t{1} << bit);
+        }
+        bits &= bits - 1;
+      }
+      mask[w] &= ~cleared;
+    }
+  };
+  if (!parallel || mask.size() <= kWordsPerChunk) {
+    process(0, mask.size());
+    return;
+  }
+  const std::size_t chunks = (mask.size() + kWordsPerChunk - 1) / kWordsPerChunk;
+  support::ChunkPool::shared().for_each_chunk(chunks, [&](std::size_t chunk) {
+    process(chunk * kWordsPerChunk, std::min(mask.size(), (chunk + 1) * kWordsPerChunk));
+  });
+}
+
+}  // namespace
+
+std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const FilterQuery& query,
+                                         telemetry::Telemetry& telemetry) {
+  using telemetry::EventKind;
+  const CoreTable& table = plan.table;
+  const std::size_t rows = table.rows();
+  telemetry.count(EventKind::kComplianceCheck, rows);
+  if (rows == 0) return {};
+
+  std::vector<std::uint64_t> mask(table.words(), ~std::uint64_t{0});
+  if ((rows & 63) != 0) mask.back() = (std::uint64_t{1} << (rows & 63)) - 1;  // clip tail
+
+  const bool parallel = rows >= columnar_parallel_threshold();
+  const auto clear_all = [&] { std::fill(mask.begin(), mask.end(), 0); };
+
+  // Steps 1 + 2a: decided design issues and kCoreEquals requirements are
+  // the same kernel — the core must bind the property to exactly the
+  // session's value. A missing column means no core can match.
+  const auto apply_equality = [&](const FilterQuery::Equality& eq) {
+    const Column* column =
+        eq.symbol == support::kNoSymbol ? nullptr : table.binding_column(eq.symbol);
+    if (column == nullptr) {
+      clear_all();
+      return;
+    }
+    switch (column->kind) {
+      case ColumnKind::kNumber: {
+        if (eq.value.kind() != Value::Kind::kNumber) {
+          clear_all();
+          return;
+        }
+        const double wanted = eq.value.as_number();
+        sweep_mask(mask, parallel,
+                   [&](std::size_t row) { return column->has(row) && column->numbers[row] == wanted; });
+        return;
+      }
+      case ColumnKind::kText: {
+        if (eq.value.kind() != Value::Kind::kText) {
+          clear_all();
+          return;
+        }
+        const auto wanted = support::lookup_symbol(eq.value.as_text());
+        if (!wanted.has_value()) {  // never interned => no column text can equal it
+          clear_all();
+          return;
+        }
+        const support::Symbol symbol = *wanted;
+        sweep_mask(mask, parallel,
+                   [&](std::size_t row) { return column->has(row) && column->texts[row] == symbol; });
+        return;
+      }
+      case ColumnKind::kMixed:
+        sweep_mask(mask, parallel, [&](std::size_t row) {
+          return column->has(row) && column->values[row] == eq.value;
+        });
+        return;
+    }
+  };
+  for (const FilterQuery::Equality& eq : query.decided) apply_equality(eq);
+  for (const FilterQuery::Equality& eq : query.require_equal) apply_equality(eq);
+
+  // Step 2b: metric bounds. The comparison expressions are the legacy
+  // ones verbatim, so NaN metrics behave identically.
+  for (const FilterQuery::MetricBound& bound : query.require_metric) {
+    const Column* column =
+        bound.symbol == support::kNoSymbol ? nullptr : table.metric_column(bound.symbol);
+    if (column == nullptr) {
+      clear_all();
+      continue;
+    }
+    sweep_mask(mask, parallel, [&](std::size_t row) {
+      if (!column->has(row)) return false;
+      const double metric = column->numbers[row];
+      if (bound.at_most && metric > bound.bound) return false;
+      if (!bound.at_most && metric < bound.bound) return false;
+      return true;
+    });
+  }
+
+  // Step 2c: custom filters, row-wise and sequential (registered lambdas
+  // make no thread-safety promise).
+  for (const CoreFilter* filter : query.custom) {
+    sweep_mask(mask, false,
+               [&](std::size_t row) { return (*filter)(*table.cores()[row], *query.bound); });
+  }
+
+  // Step 3: predicate constraints in index order. Evaluating each over
+  // the surviving mask reproduces the legacy per-core early exit — a row
+  // killed by predicate i is never examined by predicate i+1 — so the
+  // ConstraintEvaluated totals match the legacy loop exactly.
+  Bindings merged;       // lazily initialized scratch for opaque predicates
+  bool merged_ready = false;
+  for (const CompiledPredicate& predicate : plan.predicates) {
+    const std::size_t examined = popcount(mask);
+    if (examined == 0) break;
+    telemetry.count(EventKind::kConstraintEvaluated, examined);
+    if (predicate.compiled) {
+      predicate.constraint->note_bulk_evaluations(examined);
+      std::vector<ResolvedTerm> references;
+      references.reserve(predicate.references.size());
+      for (const CompiledPredicate::Term& term : predicate.references) {
+        references.push_back(resolve_term(table, term, *query.bound));
+      }
+      std::vector<ResolvedOp> ops;
+      ops.reserve(predicate.ops.size());
+      for (const CompiledPredicate::Op& op : predicate.ops) {
+        ResolvedOp resolved;
+        resolved.cmp = op.cmp;
+        resolved.lhs = resolve_term(table, op.lhs, *query.bound);
+        if (op.has_factor) {
+          resolved.factor = resolve_term(table, op.factor, *query.bound);
+          resolved.has_factor = true;
+        }
+        resolved.rhs = resolve_term(table, op.rhs, *query.bound);
+        ops.push_back(resolved);
+      }
+      sweep_mask(mask, parallel, [&](std::size_t row) {
+        // violated() evaluates nothing unless every referenced property
+        // has a value (core column or session fallback).
+        for (const ResolvedTerm& reference : references) {
+          const bool present = (reference.column != nullptr && reference.column->has(row)) ||
+                               reference.fallback.kind != Value::Kind::kEmpty;
+          if (!present) return true;  // unevaluable => not violated
+        }
+        for (const ResolvedOp& op : ops) {
+          const Cell lhs = fetch(op.lhs, row);
+          const Cell rhs = fetch(op.rhs, row);
+          bool holds = false;
+          if (op.has_factor) {
+            const Cell factor = fetch(op.factor, row);
+            holds = lhs.kind == Value::Kind::kNumber && factor.kind == Value::Kind::kNumber &&
+                    rhs.kind == Value::Kind::kNumber &&
+                    compare_numbers(lhs.number * factor.number, op.cmp, rhs.number);
+          } else {
+            holds = cells_hold(lhs, op.cmp, rhs);
+          }
+          if (!holds) return true;  // conjunction broken => not violated
+        }
+        return false;  // every atom holds => violated
+      });
+    } else {
+      // Opaque lambda: row-wise through the overlay (sequential — the
+      // scratch map is shared across rows).
+      if (!merged_ready) {
+        merged = *query.bound;
+        merged_ready = true;
+      }
+      BindingsOverlay overlay(merged);
+      std::uint64_t overlay_writes = 0;
+      sweep_mask(mask, false, [&](std::size_t row) {
+        overlay_writes += overlay.apply(*table.cores()[row]);
+        const bool keep = !predicate.constraint->violated(merged);
+        overlay.revert();
+        return keep;
+      });
+      telemetry.count(EventKind::kOverlayWrite, overlay_writes);
+    }
+  }
+
+  std::vector<const Core*> survivors;
+  survivors.reserve(popcount(mask));
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    std::uint64_t bits = mask[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      survivors.push_back(table.cores()[(w << 6) + static_cast<std::size_t>(bit)]);
+      bits &= bits - 1;
+    }
+  }
+  return survivors;
+}
+
+}  // namespace dslayer::dsl

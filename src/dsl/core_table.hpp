@@ -1,0 +1,198 @@
+// Columnar core store + compiled constraint kernels (DESIGN.md §10).
+//
+// The legacy candidate filter re-interprets every core on every cold
+// query: string-keyed map lookups per decided issue, a freshly allocated
+// merged-bindings map per core, and an opaque violated() call per
+// (core, predicate). This file is the data-oriented replacement:
+//
+//  * CoreTable — a structure-of-arrays snapshot of one CDO subtree's
+//    cores. One contiguous column per bound property / metric (keyed by
+//    interned Symbol), each with a presence bitmap (64 rows per word).
+//    Columns are typed: all-number and all-text columns store raw
+//    doubles / interned symbols; mixed-kind columns degrade to Values.
+//  * CompiledPredicate — a declarative ConsistencyConstraint (see
+//    PredicateAtom) lowered once per index generation to column indexes
+//    and comparison opcodes. Opaque lambda predicates stay uncompiled
+//    and are evaluated row-wise through a BindingsOverlay.
+//  * CoreFilterPlan — CoreTable + one CompiledPredicate per predicate
+//    constraint of the CDO's ConstraintIndex, built lazily by
+//    DesignSpaceLayer::filter_plan() and primed by SharedLayer before
+//    an epoch publishes.
+//  * run_core_filter — evaluates a FilterQuery (the session's decided
+//    issues, requirements, and bindings snapshot) over a plan with a
+//    survivor bitmask, predicate by predicate. Tables larger than
+//    columnar_parallel_threshold() split into 64-row-aligned chunks on
+//    support::ChunkPool::shared(); chunks never share a mask word, so
+//    workers write disjoint memory and results are deterministic.
+//
+// The engine mirrors the legacy semantics exactly — same survivors, same
+// ConstraintEvaluated / ComplianceCheck counter totals — which the
+// tier-1 columnar oracle test enforces on randomized libraries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/constraint.hpp"
+#include "dsl/core_library.hpp"
+#include "support/symbol.hpp"
+
+namespace dslayer::telemetry {
+class Telemetry;
+}
+
+namespace dslayer::dsl {
+
+/// Compliance predicate for one requirement (the DesignSpaceLayer
+/// registry type; re-exported there as DesignSpaceLayer::CoreFilter).
+using CoreFilter = std::function<bool(const Core&, const Bindings&)>;
+
+class CoreTable {
+ public:
+  enum class ColumnKind : std::uint8_t {
+    kNumber,  ///< every present value is a number -> raw doubles
+    kText,    ///< every present value is text -> interned symbols
+    kMixed,   ///< heterogeneous (or flag) -> boxed Values
+  };
+
+  struct Column {
+    support::Symbol symbol = support::kNoSymbol;
+    ColumnKind kind = ColumnKind::kNumber;
+    std::vector<std::uint64_t> present;  ///< presence bitmap, 64 rows/word
+    std::vector<double> numbers;         ///< kNumber payload
+    std::vector<support::Symbol> texts;  ///< kText payload
+    std::vector<Value> values;           ///< kMixed payload
+
+    bool has(std::size_t row) const {
+      return (present[row >> 6] >> (row & 63)) & 1u;
+    }
+  };
+
+  /// Snapshots `cores` (row order preserved — it is the candidates()
+  /// output order). Text values are interned as they are stored.
+  explicit CoreTable(const std::vector<const Core*>& cores);
+
+  std::size_t rows() const { return cores_.size(); }
+  std::size_t words() const { return words_; }
+  const std::vector<const Core*>& cores() const { return cores_; }
+
+  /// Binding / metric column for a symbol; nullptr if no indexed core
+  /// binds it. References are stable for the table's lifetime.
+  const Column* binding_column(support::Symbol symbol) const;
+  const Column* metric_column(support::Symbol symbol) const;
+
+  std::size_t binding_column_count() const { return binding_columns_.size(); }
+  std::size_t metric_column_count() const { return metric_columns_.size(); }
+
+ private:
+  Column& column_for(std::map<support::Symbol, std::size_t>& index,
+                     std::vector<Column>& columns, support::Symbol symbol, ColumnKind kind);
+  static void store(Column& column, std::size_t row, const Value& value);
+  static void degrade_to_mixed(Column& column);
+
+  std::vector<const Core*> cores_;
+  std::size_t words_ = 0;
+  std::vector<Column> binding_columns_;
+  std::vector<Column> metric_columns_;
+  std::map<support::Symbol, std::size_t> binding_index_;
+  std::map<support::Symbol, std::size_t> metric_index_;
+};
+
+/// One predicate constraint lowered against a CoreTable. `compiled` is
+/// false for opaque lambda predicates (evaluated row-wise instead).
+struct CompiledPredicate {
+  /// A property reference or constant inside an atom, resolved against
+  /// the table: `column` >= 0 means a binding column exists for the
+  /// symbol; the constant payload covers literals (session fallbacks are
+  /// resolved per query, not here).
+  struct Term {
+    support::Symbol symbol = support::kNoSymbol;  ///< kNoSymbol => pure constant
+    std::int32_t column = -1;                     ///< >= 0: table has a binding column
+    Value::Kind const_kind = Value::Kind::kEmpty;
+    double number = 0.0;
+    support::Symbol text = support::kNoSymbol;
+    bool flag = false;
+  };
+
+  /// One atom: lhs [* factor] <cmp> rhs.
+  struct Op {
+    PredicateAtom::Cmp cmp = PredicateAtom::Cmp::kEq;
+    Term lhs;
+    Term factor;  ///< engaged iff has_factor
+    Term rhs;
+    bool has_factor = false;
+  };
+
+  const ConsistencyConstraint* constraint = nullptr;
+  bool compiled = false;
+  std::vector<Term> references;  ///< every referenced property (dedup'd)
+  std::vector<Op> ops;
+};
+
+/// Everything candidates() needs for one CDO, built once per index
+/// generation: the columnar table over cores_under(cdo) plus one
+/// CompiledPredicate per ConstraintIndex predicate (same order).
+struct CoreFilterPlan {
+  CoreTable table;
+  std::vector<CompiledPredicate> predicates;
+
+  CoreFilterPlan(const std::vector<const Core*>& cores,
+                 const std::vector<const ConsistencyConstraint*>& predicate_constraints);
+};
+
+/// The session side of a columnar filter run: the decided design issues,
+/// the declarative / custom requirements, and the bindings snapshot that
+/// backfills properties no core column answers.
+struct FilterQuery {
+  struct Equality {
+    support::Symbol symbol = support::kNoSymbol;  ///< kNoSymbol: name never interned
+    Value value;
+  };
+  struct MetricBound {
+    support::Symbol symbol = support::kNoSymbol;
+    bool at_most = false;  ///< kCoreAtMost; else kCoreAtLeast
+    double bound = 0.0;
+  };
+
+  const Bindings* bound = nullptr;       ///< session bindings snapshot
+  std::vector<Equality> decided;         ///< step 1: core-filtering decisions
+  std::vector<Equality> require_equal;   ///< step 2: kCoreEquals requirements
+  std::vector<MetricBound> require_metric;  ///< step 2: kCoreAtMost/AtLeast
+  std::vector<const CoreFilter*> custom;    ///< step 2: registered filters
+};
+
+/// Runs the filter; returns surviving cores in table row order (the
+/// legacy scan order). Counts kComplianceCheck once per row and
+/// kConstraintEvaluated per (row, predicate) actually reached, exactly
+/// like the legacy loop.
+std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const FilterQuery& query,
+                                         telemetry::Telemetry& telemetry);
+
+/// Row count at and above which run_core_filter fans predicate sweeps
+/// out over support::ChunkPool::shared(). Settable for tests/benches.
+std::size_t columnar_parallel_threshold();
+void set_columnar_parallel_threshold(std::size_t rows);
+
+/// Applies one core's bindings on top of a session snapshot and undoes
+/// them on revert() — the allocation-free replacement for the legacy
+/// per-core `Bindings merged = bound` rebuild. apply() returns the
+/// number of map writes performed (the kOverlayWrite telemetry count).
+class BindingsOverlay {
+ public:
+  explicit BindingsOverlay(Bindings& base) : base_(&base) {}
+
+  std::size_t apply(const Core& core);
+  void revert();
+
+ private:
+  struct Undo {
+    const std::string* key = nullptr;
+    Value previous;  ///< empty => key was absent, revert erases it
+  };
+  Bindings* base_;
+  std::vector<Undo> undo_;
+};
+
+}  // namespace dslayer::dsl

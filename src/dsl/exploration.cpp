@@ -433,9 +433,19 @@ const std::vector<const Core*>& ExplorationSession::candidates() const {
 }
 
 std::vector<const Core*> ExplorationSession::compute_candidates() const {
+  return columnar_enabled_ ? compute_candidates_columnar() : compute_candidates_legacy();
+}
+
+std::vector<const Core*> ExplorationSession::compute_candidates_legacy() const {
   const std::vector<const Core*>& cores = layer_->cores_under(*current_);
   const Bindings& bound = bindings();
   const ConstraintIndex& idx = layer_->constraint_index(*current_);
+
+  // One merged-bindings map for the whole scan: each core's bindings are
+  // overlaid before its predicate checks and undone after, instead of
+  // rebuilding the map per core.
+  Bindings merged = bound;
+  BindingsOverlay overlay(merged);
 
   const auto complies = [&](const Core& core) {
     // 1. Every explicitly decided, core-filtering design issue must match
@@ -471,13 +481,17 @@ std::vector<const Core*> ExplorationSession::compute_candidates() const {
     // 3. Constraint compliance: overlay the core's own bindings and check
     //    every predicate constraint (this is how CC4 removes dominated
     //    cores even before the designer touches the corresponding issue).
-    Bindings merged = bound;
-    for (const auto& [k, v] : core.bindings()) merged[k] = v;
+    telemetry_.count(EventKind::kOverlayWrite, overlay.apply(core));
+    bool ok = true;
     for (const ConsistencyConstraint* cc : idx.predicates) {
       telemetry_.count(EventKind::kConstraintEvaluated);
-      if (cc->violated(merged)) return false;
+      if (cc->violated(merged)) {
+        ok = false;
+        break;
+      }
     }
-    return true;
+    overlay.revert();
+    return ok;
   };
 
   std::vector<const Core*> out;
@@ -486,6 +500,49 @@ std::vector<const Core*> ExplorationSession::compute_candidates() const {
     if (complies(*core)) out.push_back(core);
   }
   return out;
+}
+
+std::vector<const Core*> ExplorationSession::compute_candidates_columnar() const {
+  const CoreFilterPlan& plan = layer_->filter_plan(*current_);
+  const Bindings& bound = bindings();
+
+  // Translate the session state into a FilterQuery, mirroring the legacy
+  // complies() steps entry by entry (entries_ iterates in name order, so
+  // value-conversion errors surface in the same order too).
+  FilterQuery query;
+  query.bound = &bound;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.value.empty()) continue;
+    if (!entry.is_requirement && !entry.is_structural) {
+      const Property* p = current_->find_property(name);
+      if (p == nullptr || p->kind != PropertyKind::kDesignIssue || !p->filters_cores) continue;
+      FilterQuery::Equality eq;
+      eq.symbol = support::lookup_symbol(name).value_or(support::kNoSymbol);
+      eq.value = entry.value;
+      query.decided.push_back(std::move(eq));
+    } else if (entry.is_requirement) {
+      if (const auto* filter = layer_->core_filter(name)) {
+        query.custom.push_back(filter);
+        continue;
+      }
+      const Property* p = current_->find_property(name);
+      if (p == nullptr || p->compliance == Compliance::kNone) continue;
+      const std::string& key = p->compliance_key.empty() ? name : p->compliance_key;
+      if (p->compliance == Compliance::kCoreEquals) {
+        FilterQuery::Equality eq;
+        eq.symbol = support::lookup_symbol(key).value_or(support::kNoSymbol);
+        eq.value = entry.value;
+        query.require_equal.push_back(std::move(eq));
+      } else {
+        FilterQuery::MetricBound mb;
+        mb.symbol = support::lookup_symbol(key).value_or(support::kNoSymbol);
+        mb.at_most = p->compliance == Compliance::kCoreAtMost;
+        mb.bound = entry.value.as_number();
+        query.require_metric.push_back(mb);
+      }
+    }
+  }
+  return run_core_filter(plan, query, telemetry_);
 }
 
 std::optional<ExplorationSession::MetricRange> ExplorationSession::metric_range(

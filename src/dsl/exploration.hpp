@@ -232,6 +232,17 @@ class ExplorationSession {
   void set_query_cache(bool enabled) { cache_enabled_ = enabled; }
   bool query_cache_enabled() const { return cache_enabled_; }
 
+  /// Selects the candidates() engine: the columnar filter plan (default;
+  /// DESIGN.md §10) or the legacy per-core scan. Both produce identical
+  /// candidate sets and counter totals — the oracle test enforces it —
+  /// so this exists for benchmarking and distrust-the-columns debugging.
+  /// Toggling invalidates the memoized candidates.
+  void set_columnar(bool enabled) {
+    if (columnar_enabled_ != enabled) touch();
+    columnar_enabled_ = enabled;
+  }
+  bool columnar_enabled() const { return columnar_enabled_; }
+
   /// Counters for this session's queries: constraint evaluations, core
   /// compliance checks, cache hits/misses. A view over the telemetry
   /// counters (resetting them does not erase the event trace or journal).
@@ -259,6 +270,8 @@ class ExplorationSession {
 
   Bindings compute_bindings() const;
   std::vector<const Core*> compute_candidates() const;
+  std::vector<const Core*> compute_candidates_legacy() const;
+  std::vector<const Core*> compute_candidates_columnar() const;
 
   const DesignSpaceLayer* layer_;
   const Cdo* root_;
@@ -269,6 +282,7 @@ class ExplorationSession {
   // Memoized query layer: results tagged with the generation they were
   // computed at; any mutation bumps generation_ and implicitly invalidates.
   bool cache_enabled_ = true;
+  bool columnar_enabled_ = true;
   std::uint64_t generation_ = 1;
   mutable std::uint64_t bindings_generation_ = 0;  // 0 = never computed
   mutable Bindings bindings_cache_;

@@ -15,12 +15,24 @@ const std::vector<const ConsistencyConstraint*> kNoConstraints;
 
 const std::vector<const ConsistencyConstraint*>& ConstraintIndex::constraining(
     const std::string& property) const {
+  const auto symbol = support::lookup_symbol(property);
+  return symbol.has_value() ? constraining(*symbol) : kNoConstraints;
+}
+
+const std::vector<const ConsistencyConstraint*>& ConstraintIndex::constraining(
+    support::Symbol property) const {
   const auto it = by_dependent.find(property);
   return it == by_dependent.end() ? kNoConstraints : it->second;
 }
 
 const std::vector<const ConsistencyConstraint*>& ConstraintIndex::depending_on(
     const std::string& property) const {
+  const auto symbol = support::lookup_symbol(property);
+  return symbol.has_value() ? depending_on(*symbol) : kNoConstraints;
+}
+
+const std::vector<const ConsistencyConstraint*>& ConstraintIndex::depending_on(
+    support::Symbol property) const {
   const auto it = by_independent.find(property);
   return it == by_independent.end() ? kNoConstraints : it->second;
 }
@@ -54,6 +66,7 @@ std::size_t DesignSpaceLayer::index_cores() {
   index_.clear();
   core_cdo_.clear();
   subtree_index_.clear();
+  filter_plans_.clear();  // plans snapshot the subtree core lists
   index_warnings_.clear();
   std::size_t indexed = 0;
   for (const auto& lib : libraries_) {
@@ -144,8 +157,22 @@ void DesignSpaceLayer::add_constraint(ConsistencyConstraint cc) {
   }
   constraints_.push_back(std::move(cc));
   // The adjacency lists hold pointers into constraints_, so any growth
-  // (reallocation) invalidates every cached index.
+  // (reallocation) invalidates every cached index — and every filter
+  // plan, whose compiled programs point at the same constraints.
   constraint_index_.clear();
+  filter_plans_.clear();
+}
+
+const CoreFilterPlan& DesignSpaceLayer::filter_plan(const Cdo& cdo) const {
+  if (const auto it = filter_plans_.find(&cdo); it != filter_plans_.end()) {
+    telemetry_.count(telemetry::EventKind::kCacheHit);
+    return *it->second;
+  }
+  telemetry_.count(telemetry::EventKind::kCacheMiss);
+  telemetry_.count(telemetry::EventKind::kIndexRebuild);
+  telemetry::ScopedTimer timer(&telemetry_, "filter_plan");
+  auto plan = std::make_unique<CoreFilterPlan>(cores_under(cdo), constraint_index(cdo).predicates);
+  return *(filter_plans_[&cdo] = std::move(plan));
 }
 
 const std::vector<const ConsistencyConstraint*>& DesignSpaceLayer::constraints_at(
@@ -169,9 +196,11 @@ const ConstraintIndex& DesignSpaceLayer::constraint_index(const Cdo& cdo) const 
         cc.kind() == RelationKind::kDominanceElimination) {
       index.predicates.push_back(&cc);
     }
-    for (const PropertyPath& dep : cc.dependent()) index.by_dependent[dep.property()].push_back(&cc);
+    for (const PropertyPath& dep : cc.dependent()) {
+      index.by_dependent[dep.property_symbol()].push_back(&cc);
+    }
     for (const PropertyPath& indep : cc.independent()) {
-      index.by_independent[indep.property()].push_back(&cc);
+      index.by_independent[indep.property_symbol()].push_back(&cc);
     }
   }
   return constraint_index_[&cdo] = std::move(index);

@@ -23,8 +23,10 @@
 #include "dsl/cdo.hpp"
 #include "dsl/constraint.hpp"
 #include "dsl/core_library.hpp"
+#include "dsl/core_table.hpp"
 #include "dsl/query_stats.hpp"
 #include "estimation/estimators.hpp"
+#include "support/symbol.hpp"
 
 namespace dslayer::dsl {
 
@@ -36,15 +38,19 @@ namespace dslayer::dsl {
 struct ConstraintIndex {
   std::vector<const ConsistencyConstraint*> all;
   std::vector<const ConsistencyConstraint*> predicates;
-  std::map<std::string, std::vector<const ConsistencyConstraint*>> by_dependent;
-  std::map<std::string, std::vector<const ConsistencyConstraint*>> by_independent;
+  /// Adjacency keyed by interned property symbol (PropertyPath interns at
+  /// construction, so building the index never touches the string table).
+  std::map<support::Symbol, std::vector<const ConsistencyConstraint*>> by_dependent;
+  std::map<support::Symbol, std::vector<const ConsistencyConstraint*>> by_independent;
 
   /// Constraints whose dependent set contains `property` (veto side).
   const std::vector<const ConsistencyConstraint*>& constraining(const std::string& property) const;
+  const std::vector<const ConsistencyConstraint*>& constraining(support::Symbol property) const;
 
   /// Constraints whose independent set contains `property` (re-assessment
   /// side).
   const std::vector<const ConsistencyConstraint*>& depending_on(const std::string& property) const;
+  const std::vector<const ConsistencyConstraint*>& depending_on(support::Symbol property) const;
 };
 
 class DesignSpaceLayer {
@@ -113,6 +119,13 @@ class DesignSpaceLayer {
   /// property-name lookups. Built lazily per CDO, invalidated by
   /// add_constraint(); new CDOs are indexed on first query.
   const ConstraintIndex& constraint_index(const Cdo& cdo) const;
+
+  /// The columnar filter plan for a CDO: the CoreTable over
+  /// cores_under(cdo) plus the compiled predicate programs (DESIGN.md
+  /// §10). Built lazily, invalidated by index_cores() and
+  /// add_constraint(); SharedLayer primes it before publishing an epoch.
+  /// The reference is stable until the next invalidation.
+  const CoreFilterPlan& filter_plan(const Cdo& cdo) const;
 
   // -- estimation --------------------------------------------------------------
 
@@ -190,6 +203,9 @@ class DesignSpaceLayer {
   // CDOs created after the last indexing pass.
   mutable std::map<const Cdo*, ConstraintIndex> constraint_index_;
   mutable std::map<const Cdo*, std::vector<const Core*>> subtree_index_;
+  // unique_ptr: plans must stay address-stable while sessions hold the
+  // reference across map growth.
+  mutable std::map<const Cdo*, std::unique_ptr<CoreFilterPlan>> filter_plans_;
   mutable telemetry::Telemetry telemetry_;
 };
 

@@ -17,6 +17,7 @@ PropertyPath PropertyPath::parse(const std::string& text) {
 PropertyPath::PropertyPath(std::string property, std::string pattern)
     : property_(std::move(property)), pattern_(std::move(pattern)) {
   if (property_.empty()) throw DefinitionError("property path needs a property name");
+  property_symbol_ = support::intern_symbol(property_);
 }
 
 bool match_segments(const std::vector<std::string>& pattern,

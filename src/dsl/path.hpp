@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "support/symbol.hpp"
+
 namespace dslayer::dsl {
 
 class PropertyPath {
@@ -30,6 +32,12 @@ class PropertyPath {
 
   const std::string& property() const { return property_; }
   const std::string& pattern() const { return pattern_; }
+
+  /// Interned id of property() in the global SymbolTable — the key the
+  /// columnar filter path and ConstraintIndex adjacency use instead of the
+  /// string. Interned at construction, so query paths never write the
+  /// table.
+  support::Symbol property_symbol() const { return property_symbol_; }
 
   /// True if the CDO pattern matches the given '.'-separated CDO path.
   /// '*' matches any (possibly empty) run of segments; other segments match
@@ -46,6 +54,7 @@ class PropertyPath {
  private:
   std::string property_;
   std::string pattern_;
+  support::Symbol property_symbol_ = support::kNoSymbol;
 };
 
 /// Segment-level glob: '*' matches any run of segments.

@@ -16,6 +16,9 @@ void SharedLayer::reindex_and_prime() {
   for (const dsl::Cdo* cdo : layer_->space().all()) {
     (void)layer_->constraint_index(*cdo);
     (void)layer_->cores_under(*cdo);
+    // Rebuild the columnar filter plan (table + compiled predicate
+    // programs) too, so post-publish candidate queries are pure hits.
+    (void)layer_->filter_plan(*cdo);
   }
 }
 

@@ -1,0 +1,77 @@
+#include "support/parallel.hpp"
+
+namespace dslayer::support {
+
+ChunkPool::ChunkPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ChunkPool::~ChunkPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ChunkPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [&] { return stopping_ || (fn_ != nullptr && next_ < total_); });
+    if (stopping_) return;
+    while (fn_ != nullptr && next_ < total_) {
+      const std::size_t chunk = next_++;
+      ++in_flight_;
+      const auto* fn = fn_;
+      lock.unlock();
+      (*fn)(chunk);
+      lock.lock();
+      --in_flight_;
+      if (next_ >= total_ && in_flight_ == 0) sweep_done_.notify_all();
+    }
+  }
+}
+
+void ChunkPool::for_each_chunk(std::size_t chunks,
+                               const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (chunks == 1 || workers_.empty() || !submit_lock_.try_lock()) {
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard submit(submit_lock_, std::adopt_lock);
+  {
+    std::lock_guard lock(mutex_);
+    fn_ = &fn;
+    next_ = 0;
+    total_ = chunks;
+  }
+  work_ready_.notify_all();
+
+  std::unique_lock lock(mutex_);
+  while (next_ < total_) {  // the caller is one of the lanes
+    const std::size_t chunk = next_++;
+    ++in_flight_;
+    lock.unlock();
+    fn(chunk);
+    lock.lock();
+    --in_flight_;
+  }
+  sweep_done_.wait(lock, [&] { return next_ >= total_ && in_flight_ == 0; });
+  fn_ = nullptr;
+  next_ = total_ = 0;
+}
+
+ChunkPool& ChunkPool::shared() {
+  static ChunkPool pool([] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hc > 1 ? hc - 1 : 1);
+  }());
+  return pool;
+}
+
+}  // namespace dslayer::support

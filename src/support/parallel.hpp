@@ -1,0 +1,64 @@
+// A small fixed pool of helper threads for data-parallel chunk sweeps.
+//
+// The columnar filter kernels (dsl/core_table) split a core table into
+// 64-row-aligned chunks and evaluate one compiled predicate over all
+// chunks; because chunks never share a bitmask word, workers write
+// disjoint memory and no per-row synchronization is needed. This pool is
+// the execution backend: for_each_chunk(n, fn) runs fn(0..n-1) across the
+// helpers with the calling thread participating, and returns when every
+// chunk is done.
+//
+// One sweep runs at a time per pool. A caller that finds the pool busy
+// (or that has nothing to gain: one chunk, zero helpers) just runs its
+// chunks inline — the sweep, not the chunk, is the unit of backpressure,
+// and inline execution is always correct because chunks are independent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dslayer::support {
+
+class ChunkPool {
+ public:
+  /// Spawns `threads` helper workers (0 is legal: every sweep runs inline).
+  explicit ChunkPool(std::size_t threads);
+  ~ChunkPool();
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Runs fn(i) exactly once for every i in [0, chunks), on the helpers
+  /// and the calling thread; returns after the last chunk completes. fn
+  /// must be safe to call concurrently for distinct i.
+  void for_each_chunk(std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool the filter kernels share: hardware_concurrency
+  /// minus one helper (the caller is the missing lane), at least one so
+  /// the parallel code path is exercised even on single-core hosts.
+  static ChunkPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable sweep_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // non-null while a sweep runs
+  std::size_t next_ = 0;       // next unclaimed chunk
+  std::size_t total_ = 0;      // chunks in the current sweep
+  std::size_t in_flight_ = 0;  // chunks claimed but not finished
+  bool stopping_ = false;
+
+  std::mutex submit_lock_;  // serializes sweeps; busy => caller runs inline
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dslayer::support

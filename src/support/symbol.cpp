@@ -1,0 +1,45 @@
+#include "support/symbol.hpp"
+
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace dslayer::support {
+
+Symbol SymbolTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;  // lost the race
+  DSLAYER_REQUIRE(names_.size() < kNoSymbol, "symbol table overflow");
+  const Symbol id = static_cast<Symbol>(names_.size());
+  const std::string& stored = names_.emplace_back(name);  // deque: never moved
+  ids_.emplace(std::string_view(stored), id);
+  return id;
+}
+
+std::optional<Symbol> SymbolTable::lookup(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  return std::nullopt;
+}
+
+const std::string& SymbolTable::name(Symbol symbol) const {
+  std::shared_lock lock(mutex_);
+  DSLAYER_REQUIRE(symbol < names_.size(), "unknown symbol id");
+  return names_[symbol];  // entries are immutable once inserted
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+}  // namespace dslayer::support

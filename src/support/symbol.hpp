@@ -1,0 +1,62 @@
+// Interned symbols: dense ids for the layer's hot names.
+//
+// The columnar candidate-matching path (DESIGN.md §10) cannot afford
+// string-keyed lookups per core: property names referenced by constraints,
+// core binding/metric names, and option strings stored in text columns are
+// interned once into a process-wide SymbolTable and compared as a uint32
+// afterwards. Interning is injective — symbol equality is exactly string
+// equality — and ids are dense, so they double as column indexes.
+//
+// Concurrency: build paths (Core::bind, PropertyPath construction,
+// CoreTable construction) call intern(), which takes the write lock only
+// on a miss; query paths call lookup(), which never writes. Ids are never
+// reused and the backing strings are never moved, so a Symbol and the
+// reference returned by name() stay valid for the process lifetime.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dslayer::support {
+
+using Symbol = std::uint32_t;
+
+/// Sentinel for "no such name interned" / "no symbol".
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+class SymbolTable {
+ public:
+  /// Id of `name`, interning it first if unseen.
+  Symbol intern(std::string_view name);
+
+  /// Id of `name` if already interned; read-only (shared lock only).
+  std::optional<Symbol> lookup(std::string_view name) const;
+
+  /// The interned spelling. The reference is stable forever. Throws
+  /// DefinitionError on an out-of-range symbol.
+  const std::string& name(Symbol symbol) const;
+
+  std::size_t size() const;
+
+  /// The process-wide table every layer component shares.
+  static SymbolTable& global();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;                     // index == Symbol; never moved
+  std::unordered_map<std::string_view, Symbol> ids_;  // views into names_
+};
+
+/// Shorthands over the global table.
+inline Symbol intern_symbol(std::string_view name) { return SymbolTable::global().intern(name); }
+inline std::optional<Symbol> lookup_symbol(std::string_view name) {
+  return SymbolTable::global().lookup(name);
+}
+inline const std::string& symbol_name(Symbol symbol) { return SymbolTable::global().name(symbol); }
+
+}  // namespace dslayer::support

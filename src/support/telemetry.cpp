@@ -18,7 +18,7 @@ constexpr std::array<const char*, kEventKindCount> kKindNames = {
     "Retract",             "Reaffirm",            "OptionEliminated",
     "ReassessmentFlagged", "ConstraintEvaluated", "ComplianceCheck",
     "CacheHit",            "CacheMiss",           "IndexRebuild",
-    "QueryTimed",
+    "QueryTimed",          "OverlayWrite",
 };
 
 /// Shortest decimal rendering that round-trips an IEEE double through

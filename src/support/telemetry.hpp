@@ -64,9 +64,10 @@ enum class EventKind : std::uint8_t {
   kCacheMiss,            ///< subject = which memoized query recomputed
   kIndexRebuild,         ///< subject = which index was (re)built
   kQueryTimed,           ///< subject = query kind, duration_us = wall time
+  kOverlayWrite,         ///< counted only (hot path) — per-core binding-overlay map writes
 };
 
-inline constexpr std::size_t kEventKindCount = 13;
+inline constexpr std::size_t kEventKindCount = 14;
 
 /// Stable wire name ("Decision", "CacheHit", ...).
 const char* to_string(EventKind kind);

@@ -1,0 +1,476 @@
+// Oracle equivalence of the two candidates() engines (DESIGN.md Section 10):
+// every query below runs on a TWIN pair of sessions — one on the columnar
+// CoreFilterPlan engine, one on the legacy per-core scan — fed byte-identical
+// action sequences. The engines must agree on
+//   * the candidate set, element for element (same Core pointers, same order);
+//   * option_ranges() / available_options() built on top of it;
+//   * the deterministic work counters (constraint evaluations, compliance
+//     checks) — the columnar sweep replays the legacy early-exit totals;
+//   * which actions throw, with identical ExplorationError messages.
+// Coverage deliberately spans every engine path: interned-text equality
+// columns, numeric columns, mixed-kind (boxed) columns, missing bindings and
+// metrics, declarative compliance (at-least / at-most / equals), custom
+// per-core filters, compiled predicate programs, the opaque-lambda overlay
+// fallback, session-only property resolution, and plan invalidation after
+// index_cores() / add_constraint().
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "domains/crypto.hpp"
+#include "dsl/exploration.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer {
+namespace {
+
+using dsl::Bindings;
+using dsl::Cdo;
+using dsl::Compliance;
+using dsl::ConsistencyConstraint;
+using dsl::Core;
+using dsl::DesignSpaceLayer;
+using dsl::ExplorationSession;
+using dsl::PredicateAtom;
+using dsl::Property;
+using dsl::PropertyPath;
+using dsl::ReuseLibrary;
+using dsl::Value;
+using dsl::ValueDomain;
+using Cmp = PredicateAtom::Cmp;
+
+/// Two sessions over the same layer, one per engine, fed identical actions.
+struct Twin {
+  ExplorationSession columnar;
+  ExplorationSession legacy;
+
+  Twin(const DesignSpaceLayer& layer, const std::string& path)
+      : columnar(layer, path), legacy(layer, path) {
+    columnar.set_columnar(true);
+    legacy.set_columnar(false);
+  }
+
+  /// Applies one action to both sessions; both must succeed or both must
+  /// throw the same ExplorationError.
+  template <typename Fn>
+  void apply(Fn&& fn) {
+    std::string what_columnar, what_legacy;
+    bool threw_columnar = false, threw_legacy = false;
+    try {
+      fn(columnar);
+    } catch (const ExplorationError& e) {
+      threw_columnar = true;
+      what_columnar = e.what();
+    }
+    try {
+      fn(legacy);
+    } catch (const ExplorationError& e) {
+      threw_legacy = true;
+      what_legacy = e.what();
+    }
+    EXPECT_EQ(threw_columnar, threw_legacy) << what_columnar << what_legacy;
+    EXPECT_EQ(what_columnar, what_legacy);
+  }
+
+  /// The core oracle: identical candidate vectors (pointer-for-pointer) and
+  /// scope.
+  void expect_candidates_agree() {
+    EXPECT_EQ(columnar.current().path(), legacy.current().path());
+    const auto& c = columnar.candidates();
+    const auto& l = legacy.candidates();
+    ASSERT_EQ(c.size(), l.size());
+    EXPECT_EQ(c, l);  // element-wise Core* equality — byte-identical sets
+  }
+
+  void expect_ranges_agree(const std::string& issue, const std::string& metric) {
+    const auto c = columnar.option_ranges(issue, metric);
+    const auto l = legacy.option_ranges(issue, metric);
+    ASSERT_EQ(c.size(), l.size()) << issue << "/" << metric;
+    for (const auto& [option, range] : c) {
+      ASSERT_TRUE(l.contains(option)) << option;
+      EXPECT_DOUBLE_EQ(range.min, l.at(option).min) << option;
+      EXPECT_DOUBLE_EQ(range.max, l.at(option).max) << option;
+      EXPECT_EQ(range.count, l.at(option).count) << option;
+    }
+  }
+
+  void expect_counters_agree() {
+    const auto c = columnar.query_stats();
+    const auto l = legacy.query_stats();
+    EXPECT_EQ(c.constraint_evaluations, l.constraint_evaluations);
+    EXPECT_EQ(c.compliance_checks, l.compliance_checks);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Randomized abstract library: every column kind and filter path at once.
+// ---------------------------------------------------------------------------
+
+/// A layer whose cores randomly mix kinds, drop bindings, and skip metrics —
+/// the shapes the columnar presence bitmaps and kMixed columns exist for.
+/// Filtering exercises declarative compliance (>=, <=, ==), a custom core
+/// filter (Cert), compiled predicates (D1, D2), and an opaque lambda (O1).
+std::unique_ptr<DesignSpaceLayer> oracle_layer(unsigned seed, std::size_t core_count) {
+  auto layer = std::make_unique<DesignSpaceLayer>("oracle");
+  Cdo& node = layer->space().add_root("Node");
+  node.add_property(Property::requirement("MinScore", ValueDomain::real_range(0.0, 100.0), "")
+                        .with_compliance(Compliance::kCoreAtLeast, "score"));
+  node.add_property(Property::requirement("MaxCost", ValueDomain::real_range(0.0, 100.0), "")
+                        .with_compliance(Compliance::kCoreAtMost, "cost"));
+  node.add_property(
+      Property::requirement("Coding", ValueDomain::options({"sign", "carry", "redundant"}), "")
+          .with_compliance(Compliance::kCoreEquals));
+  node.add_property(Property::requirement("Cert", ValueDomain::options({"gold", "silver"}), ""));
+  node.add_property(Property::requirement("Mode", ValueDomain::options({"strict", "lax"}), ""));
+  node.add_property(Property::design_issue("Tech", ValueDomain::options({"t1", "t2", "t3"}), ""));
+  node.add_property(Property::design_issue("Width", ValueDomain::powers_of_two(), ""));
+  node.add_property(Property::design_issue("Grade", ValueDomain::any(), ""));
+  node.add_property(Property::design_issue("Phantom", ValueDomain::options({"on", "off"}), ""));
+
+  // D1/D2: compiled into the columnar predicate program.
+  layer->add_constraint(ConsistencyConstraint::inconsistent_when(
+      "D1", "t3 cannot drive wide datapaths", {PropertyPath::parse("Tech@Node")},
+      {PropertyPath::parse("Width@Node")},
+      {PredicateAtom::equals("Tech", Value::text("t3")),
+       PredicateAtom::compares("Width", Cmp::kGe, 32.0)}));
+  layer->add_constraint(ConsistencyConstraint::inconsistent_when(
+      "D2", "strict mode rejects t1", {PropertyPath::parse("Mode@Node")},
+      {PropertyPath::parse("Tech@Node")},
+      {PredicateAtom::equals("Mode", Value::text("strict")),
+       PredicateAtom::equals("Tech", Value::text("t1"))}));
+  // O1: opaque lambda — the columnar engine must fall back to the
+  // merged-bindings overlay for this one.
+  layer->add_constraint(ConsistencyConstraint::inconsistent_options(
+      "O1", "numeric grades above 5 need t2", {PropertyPath::parse("Tech@Node")},
+      {PropertyPath::parse("Grade@Node")}, [](const Bindings& b) {
+        const Value grade = dsl::get_or_empty(b, "Grade");
+        return grade.kind() == Value::Kind::kNumber && grade.as_number() > 5.0 &&
+               dsl::get_or_empty(b, "Tech").as_text() != "t2";
+      }));
+  // Custom per-core filter: gold certification demands a score of 50+.
+  layer->set_core_filter("Cert", [](const Core& core, const Bindings& bindings) {
+    const double floor = dsl::get_or_empty(bindings, "Cert").as_text() == "gold" ? 50.0 : 10.0;
+    const auto score = core.metric("score");
+    return score.has_value() && *score >= floor;
+  });
+
+  Rng rng(seed);
+  ReuseLibrary& lib = layer->add_library("cores");
+  const char* techs[] = {"t1", "t2", "t3"};
+  const char* codings[] = {"sign", "carry", "redundant"};
+  const double widths[] = {8, 16, 32, 64};
+  for (std::size_t i = 0; i < core_count; ++i) {
+    Core c("c" + std::to_string(i), "Node");
+    if (rng.next_bool(0.9)) c.bind("Tech", Value::text(techs[rng.next_below(3)]));
+    if (rng.next_bool(0.9)) c.bind("Width", Value::number(widths[rng.next_below(4)]));
+    // Grade is a mixed-kind column: numbers, texts, and gaps.
+    switch (rng.next_below(3)) {
+      case 0: c.bind("Grade", Value::number(static_cast<double>(rng.next_below(10)))); break;
+      case 1: c.bind("Grade", Value::text("g" + std::to_string(rng.next_below(4)))); break;
+      default: break;  // missing
+    }
+    // Coding is usually text, occasionally a number (kind mismatch vs the
+    // kCoreEquals requirement) and occasionally absent.
+    if (rng.next_bool(0.8)) {
+      c.bind("Coding", Value::text(codings[rng.next_below(3)]));
+    } else if (rng.next_bool(0.4)) {
+      c.bind("Coding", Value::number(1.0));
+    }
+    if (rng.next_bool(0.85)) c.set_metric("score", static_cast<double>(rng.next_below(100)));
+    if (rng.next_bool(0.85)) c.set_metric("cost", static_cast<double>(rng.next_below(100)));
+    lib.add(std::move(c));
+  }
+  layer->index_cores();
+  return layer;
+}
+
+class ColumnarOracleFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ColumnarOracleFuzz, RandomAbstractWalkAgrees) {
+  auto layer = oracle_layer(GetParam() * 104729 + 1, 400);
+  Twin twin(*layer, "Node");
+  twin.columnar.reset_query_stats();
+  twin.legacy.reset_query_stats();
+  Rng rng(GetParam() * 31 + 7);
+
+  const char* requirements[] = {"MinScore", "MaxCost", "Coding", "Cert", "Mode"};
+  const char* issues[] = {"Tech", "Width", "Grade", "Phantom"};
+  for (int step = 0; step < 40; ++step) {
+    switch (rng.next_below(6)) {
+      case 0: {  // numeric requirement
+        const char* name = rng.next_bool() ? "MinScore" : "MaxCost";
+        const double value = static_cast<double>(rng.next_below(101));
+        twin.apply([&](ExplorationSession& s) { s.set_requirement(name, value); });
+        break;
+      }
+      case 1: {  // option requirement
+        const char* name = requirements[2 + rng.next_below(3)];
+        const char* codings[] = {"sign", "carry", "redundant"};
+        const char* certs[] = {"gold", "silver"};
+        const char* modes[] = {"strict", "lax"};
+        const char* value = name == std::string("Coding") ? codings[rng.next_below(3)]
+                            : name == std::string("Cert") ? certs[rng.next_below(2)]
+                                                          : modes[rng.next_below(2)];
+        twin.apply([&](ExplorationSession& s) { s.set_requirement(name, value); });
+        break;
+      }
+      case 2: {  // decide an issue
+        const char* name = issues[rng.next_below(4)];
+        Value value = Value::text("");
+        if (name == std::string("Tech")) {
+          const char* techs[] = {"t1", "t2", "t3"};
+          value = Value::text(techs[rng.next_below(3)]);
+        } else if (name == std::string("Width")) {
+          const double widths[] = {8, 16, 32, 64};
+          value = Value::number(widths[rng.next_below(4)]);
+        } else if (name == std::string("Grade")) {
+          // any() domain: mixed kinds from the session side too
+          value = rng.next_bool() ? Value::number(static_cast<double>(rng.next_below(10)))
+                                  : Value::text("g" + std::to_string(rng.next_below(4)));
+        } else {
+          value = Value::text(rng.next_bool() ? "on" : "off");  // no core binds Phantom
+        }
+        twin.apply([&](ExplorationSession& s) { s.decide(name, value); });
+        break;
+      }
+      case 3: {  // retract something (requirement or issue)
+        const char* name =
+            rng.next_bool() ? requirements[rng.next_below(5)] : issues[rng.next_below(4)];
+        twin.apply([&](ExplorationSession& s) {
+          if (s.value_of(name).has_value()) s.retract(name);
+        });
+        break;
+      }
+      case 4:
+        twin.expect_ranges_agree("Tech", "score");
+        break;
+      default: {  // only enumerated issues have option lists
+        const char* issue = rng.next_bool() ? "Tech" : "Phantom";
+        EXPECT_EQ(twin.columnar.available_options(issue), twin.legacy.available_options(issue));
+        break;
+      }
+    }
+    twin.expect_candidates_agree();
+  }
+  twin.expect_counters_agree();
+  // The opaque O1 constraint forces the overlay fallback in the columnar
+  // engine too; both engines must have paid overlay writes at some point.
+  EXPECT_GT(twin.legacy.telemetry().count_of(telemetry::EventKind::kOverlayWrite), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Walks, ColumnarOracleFuzz, ::testing::Range(1u, 13u));
+
+// ---------------------------------------------------------------------------
+// Randomized crypto walk: the real domain layer, decide/retract chains.
+// ---------------------------------------------------------------------------
+
+class ColumnarCryptoOracle : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ColumnarCryptoOracle, RandomCryptoWalkAgrees) {
+  auto layer = domains::build_crypto_layer();
+  Rng rng(GetParam() * 7919 + 3);
+  const char* roots[] = {domains::kPathOMM, domains::kPathOMMH, domains::kPathOMMHM};
+  Twin twin(*layer, roots[rng.next_below(3)]);
+  twin.columnar.reset_query_stats();
+  twin.legacy.reset_query_stats();
+
+  for (int step = 0; step < 50; ++step) {
+    // Enumerate actions from the (shared) scope of the legacy twin.
+    std::vector<const Property*> requirements;
+    std::vector<const Property*> issues;
+    for (const Property* p : twin.legacy.current().visible_properties()) {
+      if (p->kind == dsl::PropertyKind::kRequirement) requirements.push_back(p);
+      if (p->kind == dsl::PropertyKind::kDesignIssue) issues.push_back(p);
+    }
+    const auto action = rng.next_below(10);
+    if (action < 3 && !requirements.empty()) {
+      const Property* p = requirements[rng.next_below(requirements.size())];
+      Value value = Value::number(768.0);
+      if (p->domain.kind() == ValueDomain::Kind::kOptions) {
+        const auto& options = p->domain.option_list();
+        value = Value::text(options[rng.next_below(options.size())]);
+      } else if (p->domain.kind() == ValueDomain::Kind::kRealRange) {
+        const double choices[] = {0.5, 2.0, 8.0, 100.0, 5000.0};
+        value = Value::number(choices[rng.next_below(5)]);
+      }
+      twin.apply([&](ExplorationSession& s) { s.set_requirement(p->name, value); });
+    } else if (action < 8 && !issues.empty()) {
+      const Property* p = issues[rng.next_below(issues.size())];
+      if (p->domain.kind() == ValueDomain::Kind::kOptions) {
+        const auto options = twin.legacy.available_options(p->name);
+        EXPECT_EQ(twin.columnar.available_options(p->name), options);
+        if (options.empty()) continue;
+        const std::string option = options[rng.next_below(options.size())];
+        twin.apply([&](ExplorationSession& s) { s.decide(p->name, option); });
+      } else {
+        const double widths[] = {2, 4, 8, 16, 32, 64, 128};
+        const double value = widths[rng.next_below(7)];
+        twin.apply([&](ExplorationSession& s) { s.decide(p->name, Value::number(value)); });
+      }
+    } else if (action == 8) {
+      twin.apply([](ExplorationSession& s) {
+        const auto pending = s.pending_reassessment();
+        if (!pending.empty()) s.reaffirm(pending.front());
+      });
+    } else if (!issues.empty()) {
+      const Property* p = issues[rng.next_below(issues.size())];
+      twin.apply([&](ExplorationSession& s) {
+        if (s.value_of(p->name).has_value()) s.retract(p->name);
+      });
+    }
+    twin.expect_candidates_agree();
+    if (step % 10 == 0) {
+      bool algorithm_visible = false;
+      for (const Property* p : twin.legacy.current().visible_properties()) {
+        algorithm_visible |= p->name == domains::kAlgorithm;
+      }
+      if (algorithm_visible) {
+        twin.expect_ranges_agree(domains::kAlgorithm, domains::kMetricClockNs);
+      }
+    }
+  }
+  twin.expect_counters_agree();
+  // Every crypto predicate constraint is declarative: the columnar engine
+  // must never have taken the overlay fallback.
+  EXPECT_EQ(twin.columnar.telemetry().count_of(telemetry::EventKind::kOverlayWrite), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Walks, ColumnarCryptoOracle, ::testing::Range(1u, 9u));
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases: kinds, gaps, session-only properties.
+// ---------------------------------------------------------------------------
+
+TEST(ColumnarOracle, MixedKindAndMissingBindingEdgeCases) {
+  auto layer = std::make_unique<DesignSpaceLayer>("edges");
+  Cdo& node = layer->space().add_root("Node");
+  node.add_property(Property::requirement("W", ValueDomain::any(), "")
+                        .with_compliance(Compliance::kCoreEquals));
+  node.add_property(Property::requirement("MinScore", ValueDomain::real_range(0.0, 100.0), "")
+                        .with_compliance(Compliance::kCoreAtLeast, "score"));
+  node.add_property(Property::design_issue("Phantom", ValueDomain::options({"x"}), ""));
+  ReuseLibrary& lib = layer->add_library("cores");
+  Core number_core("number", "Node");
+  number_core.bind("W", Value::number(16.0)).set_metric("score", 80.0);
+  lib.add(std::move(number_core));
+  Core text_core("text", "Node");  // same column, different kind -> kMixed
+  text_core.bind("W", Value::text("16")).set_metric("score", 80.0);
+  lib.add(std::move(text_core));
+  Core gap_core("gap", "Node");  // no W binding, no score metric
+  lib.add(std::move(gap_core));
+  layer->index_cores();
+
+  {
+    Twin twin(*layer, "Node");  // W == number(16): only the number core
+    twin.apply([](ExplorationSession& s) { s.set_requirement("W", Value::number(16.0)); });
+    twin.expect_candidates_agree();
+    ASSERT_EQ(twin.columnar.candidates().size(), 1u);
+    EXPECT_EQ(twin.columnar.candidates()[0]->name(), "number");
+  }
+  {
+    Twin twin(*layer, "Node");  // W == text("16"): only the text core
+    twin.apply([](ExplorationSession& s) { s.set_requirement("W", Value::text("16")); });
+    twin.expect_candidates_agree();
+    ASSERT_EQ(twin.columnar.candidates().size(), 1u);
+    EXPECT_EQ(twin.columnar.candidates()[0]->name(), "text");
+  }
+  {
+    Twin twin(*layer, "Node");  // a text no core interned: empty, not a throw
+    twin.apply([](ExplorationSession& s) {
+      s.set_requirement("W", Value::text("never-bound-anywhere"));
+    });
+    twin.expect_candidates_agree();
+    EXPECT_TRUE(twin.columnar.candidates().empty());
+  }
+  {
+    Twin twin(*layer, "Node");  // missing metric fails kCoreAtLeast
+    twin.apply([](ExplorationSession& s) { s.set_requirement("MinScore", 50.0); });
+    twin.expect_candidates_agree();
+    EXPECT_EQ(twin.columnar.candidates().size(), 2u);
+  }
+  {
+    Twin twin(*layer, "Node");  // deciding a property no core binds: empty
+    twin.apply([](ExplorationSession& s) { s.decide("Phantom", "x"); });
+    twin.expect_candidates_agree();
+    EXPECT_TRUE(twin.columnar.candidates().empty());
+  }
+}
+
+TEST(ColumnarOracle, SessionOnlyIndependentResolvesAgainstBindings) {
+  // D's independent (Mode) is a session requirement with no compliance and
+  // no core binding: the compiled program must resolve it from the session
+  // bindings, exactly like the legacy merged-bindings map.
+  auto layer = std::make_unique<DesignSpaceLayer>("session-ref");
+  Cdo& node = layer->space().add_root("Node");
+  node.add_property(Property::requirement("Mode", ValueDomain::options({"strict", "lax"}), ""));
+  node.add_property(Property::design_issue("Tech", ValueDomain::options({"new", "old"}), ""));
+  layer->add_constraint(ConsistencyConstraint::inconsistent_when(
+      "D", "strict mode forbids old tech", {PropertyPath::parse("Mode@Node")},
+      {PropertyPath::parse("Tech@Node")},
+      {PredicateAtom::equals("Mode", Value::text("strict")),
+       PredicateAtom::equals("Tech", Value::text("old"))}));
+  ReuseLibrary& lib = layer->add_library("cores");
+  for (const char* tech : {"new", "old"}) {
+    Core c(std::string("core_") + tech, "Node");
+    c.bind("Tech", Value::text(tech));
+    lib.add(std::move(c));
+  }
+  layer->index_cores();
+
+  Twin relaxed(*layer, "Node");
+  relaxed.apply([](ExplorationSession& s) { s.set_requirement("Mode", "lax"); });
+  relaxed.expect_candidates_agree();
+  EXPECT_EQ(relaxed.columnar.candidates().size(), 2u);
+
+  Twin strict(*layer, "Node");
+  strict.apply([](ExplorationSession& s) { s.set_requirement("Mode", "strict"); });
+  strict.expect_candidates_agree();
+  ASSERT_EQ(strict.columnar.candidates().size(), 1u);
+  EXPECT_EQ(strict.columnar.candidates()[0]->name(), "core_new");
+}
+
+// ---------------------------------------------------------------------------
+// Plan invalidation: the cached CoreFilterPlan must follow the layer.
+// ---------------------------------------------------------------------------
+
+TEST(ColumnarOracle, PlanRebuiltAfterReindexAndAddConstraint) {
+  auto layer = oracle_layer(7, 200);
+  Twin twin(*layer, "Node");
+  twin.apply([](ExplorationSession& s) { s.set_requirement("MinScore", 40.0); });
+  twin.expect_candidates_agree();
+  const std::size_t before = twin.columnar.candidates().size();
+
+  // A new always-compliant core enters the library; index_cores() must
+  // invalidate the columnar plan so both engines see it.
+  ReuseLibrary* lib = layer->library("cores");
+  ASSERT_NE(lib, nullptr);
+  Core fresh("fresh", "Node");
+  fresh.bind("Tech", Value::text("t2")).bind("Width", Value::number(8.0));
+  fresh.set_metric("score", 99.0).set_metric("cost", 1.0);
+  lib->add(std::move(fresh));
+  layer->index_cores();
+  twin.apply([](ExplorationSession& s) { s.set_requirement("MaxCost", 90.0); });
+  twin.expect_candidates_agree();
+  bool found = false;
+  for (const Core* core : twin.columnar.candidates()) found |= core->name() == "fresh";
+  EXPECT_TRUE(found);
+  EXPECT_GE(twin.columnar.candidates().size(), 1u);
+  (void)before;
+
+  // A constraint added later must recompile into the plan.
+  layer->add_constraint(ConsistencyConstraint::inconsistent_when(
+      "D3", "t2 banned outright", {PropertyPath::parse("Tech@Node")},
+      {PropertyPath::parse("Tech@Node")}, {PredicateAtom::equals("Tech", Value::text("t2"))}));
+  twin.apply([](ExplorationSession& s) { s.set_requirement("MinScore", 41.0); });
+  twin.expect_candidates_agree();
+  for (const Core* core : twin.columnar.candidates()) {
+    EXPECT_NE(core->binding("Tech"), Value::text("t2")) << core->name();
+  }
+}
+
+}  // namespace
+}  // namespace dslayer

@@ -247,5 +247,84 @@ TEST(ServiceStress, FuzzWalkReplayOracle) {
   EXPECT_GE(manager.stats().migrations, kSessions);  // the final bump alone forces one each
 }
 
+// Racing reindex against the columnar candidate engine: a writer keeps
+// growing the catalog through shared.write() — each epoch re-indexes and
+// re-primes the per-CDO CoreFilterPlans pre-publish — while reader sessions
+// hammer candidates-heavy commands on the columnar path. The parallel chunk
+// sweep is forced on by dropping the columnar threshold below the catalog
+// size, so ThreadSanitizer sees the ChunkPool workers, the plan rebuilds,
+// and the epoch migrations all interleave. Candidate counts are checked per
+// command only for sanity (> 0); the semantic oracle is the columnar test
+// suite — here the invariant is no race, no crash, no failed migration.
+TEST(ServiceStress, RacingReindexColumnarSweeps) {
+  struct ThresholdGuard {
+    std::size_t saved = dsl::columnar_parallel_threshold();
+    ~ThresholdGuard() { dsl::set_columnar_parallel_threshold(saved); }
+  } guard;
+  dsl::set_columnar_parallel_threshold(64);  // catalog >= 64 rows -> parallel sweep
+
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+  // Seed enough rows under the walked CDO that every sweep takes the
+  // chunk-parallel path.
+  shared.write([](dsl::DesignSpaceLayer& l) {
+    dsl::ReuseLibrary& lib = l.add_library("stress");
+    for (int i = 0; i < 256; ++i) {
+      dsl::Core core(cat("stress", i), kOmm);
+      core.bind("ImplementationStyle", dsl::Value::text(i % 2 ? "Hardware" : "Software"));
+      core.set_metric("area", 100.0 + i);
+      lib.add(std::move(core));
+    }
+  });
+  SessionManager manager(shared);
+
+  constexpr int kReaders = 3;
+  constexpr int kItersPerReader = 120;
+  std::atomic<bool> walking{true};
+  std::thread writer([&] {
+    int added = 0;
+    while (walking.load()) {
+      shared.write([&added](dsl::DesignSpaceLayer& l) {
+        dsl::ReuseLibrary* lib = l.library("stress");
+        dsl::Core core(cat("stress_late", added++), kOmm);
+        core.set_metric("area", 10.0 + added);
+        lib->add(std::move(core));
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(0xace + static_cast<std::uint64_t>(t));
+      const std::vector<std::string> pool = {
+          "candidates",
+          "candidates",
+          "range area",
+          "req EffectiveOperandLength 768",
+          "retract EffectiveOperandLength",
+      };
+      const std::string session = cat("sweeper", t);
+      std::ostringstream open_sink;
+      manager.execute(session, cat("open ", kOmm), open_sink);
+      for (int i = 0; i < kItersPerReader; ++i) {
+        std::ostringstream sink;
+        manager.execute(session, pool[rng.below(pool.size())], sink);
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  walking.store(false);
+  writer.join();
+
+  EXPECT_EQ(manager.stats().migration_failures, 0u);
+  // The catalog only ever grew, so the candidate census must see at least
+  // the seeded stress cores.
+  std::ostringstream sink;
+  ASSERT_EQ(manager.execute("sweeper0", "candidates", sink), dsl::ShellEngine::Status::kOk);
+}
+
 }  // namespace
 }  // namespace dslayer
