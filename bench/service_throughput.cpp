@@ -17,10 +17,21 @@
 //
 // Pass/fail: requests/sec must scale >= 2x from 1 to 4 workers and the
 // workload must complete error-free at every worker count.
+//
+// A second scenario measures graceful overload degradation: offered load
+// of 2x the queue capacity is pushed through try_submit bursts against an
+// executor with queue-wait shedding enabled. The service must keep the
+// ACCEPTED requests' p99 latency far below the do-nothing alternative
+// (every request queueing behind the whole burst), must shed the rest
+// loudly (kRejected/kOverloaded with a retry-after hint on every one),
+// and the accounting must balance: offered == gate-rejected + ok + shed.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -111,6 +122,94 @@ RunResult run_one(service::SharedLayer& shared, std::size_t workers, std::size_t
   return result;
 }
 
+struct OverloadResult {
+  std::size_t queue_capacity = 0;
+  std::size_t offered = 0;        ///< try_submit attempts (2x capacity per burst)
+  std::size_t gate_rejected = 0;  ///< try_submit returned false (queue full)
+  std::uint64_t ok = 0;           ///< accepted and served
+  std::uint64_t shed = 0;         ///< accepted, then shed at dequeue (kOverloaded)
+  std::uint64_t errors = 0;       ///< anything else — must be zero
+  std::uint64_t missing_hint = 0; ///< shed responses without retry_after_ms > 0
+  double p99_ok_us = 0.0;         ///< p99 latency over the SERVED requests
+  double naive_p99_us = 0.0;      ///< queueing-only alternative: burst/workers*latency
+};
+
+OverloadResult run_overload(service::SharedLayer& shared, std::size_t workers,
+                            std::size_t queue_capacity, double injected_latency_us,
+                            double max_queue_wait_ms, std::size_t bursts) {
+  constexpr std::size_t kSessions = 8;
+  service::SessionManager::Options session_options;
+  session_options.max_sessions = kSessions + 1;
+  service::SessionManager manager(shared, session_options);
+
+  service::RequestExecutor::Options executor_options;
+  executor_options.workers = workers;
+  executor_options.queue_capacity = queue_capacity;
+  executor_options.injected_latency_us = injected_latency_us;
+  executor_options.max_queue_wait_ms = max_queue_wait_ms;
+  service::RequestExecutor executor(manager, executor_options);
+
+  std::uint64_t id = 0;
+  // Warm phase: open every session before the bursts so overload traffic
+  // measures steady-state reads, not session construction.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    service::Request request;
+    request.id = ++id;
+    request.session = cat("d", s);
+    request.command = "open Operator.Modular.Multiplier";
+    executor.submit(std::move(request), [](service::Response) {});
+  }
+  executor.drain();
+
+  OverloadResult result;
+  result.queue_capacity = queue_capacity;
+  std::mutex latencies_lock;
+  std::vector<double> ok_latencies;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, errors{0}, missing_hint{0};
+  const std::size_t burst_size = 2 * queue_capacity;  // offered load: 2x capacity
+  for (std::size_t burst = 0; burst < bursts; ++burst) {
+    for (std::size_t i = 0; i < burst_size; ++i) {
+      service::Request request;
+      request.id = ++id;
+      request.session = cat("d", i % kSessions);
+      request.command = "range area";
+      ++result.offered;
+      const bool accepted =
+          executor.try_submit(std::move(request), [&](service::Response response) {
+            if (response.status == service::ResponseStatus::kOk) {
+              ok.fetch_add(1, std::memory_order_relaxed);
+              std::lock_guard<std::mutex> lock(latencies_lock);
+              ok_latencies.push_back(response.latency_us);
+            } else if (response.status == service::ResponseStatus::kRejected &&
+                       response.code == service::ErrorCode::kOverloaded) {
+              shed.fetch_add(1, std::memory_order_relaxed);
+              if (!(response.retry_after_ms > 0.0)) {
+                missing_hint.fetch_add(1, std::memory_order_relaxed);
+              }
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+      if (!accepted) ++result.gate_rejected;
+    }
+    executor.drain();  // each burst hits a quiet executor at full offered load
+  }
+  executor.shutdown();
+
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  result.missing_hint = missing_hint.load();
+  if (!ok_latencies.empty()) {
+    std::sort(ok_latencies.begin(), ok_latencies.end());
+    const std::size_t index = std::min(ok_latencies.size() - 1, (ok_latencies.size() * 99) / 100);
+    result.p99_ok_us = ok_latencies[index];
+  }
+  result.naive_p99_us =
+      static_cast<double>(burst_size) / static_cast<double>(workers) * injected_latency_us;
+  return result;
+}
+
 void print_run(const RunResult& r) {
   std::cout << "workers=" << r.workers << "  wall=" << format_double(r.wall_ms, 4)
             << "ms  req/s=" << format_double(r.requests_per_sec, 5)
@@ -189,6 +288,30 @@ int main(int argc, char** argv) {
             << (scaling >= 2.0 ? "(>= 2x: PASS)" : "(< 2x)") << "; errors: " << total_errors
             << "\n";
 
+  // Overload scenario: 2x queue capacity offered per burst, shedding at
+  // 20ms of queue wait, 2ms simulated remote-catalog latency.
+  const double overload_max_wait_ms = 20.0;
+  const double overload_latency_us = 2000.0;
+  const OverloadResult overload =
+      run_overload(shared, /*workers=*/4, /*queue_capacity=*/256, overload_latency_us,
+                   overload_max_wait_ms, /*bursts=*/4);
+  const bool overload_accounting_ok =
+      overload.offered ==
+      overload.gate_rejected + overload.ok + overload.shed + overload.errors;
+  const bool overload_pass = overload.errors == 0 && overload.missing_hint == 0 &&
+                             overload.ok > 0 && overload.shed > 0 && overload_accounting_ok &&
+                             overload.p99_ok_us < overload.naive_p99_us;
+  std::cout << "\n=== Overload degradation (offered = 2x queue capacity) ===\n"
+            << "offered=" << overload.offered << "  gate_rejected=" << overload.gate_rejected
+            << "  ok=" << overload.ok << "  shed=" << overload.shed
+            << "  errors=" << overload.errors << "\n"
+            << "accepted p99=" << format_double(overload.p99_ok_us, 5)
+            << "us vs naive queueing p99=" << format_double(overload.naive_p99_us, 5)
+            << "us; shed without retry-after hint: " << overload.missing_hint << "\n"
+            << (overload_pass ? "overload degradation: PASS"
+                              : "overload degradation: FAIL")
+            << "\n";
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) {
@@ -207,9 +330,23 @@ int main(int argc, char** argv) {
         << "  \"runs\": [\n";
     for (std::size_t i = 0; i < runs.size(); ++i) json_run(out, runs[i], i + 1 == runs.size());
     out << "  ],\n"
-        << "  \"scaling_1_to_4\": " << scaling << "\n"
+        << "  \"scaling_1_to_4\": " << scaling << ",\n"
+        << "  \"overload\": {\n"
+        << "    \"queue_capacity\": " << overload.queue_capacity << ",\n"
+        << "    \"max_queue_wait_ms\": " << overload_max_wait_ms << ",\n"
+        << "    \"injected_latency_us\": " << overload_latency_us << ",\n"
+        << "    \"offered\": " << overload.offered << ",\n"
+        << "    \"gate_rejected\": " << overload.gate_rejected << ",\n"
+        << "    \"ok\": " << overload.ok << ",\n"
+        << "    \"shed\": " << overload.shed << ",\n"
+        << "    \"errors\": " << overload.errors << ",\n"
+        << "    \"shed_without_hint\": " << overload.missing_hint << ",\n"
+        << "    \"accepted_p99_us\": " << overload.p99_ok_us << ",\n"
+        << "    \"naive_queueing_p99_us\": " << overload.naive_p99_us << ",\n"
+        << "    \"pass\": " << (overload_pass ? "true" : "false") << "\n"
+        << "  }\n"
         << "}\n";
     std::cout << "wrote " << json_path << "\n";
   }
-  return scaling >= 2.0 && total_errors == 0 ? 0 : 1;
+  return scaling >= 2.0 && total_errors == 0 && overload_pass ? 0 : 1;
 }

@@ -2,28 +2,36 @@
 # CI pipeline (ROADMAP.md):
 #   1. tier-1 gate — configure, build, run the fast unit/integration tests
 #      (everything not labeled tier2);
-#   2. tier-2 — fuzz / stress / service concurrency tests in the same tree;
+#   2. tier-2 — fuzz / stress / service concurrency + chaos tests in the
+#      same tree;
 #   3. sanitizer pass — tier-1 under ASan+UBSan in a second build dir
 #      (benches/examples off: the 10k-core bench is not meaningful
-#      instrumented);
-#   4. ThreadSanitizer — the concurrency stress tests (tier2) in a TSan
-#      build, gating the exploration service's locking model;
+#      instrumented), plus the failpoint chaos suite — injected faults
+#      exercise the rare unwind paths where leaks and UB hide;
+#   4. ThreadSanitizer — the concurrency stress AND chaos tests (tier2) in
+#      a TSan build, gating the exploration service's locking model;
 #   5. benchmark telemetry — the query-cache, candidate-filter, Fig. 12,
 #      and service throughput benches emit machine-readable BENCH_*.json at
 #      the repo root for trend tracking, and check_bench_counters.py gates
 #      their deterministic work counters against bench/baselines/.
+#
+# Every ctest run carries --timeout: the chaos/stress suites inject delays
+# and faults into lock-holding code, so "a test deadlocked" must surface
+# as a bounded per-test failure, never a hung pipeline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CTEST_TIMEOUT=300  # seconds per test — chaos suites finish in single digits
 
 echo "=== [1/5] tier-1: build + tests ==="
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest -LE tier2 --output-on-failure)
+(cd build && ctest -LE tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 
-echo "=== [2/5] tier-2: fuzz + stress + service tests ==="
-(cd build && ctest -L tier2 --output-on-failure)
+echo "=== [2/5] tier-2: fuzz + stress + chaos service tests ==="
+(cd build && ctest -L tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 
-echo "=== [3/5] sanitizers: ASan+UBSan build + tier-1 tests ==="
+echo "=== [3/5] sanitizers: ASan+UBSan build + tier-1 + chaos ==="
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -31,17 +39,18 @@ cmake -B build-asan -S . \
   -DDSLAYER_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS"
 cmake --build build-asan -j
-(cd build-asan && ctest -LE tier2 --output-on-failure)
+(cd build-asan && ctest -LE tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
+(cd build-asan && ctest -R 'ServiceChaos|Failpoint' --output-on-failure --timeout "$CTEST_TIMEOUT")
 
-echo "=== [4/5] ThreadSanitizer: service concurrency stress ==="
+echo "=== [4/5] ThreadSanitizer: service concurrency stress + chaos ==="
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDSLAYER_BUILD_BENCH=OFF \
   -DDSLAYER_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS"
-cmake --build build-tsan -j --target service_stress_test exploration_fuzz_test
-(cd build-tsan && ctest -L tier2 --output-on-failure)
+cmake --build build-tsan -j --target service_stress_test service_chaos_test exploration_fuzz_test
+(cd build-tsan && ctest -L tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 
 echo "=== [5/5] benchmark telemetry (BENCH_*.json) + counter guard ==="
 ./build/bench/query_cache_bench --json BENCH_query_cache.json

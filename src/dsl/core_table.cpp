@@ -4,7 +4,9 @@
 #include <atomic>
 #include <bit>
 
+#include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
 
@@ -361,6 +363,11 @@ void sweep_mask(std::vector<std::uint64_t>& mask, bool parallel, const Keep& kee
 std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const FilterQuery& query,
                                          telemetry::Telemetry& telemetry) {
   using telemetry::EventKind;
+  // Chaos/deadline hook + first cancellation point; further checkpoints
+  // run between sweeps (on the calling thread — ChunkPool workers carry
+  // no request deadline), so cancellation latency is one sweep.
+  DSLAYER_FAILPOINT("dsl.candidates.sweep");
+  support::cancellation_checkpoint();
   const CoreTable& table = plan.table;
   const std::size_t rows = table.rows();
   telemetry.count(EventKind::kComplianceCheck, rows);

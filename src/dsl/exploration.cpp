@@ -6,7 +6,9 @@
 #include <set>
 #include <sstream>
 
+#include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer::dsl {
@@ -437,6 +439,9 @@ std::vector<const Core*> ExplorationSession::compute_candidates() const {
 }
 
 std::vector<const Core*> ExplorationSession::compute_candidates_legacy() const {
+  // Chaos/deadline hook: a delay armed here stalls the scan so a request
+  // deadline can expire mid-sweep and hit the per-core checkpoint below.
+  DSLAYER_FAILPOINT("dsl.candidates.sweep");
   const std::vector<const Core*>& cores = layer_->cores_under(*current_);
   const Bindings& bound = bindings();
   const ConstraintIndex& idx = layer_->constraint_index(*current_);
@@ -496,6 +501,9 @@ std::vector<const Core*> ExplorationSession::compute_candidates_legacy() const {
 
   std::vector<const Core*> out;
   for (const Core* core : cores) {
+    // Cooperative cancellation: derived-query work only, so an expired
+    // request deadline unwinds here without touching session entries.
+    support::cancellation_checkpoint();
     telemetry_.count(EventKind::kComplianceCheck);
     if (complies(*core)) out.push_back(core);
   }

@@ -106,6 +106,10 @@ ShellEngine::Status ShellEngine::execute(const std::string& line, std::ostream& 
   if (words.empty() || words[0].empty() || words[0][0] == '#') return Status::kEmpty;
   try {
     return dispatch(words, out);
+  } catch (const DeadlineExceeded&) {
+    throw;  // request cancellation — the service answers, not the command
+  } catch (const FailpointError&) {
+    throw;  // injected infrastructure fault, not a command error
   } catch (const Error& e) {
     out << "error: " << e.what() << "\n";
     return Status::kError;

@@ -1,6 +1,7 @@
 #include "service/batch_runner.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <istream>
 #include <map>
 #include <mutex>
@@ -9,7 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "service/client.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer::service {
@@ -20,16 +23,43 @@ void print_stats(SessionManager& manager, RequestExecutor& executor, std::ostrea
   const RequestExecutor::Stats xs = executor.stats();
   const SessionManager::Stats ms = manager.stats();
   out << "executor: accepted=" << xs.accepted << " executed=" << xs.executed
-      << " rejected=" << xs.rejected << " errors=" << xs.errors << " depth=" << xs.queue_depth
-      << " peak_depth=" << xs.peak_queue_depth << "\n";
+      << " rejected=" << xs.rejected << " errors=" << xs.errors
+      << " deadline_expired=" << xs.deadline_expired << " shed=" << xs.shed
+      << " depth=" << xs.queue_depth << " peak_depth=" << xs.peak_queue_depth << "\n";
   out << "sessions: live=" << manager.session_count() << " created=" << ms.created
       << " closed=" << ms.closed << " evicted=" << ms.evicted << " commands=" << ms.commands
       << " migrations=" << ms.migrations << " migration_failures=" << ms.migration_failures
       << "\n";
   for (const auto& [name, t] : executor.telemetry().timings()) {
     out << "  " << name << "  n=" << t.count << "  p50=" << format_double(t.p50_us, 4)
-        << "us  p95=" << format_double(t.p95_us, 4) << "us  max=" << format_double(t.max_us, 4)
-        << "us\n";
+        << "us  p95=" << format_double(t.p95_us, 4) << "us  p99=" << format_double(t.p99_us, 4)
+        << "us  max=" << format_double(t.max_us, 4) << "us\n";
+  }
+}
+
+void run_failpoint_directive(const std::vector<std::string>& words, std::ostream& out) {
+  auto& registry = support::FailpointRegistry::instance();
+  if (words.size() < 2) {
+    // Bare `!failpoint`: list what is armed (chaos-run introspection).
+    const auto infos = registry.list();
+    if (infos.empty()) {
+      out << "no failpoints armed\n";
+      return;
+    }
+    for (const auto& info : infos) {
+      out << "  " << info.name << " mode=" << support::to_string(info.mode)
+          << " hits=" << info.hits << " fires=" << info.fires;
+      if (info.remaining >= 0) out << " remaining=" << info.remaining;
+      if (info.delay_ms > 0) out << " delay_ms=" << info.delay_ms;
+      out << "\n";
+    }
+    return;
+  }
+  std::string error;
+  if (registry.arm_spec(words[1], &error)) {
+    out << "armed " << words[1] << "\n";
+  } else {
+    out << "error: " << error << "\n";
   }
 }
 
@@ -47,6 +77,8 @@ bool run_directive(SessionManager& manager, RequestExecutor& executor, const std
     for (const auto& name : manager.session_names()) out << "  " << name << "\n";
   } else if (directive == "!stats") {
     print_stats(manager, executor, out);
+  } else if (directive == "!failpoint") {
+    run_failpoint_directive(words, out);
   } else if (directive == "!close") {
     if (words.size() < 2) {
       out << "error: usage: !close <session>\n";
@@ -55,10 +87,20 @@ bool run_directive(SessionManager& manager, RequestExecutor& executor, const std
     out << (manager.close(words[1]) ? "closed " : "no session ") << words[1] << "\n";
   } else {
     out << "error: unknown directive '" << directive
-        << "' (try: !sessions, !stats, !close <session>, !drain)\n";
+        << "' (try: !sessions, !stats, !close <session>, !drain, !failpoint [<spec>])\n";
     return false;
   }
   return true;
+}
+
+Response invalid_request_response(std::uint64_t id, const std::string& error) {
+  Response bad;
+  bad.id = id;
+  bad.session = "-";
+  bad.status = ResponseStatus::kError;
+  bad.code = ErrorCode::kInvalidRequest;
+  bad.output = cat("error: ", error, "\n");
+  return bad;
 }
 
 }  // namespace
@@ -66,20 +108,29 @@ bool run_directive(SessionManager& manager, RequestExecutor& executor, const std
 BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
                        std::ostream& out) {
   BatchSummary summary;
-  // Responses arrive on worker threads in completion order; the batch
-  // contract is submission order, so they park here until a flush.
-  std::mutex collect_lock;
-  std::map<std::uint64_t, Response> responses;
+  // Submissions go through a retrying client: transient refusals (full
+  // queue, shed, degraded layer, busy sessions) are retried with backoff
+  // and only terminal responses land here.
+  ServiceClient client(executor);
 
-  // Drains the executor and prints everything collected so far, in
-  // submission order. Runs at every directive (a synchronization point —
-  // the directive must observe exactly the state after the requests
-  // above it) and at end of input.
+  // Responses arrive on worker/retry threads in completion order; the
+  // batch contract is submission order, so they park here until a flush.
+  std::mutex collect_lock;
+  std::condition_variable room;
+  std::map<std::uint64_t, Response> responses;
+  std::size_t outstanding = 0;  // guarded by collect_lock
+
+  // Drains the client (every request terminal) and prints everything
+  // collected so far, in submission order. Runs at every directive (a
+  // synchronization point — the directive must observe exactly the state
+  // after the requests above it) and at end of input.
   const auto flush = [&] {
+    client.drain();
     executor.drain();
     std::lock_guard<std::mutex> guard(collect_lock);
     for (const auto& [id, response] : responses) {
       if (response.status == ResponseStatus::kError) ++summary.errors;
+      if (response.status == ResponseStatus::kRejected) ++summary.rejected;
       out << render_response(response);
     }
     responses.clear();
@@ -93,29 +144,35 @@ BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::
       run_directive(manager, executor, line, out);
       continue;
     }
-    std::optional<Request> request;
-    try {
-      request = parse_request(line);
-    } catch (const Error& e) {
-      Response bad;
-      bad.id = ++next_id;
-      bad.session = "-";
-      bad.status = ResponseStatus::kError;
-      bad.output = cat("error: ", e.what(), "\n");
+    std::string parse_error;
+    std::optional<Request> request = parse_request(line, &parse_error);
+    if (!request.has_value()) {
+      if (parse_error.empty()) continue;  // blank / comment
+      Response bad = invalid_request_response(++next_id, parse_error);
       std::lock_guard<std::mutex> guard(collect_lock);
       responses.emplace(bad.id, std::move(bad));
       ++summary.requests;
       continue;
     }
-    if (!request.has_value()) continue;
     request->id = ++next_id;
     ++summary.requests;
-    executor.submit(*request, [&collect_lock, &responses](Response response) {
+    {
+      // Reader-side throttle: cap requests in flight at the executor's
+      // queue capacity so a fast reader leans on backpressure instead of
+      // ballooning the client's retry queue.
+      std::unique_lock<std::mutex> guard(collect_lock);
+      room.wait(guard, [&] { return outstanding < executor.options().queue_capacity; });
+      ++outstanding;
+    }
+    client.submit(*request, [&collect_lock, &room, &responses, &outstanding](Response response) {
       std::lock_guard<std::mutex> guard(collect_lock);
       responses.emplace(response.id, std::move(response));
+      --outstanding;
+      room.notify_one();
     });
   }
   flush();
+  client.shutdown();
   return summary;
 }
 
@@ -135,17 +192,16 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
       out.flush();
       continue;
     }
-    std::optional<Request> request;
-    try {
-      request = parse_request(line);
-    } catch (const Error& e) {
+    std::string parse_error;
+    std::optional<Request> request = parse_request(line, &parse_error);
+    if (!request.has_value()) {
+      if (parse_error.empty()) continue;  // blank / comment
       std::lock_guard<std::mutex> guard(out_lock);
-      out << "error: " << e.what() << "\n";
+      out << render_response(invalid_request_response(++next_id, parse_error));
       out.flush();
       ++summary.errors;
       continue;
     }
-    if (!request.has_value()) continue;
     request->id = ++next_id;
     ++summary.requests;
     const auto deliver = [&out_lock, &out, &summary](Response response) {
@@ -168,6 +224,8 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
       rejection.id = request->id;
       rejection.session = request->session;
       rejection.status = ResponseStatus::kRejected;
+      rejection.code = ErrorCode::kOverloaded;
+      rejection.retry_after_ms = executor.retry_after_hint_ms();
       rejection.output = "error: queue full — resubmit\n";
       std::lock_guard<std::mutex> guard(out_lock);
       ++summary.rejected;

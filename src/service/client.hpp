@@ -1,0 +1,117 @@
+// Retrying client front end over a RequestExecutor.
+//
+// The executor is deliberately blunt about transient failure: it rejects
+// at capacity, sheds over-age queue entries, and fails fast behind a
+// stalled writer — all as *retryable* responses (is_retryable() on the
+// ErrorCode). ServiceClient is the policy layer that turns those into a
+// clean exactly-once contract for callers:
+//
+//   submit(request, done)  ->  `done` fires exactly once, with the first
+//                              TERMINAL response (success, command error,
+//                              deadline exceeded, ...) or with the last
+//                              retryable response once attempts run out.
+//
+// Retries run on a dedicated background thread, never inline in an
+// executor completion callback (callbacks must not call back into the
+// executor). Back-off is capped exponential with jitter, and a server
+// retry-after-ms hint overrides the computed floor — the overload
+// degradation loop: the server sheds, the hint spreads retries out, the
+// queue recovers.
+//
+// Shutdown order: drain()/shutdown() the client BEFORE shutting down the
+// executor it wraps — a retry submitted into a stopped executor is
+// rejected and simply burns the request's remaining attempts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "service/protocol.hpp"
+#include "service/request_executor.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer::service {
+
+class ServiceClient {
+ public:
+  struct Options {
+    int max_attempts = 4;           ///< total tries per request (first + retries)
+    double base_backoff_ms = 2.0;   ///< first retry delay; doubles per attempt
+    double max_backoff_ms = 100.0;  ///< exponential cap
+    std::uint64_t jitter_seed = 0x5eed11e5u;  ///< deterministic jitter stream
+  };
+
+  /// Terminal-response callback; invoked exactly once per submit(), on a
+  /// worker or the retry thread. Must not call back into the client or
+  /// the executor.
+  using Callback = std::function<void(Response)>;
+
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< submit() calls
+    std::uint64_t retries = 0;    ///< resubmissions (excludes first attempts)
+    std::uint64_t delivered = 0;  ///< terminal callbacks fired
+    std::uint64_t exhausted = 0;  ///< delivered retryable after max_attempts
+  };
+
+  explicit ServiceClient(RequestExecutor& executor);
+  ServiceClient(RequestExecutor& executor, Options options);
+  ~ServiceClient();  ///< shutdown() if still running
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Submits with retry. Never blocks on queue capacity: a full queue is
+  /// the first retryable outcome. Note each attempt restarts the
+  /// request's deadline_ms budget at its own submission.
+  void submit(Request request, Callback done);
+
+  /// Blocks until every submitted request has received its terminal
+  /// response. Bounded: attempts are capped, so this always returns.
+  void drain();
+
+  /// drain(), then stops the retry thread. Idempotent.
+  void shutdown();
+
+  Stats stats() const;
+
+ private:
+  /// One request's retry state, threaded through executor callbacks.
+  struct Tracked {
+    Request request;
+    Callback done;
+    int attempt = 0;  ///< attempts already submitted
+  };
+  using TrackedPtr = std::shared_ptr<Tracked>;
+
+  void attempt_submit(const TrackedPtr& tracked);
+  void on_response(const TrackedPtr& tracked, Response response);
+  void deliver(const TrackedPtr& tracked, Response response, bool exhausted);
+  void schedule_retry(const TrackedPtr& tracked, double delay_ms);
+  void retry_loop();
+
+  RequestExecutor* executor_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable retry_ready_;  ///< retry thread wakeup
+  std::condition_variable drained_;      ///< drain() wakeup
+  /// Due-time ordered retry queue (multimap: ties are FIFO enough).
+  std::multimap<std::chrono::steady_clock::time_point, TrackedPtr> retry_queue_;
+  std::size_t in_flight_ = 0;  ///< submitted, terminal response not yet delivered
+  bool stopping_ = false;
+  Rng jitter_;  ///< guarded by mutex_
+
+  std::uint64_t submitted_ = 0;  // stats, guarded by mutex_
+  std::uint64_t retries_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t exhausted_ = 0;
+
+  std::thread retry_thread_;
+};
+
+}  // namespace dslayer::service

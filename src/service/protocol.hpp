@@ -7,14 +7,24 @@
 //                                          s1 decide Algorithm Montgomery
 //                                          s2 candidates
 //
-// Blank lines and `#` comments are skipped. Lines starting with `!` are
-// front-end directives (handled synchronously by the batch runner, not
-// queued): `!sessions`, `!stats`, `!close <session>`, `!drain`.
+// The session token may carry an optional request deadline as an `@<ms>`
+// suffix (`s1@250 candidates` = "answer within 250ms of submission or
+// fail fast with deadline-exceeded"). Blank lines and `#` comments are
+// skipped. Lines starting with `!` are front-end directives (handled
+// synchronously by the batch runner, not queued): `!sessions`, `!stats`,
+// `!close <session>`, `!drain`, `!failpoint <spec>`.
 //
 // Every queued request yields exactly one Response. The batch front end
-// renders a response as a `== <id> <session> <ok|error|rejected>` header
-// line followed by the command's output, so multi-line outputs stay
+// renders a response as a `== <id> <session> <status>` header line —
+// augmented with `code=<error-code>` and `retry-after-ms=<n>` when set —
+// followed by the command's output, so multi-line outputs stay
 // unambiguous and a stream of responses is machine-splittable on `== `.
+//
+// Failure taxonomy: ResponseStatus is the coarse wire verdict (did the
+// command run, and did it succeed); ErrorCode is the typed cause. The
+// split matters to clients: is_retryable(code) says whether resubmitting
+// the same line can succeed (backpressure, overload, degraded layer) or
+// is pointless (malformed request, command error, expired deadline).
 #pragma once
 
 #include <cstdint>
@@ -24,37 +34,75 @@
 
 namespace dslayer::service {
 
+/// Hard cap on one protocol line. Longer lines are rejected as
+/// kInvalidRequest before any copy is made — a line is attacker-sized
+/// input in serve mode, and the parser must stay O(line) with bounded
+/// allocation.
+inline constexpr std::size_t kMaxRequestLineBytes = 64 * 1024;
+
 struct Request {
   std::uint64_t id = 0;  ///< submission order, assigned by the front end
   std::string session;
   std::string command;  ///< one shell-grammar command line
+  /// Optional deadline budget in milliseconds, parsed from the `@<ms>`
+  /// session suffix; 0 = no deadline. The executor starts the clock at
+  /// submission, so queue wait counts against the budget.
+  double deadline_ms = 0.0;
 };
 
 enum class ResponseStatus : std::uint8_t {
   kOk,
-  kError,     ///< the command failed ("error: ..." in output)
-  kRejected,  ///< backpressure: never executed, safe to retry
+  kError,             ///< the command ran and failed ("error: ..." in output)
+  kRejected,          ///< backpressure: never executed, safe to retry
+  kDeadlineExceeded,  ///< the request's deadline expired before completion
 };
 
 const char* to_string(ResponseStatus status);
+
+/// Typed failure cause, machine-readable on the wire as `code=<name>`.
+/// kNone accompanies kOk; every non-ok response carries a specific code.
+enum class ErrorCode : std::uint8_t {
+  kNone,              ///< success
+  kInvalidRequest,    ///< malformed line (no command, oversized, bad token)
+  kCommandFailed,     ///< the shell command itself failed — terminal
+  kDeadlineExceeded,  ///< request deadline expired (queued or mid-sweep)
+  kSessionsBusy,      ///< session table full, every session pinned — retryable
+  kOverloaded,        ///< queue full or queue wait over the shed threshold
+  kUnavailable,       ///< shared layer degraded (writer stalled) — retryable
+  kInternal,          ///< unexpected exception; state may be suspect
+};
+
+const char* to_string(ErrorCode code);
+
+/// True when resubmitting the same request can plausibly succeed
+/// (transient capacity/availability causes); false for terminal causes.
+bool is_retryable(ErrorCode code);
 
 struct Response {
   std::uint64_t id = 0;
   std::string session;
   ResponseStatus status = ResponseStatus::kOk;
+  ErrorCode code = ErrorCode::kNone;
   std::string output;  ///< the command's shell output, newline-terminated
   double latency_us = 0.0;  ///< queue wait + execution (0 for rejections)
+  /// Overload hint: when > 0, the service suggests the client wait this
+  /// long before retrying (rendered as `retry-after-ms=<n>`).
+  double retry_after_ms = 0.0;
 };
 
-/// Splits one protocol line into (session, command). nullopt for blank
-/// lines and comments. The caller assigns `id`. Throws ServiceError when
-/// a session name arrives without a command.
-std::optional<Request> parse_request(std::string_view line);
+/// Splits one protocol line into a Request. Never throws:
+///   * blank lines and `#` comments    -> nullopt, *error untouched
+///   * malformed or oversized lines    -> nullopt, *error set (non-empty)
+///   * well-formed request             -> Request (caller assigns `id`)
+/// `error` may be null when the caller does not care why a line failed.
+std::optional<Request> parse_request(std::string_view line, std::string* error = nullptr) noexcept;
 
 /// True if the line is a front-end directive (starts with '!').
 bool is_directive(std::string_view line);
 
-/// Renders the `== <id> <session> <status>` header plus output.
+/// Renders the `== <id> <session> <status>` header plus output. Non-ok
+/// codes append ` code=<name>`; a positive retry_after_ms appends
+/// ` retry-after-ms=<n>`.
 std::string render_response(const Response& response);
 
 }  // namespace dslayer::service

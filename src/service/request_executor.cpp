@@ -5,9 +5,19 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer::service {
+
+namespace {
+
+support::Deadline deadline_for(const Request& request) {
+  return request.deadline_ms > 0.0 ? support::Deadline::after_ms(request.deadline_ms)
+                                   : support::Deadline{};
+}
+
+}  // namespace
 
 RequestExecutor::RequestExecutor(SessionManager& manager)
     : RequestExecutor(manager, Options{}) {}
@@ -43,46 +53,140 @@ void RequestExecutor::enqueue_locked(Item item) {
 
 bool RequestExecutor::try_submit(Request request, Callback done) {
   DSLAYER_REQUIRE(done != nullptr, "executor callback must not be null");
+  try {
+    DSLAYER_FAILPOINT("service.executor.enqueue");
+  } catch (const FailpointError&) {
+    // An injected enqueue fault behaves exactly like backpressure: the
+    // request was never accepted, so no callback will fire.
+    rejected_.add(1);
+    return false;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_ || pending_ >= options_.queue_capacity) {
     rejected_.add(1);
     return false;
   }
-  Item item{std::move(request), std::move(done), std::chrono::steady_clock::now()};
+  const support::Deadline deadline = deadline_for(request);
+  Item item{std::move(request), std::move(done), std::chrono::steady_clock::now(), deadline};
   enqueue_locked(std::move(item));
   return true;
 }
 
 void RequestExecutor::submit(Request request, Callback done) {
   DSLAYER_REQUIRE(done != nullptr, "executor callback must not be null");
+  try {
+    DSLAYER_FAILPOINT("service.executor.enqueue");
+  } catch (const FailpointError& e) {
+    rejected_.add(1);
+    throw ServiceError(cat("request was not accepted: ", e.what()));
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   space_free_.wait(lock, [this] { return stopping_ || pending_ < options_.queue_capacity; });
   if (stopping_) throw ServiceError("executor is shut down");
-  Item item{std::move(request), std::move(done), std::chrono::steady_clock::now()};
+  const support::Deadline deadline = deadline_for(request);
+  Item item{std::move(request), std::move(done), std::chrono::steady_clock::now(), deadline};
   enqueue_locked(std::move(item));
 }
 
 Response RequestExecutor::execute(Item& item) {
-  if (options_.injected_latency_us > 0.0) {
-    // Modeled remote-catalog round trip (see header); the sleep is the
-    // blocking component workers overlap.
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::micro>(options_.injected_latency_us));
-  }
   Response response;
   response.id = item.request.id;
   response.session = item.request.session;
-  std::ostringstream out;
-  try {
-    const dsl::ShellEngine::Status status =
-        manager_->execute(item.request.session, item.request.command, out);
-    response.status = status == dsl::ShellEngine::Status::kError ? ResponseStatus::kError
-                                                                 : ResponseStatus::kOk;
-  } catch (const Error& e) {
-    out << "error: " << e.what() << "\n";
-    response.status = ResponseStatus::kError;
+
+  const auto dequeued = std::chrono::steady_clock::now();
+  const double queue_wait_ms =
+      std::chrono::duration<double, std::milli>(dequeued - item.enqueued).count();
+  {
+    std::lock_guard<std::mutex> telemetry_guard(telemetry_lock_);
+    // EWMA over recent queue waits feeds the retry-after hint handed to
+    // shed clients; alpha 0.2 tracks load shifts within ~5 requests.
+    ewma_queue_wait_ms_ += 0.2 * (queue_wait_ms - ewma_queue_wait_ms_);
   }
-  response.output = out.str();
+
+  // Fate checks at dequeue, cheapest first — none of these touches a
+  // session or the shared layer.
+  bool run_command = true;
+  if (item.deadline.set() && item.deadline.expired()) {
+    // Expired while queued: the designer has already given up on this
+    // answer; spending a session acquire on it only adds load.
+    response.status = ResponseStatus::kDeadlineExceeded;
+    response.code = ErrorCode::kDeadlineExceeded;
+    response.output = cat("error: deadline expired after ", format_double(queue_wait_ms, 1),
+                          "ms in queue\n");
+    deadline_expired_.add(1);
+    run_command = false;
+  } else if (options_.max_queue_wait_ms > 0.0 && queue_wait_ms > options_.max_queue_wait_ms) {
+    response.status = ResponseStatus::kRejected;
+    response.code = ErrorCode::kOverloaded;
+    response.retry_after_ms = retry_after_hint_ms();
+    response.output = cat("error: shed after ", format_double(queue_wait_ms, 1),
+                          "ms in queue (limit ", format_double(options_.max_queue_wait_ms, 1),
+                          "ms)\n");
+    shed_.add(1);
+    run_command = false;
+  } else {
+    try {
+      DSLAYER_FAILPOINT("service.executor.dequeue");
+    } catch (const FailpointError& e) {
+      response.status = ResponseStatus::kError;
+      response.code = ErrorCode::kInternal;
+      response.output = cat("error: ", e.what(), "\n");
+      run_command = false;
+    }
+  }
+
+  if (run_command) {
+    if (options_.injected_latency_us > 0.0) {
+      // Modeled remote-catalog round trip (see header); the sleep is the
+      // blocking component workers overlap.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(options_.injected_latency_us));
+    }
+    std::ostringstream out;
+    try {
+      // The request's deadline becomes this thread's cancellation
+      // deadline for the duration of the command: checkpoints in the
+      // candidates sweeps throw DeadlineExceeded once it expires.
+      support::DeadlineScope deadline_scope(item.deadline);
+      const dsl::ShellEngine::Status status =
+          manager_->execute(item.request.session, item.request.command, out);
+      response.status = status == dsl::ShellEngine::Status::kError ? ResponseStatus::kError
+                                                                   : ResponseStatus::kOk;
+      response.code =
+          status == dsl::ShellEngine::Status::kError ? ErrorCode::kCommandFailed : ErrorCode::kNone;
+    } catch (const DeadlineExceeded& e) {
+      out << "error: " << e.what() << "\n";
+      response.status = ResponseStatus::kDeadlineExceeded;
+      response.code = ErrorCode::kDeadlineExceeded;
+      deadline_expired_.add(1);
+    } catch (const SessionsBusyError& e) {
+      out << "error: " << e.what() << "\n";
+      response.status = ResponseStatus::kRejected;
+      response.code = ErrorCode::kSessionsBusy;
+      response.retry_after_ms = retry_after_hint_ms();
+    } catch (const UnavailableError& e) {
+      out << "error: " << e.what() << "\n";
+      response.status = ResponseStatus::kRejected;
+      response.code = ErrorCode::kUnavailable;
+      response.retry_after_ms = retry_after_hint_ms();
+    } catch (const FailpointError& e) {
+      out << "error: " << e.what() << "\n";
+      response.status = ResponseStatus::kError;
+      response.code = ErrorCode::kInternal;
+    } catch (const Error& e) {
+      out << "error: " << e.what() << "\n";
+      response.status = ResponseStatus::kError;
+      response.code = ErrorCode::kCommandFailed;
+    } catch (const std::exception& e) {
+      // A worker thread must survive anything a command throws; an
+      // untyped escape is reported, not propagated.
+      out << "error: internal: " << e.what() << "\n";
+      response.status = ResponseStatus::kError;
+      response.code = ErrorCode::kInternal;
+    }
+    response.output = out.str();
+  }
+
   const auto finished = std::chrono::steady_clock::now();
   response.latency_us =
       std::chrono::duration<double, std::micro>(finished - item.enqueued).count();
@@ -96,6 +200,12 @@ Response RequestExecutor::execute(Item& item) {
   executed_.add(1);
   if (response.status == ResponseStatus::kError) errors_.add(1);
   return response;
+}
+
+double RequestExecutor::retry_after_hint_ms() const {
+  std::lock_guard<std::mutex> telemetry_guard(telemetry_lock_);
+  // At least 1ms: a zero hint would tell clients to hammer the queue.
+  return std::max(1.0, ewma_queue_wait_ms_);
 }
 
 void RequestExecutor::worker_loop() {
@@ -115,7 +225,12 @@ void RequestExecutor::worker_loop() {
       strand->inbox.pop_front();
       lock.unlock();
       Response response = execute(item);
-      item.done(std::move(response));
+      try {
+        item.done(std::move(response));
+      } catch (...) {
+        // A throwing completion callback is a front-end bug, but it must
+        // not take a worker thread (and the whole queue) down with it.
+      }
       lock.lock();
       --pending_;
       space_free_.notify_one();
@@ -162,6 +277,8 @@ RequestExecutor::Stats RequestExecutor::stats() const {
   stats.executed = executed_.get();
   stats.rejected = rejected_.get();
   stats.errors = errors_.get();
+  stats.deadline_expired = deadline_expired_.get();
+  stats.shed = shed_.get();
   std::lock_guard<std::mutex> lock(mutex_);
   stats.queue_depth = pending_;
   stats.peak_queue_depth = peak_pending_;

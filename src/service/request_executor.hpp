@@ -11,7 +11,25 @@
 // requests is bounded by Options::queue_capacity. try_submit() refuses
 // over-capacity work (the request is counted as rejected and the caller
 // retries or reports); submit() blocks until capacity frees up. Nothing
-// is ever dropped after acceptance.
+// is ever dropped after acceptance: every accepted request completes with
+// exactly one callback, whatever its fate.
+//
+// Fault tolerance (PR 5 wiring):
+//   * Deadlines — a request with deadline_ms > 0 starts its clock at
+//     submission. If it is already expired when a worker dequeues it, the
+//     worker answers kDeadlineExceeded in O(µs) without acquiring a
+//     session; otherwise the deadline is installed as the worker thread's
+//     cooperative-cancellation deadline (support/cancel.hpp) so a long
+//     candidates sweep unwinds mid-request via checkpoints.
+//   * Shedding — with Options::max_queue_wait_ms set, a request that
+//     waited longer than that in the queue is shed at dequeue (kRejected
+//     / kOverloaded) with a retry-after hint derived from the EWMA queue
+//     wait, converting silent latency collapse into explicit, retryable
+//     refusals.
+//   * Failpoints — "service.executor.enqueue" and
+//     "service.executor.dequeue" (support/failpoint.hpp) inject faults at
+//     the queue boundaries; workers translate any escaped exception into
+//     a terminal kInternal response rather than dying.
 //
 // Telemetry (PR 2 wiring): the executor owns a telemetry::Telemetry hub.
 // Per-request wall latency (queue wait + execution) feeds the "request"
@@ -39,6 +57,7 @@
 
 #include "service/protocol.hpp"
 #include "service/session_manager.hpp"
+#include "support/cancel.hpp"
 #include "support/telemetry.hpp"
 
 namespace dslayer::service {
@@ -49,6 +68,10 @@ class RequestExecutor {
     std::size_t workers = 2;
     std::size_t queue_capacity = 256;  ///< bound on accepted-but-unfinished requests
     double injected_latency_us = 0.0;  ///< simulated remote-catalog round trip
+    /// Overload shed threshold: a request that waited in the queue longer
+    /// than this is answered kRejected/kOverloaded at dequeue instead of
+    /// executing late. 0 disables shedding.
+    double max_queue_wait_ms = 0.0;
   };
 
   /// Completion callback; invoked exactly once per accepted request, on a
@@ -58,9 +81,11 @@ class RequestExecutor {
 
   struct Stats {
     std::uint64_t accepted = 0;
-    std::uint64_t executed = 0;
+    std::uint64_t executed = 0;  ///< accepted requests completed (any status)
     std::uint64_t rejected = 0;  ///< try_submit refusals (backpressure)
-    std::uint64_t errors = 0;    ///< executed requests that returned kError
+    std::uint64_t errors = 0;    ///< completed requests that returned kError
+    std::uint64_t deadline_expired = 0;  ///< kDeadlineExceeded responses
+    std::uint64_t shed = 0;              ///< dequeued over max_queue_wait_ms
     std::size_t queue_depth = 0;       ///< accepted, not yet completed
     std::size_t peak_queue_depth = 0;  ///< high-water mark of the gauge
   };
@@ -91,6 +116,10 @@ class RequestExecutor {
 
   Stats stats() const;
 
+  /// Suggested client back-off before retrying a shed/rejected request:
+  /// tracks the recent queue wait (EWMA), never below 1ms. Thread-safe.
+  double retry_after_hint_ms() const;
+
   /// Per-request latency histograms ("request", "request.<verb>").
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
@@ -101,6 +130,7 @@ class RequestExecutor {
     Request request;
     Callback done;
     std::chrono::steady_clock::time_point enqueued;
+    support::Deadline deadline;  ///< unset when the request has none
   };
 
   /// One session's FIFO inbox. `scheduled` is true while the strand sits
@@ -129,13 +159,16 @@ class RequestExecutor {
   std::size_t peak_pending_ = 0;
   bool stopping_ = false;
 
-  std::mutex telemetry_lock_;  ///< Telemetry::record_timing is not thread-safe
+  mutable std::mutex telemetry_lock_;  ///< Telemetry::record_timing is not thread-safe
   telemetry::Telemetry telemetry_{1024};
+  double ewma_queue_wait_ms_ = 0.0;  ///< guarded by telemetry_lock_
 
   RelaxedCounter accepted_;
   RelaxedCounter executed_;
   RelaxedCounter rejected_;
   RelaxedCounter errors_;
+  RelaxedCounter deadline_expired_;
+  RelaxedCounter shed_;
 
   std::vector<std::thread> workers_;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <ostream>
 
+#include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer::service {
@@ -37,9 +39,12 @@ std::shared_ptr<SessionManager::Session> SessionManager::acquire(const std::stri
       if (it->second->pins.load(std::memory_order_relaxed) == 0) victim = it;
     }
     if (victim == sessions_.end()) {
-      throw ServiceError(cat("session limit (", options_.max_sessions,
-                             ") reached and every session is busy"));
+      throw SessionsBusyError(cat("session limit (", options_.max_sessions,
+                                  ") reached and every session is busy"));
     }
+    // Chaos hook: an error here aborts the acquire before any state
+    // changes (the victim survives, the new session is never created).
+    DSLAYER_FAILPOINT("service.session.evict");
     sessions_.erase(victim);
     evicted_.add(1);
   }
@@ -59,6 +64,11 @@ bool SessionManager::migrate(Session& session, const std::string& name, std::ost
   session.epoch = shared_->epoch();
   if (journal.empty()) return true;  // nothing to carry across the epoch
   try {
+    // Replay must run to completion or not at all: a request deadline
+    // expiring mid-replay would otherwise leave a half-rebuilt session.
+    // Installing an unset deadline suppresses the caller's for the scope.
+    const support::DeadlineScope no_deadline{support::Deadline{}};
+    DSLAYER_FAILPOINT("service.session.migrate");
     session.engine.restore_from_journal(journal);
     return true;
   } catch (const Error& e) {
@@ -82,7 +92,10 @@ dsl::ShellEngine::Status SessionManager::execute(const std::string& session_name
     ~Unpin() { session->pins.fetch_sub(1, std::memory_order_relaxed); }
   } unpin{session.get()};
   std::lock_guard<std::mutex> guard(session->lock);
-  const auto reader = shared_->read_lock();
+  const auto reader = options_.degraded_after_ms > 0.0
+                          ? shared_->read_lock_or_unavailable(options_.degraded_after_ms)
+                          : shared_->read_lock();
+  DSLAYER_FAILPOINT("service.session.execute");
   commands_.add(1);
   if (session->epoch != shared_->epoch() && !migrate(*session, session_name, out)) {
     return dsl::ShellEngine::Status::kError;

@@ -51,8 +51,14 @@ class SessionManager {
  public:
   struct Options {
     /// Hard bound on live sessions; creating past it evicts the LRU idle
-    /// session, or fails with ServiceError if every session is busy.
+    /// session, or fails with SessionsBusyError (retryable) if every
+    /// session is busy.
     std::size_t max_sessions = 64;
+    /// Degraded-mode threshold: execute() waits at most this long for the
+    /// shared reader lock, then fails fast with UnavailableError
+    /// (retryable) instead of queueing behind a stalled catalog writer.
+    /// 0 = wait forever (the pre-degradation behavior).
+    double degraded_after_ms = 0.0;
   };
 
   /// Counter snapshot (see stats()).
@@ -74,9 +80,18 @@ class SessionManager {
   /// Executes one shell-grammar command line against the named session,
   /// creating the session on first use. Migrates the session first if a
   /// writer epoch has passed. `quit`/`exit` close the session. Writes the
-  /// command's output (or "error: ...") to `out`. Thread-safe. Throws
-  /// ServiceError only for manager-level failures (session limit with no
-  /// evictable session); command failures return kError.
+  /// command's output (or "error: ...") to `out`. Thread-safe. Command
+  /// failures return kError; manager-level failures throw typed errors
+  /// the executor maps to wire codes: SessionsBusyError (session limit,
+  /// nothing evictable), UnavailableError (degraded_after_ms exceeded
+  /// behind a stalled writer), DeadlineExceeded (the caller's deadline
+  /// expired at a sweep checkpoint — session state is untouched because
+  /// checkpoints only run in derived-query computation).
+  ///
+  /// Failpoints: "service.session.execute" fires before the command,
+  /// "service.session.migrate" inside journal replay (an error there is
+  /// a forced migration failure), "service.session.evict" before an LRU
+  /// eviction.
   dsl::ShellEngine::Status execute(const std::string& session, const std::string& line,
                                    std::ostream& out);
 

@@ -23,14 +23,26 @@
 // std::map). prime() walks every CDO under the exclusive lock and touches
 // every such cache, so readers only ever hit the populated, structurally
 // immutable fast path (const find + relaxed-atomic counter bumps).
+//
+// Failure model (DESIGN.md §11): a writer that throws — its own fault or
+// an injected "service.shared_layer.prime" failpoint — must not strand
+// readers on half-primed caches. write() re-primes best-effort, STILL
+// publishes a new epoch (forcing every session through migration, the
+// conservative direction), and only then rethrows. A stalled writer is
+// observable via writer_stall_ms(); readers that refuse to block behind
+// it use read_lock_or_unavailable(), which fails fast with
+// UnavailableError once the wait budget is spent — the service's
+// degraded read-only path.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
 #include "dsl/layer.hpp"
+#include "support/failpoint.hpp"
 
 namespace dslayer::service {
 
@@ -43,15 +55,28 @@ class SharedLayer {
   SharedLayer(const SharedLayer&) = delete;
   SharedLayer& operator=(const SharedLayer&) = delete;
 
-  /// The current coherence generation. Bumped once per write(); a session
-  /// built at an older epoch must be migrated before its next command.
+  /// The current coherence generation. Bumped once per write() — even a
+  /// failed write publishes (see class comment); a session built at an
+  /// older epoch must be migrated before its next command.
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// Acquires the shared (reader) lock for the caller's scope. Every
-  /// access to layer() outside write() must happen under one of these.
-  std::shared_lock<std::shared_mutex> read_lock() const {
-    return std::shared_lock<std::shared_mutex>(mutex_);
+  /// Acquires the shared (reader) lock for the caller's scope, waiting as
+  /// long as it takes. Every access to layer() outside write() must
+  /// happen under one of these.
+  std::shared_lock<std::shared_timed_mutex> read_lock() const {
+    return std::shared_lock<std::shared_timed_mutex>(mutex_);
   }
+
+  /// Bounded-wait reader lock: waits up to `max_wait_ms`, then throws
+  /// UnavailableError (retryable) naming how long the current writer has
+  /// been stalling. This is the degraded-mode entry: callers convert the
+  /// throw into a fast kUnavailable response instead of queueing designer
+  /// requests behind a wedged catalog update.
+  std::shared_lock<std::shared_timed_mutex> read_lock_or_unavailable(double max_wait_ms) const;
+
+  /// Milliseconds the current exclusive writer has held the layer, or 0
+  /// when no writer is active. Thread-safe; monotonic-clock based.
+  double writer_stall_ms() const;
 
   /// The wrapped layer. Const: readers cannot mutate it by construction.
   const dsl::DesignSpaceLayer& layer() const { return *layer_; }
@@ -60,24 +85,68 @@ class SharedLayer {
   /// readers excluded, then re-indexes cores, re-primes every query
   /// cache, and publishes the new epoch. `fn` may add cores, libraries,
   /// constraints, CDOs — anything a layer author could do.
+  ///
+  /// Exception safety: if `fn` (or an injected fault) throws, the caches
+  /// are re-primed best-effort and a new epoch is still published before
+  /// the exception escapes, so readers never observe a half-written
+  /// un-published layer. The "service.shared_layer.publish" failpoint
+  /// fires before `fn` (an error there aborts the write untouched, but
+  /// still costs an epoch); "service.shared_layer.prime" fires inside the
+  /// re-prime (an error there exercises the partial-write recovery path);
+  /// a delay at either site is the stalled-writer scenario.
   template <typename Fn>
   std::uint64_t write(Fn&& fn) {
-    std::unique_lock<std::shared_mutex> exclusive(mutex_);
-    fn(*layer_);
-    reindex_and_prime();
+    std::unique_lock<std::shared_timed_mutex> exclusive(mutex_);
+    const WriterMark mark(*this);
+    DSLAYER_FAILPOINT("service.shared_layer.publish");
+    try {
+      fn(*layer_);
+      reindex_and_prime(/*inject=*/true);
+    } catch (...) {
+      // fn may have partially mutated the layer, or prime may have been
+      // interrupted: restore the readers-only-see-primed-caches invariant
+      // (swallowing nested faults — this path must complete), publish so
+      // every session migrates off the suspect epoch, then surface the
+      // original fault to the writer.
+      try {
+        reindex_and_prime(/*inject=*/false);
+      } catch (...) {
+      }
+      publish_next_epoch();
+      throw;
+    }
+    return publish_next_epoch();
+  }
+
+ private:
+  /// RAII writer-stall marker: stamps writer_since_ns_ while the
+  /// exclusive lock is held so readers can measure the stall.
+  struct WriterMark {
+    explicit WriterMark(const SharedLayer& owner) : owner_(owner) {
+      owner_.writer_since_ns_.store(now_ns(), std::memory_order_release);
+    }
+    ~WriterMark() { owner_.writer_since_ns_.store(0, std::memory_order_release); }
+    const SharedLayer& owner_;
+  };
+
+  static std::int64_t now_ns();
+
+  /// index_cores() + first-touch of every per-CDO lazy cache. Caller must
+  /// hold the exclusive lock (or be the constructor). `inject` arms the
+  /// "service.shared_layer.prime" failpoint site; the recovery re-prime
+  /// passes false so it cannot re-fire into its own cleanup.
+  void reindex_and_prime(bool inject);
+
+  std::uint64_t publish_next_epoch() {
     const std::uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
     epoch_.store(next, std::memory_order_release);
     return next;
   }
 
- private:
-  /// index_cores() + first-touch of every per-CDO lazy cache. Caller must
-  /// hold the exclusive lock (or be the constructor).
-  void reindex_and_prime();
-
   dsl::DesignSpaceLayer* layer_;
-  mutable std::shared_mutex mutex_;
+  mutable std::shared_timed_mutex mutex_;
   std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<std::int64_t> writer_since_ns_{0};
 };
 
 }  // namespace dslayer::service

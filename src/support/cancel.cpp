@@ -1,0 +1,42 @@
+#include "support/cancel.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::support {
+
+namespace {
+
+struct ThreadDeadline {
+  Deadline deadline;
+  std::uint32_t stride = 0;  ///< calls since the last clock read
+};
+
+thread_local ThreadDeadline tl_deadline;
+
+}  // namespace
+
+Deadline current_deadline() { return tl_deadline.deadline; }
+
+DeadlineScope::DeadlineScope(Deadline deadline) : previous_(tl_deadline.deadline) {
+  tl_deadline.deadline = deadline;
+  tl_deadline.stride = 0;
+}
+
+DeadlineScope::~DeadlineScope() {
+  tl_deadline.deadline = previous_;
+  tl_deadline.stride = 0;
+}
+
+void cancellation_checkpoint() {
+  ThreadDeadline& tl = tl_deadline;
+  if (!tl.deadline.set()) return;
+  if (tl.stride++ % kCheckpointStride != 0) return;
+  if (tl.deadline.expired()) {
+    throw DeadlineExceeded("deadline exceeded (cancelled at a checkpoint)");
+  }
+}
+
+bool cancellation_requested() { return tl_deadline.deadline.expired(); }
+
+}  // namespace dslayer::support

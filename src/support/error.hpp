@@ -56,6 +56,36 @@ class ServiceError : public Error {
   explicit ServiceError(const std::string& what) : Error(what) {}
 };
 
+/// A request ran past its deadline and was cooperatively cancelled at a
+/// checkpoint (support/cancel.hpp). Terminal for the request: retrying
+/// with the same deadline would expire again.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// The service is temporarily unable to take the request (a writer epoch
+/// has stalled past the degradation threshold, or a resource is pinned).
+/// Retryable: the condition clears once the writer finishes.
+class UnavailableError : public Error {
+ public:
+  explicit UnavailableError(const std::string& what) : Error(what) {}
+};
+
+/// The session table is full and every session is pinned by an in-flight
+/// request. Retryable: capacity frees as requests complete.
+class SessionsBusyError : public ServiceError {
+ public:
+  explicit SessionsBusyError(const std::string& what) : ServiceError(what) {}
+};
+
+/// An armed failpoint fired in error mode (support/failpoint.hpp). Only
+/// fault-injection tests ever see this type.
+class FailpointError : public Error {
+ public:
+  explicit FailpointError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_precondition(std::string_view expr, std::string_view file, int line,
                                      std::string_view msg);

@@ -1,0 +1,208 @@
+#include "support/failpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::support {
+
+std::atomic<int> FailpointRegistry::active_points_{0};
+
+const char* to_string(FailpointMode mode) {
+  switch (mode) {
+    case FailpointMode::kOff: return "off";
+    case FailpointMode::kError: return "error";
+    case FailpointMode::kDelay: return "delay";
+    case FailpointMode::kCrashOnce: return "crash-once";
+  }
+  return "?";
+}
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+namespace {
+
+// Arm the DSLAYER_FAILPOINTS environment specs at process start, so even
+// code paths that run before main() (static layer builders in tests) hit
+// armed points. Self-contained: touches only the registry singleton.
+const bool env_armed = [] {
+  FailpointRegistry::instance().arm_from_env();
+  return true;
+}();
+
+}  // namespace
+
+void FailpointRegistry::arm(const std::string& name, FailpointMode mode, double delay_ms,
+                            int count) {
+  DSLAYER_REQUIRE(!name.empty(), "failpoint name must not be empty");
+  std::lock_guard<std::mutex> guard(lock_);
+  Point& point = points_[name];
+  const bool was_armed = point.mode != FailpointMode::kOff;
+  const bool now_armed = mode != FailpointMode::kOff && count != 0;
+  point.mode = now_armed ? mode : FailpointMode::kOff;
+  point.delay_ms = delay_ms;
+  point.remaining = count;
+  if (was_armed != now_armed) active_points_.fetch_add(now_armed ? 1 : -1, std::memory_order_relaxed);
+}
+
+bool FailpointRegistry::arm_spec(std::string_view spec, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = cat("failpoint spec '", std::string(spec), "': ", why);
+    return false;
+  };
+  const std::string_view trimmed = trim(spec);
+  const std::size_t eq = trimmed.find('=');
+  if (eq == std::string_view::npos || eq == 0) return fail("expected name=mode[:arg[:count]]");
+  const std::string name(trim(trimmed.substr(0, eq)));
+  const std::vector<std::string> parts = split(std::string(trim(trimmed.substr(eq + 1))), ':');
+  if (parts.empty() || parts[0].empty()) return fail("missing mode");
+
+  const auto parse_count = [&](const std::string& text, int& out) {
+    char* end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v <= 0) return false;
+    out = static_cast<int>(v);
+    return true;
+  };
+
+  const std::string& mode = parts[0];
+  if (mode == "error") {
+    int count = -1;
+    if (parts.size() > 2) return fail("error takes at most one :count");
+    if (parts.size() == 2 && !parse_count(parts[1], count)) return fail("bad count");
+    arm(name, FailpointMode::kError, 0.0, count);
+    return true;
+  }
+  if (mode == "delay") {
+    if (parts.size() < 2 || parts.size() > 3) return fail("delay needs :milliseconds[:count]");
+    char* end = nullptr;
+    const double ms = std::strtod(parts[1].c_str(), &end);
+    if (end == parts[1].c_str() || *end != '\0' || ms < 0) return fail("bad delay");
+    int count = -1;
+    if (parts.size() == 3 && !parse_count(parts[2], count)) return fail("bad count");
+    arm(name, FailpointMode::kDelay, ms, count);
+    return true;
+  }
+  if (mode == "crash-once") {
+    if (parts.size() != 1) return fail("crash-once takes no arguments");
+    arm(name, FailpointMode::kCrashOnce, 0.0, 1);
+    return true;
+  }
+  if (mode == "off") {
+    if (parts.size() != 1) return fail("off takes no arguments");
+    disarm(name);
+    return true;
+  }
+  return fail(cat("unknown mode '", mode, "' (error|delay|crash-once|off)"));
+}
+
+std::size_t FailpointRegistry::arm_from_env(const char* variable) {
+  const char* value = std::getenv(variable);
+  if (value == nullptr || *value == '\0') return 0;
+  std::size_t armed = 0;
+  for (const std::string& spec : split(value, ',')) {
+    if (trim(spec).empty()) continue;
+    std::string error;
+    if (arm_spec(spec, &error)) {
+      ++armed;
+    } else {
+      std::fprintf(stderr, "warning: %s: %s\n", variable, error.c_str());
+    }
+  }
+  return armed;
+}
+
+bool FailpointRegistry::disarm(const std::string& name) {
+  std::lock_guard<std::mutex> guard(lock_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  if (it->second.mode != FailpointMode::kOff) {
+    it->second.mode = FailpointMode::kOff;
+    active_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void FailpointRegistry::reset() {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (auto& [name, point] : points_) {
+    if (point.mode != FailpointMode::kOff) active_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.clear();
+}
+
+std::vector<FailpointRegistry::Info> FailpointRegistry::list() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  std::vector<Info> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    Info info;
+    info.name = name;
+    info.mode = point.mode;
+    info.delay_ms = point.delay_ms;
+    info.remaining = point.remaining;
+    info.hits = point.hits;
+    info.fires = point.fires;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t FailpointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(lock_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(lock_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+void FailpointRegistry::evaluate(const char* site) {
+  FailpointMode mode = FailpointMode::kOff;
+  double delay_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    Point& point = points_[site];  // hit counters exist for armed-registry hits
+    ++point.hits;
+    if (point.mode == FailpointMode::kOff) return;
+    if (point.remaining > 0 && --point.remaining == 0) {
+      // Last permitted fire: self-disarm before acting, so a crash-once
+      // point never re-crashes a respawned handler in the same process.
+      mode = point.mode;
+      delay_ms = point.delay_ms;
+      point.mode = FailpointMode::kOff;
+      active_points_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      mode = point.mode;
+      delay_ms = point.delay_ms;
+    }
+    ++point.fires;
+  }
+  // Act outside the registry lock: a delay must not serialize other sites,
+  // and a throw must not leave the lock held.
+  switch (mode) {
+    case FailpointMode::kOff:
+      return;
+    case FailpointMode::kError:
+      throw FailpointError(cat("failpoint '", site, "' fired"));
+    case FailpointMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+      return;
+    case FailpointMode::kCrashOnce:
+      std::fprintf(stderr, "failpoint '%s' fired in crash-once mode: aborting\n", site);
+      std::fflush(stderr);
+      std::abort();
+  }
+}
+
+}  // namespace dslayer::support

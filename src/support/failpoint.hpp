@@ -1,0 +1,132 @@
+// Failpoints: deterministic fault injection for the exploration service.
+//
+// A failpoint is a named site in production code where a test (or an
+// operator chasing a bug) can make the process misbehave on purpose:
+//
+//   void RequestExecutor::worker_loop() {
+//     ...
+//     DSLAYER_FAILPOINT("service.executor.dequeue");
+//     ...
+//   }
+//
+// Disarmed — the steady state — a site costs one relaxed atomic load and
+// a predicted-not-taken branch; no registry lookup, no lock, no string
+// work. Armed, the site consults the process-global registry and acts by
+// mode:
+//
+//   error       throw FailpointError (exercise the error-return paths)
+//   delay       sleep a configured number of milliseconds (stalls,
+//               deadline expiry, writer-epoch stalls, lock-hold windows)
+//   crash-once  disarm itself, then std::abort() (crash-recovery tests;
+//               "once" so a respawned process does not crash-loop)
+//
+// Every point keeps two counters: `hits` (times the site was evaluated
+// while the registry had any point armed) and `fires` (times it acted).
+// A point can be limited to N fires (`error:N`, `delay:MS:N`), after
+// which it disarms itself.
+//
+// Arming paths:
+//   * programmatic — FailpointRegistry::instance().arm(...) in tests;
+//   * spec strings — arm_spec("service.session.migrate=error") /
+//     ("x=delay:50") / ("x=error:3") / ("x=crash-once"), used by
+//   * the DSLAYER_FAILPOINTS environment variable (comma-separated
+//     specs, parsed at process start), and
+//   * the `!failpoint` serve directive (src/service/batch_runner.cpp).
+//
+// The site catalog lives in DESIGN.md §11.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dslayer::support {
+
+enum class FailpointMode : std::uint8_t {
+  kOff,
+  kError,      ///< throw FailpointError at the site
+  kDelay,      ///< sleep `delay_ms` at the site
+  kCrashOnce,  ///< disarm, then std::abort()
+};
+
+const char* to_string(FailpointMode mode);
+
+class FailpointRegistry {
+ public:
+  struct Info {
+    std::string name;
+    FailpointMode mode = FailpointMode::kOff;
+    double delay_ms = 0.0;
+    int remaining = -1;  ///< fires left before self-disarm; -1 = unlimited
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  static FailpointRegistry& instance();
+
+  /// Arms (or re-arms) `name`. `count` fires remain before the point
+  /// disarms itself; -1 means unlimited.
+  void arm(const std::string& name, FailpointMode mode, double delay_ms = 0.0, int count = -1);
+
+  /// Parses and arms one "name=mode[:arg[:count]]" spec:
+  ///   p=error   p=error:3   p=delay:50   p=delay:50:2   p=crash-once
+  /// Returns false (and fills *error if given) on a malformed spec.
+  bool arm_spec(std::string_view spec, std::string* error = nullptr);
+
+  /// Arms every comma-separated spec in the environment variable; returns
+  /// the number armed. Malformed specs are reported on stderr and skipped
+  /// (fault injection must never take the process down by itself).
+  std::size_t arm_from_env(const char* variable = "DSLAYER_FAILPOINTS");
+
+  /// Disarms one point (counters are kept). False if never seen.
+  bool disarm(const std::string& name);
+
+  /// Disarms every point and forgets all counters.
+  void reset();
+
+  /// Snapshot of every point ever armed or hit, name order.
+  std::vector<Info> list() const;
+
+  std::uint64_t hits(const std::string& name) const;
+  std::uint64_t fires(const std::string& name) const;
+
+  /// True while any point is armed — the only check disarmed sites pay.
+  static bool active() { return active_points_.load(std::memory_order_relaxed) > 0; }
+
+  /// Slow path behind DSLAYER_FAILPOINT: looks the site up and acts by
+  /// mode. Called only while active().
+  void evaluate(const char* site);
+
+ private:
+  FailpointRegistry() = default;
+
+  struct Point {
+    FailpointMode mode = FailpointMode::kOff;
+    double delay_ms = 0.0;
+    int remaining = -1;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  static std::atomic<int> active_points_;
+
+  mutable std::mutex lock_;
+  std::map<std::string, Point> points_;
+};
+
+/// The site macro's target. Disarmed cost: one relaxed load + branch.
+inline void failpoint(const char* site) {
+  if (FailpointRegistry::active()) FailpointRegistry::instance().evaluate(site);
+}
+
+}  // namespace dslayer::support
+
+/// Marks a fault-injection site. Expands to a call so it is valid in any
+/// statement position; the name should be a stable dotted path
+/// ("service.executor.dequeue") — it is the registry key and the wire
+/// name in the `!failpoint` directive.
+#define DSLAYER_FAILPOINT(site) ::dslayer::support::failpoint(site)

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer::telemetry {
@@ -274,8 +275,27 @@ JsonlFileSink::JsonlFileSink(const std::string& path)
 JsonlFileSink::~JsonlFileSink() = default;
 
 void JsonlFileSink::on_event(const Event& event) {
-  impl_->out << to_jsonl(event) << '\n';
-  impl_->out.flush();
+  bool wrote = false;
+  try {
+    DSLAYER_FAILPOINT("telemetry.jsonl_write");
+    impl_->out << to_jsonl(event) << '\n';
+    impl_->out.flush();
+    wrote = impl_->out.good();
+  } catch (const FailpointError&) {
+    wrote = false;  // injected device failure
+  }
+  if (wrote) return;
+  write_failures_.add(1);
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr,
+                 "warning: telemetry sink '%s' write failed — events are being dropped "
+                 "(counted in write_failures; further failures are silent)\n",
+                 path_.c_str());
+  }
+  // Clear the error state so the journal resumes if the device recovers;
+  // the dropped events stay counted.
+  impl_->out.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -310,6 +330,7 @@ std::map<std::string, TimingSummary> Telemetry::timings() const {
     summary.count = histogram.count;
     summary.p50_us = histogram.quantile_us(0.50);
     summary.p95_us = histogram.quantile_us(0.95);
+    summary.p99_us = histogram.quantile_us(0.99);
     summary.max_us = histogram.max_us;
     summary.total_us = histogram.total_us;
     out[name] = summary;

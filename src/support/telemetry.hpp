@@ -153,6 +153,12 @@ class JournalSink final : public EventSink {
 /// Streams every event as one JSON line; flushes per event so journals
 /// survive crashes (this sink is for debugging, not the hot path).
 /// Throws dslayer::Error if the file cannot be opened.
+///
+/// Write failures (disk full, path yanked) must not be silent data loss:
+/// each failed write bumps write_failures(), the first one also prints a
+/// one-shot stderr warning, and the sink keeps trying (the stream error
+/// state is cleared so a recovered disk resumes the journal). The
+/// "telemetry.jsonl_write" failpoint simulates a failing device.
 class JsonlFileSink final : public EventSink {
  public:
   explicit JsonlFileSink(const std::string& path);
@@ -162,10 +168,15 @@ class JsonlFileSink final : public EventSink {
 
   const std::string& path() const { return path_; }
 
+  /// Events that could not be written (and are lost from the file).
+  std::uint64_t write_failures() const { return write_failures_.get(); }
+
  private:
   std::string path_;
   struct Impl;
   std::unique_ptr<Impl> impl_;
+  RelaxedCounter write_failures_;
+  bool warned_ = false;
 };
 
 /// count / p50 / p95 / max / total of one named latency population.
@@ -176,6 +187,7 @@ struct TimingSummary {
   std::uint64_t count = 0;
   double p50_us = 0.0;
   double p95_us = 0.0;
+  double p99_us = 0.0;
   double max_us = 0.0;
   double total_us = 0.0;
 };

@@ -1,0 +1,241 @@
+// Unit tests for the fault-injection and deadline substrate: the
+// failpoint registry (modes, spec grammar, counters, env arming), the
+// Deadline/DeadlineScope/checkpoint machinery, and adversarial fuzzing
+// of the hardened protocol parser. Fast and deterministic — tier-1.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "service/protocol.hpp"
+#include "support/cancel.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/rng.hpp"
+
+namespace dslayer {
+namespace {
+
+using support::Deadline;
+using support::DeadlineScope;
+using support::FailpointMode;
+using support::FailpointRegistry;
+
+/// Disarms every failpoint when a test exits, pass or fail.
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::instance().reset(); }
+  FailpointRegistry& registry = FailpointRegistry::instance();
+};
+
+// ---------------------------------------------------------------------------
+// FailpointRegistry
+// ---------------------------------------------------------------------------
+
+TEST(Failpoint, DisarmedSitesAreFreeAndUncounted) {
+  FailpointGuard guard;
+  EXPECT_FALSE(FailpointRegistry::active());
+  DSLAYER_FAILPOINT("test.nothing");  // no throw, no registration
+  EXPECT_EQ(guard.registry.hits("test.nothing"), 0u);
+}
+
+TEST(Failpoint, ErrorModeThrowsAndCounts) {
+  FailpointGuard guard;
+  guard.registry.arm("test.err", FailpointMode::kError);
+  EXPECT_TRUE(FailpointRegistry::active());
+  EXPECT_THROW(DSLAYER_FAILPOINT("test.err"), FailpointError);
+  EXPECT_THROW(DSLAYER_FAILPOINT("test.err"), FailpointError);
+  EXPECT_EQ(guard.registry.hits("test.err"), 2u);
+  EXPECT_EQ(guard.registry.fires("test.err"), 2u);
+  // Other sites are evaluated (active registry) but do not fire.
+  DSLAYER_FAILPOINT("test.other");
+  EXPECT_EQ(guard.registry.fires("test.other"), 0u);
+}
+
+TEST(Failpoint, CountLimitedPointSelfDisarms) {
+  FailpointGuard guard;
+  guard.registry.arm("test.limited", FailpointMode::kError, 0.0, 2);
+  EXPECT_THROW(DSLAYER_FAILPOINT("test.limited"), FailpointError);
+  EXPECT_THROW(DSLAYER_FAILPOINT("test.limited"), FailpointError);
+  DSLAYER_FAILPOINT("test.limited");  // spent: no throw
+  EXPECT_EQ(guard.registry.fires("test.limited"), 2u);
+  EXPECT_FALSE(FailpointRegistry::active());
+}
+
+TEST(Failpoint, DelayModeSleeps) {
+  FailpointGuard guard;
+  guard.registry.arm("test.slow", FailpointMode::kDelay, 30.0, 1);
+  const auto start = std::chrono::steady_clock::now();
+  DSLAYER_FAILPOINT("test.slow");
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(elapsed_ms, 25.0);
+  EXPECT_EQ(guard.registry.fires("test.slow"), 1u);
+}
+
+TEST(Failpoint, DisarmAndResetStopFiring) {
+  FailpointGuard guard;
+  guard.registry.arm("test.off", FailpointMode::kError);
+  EXPECT_TRUE(guard.registry.disarm("test.off"));
+  DSLAYER_FAILPOINT("test.off");  // no throw
+  EXPECT_FALSE(guard.registry.disarm("test.never-seen"));
+  guard.registry.arm("test.off", FailpointMode::kError);
+  guard.registry.reset();
+  EXPECT_FALSE(FailpointRegistry::active());
+  DSLAYER_FAILPOINT("test.off");
+  EXPECT_EQ(guard.registry.fires("test.off"), 0u);
+}
+
+TEST(Failpoint, SpecGrammarRoundTrips) {
+  FailpointGuard guard;
+  EXPECT_TRUE(guard.registry.arm_spec("a=error"));
+  EXPECT_TRUE(guard.registry.arm_spec("b=error:3"));
+  EXPECT_TRUE(guard.registry.arm_spec("c=delay:50"));
+  EXPECT_TRUE(guard.registry.arm_spec("d=delay:50:2"));
+  EXPECT_TRUE(guard.registry.arm_spec("e=crash-once"));
+  EXPECT_TRUE(guard.registry.arm_spec("a=off"));
+
+  const auto infos = guard.registry.list();
+  ASSERT_EQ(infos.size(), 5u);
+  EXPECT_EQ(infos[0].name, "a");
+  EXPECT_EQ(infos[0].mode, FailpointMode::kOff);
+  EXPECT_EQ(infos[1].mode, FailpointMode::kError);
+  EXPECT_EQ(infos[1].remaining, 3);
+  EXPECT_EQ(infos[2].mode, FailpointMode::kDelay);
+  EXPECT_DOUBLE_EQ(infos[2].delay_ms, 50.0);
+  EXPECT_EQ(infos[3].remaining, 2);
+  EXPECT_EQ(infos[4].mode, FailpointMode::kCrashOnce);
+
+  std::string error;
+  EXPECT_FALSE(guard.registry.arm_spec("", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(guard.registry.arm_spec("no-equals", &error));
+  EXPECT_FALSE(guard.registry.arm_spec("x=bogus-mode", &error));
+  EXPECT_FALSE(guard.registry.arm_spec("x=error:notanumber", &error));
+  EXPECT_FALSE(guard.registry.arm_spec("x=delay", &error));  // delay needs ms
+  EXPECT_FALSE(guard.registry.arm_spec("=error", &error));
+}
+
+TEST(Failpoint, ArmsFromEnvironmentVariable) {
+  FailpointGuard guard;
+  ::setenv("DSLAYER_TEST_FAILPOINTS", "env.a=error:1, env.b=delay:5 ,broken", 1);
+  EXPECT_EQ(guard.registry.arm_from_env("DSLAYER_TEST_FAILPOINTS"), 2u);
+  EXPECT_THROW(DSLAYER_FAILPOINT("env.a"), FailpointError);
+  ::unsetenv("DSLAYER_TEST_FAILPOINTS");
+  EXPECT_EQ(guard.registry.arm_from_env("DSLAYER_TEST_FAILPOINTS"), 0u);
+}
+
+#if defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
+TEST(FailpointDeathTest, CrashOnceAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FailpointRegistry::instance().arm("test.crash", FailpointMode::kCrashOnce);
+        DSLAYER_FAILPOINT("test.crash");
+      },
+      "failpoint 'test.crash'");
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Deadline / DeadlineScope / cancellation_checkpoint
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, UnsetNeverExpires) {
+  const Deadline none;
+  EXPECT_FALSE(none.set());
+  EXPECT_FALSE(none.expired());
+  EXPECT_GT(none.remaining_ms(), 1e100);
+}
+
+TEST(DeadlineTest, AfterMsExpires) {
+  const Deadline soon = Deadline::after_ms(1.0);
+  EXPECT_TRUE(soon.set());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(soon.expired());
+  EXPECT_LT(soon.remaining_ms(), 0.0);
+
+  const Deadline later = Deadline::after_ms(60000.0);
+  EXPECT_FALSE(later.expired());
+  EXPECT_GT(later.remaining_ms(), 1000.0);
+}
+
+TEST(DeadlineTest, CheckpointIsANoOpWithoutAnInstalledDeadline) {
+  EXPECT_FALSE(support::current_deadline().set());
+  EXPECT_NO_THROW(support::cancellation_checkpoint());
+  EXPECT_FALSE(support::cancellation_requested());
+}
+
+TEST(DeadlineTest, CheckpointThrowsOnceTheScopeDeadlinePasses) {
+  const DeadlineScope scope(Deadline::at(Deadline::Clock::now() - std::chrono::milliseconds(1)));
+  EXPECT_TRUE(support::current_deadline().set());
+  EXPECT_TRUE(support::cancellation_requested());
+  EXPECT_THROW(support::cancellation_checkpoint(), DeadlineExceeded);
+}
+
+TEST(DeadlineTest, ScopesNestAndRestore) {
+  const Deadline outer = Deadline::after_ms(60000.0);
+  DeadlineScope outer_scope(outer);
+  EXPECT_TRUE(support::current_deadline().set());
+  {
+    // An unset inner deadline SUPPRESSES the outer one — the migration
+    // replay protection.
+    DeadlineScope inner(Deadline{});
+    EXPECT_FALSE(support::current_deadline().set());
+    EXPECT_NO_THROW(support::cancellation_checkpoint());
+  }
+  EXPECT_TRUE(support::current_deadline().set());
+  EXPECT_EQ(support::current_deadline().time(), outer.time());
+}
+
+TEST(DeadlineTest, ExpiredOuterIsStillSuppressedInside) {
+  DeadlineScope outer(Deadline::at(Deadline::Clock::now() - std::chrono::milliseconds(1)));
+  {
+    DeadlineScope inner(Deadline{});
+    EXPECT_NO_THROW(support::cancellation_checkpoint());
+    EXPECT_FALSE(support::cancellation_requested());
+  }
+  EXPECT_THROW(support::cancellation_checkpoint(), DeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// parse_request under adversarial input
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolFuzz, ParserNeverThrowsAndUpholdsItsInvariants) {
+  Rng rng(0xF0112E55u);
+  const std::string alphabet = " \t@#!0123456789abcXYZ=.:-\x01\x7f\xff";
+  for (int round = 0; round < 20000; ++round) {
+    std::string line;
+    const std::size_t length = rng.next_below(120);
+    for (std::size_t i = 0; i < length; ++i) {
+      line += alphabet[rng.next_below(alphabet.size())];
+    }
+    std::string error;
+    // parse_request is noexcept: a throw here is process death, which is
+    // exactly what this fuzz loop would catch.
+    const auto request = service::parse_request(line, &error);
+    if (request.has_value()) {
+      EXPECT_FALSE(request->session.empty()) << "line: " << line;
+      EXPECT_FALSE(request->command.empty()) << "line: " << line;
+      EXPECT_GE(request->deadline_ms, 0.0) << "line: " << line;
+      EXPECT_TRUE(error.empty()) << "line: " << line;
+    }
+  }
+}
+
+TEST(ProtocolFuzz, OversizedAdversarialLinesAreRejectedCheaply) {
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 20; ++round) {
+    std::string line(service::kMaxRequestLineBytes + 1 + rng.next_below(4096), 'a');
+    line[rng.next_below(line.size())] = ' ';
+    std::string error;
+    EXPECT_FALSE(service::parse_request(line, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+}  // namespace
+}  // namespace dslayer

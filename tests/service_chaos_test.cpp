@@ -1,0 +1,291 @@
+// Chaos suite (tier-2): the full service stack under concurrent load
+// with failpoints randomly arming and firing at every injection site,
+// writer epochs churning, deadlines expiring, and the LRU session table
+// thrashing. The invariants under test are the service's fault-tolerance
+// promises, not command semantics:
+//
+//   * exactly-once — every submitted request receives exactly one
+//     terminal response through the retrying client, whatever mix of
+//     injected faults it hit on the way;
+//   * no deadlock / no crash — the run completes (ctest --timeout is the
+//     watchdog) with every worker, conductor, and producer joined;
+//   * counter coherence — executor accepted == executed after drain,
+//     session-manager created == closed + evicted + live, failpoint
+//     fires <= hits;
+//   * recovery — with all failpoints disarmed, the same stack serves a
+//     clean request.
+//
+// Deterministic: all randomness flows from seeded SplitMix64 streams
+// (per-thread, seed = base ^ thread id); failpoint delays are bounded
+// and count-limited so wall time stays bounded. Run under ASan and TSan
+// in CI (scripts/ci.sh chaos stages).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "domains/crypto.hpp"
+#include "service/batch_runner.hpp"
+#include "service/client.hpp"
+#include "service/request_executor.hpp"
+#include "service/session_manager.hpp"
+#include "service/shared_layer.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer {
+namespace {
+
+using service::ErrorCode;
+using service::Request;
+using service::RequestExecutor;
+using service::Response;
+using service::ResponseStatus;
+using service::ServiceClient;
+using service::SessionManager;
+using service::SharedLayer;
+using support::FailpointRegistry;
+
+constexpr const char* kOmm = "Operator.Modular.Multiplier";
+
+/// Disarms every failpoint when a test exits, pass or fail.
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::instance().reset(); }
+  FailpointRegistry& registry = FailpointRegistry::instance();
+};
+
+Request make(std::uint64_t id, const std::string& session, const std::string& command,
+             double deadline_ms = 0.0) {
+  Request request;
+  request.id = id;
+  request.session = session;
+  request.command = command;
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+/// Every injection site in the stack, armed round-robin by the chaos
+/// conductor. Delays are small and count-limited so the run stays fast;
+/// crash-once is deliberately absent (it would kill the test runner).
+const char* const kChaosSpecs[] = {
+    "service.executor.enqueue=error:4",
+    "service.executor.dequeue=error:4",
+    "service.executor.dequeue=delay:1:4",
+    "service.session.execute=error:4",
+    "service.session.evict=error:2",
+    "service.session.migrate=error:2",
+    "service.shared_layer.publish=error:1",
+    "service.shared_layer.prime=error:1",
+    "service.shared_layer.publish=delay:2:2",
+    "dsl.candidates.sweep=delay:2:4",
+    "dsl.candidates.sweep=error:4",
+    "telemetry.jsonl_write=error:4",
+};
+
+TEST(ServiceChaos, ExactlyOneTerminalResponsePerRequestUnderRandomFaults) {
+  FailpointGuard failpoints;
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+
+  SessionManager::Options session_options;
+  session_options.max_sessions = 8;  // force LRU churn across 16 names
+  session_options.degraded_after_ms = 50.0;
+  SessionManager manager(shared, session_options);
+
+  RequestExecutor::Options executor_options;
+  executor_options.workers = 4;
+  executor_options.queue_capacity = 64;
+  executor_options.max_queue_wait_ms = 200.0;  // shedding on, but rare
+  RequestExecutor executor(manager, executor_options);
+
+  ServiceClient::Options client_options;
+  client_options.max_attempts = 3;
+  client_options.base_backoff_ms = 1.0;
+  client_options.max_backoff_ms = 4.0;
+  ServiceClient client(executor, client_options);
+
+  constexpr int kProducers = 8;
+  constexpr int kRequestsPerProducer = 650;  // 5200 total
+  constexpr std::uint64_t kSeed = 0xC4A05C4A05ULL;
+
+  const char* const commands[] = {
+      "req EffectiveOperandLength 768",
+      "retract EffectiveOperandLength",
+      "candidates",
+      "report",
+      "help",
+      "decide ImplementationStyle Hardware",
+      "retract ImplementationStyle",
+      "definitely-not-a-command",
+  };
+
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> next_id{0};
+  std::atomic<bool> stop_conductor{false};
+
+  // Conductor: walks the spec list deterministically, re-arming a few
+  // sites at a time, and churns writer epochs (which themselves hit the
+  // publish/prime failpoints and must leave the layer readable).
+  std::thread conductor([&] {
+    Rng rng(kSeed ^ 0xC0DDu);
+    std::size_t spec_cursor = 0;
+    while (!stop_conductor.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 3; ++i) {
+        const char* spec = kChaosSpecs[spec_cursor++ % std::size(kChaosSpecs)];
+        ASSERT_TRUE(failpoints.registry.arm_spec(spec)) << spec;
+      }
+      if (rng.next_bool(0.3)) {
+        try {
+          shared.write([](dsl::DesignSpaceLayer&) {});
+        } catch (const Error&) {
+          // Injected publish/prime fault: the epoch still advanced and
+          // the caches were re-primed — exactly what the writer path
+          // promises under failure.
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(kSeed ^ static_cast<std::uint64_t>(p + 1));
+      for (int i = 0; i < kRequestsPerProducer; ++i) {
+        const std::string session = cat("s", rng.next_below(16));
+        std::string command;
+        if (rng.next_bool(0.15)) {
+          command = cat("open ", kOmm);
+        } else {
+          command = commands[rng.next_below(std::size(commands))];
+        }
+        // A third of the traffic carries tight deadlines (1..24ms), so
+        // both expiry-in-queue and mid-sweep cancellation occur.
+        const double deadline_ms =
+            rng.next_bool(0.33) ? static_cast<double>(1 + rng.next_below(24)) : 0.0;
+        client.submit(make(next_id.fetch_add(1) + 1, session, command, deadline_ms),
+                      [&delivered](Response) { delivered.fetch_add(1, std::memory_order_relaxed); });
+        if (rng.next_bool(0.05)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  client.drain();
+  stop_conductor = true;
+  conductor.join();
+  failpoints.registry.reset();
+  client.drain();  // retries armed before the reset finish against a clean stack
+  executor.drain();
+
+  // Exactly-once: one terminal response per submitted request.
+  const std::uint64_t submitted = next_id.load();
+  EXPECT_EQ(submitted, static_cast<std::uint64_t>(kProducers) * kRequestsPerProducer);
+  EXPECT_EQ(delivered.load(), submitted);
+  const auto client_stats = client.stats();
+  EXPECT_EQ(client_stats.submitted, submitted);
+  EXPECT_EQ(client_stats.delivered, submitted);
+
+  // Counter coherence: nothing accepted was dropped, nothing left queued.
+  const auto executor_stats = executor.stats();
+  EXPECT_EQ(executor_stats.executed, executor_stats.accepted);
+  EXPECT_EQ(executor_stats.queue_depth, 0u);
+
+  const auto manager_stats = manager.stats();
+  EXPECT_EQ(manager_stats.created,
+            manager_stats.closed + manager_stats.evicted + manager.session_count());
+
+  // Failpoint ledger: a site can only fire on an evaluation.
+  for (const auto& info : failpoints.registry.list()) {
+    EXPECT_LE(info.fires, info.hits) << info.name;
+  }
+
+  // Recovery: disarmed, the same stack serves a clean request.
+  Response clean;
+  executor.submit(make(submitted + 1, "postchaos", cat("open ", kOmm)),
+                  [&clean](Response response) { clean = std::move(response); });
+  executor.drain();
+  EXPECT_EQ(clean.status, ResponseStatus::kOk) << clean.output;
+
+  client.shutdown();
+  executor.shutdown();
+}
+
+TEST(ServiceChaos, ContinuousDequeueFaultsStillAnswerEveryRequest) {
+  FailpointGuard failpoints;
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+  SessionManager manager(shared);
+  RequestExecutor executor(manager);
+
+  // Unlimited error mode at the dequeue boundary: every request fails —
+  // but every request must still fail WITH a response, and workers must
+  // survive to deliver all of them.
+  failpoints.registry.arm("service.executor.dequeue", support::FailpointMode::kError);
+  constexpr int kRequests = 200;
+  std::atomic<int> internal{0}, other{0};
+  for (int i = 0; i < kRequests; ++i) {
+    executor.submit(make(static_cast<std::uint64_t>(i + 1), cat("s", i % 4), "help"),
+                    [&](Response response) {
+                      (response.code == ErrorCode::kInternal ? internal : other)++;
+                    });
+  }
+  executor.drain();
+  EXPECT_EQ(internal.load(), kRequests);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(executor.stats().errors, static_cast<std::uint64_t>(kRequests));
+
+  failpoints.registry.reset();
+  std::atomic<int> ok{0};
+  executor.submit(make(kRequests + 1, "s0", "help"), [&](Response response) {
+    if (response.status == ResponseStatus::kOk) ++ok;
+  });
+  executor.drain();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ServiceChaos, ServeFrontEndSurvivesMidStreamFailpointDirectives) {
+  FailpointGuard failpoints;
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+  SessionManager manager(shared);
+  RequestExecutor::Options options;
+  options.workers = 2;
+  RequestExecutor executor(manager, options);
+
+  // A serve stream that arms faults against itself mid-flight: every
+  // request line still yields exactly one `== ` response header.
+  std::string script;
+  script += cat("a open ", kOmm, "\n");
+  script += "!failpoint service.session.execute=error:3\n";
+  for (int i = 0; i < 12; ++i) script += cat("s", i % 3, " help\n");
+  script += "!failpoint dsl.candidates.sweep=delay:2:2\n";
+  script += "a@1 candidates\n";  // 1ms deadline vs 2ms injected stall
+  script += "a report\n";
+  script += "!failpoint\n";
+
+  std::istringstream in(script);
+  std::ostringstream out;
+  const auto summary = service::run_serve(manager, executor, in, out);
+  EXPECT_EQ(summary.requests, 15u);
+  const std::string text = out.str();
+  std::size_t headers = 0;
+  for (std::size_t pos = text.find("== "); pos != std::string::npos;
+       pos = text.find("== ", pos + 3)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 15u) << text;
+  EXPECT_NE(text.find("code=internal"), std::string::npos) << text;
+  executor.shutdown();
+}
+
+}  // namespace
+}  // namespace dslayer

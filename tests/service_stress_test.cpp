@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <mutex>
@@ -20,6 +21,7 @@
 #include "service/session_manager.hpp"
 #include "service/shared_layer.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer {
@@ -324,6 +326,71 @@ TEST(ServiceStress, RacingReindexColumnarSweeps) {
   // the seeded stress cores.
   std::ostringstream sink;
   ASSERT_EQ(manager.execute("sweeper0", "candidates", sink), dsl::ShellEngine::Status::kOk);
+}
+
+// A pinned session (command in flight) must survive any amount of
+// eviction pressure: the LRU scan skips pinned entries and throws
+// SessionsBusyError only when EVERY entry is pinned. A sweep-delay
+// failpoint holds one session's pin open for an entire churn phase while
+// other threads force create-evict cycles through the remaining slot.
+TEST(ServiceStress, EvictionUnderPinChurnNeverYanksAPinnedSession) {
+  struct FailpointGuard {
+    ~FailpointGuard() { support::FailpointRegistry::instance().reset(); }
+    support::FailpointRegistry& registry = support::FailpointRegistry::instance();
+  } failpoints;
+
+  auto layer = domains::build_crypto_layer();
+  SharedLayer shared(*layer);
+  SessionManager::Options options;
+  options.max_sessions = 2;  // one slot for "pinned", one contested
+  SessionManager manager(shared, options);
+
+  // Warm the pinned session first (open/cache print candidate counts and
+  // would otherwise fire the delay below), THEN arm the stall.
+  std::ostringstream warm;
+  ASSERT_EQ(manager.execute("pinned", cat("open ", kOmm), warm), dsl::ShellEngine::Status::kOk);
+  ASSERT_EQ(manager.execute("pinned", "cache off", warm), dsl::ShellEngine::Status::kOk);
+  ASSERT_TRUE(failpoints.registry.arm_spec("dsl.candidates.sweep=delay:150:1"));
+
+  std::thread holder([&] {
+    std::ostringstream sink;
+    EXPECT_EQ(manager.execute("pinned", "candidates", sink), dsl::ShellEngine::Status::kOk);
+  });
+  // The fire counter bumps before the injected sleep begins, so from here
+  // the pin is provably held for the whole delay window.
+  while (failpoints.registry.fires("dsl.candidates.sweep") == 0) std::this_thread::yield();
+
+  constexpr int kChurners = 2;
+  constexpr int kItersPerChurner = 30;
+  std::atomic<std::uint64_t> all_busy{0};
+  std::vector<std::thread> churners;
+  churners.reserve(kChurners);
+  for (int t = 0; t < kChurners; ++t) {
+    churners.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerChurner; ++i) {
+        std::ostringstream sink;
+        try {
+          manager.execute(cat("cold", t, "_", i % 4), "help", sink);
+        } catch (const SessionsBusyError&) {
+          ++all_busy;  // both slots pinned at that instant — legal
+        }
+      }
+    });
+  }
+  for (std::thread& churner : churners) churner.join();
+
+  // The churn is over well inside the 150ms stall: the pinned session is
+  // still registered mid-command, untouched by every eviction above.
+  const auto names = manager.session_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "pinned"), names.end());
+  holder.join();
+
+  const SessionManager::Stats stats = manager.stats();
+  EXPECT_GE(stats.evicted, 1u);  // the contested slot actually churned
+  EXPECT_LE(manager.session_count(), 2u);
+  EXPECT_EQ(stats.created, stats.closed + stats.evicted + manager.session_count());
+  EXPECT_EQ(stats.commands + all_busy.load(),
+            3u + static_cast<std::uint64_t>(kChurners) * kItersPerChurner);
 }
 
 }  // namespace

@@ -8,26 +8,32 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "domains/crypto.hpp"
 #include "service/batch_runner.hpp"
+#include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/request_executor.hpp"
 #include "service/session_manager.hpp"
 #include "service/shared_layer.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer {
 namespace {
 
+using service::ErrorCode;
 using service::Request;
 using service::RequestExecutor;
 using service::Response;
 using service::ResponseStatus;
+using service::ServiceClient;
 using service::SessionManager;
 using service::SharedLayer;
 
@@ -50,9 +56,54 @@ TEST(Protocol, SkipsBlankAndCommentLines) {
   EXPECT_FALSE(service::parse_request("# comment").has_value());
 }
 
-TEST(Protocol, RejectsSessionWithoutCommand) {
-  EXPECT_THROW(service::parse_request("lonely"), ServiceError);
-  EXPECT_THROW(service::parse_request("s1    "), ServiceError);
+TEST(Protocol, RejectsSessionWithoutCommandWithoutThrowing) {
+  std::string error;
+  EXPECT_FALSE(service::parse_request("lonely", &error).has_value());
+  EXPECT_NE(error.find("no command"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(service::parse_request("s1    ", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Protocol, ParsesDeadlineSuffix) {
+  const auto request = service::parse_request("s1@250 candidates");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->session, "s1");
+  EXPECT_EQ(request->command, "candidates");
+  EXPECT_DOUBLE_EQ(request->deadline_ms, 250.0);
+
+  std::string error;
+  EXPECT_FALSE(service::parse_request("s1@ candidates", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(service::parse_request("s1@-5 candidates", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(service::parse_request("s1@2x candidates", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(service::parse_request("@250 candidates", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Protocol, RejectsOversizedLines) {
+  std::string line = "s1 decide Algorithm ";
+  line.append(service::kMaxRequestLineBytes, 'x');
+  std::string error;
+  EXPECT_FALSE(service::parse_request(line, &error).has_value());
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+TEST(Protocol, ErrorCodeRetryability) {
+  using service::ErrorCode;
+  EXPECT_TRUE(service::is_retryable(ErrorCode::kSessionsBusy));
+  EXPECT_TRUE(service::is_retryable(ErrorCode::kOverloaded));
+  EXPECT_TRUE(service::is_retryable(ErrorCode::kUnavailable));
+  EXPECT_FALSE(service::is_retryable(ErrorCode::kNone));
+  EXPECT_FALSE(service::is_retryable(ErrorCode::kInvalidRequest));
+  EXPECT_FALSE(service::is_retryable(ErrorCode::kCommandFailed));
+  EXPECT_FALSE(service::is_retryable(ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(service::is_retryable(ErrorCode::kInternal));
 }
 
 TEST(Protocol, DetectsDirectives) {
@@ -68,6 +119,15 @@ TEST(Protocol, RendersHeaderPlusOutput) {
   response.status = ResponseStatus::kError;
   response.output = "error: nope\n";
   EXPECT_EQ(service::render_response(response), "== 7 s2 error\nerror: nope\n");
+
+  response.code = ErrorCode::kCommandFailed;
+  EXPECT_EQ(service::render_response(response), "== 7 s2 error code=command-failed\nerror: nope\n");
+
+  response.status = ResponseStatus::kRejected;
+  response.code = ErrorCode::kOverloaded;
+  response.retry_after_ms = 12.7;
+  EXPECT_EQ(service::render_response(response),
+            "== 7 s2 rejected code=overloaded retry-after-ms=12\nerror: nope\n");
 }
 
 // ---------------------------------------------------------------------------
@@ -446,7 +506,319 @@ TEST_F(ExecutorTest, BatchReportsMalformedLines) {
   std::ostringstream out;
   const auto summary = service::run_batch(manager_, executor, in, out);
   EXPECT_EQ(summary.errors, 1u);
-  EXPECT_NE(out.str().find("== 1 - error"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("== 1 - error code=invalid-request"), std::string::npos) << out.str();
+}
+
+// ---------------------------------------------------------------------------
+// fault tolerance: deadlines, degradation, failpoints, retrying client
+// ---------------------------------------------------------------------------
+
+/// Disarms every failpoint when a test exits, pass or fail.
+struct FailpointGuard {
+  ~FailpointGuard() { support::FailpointRegistry::instance().reset(); }
+  support::FailpointRegistry& registry = support::FailpointRegistry::instance();
+};
+
+TEST_F(ExecutorTest, ExpiredAtDequeueAnswersWithoutTouchingASession) {
+  RequestExecutor executor(manager_);
+  Request request = make(1, "ghost", cat("open ", kOmm));
+  request.deadline_ms = 1e-3;  // 1µs: expired long before any worker wakes
+  Response terminal;
+  executor.submit(request, [&](Response response) { terminal = std::move(response); });
+  executor.drain();
+  EXPECT_EQ(terminal.status, ResponseStatus::kDeadlineExceeded);
+  EXPECT_EQ(terminal.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(terminal.output.find("deadline expired"), std::string::npos) << terminal.output;
+  // The cheap path: no session was created or acquired, and the answer
+  // came back in queue-pop time, not command time.
+  EXPECT_EQ(manager_.stats().created, 0u);
+  EXPECT_EQ(manager_.stats().commands, 0u);
+  EXPECT_LT(terminal.latency_us, 50000.0);
+  const auto stats = executor.stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.executed, 1u);  // completed — with a deadline verdict
+}
+
+TEST_F(ExecutorTest, MidSweepCancellationLeavesSessionStateUnchanged) {
+  FailpointGuard failpoints;
+  RequestExecutor executor(manager_);
+  std::atomic<int> errors{0};
+  const auto expect_ok = [&](Response response) {
+    if (response.status != ResponseStatus::kOk) ++errors;
+  };
+  // Twin sessions: identical histories, so any state damage from the
+  // cancelled request shows up as a report divergence.
+  std::uint64_t id = 0;
+  for (const char* session : {"s1", "s2"}) {
+    executor.submit(make(++id, session, cat("open ", kOmm)), expect_ok);
+    executor.submit(make(++id, session, "req EffectiveOperandLength 768"), expect_ok);
+    // Memoization off, or the doomed `candidates` below would be a cache
+    // hit (open/req print the candidate count, warming it) and never
+    // reach the sweep failpoint.
+    executor.submit(make(++id, session, "cache off"), expect_ok);
+  }
+  executor.drain();
+  ASSERT_EQ(errors.load(), 0);
+
+  // Stall the candidates sweep past the request's deadline: the first
+  // checkpoint after the injected delay observes expiry and unwinds.
+  ASSERT_TRUE(failpoints.registry.arm_spec("dsl.candidates.sweep=delay:80:1"));
+  Request doomed = make(++id, "s1", "candidates");
+  doomed.deadline_ms = 15;
+  Response terminal;
+  executor.submit(doomed, [&](Response response) { terminal = std::move(response); });
+  executor.drain();
+  EXPECT_EQ(terminal.status, ResponseStatus::kDeadlineExceeded) << terminal.output;
+  EXPECT_EQ(terminal.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(failpoints.registry.fires("dsl.candidates.sweep"), 1u);
+  EXPECT_EQ(executor.stats().deadline_expired, 1u);
+
+  // Oracle: the cancelled session answers every query exactly like its
+  // untouched twin.
+  std::map<std::uint64_t, std::string> outputs;
+  std::mutex outputs_lock;
+  const auto collect = [&](Response response) {
+    std::lock_guard<std::mutex> guard(outputs_lock);
+    outputs[response.id] = std::move(response.output);
+  };
+  executor.submit(make(100, "s1", "report"), collect);
+  executor.submit(make(101, "s2", "report"), collect);
+  executor.submit(make(102, "s1", "candidates"), collect);
+  executor.submit(make(103, "s2", "candidates"), collect);
+  executor.drain();
+  EXPECT_EQ(outputs.at(100), outputs.at(101));
+  EXPECT_EQ(outputs.at(102), outputs.at(103));
+  EXPECT_FALSE(outputs.at(102).empty());
+}
+
+TEST_F(SessionManagerTest, DegradedModeFailsFastBehindAStalledWriter) {
+  SessionManager::Options options;
+  options.degraded_after_ms = 20;
+  SessionManager manager(shared_, options);
+  run(manager, "alice", cat("open ", kOmm));
+
+  std::atomic<bool> writer_in{false};
+  std::thread writer([&] {
+    shared_.write([&](dsl::DesignSpaceLayer&) {
+      writer_in = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    });
+  });
+  while (!writer_in) std::this_thread::yield();
+
+  // The writer holds the exclusive lock: a degraded-mode execute waits
+  // its 20ms budget, then fails fast as retryable instead of queueing.
+  const auto start = std::chrono::steady_clock::now();
+  std::ostringstream out;
+  EXPECT_THROW(manager.execute("alice", "report", out), UnavailableError);
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(waited_ms, 250.0);  // did not ride out the full writer stall
+  EXPECT_GT(shared_.writer_stall_ms(), 0.0);
+  writer.join();
+
+  // Once the writer publishes, the same session works again.
+  EXPECT_NE(run(manager, "alice", "report").find("Operator"), std::string::npos);
+  EXPECT_EQ(shared_.writer_stall_ms(), 0.0);
+}
+
+TEST_F(ExecutorTest, ShedsRequestsThatOutwaitedTheQueueLimit) {
+  RequestExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.injected_latency_us = 30000.0;  // 30ms per request
+  options.max_queue_wait_ms = 5.0;
+  RequestExecutor executor(manager_, options);
+  std::vector<Response> responses(4);
+  std::uint64_t id = 0;
+  for (auto& slot : responses) {
+    const std::uint64_t this_id = ++id;
+    executor.submit(make(this_id, cat("s", this_id), "help"),
+                    [&slot](Response response) { slot = std::move(response); });
+  }
+  executor.drain();
+  // The first request waits ~0; everything behind it waits 30ms+ and is
+  // shed as retryable overload with a back-off hint.
+  EXPECT_EQ(responses[0].status, ResponseStatus::kOk) << responses[0].output;
+  const auto stats = executor.stats();
+  EXPECT_GE(stats.shed, 2u);
+  EXPECT_EQ(stats.executed, 4u);
+  for (const auto& response : responses) {
+    if (response.status != ResponseStatus::kRejected) continue;
+    EXPECT_EQ(response.code, ErrorCode::kOverloaded);
+    EXPECT_GT(response.retry_after_ms, 0.0);
+    EXPECT_NE(response.output.find("shed after"), std::string::npos) << response.output;
+  }
+}
+
+TEST_F(SessionManagerTest, MigrationFailpointForcesTheFailurePath) {
+  FailpointGuard failpoints;
+  SessionManager manager(shared_);
+  run(manager, "alice", cat("open ", kOmm));
+  run(manager, "alice", "decide ImplementationStyle Hardware");
+  shared_.write([](dsl::DesignSpaceLayer&) {});  // epoch bump
+
+  ASSERT_TRUE(failpoints.registry.arm_spec("service.session.migrate=error:1"));
+  std::ostringstream out;
+  const auto status = manager.execute("alice", "report", out);
+  EXPECT_EQ(status, dsl::ShellEngine::Status::kError);
+  EXPECT_NE(out.str().find("could not be migrated"), std::string::npos) << out.str();
+  EXPECT_EQ(manager.stats().migration_failures, 1u);
+  // Failpoint spent: the session re-opens cleanly at the new epoch.
+  EXPECT_NE(run(manager, "alice", cat("open ", kOmm)).find("session at"), std::string::npos);
+  EXPECT_EQ(manager.stats().migration_failures, 1u);
+}
+
+TEST_F(SessionManagerTest, EvictionFailpointAbortsAcquireWithoutDamage) {
+  FailpointGuard failpoints;
+  SessionManager::Options options;
+  options.max_sessions = 1;
+  SessionManager manager(shared_, options);
+  run(manager, "a", cat("open ", kOmm));
+
+  ASSERT_TRUE(failpoints.registry.arm_spec("service.session.evict=error:1"));
+  std::ostringstream out;
+  EXPECT_THROW(manager.execute("b", "help", out), FailpointError);
+  // The aborted acquire changed nothing: the victim survives, no session
+  // was created for "b", the eviction counter is untouched.
+  EXPECT_EQ(manager.session_names(), std::vector<std::string>{"a"});
+  EXPECT_EQ(manager.stats().evicted, 0u);
+  EXPECT_EQ(manager.stats().created, 1u);
+
+  // Once the failpoint is spent the eviction goes through as usual.
+  run(manager, "b", "help");
+  EXPECT_EQ(manager.session_names(), std::vector<std::string>{"b"});
+  EXPECT_EQ(manager.stats().evicted, 1u);
+}
+
+TEST_F(ExecutorTest, ClientRetriesBackpressureToCompletion) {
+  RequestExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.injected_latency_us = 5000.0;
+  RequestExecutor executor(manager_, options);
+  ServiceClient::Options client_options;
+  client_options.max_attempts = 10;
+  client_options.base_backoff_ms = 2.0;
+  ServiceClient client(executor, client_options);
+
+  constexpr int kRequests = 6;
+  std::atomic<int> ok{0}, not_ok{0};
+  for (int i = 0; i < kRequests; ++i) {
+    client.submit(make(static_cast<std::uint64_t>(i + 1), "s1", "help"), [&](Response response) {
+      (response.status == ResponseStatus::kOk ? ok : not_ok)++;
+    });
+  }
+  client.drain();
+  // A 1-slot queue cannot take 6 instant submissions: the client must
+  // have retried, and every request still lands exactly one ok.
+  EXPECT_EQ(ok.load(), kRequests);
+  EXPECT_EQ(not_ok.load(), 0);
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.delivered, static_cast<std::uint64_t>(kRequests));
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  client.shutdown();
+}
+
+TEST_F(ExecutorTest, ClientDeliversTerminalFailuresWithoutRetrying) {
+  RequestExecutor executor(manager_);
+  ServiceClient client(executor);
+  Response terminal;
+  client.submit(make(1, "s1", "definitely-not-a-command"),
+                [&](Response response) { terminal = std::move(response); });
+  client.drain();
+  EXPECT_EQ(terminal.status, ResponseStatus::kError);
+  EXPECT_EQ(terminal.code, ErrorCode::kCommandFailed);
+  EXPECT_EQ(client.stats().retries, 0u);
+  client.shutdown();
+}
+
+TEST_F(ExecutorTest, ClientExhaustsRetriesAgainstAStoppedExecutor) {
+  RequestExecutor executor(manager_);
+  executor.shutdown();
+  ServiceClient::Options client_options;
+  client_options.max_attempts = 3;
+  client_options.base_backoff_ms = 1.0;
+  client_options.max_backoff_ms = 2.0;
+  ServiceClient client(executor, client_options);
+  Response terminal;
+  client.submit(make(1, "s1", "help"), [&](Response response) { terminal = std::move(response); });
+  client.drain();
+  EXPECT_EQ(terminal.status, ResponseStatus::kRejected);
+  EXPECT_EQ(terminal.code, ErrorCode::kOverloaded);
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(stats.retries, 2u);  // attempts 2 and 3
+  client.shutdown();
+}
+
+TEST_F(ExecutorTest, EnqueueFailpointReadsAsBackpressure) {
+  FailpointGuard failpoints;
+  RequestExecutor executor(manager_);
+  ASSERT_TRUE(failpoints.registry.arm_spec("service.executor.enqueue=error:1"));
+  EXPECT_FALSE(executor.try_submit(make(1, "s1", "help"), [](Response) {}));
+  EXPECT_EQ(executor.stats().rejected, 1u);
+  // Spent: the next submit is accepted and completes normally.
+  std::atomic<int> done{0};
+  ASSERT_TRUE(executor.try_submit(make(2, "s1", "help"), [&](Response) { ++done; }));
+  executor.drain();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST_F(ExecutorTest, DequeueFailpointBecomesAnInternalErrorResponse) {
+  FailpointGuard failpoints;
+  RequestExecutor executor(manager_);
+  ASSERT_TRUE(failpoints.registry.arm_spec("service.executor.dequeue=error:1"));
+  Response terminal;
+  executor.submit(make(1, "s1", "help"), [&](Response response) { terminal = std::move(response); });
+  executor.drain();
+  EXPECT_EQ(terminal.status, ResponseStatus::kError);
+  EXPECT_EQ(terminal.code, ErrorCode::kInternal);
+  EXPECT_NE(terminal.output.find("failpoint"), std::string::npos) << terminal.output;
+  // The worker survived the injected fault and serves the next request.
+  std::atomic<int> done{0};
+  executor.submit(make(2, "s1", "help"), [&](Response) { ++done; });
+  executor.drain();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST_F(ExecutorTest, FailpointDirectiveArmsAndLists) {
+  FailpointGuard failpoints;
+  RequestExecutor executor(manager_);
+  std::istringstream in(
+      "!failpoint\n"
+      "!failpoint service.executor.dequeue=error:1\n"
+      "!failpoint\n"
+      "!failpoint bogus-spec\n");
+  std::ostringstream out;
+  service::run_serve(manager_, executor, in, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("no failpoints armed"), std::string::npos) << text;
+  EXPECT_NE(text.find("armed service.executor.dequeue=error:1"), std::string::npos) << text;
+  EXPECT_NE(text.find("service.executor.dequeue mode=error"), std::string::npos) << text;
+  EXPECT_NE(text.find("error: "), std::string::npos) << text;
+}
+
+TEST_F(ExecutorTest, WriteFailureStillPublishesAnEpochAndReprimes) {
+  FailpointGuard failpoints;
+  ASSERT_TRUE(failpoints.registry.arm_spec("service.shared_layer.prime=error:1"));
+  const std::uint64_t before = shared_.epoch();
+  EXPECT_THROW(shared_.write([](dsl::DesignSpaceLayer& layer) {
+                 dsl::Core core("late_core", kOmm);
+                 core.bind(domains::kImplStyle, dsl::Value::text("Hardware"));
+                 core.set_metric(domains::kMetricArea, 7.0);
+                 layer.add_library("chaos-provider").add(std::move(core));
+               }),
+               FailpointError);
+  // The failed write still published (conservative: sessions migrate off
+  // the suspect epoch) and the recovery re-prime ran, so reads are safe.
+  EXPECT_EQ(shared_.epoch(), before + 1);
+  std::ostringstream out;
+  EXPECT_EQ(manager_.execute("reader", cat("open ", kOmm), out), dsl::ShellEngine::Status::kOk);
+  EXPECT_EQ(manager_.execute("reader", "candidates", out), dsl::ShellEngine::Status::kOk);
 }
 
 }  // namespace

@@ -8,8 +8,11 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/telemetry.hpp"
 
 namespace dslayer::telemetry {
@@ -134,6 +137,44 @@ TEST(JsonlFileSink, WritesParseableLinesAndRejectsBadPaths) {
   std::remove(path.c_str());
 
   EXPECT_THROW(JsonlFileSink("/no/such/dir/telemetry.jsonl"), Error);
+}
+
+// A failing journal device must lose events LOUDLY — counted, warned once
+// on stderr — and resume cleanly when the device recovers. The failure is
+// injected at the "telemetry.jsonl_write" failpoint so the test needs no
+// real broken filesystem.
+TEST(JsonlFileSink, CountsInjectedWriteFailuresAndResumesAfterRecovery) {
+  struct FailpointGuard {
+    ~FailpointGuard() { support::FailpointRegistry::instance().reset(); }
+    support::FailpointRegistry& registry = support::FailpointRegistry::instance();
+  } failpoints;
+
+  const std::string path = testing::TempDir() + "/telemetry_sink_failure_test.jsonl";
+  JsonlFileSink sink(path);
+  ASSERT_TRUE(failpoints.registry.arm_spec("telemetry.jsonl_write=error:2"));
+
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    Event event;
+    event.seq = seq;
+    event.kind = EventKind::kSessionOpened;
+    event.subject = "Operator.Modular.Multiplier";
+    sink.on_event(event);
+  }
+  // Events 1 and 2 hit the injected fault: dropped but counted. The
+  // point self-disarmed after two fires, so 3 and 4 reach the file —
+  // the sink recovered without being recreated.
+  EXPECT_EQ(sink.write_failures(), 2u);
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::uint64_t> surviving;
+  while (std::getline(in, line)) {
+    const auto parsed = parse_event_jsonl(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    surviving.push_back(parsed->seq);
+  }
+  EXPECT_EQ(surviving, (std::vector<std::uint64_t>{3, 4}));
+  std::remove(path.c_str());
 }
 
 TEST(TelemetryHub, EmitAssignsMonotonicSeqAndFansOut) {

@@ -24,6 +24,21 @@
 //   --max-sessions N  live session bound, LRU-evicted past it (64)
 //   --latency-us X    injected per-request latency simulating a remote
 //                     IP-provider catalog round trip (0)
+//   --max-queue-wait-ms X
+//                     overload shedding: requests that waited longer than
+//                     X ms in the queue are answered
+//                     rejected/overloaded with a retry-after hint
+//                     instead of executing late (0 = off)
+//   --degraded-after-ms X
+//                     degraded read-only mode: a request waits at most
+//                     X ms for the shared layer behind a stalled catalog
+//                     writer, then fails fast as retryable
+//                     rejected/unavailable (0 = wait forever)
+//
+// Fault injection: set DSLAYER_FAILPOINTS="site=mode,..." (e.g.
+// "service.session.migrate=error:1,dsl.candidates.sweep=delay:50") or use
+// the `!failpoint <spec>` directive mid-stream. Site catalog and spec
+// grammar: DESIGN.md §11, src/support/failpoint.hpp.
 //
 // The interactive mode also streams from a pipe, so single sessions can
 // be scripted:
@@ -56,7 +71,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [crypto|crypto-tech|media|<layer-file>]"
                " [--batch [file]|--serve] [--workers N] [--queue N]"
-               " [--max-sessions N] [--latency-us X]\n";
+               " [--max-sessions N] [--latency-us X]"
+               " [--max-queue-wait-ms X] [--degraded-after-ms X]\n";
   return 2;
 }
 
@@ -87,6 +103,12 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     } else if (arg == "--latency-us") {
       if (!next_number(n)) return false;
       options.executor.injected_latency_us = n;
+    } else if (arg == "--max-queue-wait-ms") {
+      if (!next_number(n)) return false;
+      options.executor.max_queue_wait_ms = n;
+    } else if (arg == "--degraded-after-ms") {
+      if (!next_number(n)) return false;
+      options.sessions.degraded_after_ms = n;
     } else if (!layer_set && !arg.empty() && arg[0] != '-') {
       options.layer = arg;
       layer_set = true;
