@@ -11,9 +11,10 @@
 #   4. ThreadSanitizer — the concurrency stress AND chaos tests (tier2) in
 #      a TSan build, gating the exploration service's locking model;
 #   5. benchmark telemetry — the query-cache, candidate-filter, Fig. 12,
-#      and service throughput benches emit machine-readable BENCH_*.json at
-#      the repo root for trend tracking, and check_bench_counters.py gates
-#      their deterministic work counters against bench/baselines/.
+#      service throughput, and network throughput benches emit
+#      machine-readable BENCH_*.json at the repo root for trend tracking,
+#      and check_bench_counters.py gates their deterministic work counters
+#      against bench/baselines/.
 #
 # Every ctest run carries --timeout: the chaos/stress suites inject delays
 # and faults into lock-holding code, so "a test deadlocked" must surface
@@ -40,7 +41,7 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS"
 cmake --build build-asan -j
 (cd build-asan && ctest -LE tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
-(cd build-asan && ctest -R 'ServiceChaos|Failpoint' --output-on-failure --timeout "$CTEST_TIMEOUT")
+(cd build-asan && ctest -R 'ServiceChaos|NetChaos|Failpoint' --output-on-failure --timeout "$CTEST_TIMEOUT")
 
 echo "=== [4/5] ThreadSanitizer: service concurrency stress + chaos ==="
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
@@ -49,7 +50,7 @@ cmake -B build-tsan -S . \
   -DDSLAYER_BUILD_BENCH=OFF \
   -DDSLAYER_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS"
-cmake --build build-tsan -j --target service_stress_test service_chaos_test exploration_fuzz_test
+cmake --build build-tsan -j --target service_stress_test service_chaos_test net_chaos_test exploration_fuzz_test
 (cd build-tsan && ctest -L tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 
 echo "=== [5/5] benchmark telemetry (BENCH_*.json) + counter guard ==="
@@ -57,6 +58,7 @@ echo "=== [5/5] benchmark telemetry (BENCH_*.json) + counter guard ==="
 ./build/bench/candidate_filter --json BENCH_candidate_filter.json
 ./build/bench/fig12_montgomery_tradeoffs --json BENCH_fig12_montgomery_tradeoffs.json
 ./build/bench/service_throughput --json BENCH_service_throughput.json
+./build/bench/net_throughput --json BENCH_net_throughput.json
 # Wall-time-free regression gate: the deterministic work counters in the
 # bench JSON must match the committed baselines exactly.
 python3 scripts/check_bench_counters.py

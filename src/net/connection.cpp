@@ -1,0 +1,15 @@
+#include "net/connection.hpp"
+
+namespace dslayer::net {
+
+const char* to_string(ConnState state) {
+  switch (state) {
+    case ConnState::kReading: return "reading";
+    case ConnState::kDraining: return "draining";
+    case ConnState::kClosing: return "closing";
+    case ConnState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+}  // namespace dslayer::net

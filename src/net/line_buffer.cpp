@@ -1,0 +1,57 @@
+#include "net/line_buffer.hpp"
+
+#include "support/error.hpp"
+
+namespace dslayer::net {
+
+LineBuffer::LineBuffer(std::size_t max_line_bytes) : max_line_bytes_(max_line_bytes) {
+  DSLAYER_REQUIRE(max_line_bytes > 0, "line buffer needs a positive line limit");
+}
+
+void LineBuffer::append(const char* data, std::size_t size) {
+  // Compact before growing: `offset_` only advances, so without this the
+  // buffer would retain every byte the connection ever sent.
+  if (offset_ > 0 && (offset_ >= buffer_.size() || offset_ > max_line_bytes_)) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+LineBuffer::Status LineBuffer::next(std::string& line) {
+  if (discarding_) {
+    const std::size_t nl = buffer_.find('\n', offset_);
+    if (nl == std::string::npos) {
+      // Still inside the over-limit line: drop what we have.
+      buffer_.clear();
+      offset_ = 0;
+      return Status::kNeedMore;
+    }
+    offset_ = nl + 1;
+    discarding_ = false;
+  }
+  const std::size_t nl = buffer_.find('\n', offset_);
+  if (nl == std::string::npos) {
+    if (buffer_.size() - offset_ > max_line_bytes_) {
+      // The partial line already blew the limit; report it now (so the
+      // server can answer invalid-request) and discard through to the
+      // eventual '\n'.
+      buffer_.clear();
+      offset_ = 0;
+      discarding_ = true;
+      return Status::kOversized;
+    }
+    return Status::kNeedMore;
+  }
+  std::size_t length = nl - offset_;
+  if (length > max_line_bytes_) {
+    offset_ = nl + 1;
+    return Status::kOversized;
+  }
+  line.assign(buffer_, offset_, length);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  offset_ = nl + 1;
+  return Status::kLine;
+}
+
+}  // namespace dslayer::net

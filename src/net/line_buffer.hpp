@@ -1,0 +1,54 @@
+// Incremental newline framing for non-blocking sockets.
+//
+// A TCP stream hands the server arbitrary byte chunks; the protocol is
+// one request per '\n'-terminated line. LineBuffer accumulates chunks
+// and yields complete lines one at a time, with two properties the
+// server depends on:
+//
+//   * Bounded memory per connection. A line longer than max_line_bytes
+//     is reported as kOversized exactly once and the rest of it is
+//     discarded up to the next '\n' — the connection survives (it gets
+//     an invalid-request response), and a client streaming an unbounded
+//     "line" cannot balloon the buffer.
+//   * '\r' tolerance. A trailing "\r\n" is treated as "\n" so netcat-
+//     and telnet-style clients work unmodified.
+//
+// Single-threaded: owned by one connection, driven by the event loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dslayer::net {
+
+class LineBuffer {
+ public:
+  enum class Status {
+    kLine,       ///< `line` holds the next complete line (no terminator)
+    kOversized,  ///< a line exceeded max_line_bytes; it was discarded
+    kNeedMore,   ///< no complete line buffered; feed more bytes
+  };
+
+  explicit LineBuffer(std::size_t max_line_bytes);
+
+  /// Appends raw bytes read from the socket.
+  void append(const char* data, std::size_t size);
+
+  /// Extracts the next complete line into `line` (terminator stripped).
+  /// Call in a loop until it stops returning kLine/kOversized; each
+  /// kOversized corresponds to one discarded over-limit line.
+  Status next(std::string& line);
+
+  /// Bytes currently buffered and not yet consumed.
+  std::size_t buffered() const { return buffer_.size() - offset_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix of buffer_
+  /// True while discarding the tail of an over-limit line (everything up
+  /// to and including the next '\n').
+  bool discarding_ = false;
+};
+
+}  // namespace dslayer::net

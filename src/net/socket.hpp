@@ -1,0 +1,56 @@
+// Thin RAII layer over POSIX sockets for the TCP front end.
+//
+// Socket owns one file descriptor; everything else here is the handful
+// of setup calls the server and its tests need (listen, connect to
+// loopback, non-blocking mode, bound-port lookup). No I/O wrappers: the
+// event loop calls read()/send() directly so its EAGAIN handling stays
+// explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dslayer::net {
+
+/// Move-only owner of a socket file descriptor (-1 = empty).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor (if any).
+  void reset();
+
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a non-blocking listener on the port (0 = kernel-assigned) with
+/// SO_REUSEADDR. Returns an empty Socket and sets *error on failure.
+Socket listen_tcp(std::uint16_t port, std::string* error, int backlog = 128);
+
+/// Blocking loopback connect — the client side for tests and benches.
+Socket connect_local(std::uint16_t port, std::string* error);
+
+/// Puts the descriptor in non-blocking mode. Returns false on error.
+bool set_nonblocking(int fd);
+
+/// Disables Nagle batching; response latency beats byte-packing here.
+void set_tcp_nodelay(int fd);
+
+/// The port a bound socket actually listens on (resolves port 0).
+std::uint16_t local_port(int fd);
+
+}  // namespace dslayer::net

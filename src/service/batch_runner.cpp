@@ -63,10 +63,17 @@ void run_failpoint_directive(const std::vector<std::string>& words, std::ostream
   }
 }
 
-/// Handles one '!' line. Callers must drain the executor first — and must
-/// do so *before* taking any lock a completion callback needs, or the
-/// drain waits on callbacks that wait on the lock. Returns false for
-/// unknown directives (reported on `out`).
+}  // namespace
+
+void count_terminal(const Response& response, BatchSummary& summary) {
+  switch (response.status) {
+    case ResponseStatus::kOk: break;
+    case ResponseStatus::kError: ++summary.errors; break;
+    case ResponseStatus::kRejected: ++summary.rejected; break;
+    case ResponseStatus::kDeadlineExceeded: ++summary.deadline_expired; break;
+  }
+}
+
 bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
                    std::ostream& out) {
   const auto words = split(std::string(trim(line)), ' ');
@@ -93,18 +100,6 @@ bool run_directive(SessionManager& manager, RequestExecutor& executor, const std
   return true;
 }
 
-Response invalid_request_response(std::uint64_t id, const std::string& error) {
-  Response bad;
-  bad.id = id;
-  bad.session = "-";
-  bad.status = ResponseStatus::kError;
-  bad.code = ErrorCode::kInvalidRequest;
-  bad.output = cat("error: ", error, "\n");
-  return bad;
-}
-
-}  // namespace
-
 BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
                        std::ostream& out) {
   BatchSummary summary;
@@ -129,8 +124,7 @@ BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::
     executor.drain();
     std::lock_guard<std::mutex> guard(collect_lock);
     for (const auto& [id, response] : responses) {
-      if (response.status == ResponseStatus::kError) ++summary.errors;
-      if (response.status == ResponseStatus::kRejected) ++summary.rejected;
+      count_terminal(response, summary);
       out << render_response(response);
     }
     responses.clear();
@@ -204,9 +198,14 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
     }
     request->id = ++next_id;
     ++summary.requests;
+    // Every executor-delivered terminal lands in the summary: rejections
+    // the executor produced itself (shed at dequeue, busy sessions,
+    // degraded layer) and expired deadlines used to vanish here, leaving
+    // only the direct queue-full path below counted — so serve and batch
+    // summaries disagreed for the same input.
     const auto deliver = [&out_lock, &out, &summary](Response response) {
       std::lock_guard<std::mutex> guard(out_lock);
-      if (response.status == ResponseStatus::kError) ++summary.errors;
+      count_terminal(response, summary);
       out << render_response(response);
       out.flush();
     };
@@ -228,7 +227,7 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
       rejection.retry_after_ms = executor.retry_after_hint_ms();
       rejection.output = "error: queue full — resubmit\n";
       std::lock_guard<std::mutex> guard(out_lock);
-      ++summary.rejected;
+      count_terminal(rejection, summary);
       out << render_response(rejection);
       out.flush();
     }

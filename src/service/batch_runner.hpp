@@ -27,11 +27,32 @@
 
 namespace dslayer::service {
 
+/// Terminal-response accounting shared by both front ends. Every request
+/// lands in exactly one bucket by its terminal ResponseStatus — whether
+/// the executor delivered it through a callback or the front end
+/// synthesized it (parse failure, retries exhausted) — so batch and
+/// serve summaries agree for the same input.
 struct BatchSummary {
   std::uint64_t requests = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t rejected = 0;  ///< serve mode: retries exhausted
+  std::uint64_t errors = 0;    ///< kError (command failures, invalid lines, internal)
+  std::uint64_t rejected = 0;  ///< kRejected (queue full, shed, busy, unavailable)
+  /// kDeadlineExceeded terminal responses. Kept distinct from `errors`:
+  /// an expired deadline is the caller's budget running out, not the
+  /// service misbehaving, and clients alert on the two differently.
+  std::uint64_t deadline_expired = 0;
 };
+
+/// Tallies one terminal response into the summary (kOk counts nowhere).
+void count_terminal(const Response& response, BatchSummary& summary);
+
+/// Handles one '!' directive line (`!sessions`, `!stats`, `!close <s>`,
+/// `!drain`, `!failpoint [<spec>]`), writing its output to `out`. Returns
+/// false for unknown directives (reported on `out`). Directives are
+/// synchronization points: callers must drain the executor FIRST — and
+/// must do so before taking any lock a completion callback needs, or the
+/// drain waits on callbacks that wait on the lock.
+bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
+                   std::ostream& out);
 
 BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
                        std::ostream& out);

@@ -19,6 +19,12 @@ ServiceClient::ServiceClient(RequestExecutor& executor, Options options)
 
 ServiceClient::~ServiceClient() { shutdown(); }
 
+double ServiceClient::backoff_floor_ms(const Options& options, int retry) {
+  const int exponent = std::min(std::max(retry - 1, 0), 20);
+  return std::min(options.max_backoff_ms,
+                  options.base_backoff_ms * static_cast<double>(1ULL << exponent));
+}
+
 void ServiceClient::submit(Request request, Callback done) {
   DSLAYER_REQUIRE(done != nullptr, "client callback must not be null");
   auto tracked = std::make_shared<Tracked>();
@@ -66,9 +72,10 @@ void ServiceClient::on_response(const TrackedPtr& tracked, Response response) {
       ++retries_;
       // Capped exponential back-off with full-range jitter; the server's
       // retry-after hint, when larger, wins (it knows the queue).
-      const double exponential = std::min(
-          options_.max_backoff_ms,
-          options_.base_backoff_ms * static_cast<double>(1ULL << std::min(tracked->attempt, 20)));
+      // `attempt` counts attempts already made, so it is exactly the
+      // 1-based index of the upcoming retry: the first retry sleeps
+      // around base_backoff_ms (exponent 0), not double it.
+      const double exponential = backoff_floor_ms(options_, tracked->attempt);
       const double floor_ms = std::max(exponential, response.retry_after_ms);
       delay_ms = floor_ms * (0.5 + jitter_.next_double());
     }

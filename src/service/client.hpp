@@ -41,10 +41,16 @@ class ServiceClient {
  public:
   struct Options {
     int max_attempts = 4;           ///< total tries per request (first + retries)
-    double base_backoff_ms = 2.0;   ///< first retry delay; doubles per attempt
+    double base_backoff_ms = 2.0;   ///< first retry delay floor; doubles per retry
     double max_backoff_ms = 100.0;  ///< exponential cap
     std::uint64_t jitter_seed = 0x5eed11e5u;  ///< deterministic jitter stream
   };
+
+  /// Un-jittered back-off floor before the `retry`-th retry (1-based):
+  /// base_backoff_ms * 2^(retry-1), capped at max_backoff_ms — the first
+  /// retry waits around the configured base, not double it. The actual
+  /// delay is max(floor, server retry-after hint) * [0.5, 1.5) jitter.
+  static double backoff_floor_ms(const Options& options, int retry);
 
   /// Terminal-response callback; invoked exactly once per submit(), on a
   /// worker or the retry thread. Must not call back into the client or

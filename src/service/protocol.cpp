@@ -69,7 +69,10 @@ bool parse_deadline_suffix(std::string_view token, double* deadline_ms, std::str
   for (const char c : token) {
     if (c < '0' || c > '9') {
       set_error(error,
-                cat("bad deadline '", std::string(token), "' (expected a whole number of ms)"));
+                cat("bad deadline '", std::string(token),
+                    "' — everything after the first '@' must be a whole number of ms "
+                    "('@' is reserved for the deadline suffix and cannot appear in "
+                    "session names)"));
       return false;
     }
     value = value * 10.0 + (c - '0');
@@ -105,7 +108,11 @@ std::optional<Request> parse_request(std::string_view line, std::string* error) 
     }
     Request request;
     std::string_view session = trimmed.substr(0, gap);
-    const std::size_t at = session.rfind('@');
+    // Split at the FIRST '@': the character is reserved for the deadline
+    // suffix and may not appear in session names. Splitting at the last
+    // '@' used to parse "user@host" as session "user@" + deadline "host"
+    // and reject it with a misleading "bad deadline 'host'" message.
+    const std::size_t at = session.find('@');
     if (at != std::string_view::npos) {
       if (!parse_deadline_suffix(session.substr(at + 1), &request.deadline_ms, error)) {
         return std::nullopt;
@@ -129,6 +136,16 @@ std::optional<Request> parse_request(std::string_view line, std::string* error) 
     set_error(error, "request line could not be parsed");
     return std::nullopt;
   }
+}
+
+Response invalid_request_response(std::uint64_t id, const std::string& error) {
+  Response bad;
+  bad.id = id;
+  bad.session = "-";
+  bad.status = ResponseStatus::kError;
+  bad.code = ErrorCode::kInvalidRequest;
+  bad.output = cat("error: ", error, "\n");
+  return bad;
 }
 
 std::string render_response(const Response& response) {

@@ -9,8 +9,12 @@
 //
 // The session token may carry an optional request deadline as an `@<ms>`
 // suffix (`s1@250 candidates` = "answer within 250ms of submission or
-// fail fast with deadline-exceeded"). Blank lines and `#` comments are
-// skipped. Lines starting with `!` are front-end directives (handled
+// fail fast with deadline-exceeded"). `'@'` is RESERVED for that suffix:
+// the token is split at the first `'@'` and everything after it must be
+// a whole number of milliseconds, so session names cannot contain `'@'`
+// (a token like `user@host` is rejected with a message that says so
+// rather than a misleading deadline-parse error). Blank lines and `#`
+// comments are skipped. Lines starting with `!` are front-end directives (handled
 // synchronously by the batch runner, not queued): `!sessions`, `!stats`,
 // `!close <session>`, `!drain`, `!failpoint <spec>`.
 //
@@ -99,6 +103,12 @@ std::optional<Request> parse_request(std::string_view line, std::string* error =
 
 /// True if the line is a front-end directive (starts with '!').
 bool is_directive(std::string_view line);
+
+/// The canonical kError/kInvalidRequest response for a line that never
+/// became a request (parse failure, oversized line). Session is "-";
+/// `error` lands in the output as "error: <error>". Every front end
+/// (batch, serve, TCP) answers malformed input with this shape.
+Response invalid_request_response(std::uint64_t id, const std::string& error);
 
 /// Renders the `== <id> <session> <status>` header plus output. Non-ok
 /// codes append ` code=<name>`; a positive retry_after_ms appends

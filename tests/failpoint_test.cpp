@@ -219,6 +219,10 @@ TEST(ProtocolFuzz, ParserNeverThrowsAndUpholdsItsInvariants) {
     const auto request = service::parse_request(line, &error);
     if (request.has_value()) {
       EXPECT_FALSE(request->session.empty()) << "line: " << line;
+      // '@' is reserved for the deadline suffix: a parsed session never
+      // contains one (the old last-'@' split let "a@b@5" through with
+      // session "a@b").
+      EXPECT_EQ(request->session.find('@'), std::string::npos) << "line: " << line;
       EXPECT_FALSE(request->command.empty()) << "line: " << line;
       EXPECT_GE(request->deadline_ms, 0.0) << "line: " << line;
       EXPECT_TRUE(error.empty()) << "line: " << line;

@@ -23,6 +23,7 @@
 #include "service/shared_layer.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 
 namespace dslayer {
@@ -84,6 +85,35 @@ TEST(Protocol, ParsesDeadlineSuffix) {
   error.clear();
   EXPECT_FALSE(service::parse_request("@250 candidates", &error).has_value());
   EXPECT_FALSE(error.empty());
+}
+
+TEST(Protocol, SessionNamesCannotContainAtSign) {
+  // Regression: the session token used to split at the LAST '@', so a
+  // session literally named "user@host" was rejected with a misleading
+  // "bad deadline 'host'" message. The contract is now explicit: the
+  // token splits at the FIRST '@', everything after it must be a whole
+  // number of ms, and the error says '@' is reserved.
+  std::string error;
+  EXPECT_FALSE(service::parse_request("user@host report", &error).has_value());
+  EXPECT_NE(error.find("cannot appear in session names"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(service::parse_request("a@b@5 report", &error).has_value());
+  EXPECT_NE(error.find("cannot appear in session names"), std::string::npos) << error;
+
+  // The deadline happy path is untouched.
+  const auto request = service::parse_request("user@250 report");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->session, "user");
+  EXPECT_DOUBLE_EQ(request->deadline_ms, 250.0);
+
+  // '@'-riddled tokens all fail loudly, never silently bind a deadline
+  // to the wrong split point.
+  for (const char* line : {"s@@5 x", "s@5@ x", "s@@ x", "s@5@5 x", "@ x"}) {
+    error.clear();
+    EXPECT_FALSE(service::parse_request(line, &error).has_value()) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
 }
 
 TEST(Protocol, RejectsOversizedLines) {
@@ -509,6 +539,52 @@ TEST_F(ExecutorTest, BatchReportsMalformedLines) {
   EXPECT_NE(out.str().find("== 1 - error code=invalid-request"), std::string::npos) << out.str();
 }
 
+TEST_F(ExecutorTest, ServeCountsExecutorDeliveredRejectionsInSummary) {
+  // Regression: run_serve's deliver callback only bumped summary.errors,
+  // so rejections the EXECUTOR delivered (queue-wait shedding, busy
+  // sessions, degraded layer) vanished from BatchSummary.rejected — only
+  // the front end's own queue-full path was counted, and serve and batch
+  // summaries disagreed for the same input. One worker stuck on a 30ms
+  // request with a 1ms queue-wait budget sheds everything queued behind
+  // it; every shed must land in `rejected`.
+  RequestExecutor::Options options;
+  options.workers = 1;
+  options.injected_latency_us = 30000.0;
+  options.max_queue_wait_ms = 1.0;
+  RequestExecutor executor(manager_, options);
+  std::istringstream in("s1 help\ns1 help\ns1 help\ns1 help\n");
+  std::ostringstream out;
+  const auto summary = service::run_serve(manager_, executor, in, out);
+  EXPECT_EQ(summary.requests, 4u);
+  const auto stats = executor.stats();
+  EXPECT_GE(stats.shed, 1u);
+  EXPECT_EQ(summary.rejected, stats.shed) << out.str();
+  EXPECT_EQ(summary.errors, 0u) << out.str();
+  EXPECT_NE(out.str().find("code=overloaded"), std::string::npos) << out.str();
+}
+
+TEST_F(ExecutorTest, BatchCountsDeadlineExpiredResponsesInSummary) {
+  // Regression: run_batch's flush counted kError and kRejected terminals
+  // but dropped kDeadlineExceeded on the floor — a batch whose
+  // deadline'd requests all expired exited 0 with a clean summary. The
+  // first request holds the lone worker 30ms, so the second's 1ms
+  // deadline is long gone at dequeue; expired deadlines are terminal
+  // (not retryable), so the client delivers them straight through.
+  RequestExecutor::Options options;
+  options.workers = 1;
+  options.injected_latency_us = 30000.0;
+  RequestExecutor executor(manager_, options);
+  std::istringstream in("s1 help\ns1@1 help\n");
+  std::ostringstream out;
+  const auto summary = service::run_batch(manager_, executor, in, out);
+  EXPECT_EQ(summary.requests, 2u);
+  EXPECT_EQ(summary.deadline_expired, 1u) << out.str();
+  EXPECT_EQ(summary.errors, 0u) << out.str();
+  EXPECT_EQ(summary.rejected, 0u) << out.str();
+  EXPECT_EQ(executor.stats().deadline_expired, 1u);
+  EXPECT_NE(out.str().find("== 2 s1 deadline-exceeded"), std::string::npos) << out.str();
+}
+
 // ---------------------------------------------------------------------------
 // fault tolerance: deadlines, degradation, failpoints, retrying client
 // ---------------------------------------------------------------------------
@@ -753,6 +829,58 @@ TEST_F(ExecutorTest, ClientExhaustsRetriesAgainstAStoppedExecutor) {
   EXPECT_EQ(stats.exhausted, 1u);
   EXPECT_EQ(stats.retries, 2u);  // attempts 2 and 3
   client.shutdown();
+}
+
+TEST(ClientBackoff, FirstRetryFloorIsTheConfiguredBase) {
+  // Regression: the back-off exponent was taken from `attempt` AFTER the
+  // first submission had already bumped it, so the first retry slept
+  // around base*2 and the configured base delay was never used. The
+  // floor before the N-th retry is base * 2^(N-1), capped.
+  ServiceClient::Options options;
+  options.base_backoff_ms = 2.0;
+  options.max_backoff_ms = 100.0;
+  EXPECT_DOUBLE_EQ(ServiceClient::backoff_floor_ms(options, 1), 2.0);
+  EXPECT_DOUBLE_EQ(ServiceClient::backoff_floor_ms(options, 2), 4.0);
+  EXPECT_DOUBLE_EQ(ServiceClient::backoff_floor_ms(options, 3), 8.0);
+  EXPECT_DOUBLE_EQ(ServiceClient::backoff_floor_ms(options, 6), 64.0);
+  EXPECT_DOUBLE_EQ(ServiceClient::backoff_floor_ms(options, 7), 100.0);  // 2*2^6 = 128, capped
+  EXPECT_DOUBLE_EQ(ServiceClient::backoff_floor_ms(options, 40), 100.0);  // no shift overflow
+}
+
+TEST_F(ExecutorTest, ClientFirstRetryDelayMatchesThePinnedJitter) {
+  // End-to-end check of the same off-by-one: with the jitter stream
+  // pinned, the single retry's delay is exactly floor * (0.5 + j0) where
+  // the floor is base_backoff_ms (a fresh executor's retry-after hint is
+  // ~1ms and never wins). Pre-fix the floor was 2x base, which pushes
+  // the measured wall time past the upper bound below for any jitter.
+  FailpointGuard failpoints;
+  RequestExecutor executor(manager_);
+  ServiceClient::Options options;
+  options.max_attempts = 2;
+  options.base_backoff_ms = 400.0;
+  options.max_backoff_ms = 400.0;
+  ServiceClient client(executor, options);
+  Rng pinned(options.jitter_seed);
+  const double expected_ms = options.base_backoff_ms * (0.5 + pinned.next_double());
+
+  ASSERT_TRUE(failpoints.registry.arm_spec("service.executor.enqueue=error:1"));
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<double> elapsed_ms{0.0};
+  std::atomic<int> status{-1};
+  client.submit(make(1, "s1", "help"), [&](Response response) {
+    elapsed_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                           start)
+                     .count();
+    status = static_cast<int>(response.status);
+  });
+  client.drain();
+  client.shutdown();
+  EXPECT_EQ(status.load(), static_cast<int>(ResponseStatus::kOk));
+  // Lower bound: the retry cannot mature before its due time. Upper
+  // bound: generous scheduling slack, but well under the pre-fix wall
+  // time of 2 * expected_ms (>= expected_ms + 400ms).
+  EXPECT_GE(elapsed_ms.load(), expected_ms - 1.0);
+  EXPECT_LE(elapsed_ms.load(), expected_ms + 150.0);
 }
 
 TEST_F(ExecutorTest, EnqueueFailpointReadsAsBackpressure) {

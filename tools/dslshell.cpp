@@ -17,6 +17,11 @@
 //                     worker pool, prints responses in submission order.
 //   --serve           same protocol from stdin, but responses stream in
 //                     completion order as they finish.
+//   --listen PORT     network mode: a non-blocking epoll TCP server on
+//                     PORT (0 = kernel-assigned, printed on startup)
+//                     speaking the same line protocol with pipelined
+//                     requests per connection. Ctrl-C / SIGTERM stops
+//                     it gracefully. See README "Network mode".
 //
 // Service options (with --batch/--serve):
 //   --workers N       worker threads (default 2)
@@ -35,6 +40,14 @@
 //                     writer, then fails fast as retryable
 //                     rejected/unavailable (0 = wait forever)
 //
+// Network options (with --listen):
+//   --max-connections N   accepts past N are refused with one rejection
+//                         line (default 1024)
+//   --conn-inflight N     pipelined requests per connection before the
+//                         server stops reading it (default 32)
+//   --idle-timeout-ms X   close connections idle for X ms — also the
+//                         slowloris / half-open defense (0 = never)
+//
 // Fault injection: set DSLAYER_FAILPOINTS="site=mode,..." (e.g.
 // "service.session.migrate=error:1,dsl.candidates.sweep=delay:50") or use
 // the `!failpoint <spec>` directive mid-stream. Site catalog and spec
@@ -44,15 +57,18 @@
 // be scripted:
 //   printf 'open Operator.Modular.Multiplier\nreq EffectiveOperandLength 768\n' | dslshell crypto
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "domains/crypto.hpp"
 #include "domains/media.hpp"
 #include "dsl/serialize.hpp"
 #include "dsl/shell.hpp"
+#include "net/server.hpp"
 #include "service/batch_runner.hpp"
 
 using namespace dslayer;
@@ -61,18 +77,20 @@ namespace {
 
 struct CliOptions {
   std::string layer = "crypto";
-  enum class Mode { kInteractive, kBatch, kServe } mode = Mode::kInteractive;
+  enum class Mode { kInteractive, kBatch, kServe, kListen } mode = Mode::kInteractive;
   std::string batch_file = "-";
   service::SessionManager::Options sessions;
   service::RequestExecutor::Options executor;
+  net::NetServer::Options net;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [crypto|crypto-tech|media|<layer-file>]"
-               " [--batch [file]|--serve] [--workers N] [--queue N]"
+               " [--batch [file]|--serve|--listen PORT] [--workers N] [--queue N]"
                " [--max-sessions N] [--latency-us X]"
-               " [--max-queue-wait-ms X] [--degraded-after-ms X]\n";
+               " [--max-queue-wait-ms X] [--degraded-after-ms X]"
+               " [--max-connections N] [--conn-inflight N] [--idle-timeout-ms X]\n";
   return 2;
 }
 
@@ -91,6 +109,21 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
       if (i + 1 < argc && argv[i + 1][0] != '-') options.batch_file = argv[++i];
     } else if (arg == "--serve") {
       options.mode = CliOptions::Mode::kServe;
+    } else if (arg == "--listen") {
+      // Port 0 is meaningful (kernel-assigned), so this one bypasses the
+      // positive-number helper.
+      if (i + 1 >= argc) return false;
+      options.mode = CliOptions::Mode::kListen;
+      options.net.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--max-connections") {
+      if (!next_number(n)) return false;
+      options.net.max_connections = static_cast<std::size_t>(n);
+    } else if (arg == "--conn-inflight") {
+      if (!next_number(n)) return false;
+      options.net.conn_inflight_cap = static_cast<std::size_t>(n);
+    } else if (arg == "--idle-timeout-ms") {
+      if (!next_number(n)) return false;
+      options.net.idle_timeout_ms = n;
     } else if (arg == "--workers") {
       if (!next_number(n)) return false;
       options.executor.workers = static_cast<std::size_t>(n);
@@ -136,7 +169,40 @@ std::unique_ptr<dsl::DesignSpaceLayer> load_layer(const std::string& which) {
   return std::move(imported.layer);
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void request_stop(int) { g_stop_requested = 1; }
+
+int run_listen(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
+  service::SharedLayer shared(layer);
+  service::SessionManager manager(shared, options.sessions);
+  service::RequestExecutor executor(manager, options.executor);
+  net::NetServer server(manager, executor, options.net);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "cannot listen on port " << options.net.port << ": " << error << "\n";
+    return 2;
+  }
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+  std::cout << "dslayer service listening on port " << server.port() << " (layer '"
+            << layer.name() << "', " << options.executor.workers << " workers)\n"
+            << std::flush;
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const auto stats = server.stats();
+  server.stop();
+  executor.shutdown();
+  std::cout << "net: accepted=" << stats.accepted << " closed=" << stats.closed
+            << " requests=" << stats.requests << " responses=" << stats.responses
+            << " invalid=" << stats.invalid_lines << " idle_closed=" << stats.idle_closed
+            << " faulted=" << stats.faulted << "\n";
+  return 0;
+}
+
 int run_service(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
+  if (options.mode == CliOptions::Mode::kListen) return run_listen(layer, options);
   service::SharedLayer shared(layer);
   service::SessionManager manager(shared, options.sessions);
   service::RequestExecutor executor(manager, options.executor);
@@ -155,7 +221,7 @@ int run_service(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
     summary = service::run_batch(manager, executor, file, std::cout);
   }
   executor.shutdown();
-  return summary.errors == 0 && summary.rejected == 0 ? 0 : 1;
+  return summary.errors == 0 && summary.rejected == 0 && summary.deadline_expired == 0 ? 0 : 1;
 }
 
 }  // namespace
