@@ -22,6 +22,17 @@
 // Pass/fail: every request answers ok (errors == 0, rejected == 0,
 // responses == connections x requests), and the server accounting
 // agrees with the client's.
+//
+// The workload runs TWICE against the same server: a baseline phase with
+// tracing disabled, then a traced phase at the production default
+// (--trace-sample 64, pinned seed). The traced phase's req/s cost over
+// baseline is reported as tracing_overhead_pct — informational, wall
+// time flaps with the machine — while the trace accounting
+// (traced.started, traced.sampled) is exactly deterministic (ids 1..N
+// against a pinned sampling seed) and gated by check_bench_counters.py.
+// With --dump-metrics FILE the bench also writes one `!metrics`-style
+// Prometheus scrape of the loaded server, which CI feeds to
+// scripts/check_metrics_format.py.
 
 #include <poll.h>
 #include <sys/epoll.h>
@@ -44,10 +55,12 @@
 #include "domains/crypto.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "service/metrics.hpp"
 #include "service/request_executor.hpp"
 #include "service/session_manager.hpp"
 #include "service/shared_layer.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 using namespace dslayer;
 
@@ -202,10 +215,91 @@ void run_shard(ClientShard& shard, std::size_t pipeline, std::atomic<bool>& fail
   }
 }
 
+/// One full pass of the workload: connect everything, drive the scripted
+/// requests, collect client-side accounting.
+struct LoadResult {
+  double wall_ms = 0.0;
+  double req_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected = 0;
+  bool failed = false;
+};
+
+LoadResult run_load(std::uint16_t port, std::size_t connections, std::size_t requests,
+                    std::size_t pipeline, std::size_t client_threads) {
+  LoadResult result;
+  std::vector<ClientShard> shards(client_threads);
+  std::string error;
+  for (std::size_t c = 0; c < connections; ++c) {
+    auto conn = std::make_unique<ClientConn>();
+    conn->sock = net::connect_local(port, &error);
+    if (!conn->sock.valid()) {
+      std::cerr << "connect " << c << " failed: " << error << "\n";
+      result.failed = true;
+      return result;
+    }
+    const std::string session = cat("d", std::to_string(c % kSessionNames));
+    conn->script.reserve(requests);
+    conn->script.push_back(cat(session, " open Operator.Modular.Multiplier\n"));
+    for (std::size_t r = 1; r < requests; ++r) {
+      conn->script.push_back(cat(session, " range area\n"));
+    }
+    shards[c % client_threads].conns.push_back(std::move(conn));
+  }
+
+  std::atomic<bool> failed{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(client_threads);
+  for (auto& shard : shards) {
+    threads.emplace_back([&shard, &failed, pipeline] { run_shard(shard, pipeline, failed); });
+  }
+  for (auto& thread : threads) thread.join();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+
+  std::vector<double> latencies;
+  for (auto& shard : shards) {
+    latencies.insert(latencies.end(), shard.latencies_ms.begin(), shard.latencies_ms.end());
+    for (const auto& conn : shard.conns) {
+      result.responses += conn->responses;
+      result.errors += conn->errors;
+      result.rejected += conn->rejected;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const std::size_t index = std::min(latencies.size() - 1,
+                                       static_cast<std::size_t>(p * latencies.size() / 100.0));
+    return latencies[index];
+  };
+  result.p50_ms = percentile(50.0);
+  result.p99_ms = percentile(99.0);
+  result.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  result.req_per_s =
+      result.wall_ms > 0.0 ? static_cast<double>(result.responses) * 1000.0 / result.wall_ms : 0.0;
+  result.failed = failed.load();
+  return result;
+}
+
+void print_phase(const char* name, const LoadResult& r) {
+  std::cout << name << ": wall=" << format_double(r.wall_ms, 5)
+            << "ms  req/s=" << format_double(r.req_per_s, 5)
+            << "  p50=" << format_double(r.p50_ms, 4) << "ms  p99=" << format_double(r.p99_ms, 4)
+            << "ms  max=" << format_double(r.max_ms, 4) << "ms  responses=" << r.responses
+            << "  errors=" << r.errors << "  rejected=" << r.rejected << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string metrics_path;
   std::size_t connections = 1000;
   std::size_t requests = 20;
   std::size_t pipeline = 4;
@@ -215,6 +309,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--dump-metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (arg == "--connections" && i + 1 < argc) {
       connections = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--requests" && i + 1 < argc) {
@@ -227,8 +323,8 @@ int main(int argc, char** argv) {
       workers = std::strtoul(argv[++i], nullptr, 10);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--json <path>] [--connections N] [--requests N] [--pipeline N]"
-                   " [--client-threads N] [--workers N]\n";
+                << " [--json <path>] [--dump-metrics <path>] [--connections N] [--requests N]"
+                   " [--pipeline N] [--client-threads N] [--workers N]\n";
       return 2;
     }
   }
@@ -260,72 +356,89 @@ int main(int argc, char** argv) {
             << "; workers: " << workers
             << "; hardware_concurrency: " << std::thread::hardware_concurrency() << "\n";
 
-  // Connect everything up front: the measured phase is steady-state
-  // request traffic over established connections.
-  std::vector<ClientShard> shards(client_threads);
-  for (std::size_t c = 0; c < connections; ++c) {
-    auto conn = std::make_unique<ClientConn>();
-    conn->sock = net::connect_local(server.port(), &error);
-    if (!conn->sock.valid()) {
-      std::cerr << "connect " << c << " failed: " << error << "\n";
-      return 2;
-    }
-    const std::string session = cat("d", std::to_string(c % kSessionNames));
-    conn->script.reserve(requests);
-    conn->script.push_back(cat(session, " open Operator.Modular.Multiplier\n"));
-    for (std::size_t r = 1; r < requests; ++r) {
-      conn->script.push_back(cat(session, " range area\n"));
-    }
-    shards[c % client_threads].conns.push_back(std::move(conn));
-  }
-
-  std::atomic<bool> failed{false};
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(client_threads);
-  for (auto& shard : shards) {
-    threads.emplace_back([&shard, &failed, pipeline] { run_shard(shard, pipeline, failed); });
-  }
-  for (auto& thread : threads) thread.join();
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
-
-  std::vector<double> latencies;
-  std::uint64_t responses = 0, errors = 0, rejected = 0;
-  for (auto& shard : shards) {
-    latencies.insert(latencies.end(), shard.latencies_ms.begin(), shard.latencies_ms.end());
-    for (const auto& conn : shard.conns) {
-      responses += conn->responses;
-      errors += conn->errors;
-      rejected += conn->rejected;
-    }
-  }
-  std::sort(latencies.begin(), latencies.end());
-  const auto percentile = [&](double p) {
-    if (latencies.empty()) return 0.0;
-    const std::size_t index = std::min(latencies.size() - 1,
-                                       static_cast<std::size_t>(p * latencies.size() / 100.0));
-    return latencies[index];
-  };
-  const double p50_ms = percentile(50.0), p99_ms = percentile(99.0);
-  const double max_ms = latencies.empty() ? 0.0 : latencies.back();
   const std::uint64_t expected = static_cast<std::uint64_t>(connections) * requests;
-  const double req_per_s = wall_ms > 0.0 ? static_cast<double>(responses) * 1000.0 / wall_ms : 0.0;
+
+  // Phase 1: baseline — tracing fully disabled (the pre-observability
+  // configuration; unsampled hot-path cost is NOT in this phase at all).
+  trace::Tracer::instance().reset();
+  const LoadResult baseline = run_load(server.port(), connections, requests, pipeline,
+                                       client_threads);
+  print_phase("baseline", baseline);
+
+  // Phase 2: the same workload with tracing at the production default —
+  // 1-in-64 sampling, pinned seed so the sampled count is deterministic
+  // (trace ids are 1..N: the baseline phase created no traces).
+  trace::TracerConfig trace_config;
+  trace_config.sample_every = 64;
+  trace_config.slow_request_ms = 0.0;
+  trace::Tracer::instance().configure(trace_config);
+  const LoadResult traced = run_load(server.port(), connections, requests, pipeline,
+                                     client_threads);
+  print_phase("traced  ", traced);
+  // finish() runs just after the response is enqueued, so the last few
+  // traces can still be in flight when the clients disconnect; settle.
+  const auto settle_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < settle_deadline) {
+    const auto snapshot = trace::Tracer::instance().stats();
+    if (snapshot.finished >= snapshot.started) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto trace_stats = trace::Tracer::instance().stats();
+  const double overhead_pct =
+      baseline.req_per_s > 0.0
+          ? (baseline.req_per_s - traced.req_per_s) / baseline.req_per_s * 100.0
+          : 0.0;
+  std::cout << "tracing: started=" << trace_stats.started << " sampled=" << trace_stats.sampled
+            << " finished=" << trace_stats.finished
+            << "  overhead=" << format_double(overhead_pct, 3) << "% req/s (informational)\n";
+
+  // Optional: one Prometheus scrape of the still-loaded server, exactly
+  // what `!metrics` serves over the wire (CI format-checks this file).
+  std::string metrics_payload;
+  if (!metrics_path.empty()) {
+    const auto server_snapshot = server.stats();
+    metrics_payload = service::render_metrics(manager, executor, [server_snapshot] {
+      service::FrontEndCounters counters;
+      counters.accepted = server_snapshot.accepted;
+      counters.closed = server_snapshot.closed;
+      counters.rejected_connects = server_snapshot.rejected_connects;
+      counters.requests = server_snapshot.requests;
+      counters.responses = server_snapshot.responses;
+      counters.invalid_lines = server_snapshot.invalid_lines;
+      counters.oversized_lines = server_snapshot.oversized_lines;
+      counters.directives = server_snapshot.directives;
+      counters.idle_closed = server_snapshot.idle_closed;
+      counters.slow_reader_closed = server_snapshot.slow_reader_closed;
+      counters.faulted = server_snapshot.faulted;
+      counters.open_connections = server_snapshot.open_connections;
+      return counters;
+    });
+  }
 
   const auto server_stats = server.stats();
   server.stop();
   executor.shutdown();
+  trace::Tracer::instance().reset();
 
-  const bool pass = !failed.load() && responses == expected && errors == 0 && rejected == 0 &&
-                    server_stats.requests == expected;
-  std::cout << "wall=" << format_double(wall_ms, 5) << "ms  req/s=" << format_double(req_per_s, 5)
-            << "  p50=" << format_double(p50_ms, 4) << "ms  p99=" << format_double(p99_ms, 4)
-            << "ms  max=" << format_double(max_ms, 4) << "ms\n"
-            << "responses=" << responses << "/" << expected << "  errors=" << errors
-            << "  rejected=" << rejected << "  server: accepted=" << server_stats.accepted
+  const bool pass = !baseline.failed && !traced.failed && baseline.responses == expected &&
+                    traced.responses == expected && baseline.errors == 0 && traced.errors == 0 &&
+                    baseline.rejected == 0 && traced.rejected == 0 &&
+                    server_stats.requests == 2 * expected && trace_stats.started == expected &&
+                    trace_stats.finished == expected;
+  std::cout << "server: accepted=" << server_stats.accepted
             << " requests=" << server_stats.requests << " responses=" << server_stats.responses
             << " faulted=" << server_stats.faulted << "\n"
             << (pass ? "net throughput: PASS" : "net throughput: FAIL") << "\n";
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 2;
+    }
+    out << metrics_payload;
+    std::cout << "wrote " << metrics_path << "\n";
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -333,6 +446,18 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << json_path << "\n";
       return 2;
     }
+    const auto phase_json = [&out](const char* name, const LoadResult& r) {
+      out << "  \"" << name << "\": {\n"
+          << "    \"responses\": " << r.responses << ",\n"
+          << "    \"errors\": " << r.errors << ",\n"
+          << "    \"rejected\": " << r.rejected << ",\n"
+          << "    \"wall_ms\": " << r.wall_ms << ",\n"
+          << "    \"requests_per_sec\": " << r.req_per_s << ",\n"
+          << "    \"p50_ms\": " << r.p50_ms << ",\n"
+          << "    \"p99_ms\": " << r.p99_ms << ",\n"
+          << "    \"max_ms\": " << r.max_ms << "\n"
+          << "  },\n";
+    };
     out.precision(17);
     out << "{\n"
         << "  \"bench\": \"net_throughput\",\n"
@@ -342,15 +467,13 @@ int main(int argc, char** argv) {
         << "  \"client_threads\": " << client_threads << ",\n"
         << "  \"workers\": " << workers << ",\n"
         << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
-        << "  \"requests\": " << expected << ",\n"
-        << "  \"responses\": " << responses << ",\n"
-        << "  \"errors\": " << errors << ",\n"
-        << "  \"rejected\": " << rejected << ",\n"
-        << "  \"wall_ms\": " << wall_ms << ",\n"
-        << "  \"requests_per_sec\": " << req_per_s << ",\n"
-        << "  \"p50_ms\": " << p50_ms << ",\n"
-        << "  \"p99_ms\": " << p99_ms << ",\n"
-        << "  \"max_ms\": " << max_ms << ",\n"
+        << "  \"requests\": " << expected << ",\n";
+    phase_json("baseline", baseline);
+    phase_json("traced", traced);
+    out << "  \"traced_started\": " << trace_stats.started << ",\n"
+        << "  \"traced_sampled\": " << trace_stats.sampled << ",\n"
+        << "  \"traced_finished\": " << trace_stats.finished << ",\n"
+        << "  \"tracing_overhead_pct\": " << overhead_pct << ",\n"
         << "  \"server_accepted\": " << server_stats.accepted << ",\n"
         << "  \"server_requests\": " << server_stats.requests << ",\n"
         << "  \"server_responses\": " << server_stats.responses << ",\n"

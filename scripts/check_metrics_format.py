@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Validate a `!metrics` scrape against Prometheus text-format rules.
+
+Checks the invariants src/service/metrics.cpp promises (and that a real
+Prometheus scraper would enforce):
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; label names match
+    [a-zA-Z_][a-zA-Z0-9_]*
+  * every sample's family has a `# HELP` and `# TYPE` line, and both
+    appear before the family's first sample
+  * TYPE is one of counter / gauge / histogram
+  * every sample value parses as a float (Inf/NaN spellings included)
+  * histogram buckets: `le` label present, boundaries strictly increasing
+    per labelset, cumulative counts non-decreasing, the last bucket is
+    le="+Inf", and its count equals the family's `_count` sample
+  * every histogram has `_sum` and `_count` samples
+  * counter family names end in `_total` (this repo's convention;
+    `_sum`/`_count`/`_bucket` suffixes belong to histograms)
+  * the payload ends with the `# EOF` terminator the TCP framing relies on
+
+Usage: check_metrics_format.py <scrape-file> [...]
+Exit 0 when every file passes; 1 with per-line diagnostics otherwise.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^(?P<name>[^\s{]+)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+LABEL_RE = re.compile(r'^(?P<name>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+VALID_TYPES = {"counter", "gauge", "histogram"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_family(name):
+    """Strip a histogram sample suffix to get the declared family name."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(raw, errors, where):
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = LABEL_RE.match(part)
+        if not match:
+            errors.append(f"{where}: malformed label pair {part!r}")
+            continue
+        label = match.group("name")
+        if not LABEL_NAME_RE.match(label):
+            errors.append(f"{where}: bad label name {label!r}")
+        labels[label] = match.group("value")
+    return labels
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        return [f"{path}: {exc}"]
+
+    helps = {}   # family -> line no of # HELP
+    types = {}   # family -> declared type
+    seen_samples = set()  # families that already emitted a sample
+    # histogram bookkeeping, keyed by (family, non-le labelset)
+    buckets = {}  # key -> list of (le_float, count)
+    counts = {}   # key -> _count value
+    sums = set()  # keys that saw _sum
+    saw_eof = False
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if saw_eof:
+            errors.append(f"{where}: content after # EOF terminator")
+            break
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"{where}: unrecognized comment directive {line!r}")
+                continue
+            keyword, family = parts[1], parts[2]
+            if not METRIC_NAME_RE.match(family):
+                errors.append(f"{where}: bad metric name {family!r} in # {keyword}")
+            if family in seen_samples:
+                errors.append(f"{where}: # {keyword} for {family} after its samples")
+            if keyword == "HELP":
+                if family in helps:
+                    errors.append(f"{where}: duplicate # HELP for {family}")
+                if len(parts) < 4 or not parts[3].strip():
+                    errors.append(f"{where}: empty HELP text for {family}")
+                helps[family] = lineno
+            else:
+                if family in types:
+                    errors.append(f"{where}: duplicate # TYPE for {family}")
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in VALID_TYPES:
+                    errors.append(f"{where}: invalid TYPE {declared!r} for {family}")
+                types[family] = declared
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        family = base_family(name)
+        declared = types.get(family)
+        # A non-histogram family named e.g. *_count would strip to the
+        # wrong base; fall back to the literal name if that one is typed.
+        if declared is None and name in types:
+            family, declared = name, types[name]
+        if not METRIC_NAME_RE.match(name):
+            errors.append(f"{where}: bad metric name {name!r}")
+        if family not in helps:
+            errors.append(f"{where}: sample for {family} without a preceding # HELP")
+        if declared is None:
+            errors.append(f"{where}: sample for {family} without a preceding # TYPE")
+        seen_samples.add(family)
+
+        value = parse_value(match.group("value"))
+        if value is None:
+            errors.append(f"{where}: value {match.group('value')!r} is not a float")
+            continue
+        labels = parse_labels(match.group("labels"), errors, where)
+
+        if declared == "histogram":
+            other = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            key = (family, other)
+            if name.endswith("_bucket"):
+                le_text = labels.get("le")
+                if le_text is None:
+                    errors.append(f"{where}: histogram bucket without an le label")
+                    continue
+                le = parse_value(le_text)
+                if le is None:
+                    errors.append(f"{where}: le={le_text!r} is not a float")
+                    continue
+                series = buckets.setdefault(key, [])
+                if series:
+                    prev_le, prev_count = series[-1]
+                    if not le > prev_le:
+                        errors.append(
+                            f"{where}: bucket boundaries not increasing "
+                            f"(le={le_text} after le={prev_le})")
+                    if value < prev_count:
+                        errors.append(
+                            f"{where}: cumulative bucket count decreased "
+                            f"({value} after {prev_count})")
+                series.append((le, value))
+            elif name.endswith("_count"):
+                counts[key] = value
+            elif name.endswith("_sum"):
+                sums.add(key)
+            else:
+                errors.append(f"{where}: histogram sample {name!r} has no histogram suffix")
+        elif declared == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"{where}: counter {name} does not end in _total")
+            if value < 0:
+                errors.append(f"{where}: counter {name} is negative ({value})")
+
+    if not saw_eof:
+        errors.append(f"{path}: missing # EOF terminator")
+
+    for family, declared in types.items():
+        if family not in helps:
+            errors.append(f"{path}: # TYPE {family} has no # HELP")
+        if declared == "histogram" and family not in seen_samples:
+            errors.append(f"{path}: histogram {family} declared but has no samples")
+    for family in helps:
+        if family not in types:
+            errors.append(f"{path}: # HELP {family} has no # TYPE")
+
+    for key, series in buckets.items():
+        family, labelset = key
+        tag = f"{family}{{{', '.join('='.join(p) for p in labelset)}}}"
+        if not series or not math.isinf(series[-1][0]):
+            errors.append(f"{path}: {tag} buckets do not end with le=\"+Inf\"")
+            continue
+        if key not in counts:
+            errors.append(f"{path}: {tag} has buckets but no _count sample")
+        elif series[-1][1] != counts[key]:
+            errors.append(
+                f"{path}: {tag} le=\"+Inf\" bucket ({series[-1][1]}) != _count ({counts[key]})")
+        if key not in sums:
+            errors.append(f"{path}: {tag} has buckets but no _sum sample")
+    for key in counts:
+        if key not in buckets:
+            family, labelset = key
+            errors.append(f"{path}: {family}{dict(labelset)} has _count but no buckets")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-2].strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(f"{path}: FAIL ({len(errors)} problem(s))", file=sys.stderr)
+        else:
+            print(f"{path}: metrics format OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,8 +13,9 @@
 #   5. benchmark telemetry — the query-cache, candidate-filter, Fig. 12,
 #      service throughput, and network throughput benches emit
 #      machine-readable BENCH_*.json at the repo root for trend tracking,
-#      and check_bench_counters.py gates their deterministic work counters
-#      against bench/baselines/.
+#      check_bench_counters.py gates their deterministic work counters
+#      against bench/baselines/, and check_metrics_format.py validates the
+#      `!metrics` scrape the net bench captures from its loaded server.
 #
 # Every ctest run carries --timeout: the chaos/stress suites inject delays
 # and faults into lock-holding code, so "a test deadlocked" must surface
@@ -58,7 +59,11 @@ echo "=== [5/5] benchmark telemetry (BENCH_*.json) + counter guard ==="
 ./build/bench/candidate_filter --json BENCH_candidate_filter.json
 ./build/bench/fig12_montgomery_tradeoffs --json BENCH_fig12_montgomery_tradeoffs.json
 ./build/bench/service_throughput --json BENCH_service_throughput.json
-./build/bench/net_throughput --json BENCH_net_throughput.json
+./build/bench/net_throughput --json BENCH_net_throughput.json \
+  --dump-metrics BENCH_metrics_scrape.txt
+# The net bench also scrapes the loaded server's `!metrics` payload;
+# validate it against the Prometheus text-format rules.
+python3 scripts/check_metrics_format.py BENCH_metrics_scrape.txt
 # Wall-time-free regression gate: the deterministic work counters in the
 # bench JSON must match the committed baselines exactly.
 python3 scripts/check_bench_counters.py

@@ -8,7 +8,9 @@
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/parallel.hpp"
+#include "support/strings.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace dslayer::dsl {
 
@@ -371,6 +373,12 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
   const CoreTable& table = plan.table;
   const std::size_t rows = table.rows();
   telemetry.count(EventKind::kComplianceCheck, rows);
+  // Sweep span for sampled request traces (one thread-local load when
+  // untraced); nests under the executor's execute span.
+  trace::SpanTimer sweep_span(trace::TraceScope::current(), trace::SpanKind::kSweep,
+                              trace::TraceScope::current() != nullptr
+                                  ? cat("columnar rows=", rows)
+                                  : std::string{});
   if (rows == 0) return {};
 
   std::vector<std::uint64_t> mask(table.words(), ~std::uint64_t{0});

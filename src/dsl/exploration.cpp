@@ -10,6 +10,7 @@
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dslayer::dsl {
 
@@ -500,6 +501,12 @@ std::vector<const Core*> ExplorationSession::compute_candidates_legacy() const {
   };
 
   std::vector<const Core*> out;
+  // Sweep span for sampled request traces (null scope = one thread-local
+  // load and no span).
+  trace::SpanTimer sweep_span(trace::TraceScope::current(), trace::SpanKind::kSweep,
+                              trace::TraceScope::current() != nullptr
+                                  ? cat("legacy cores=", cores.size())
+                                  : std::string{});
   for (const Core* core : cores) {
     // Cooperative cancellation: derived-query work only, so an expired
     // request deadline unwinds here without touching session entries.

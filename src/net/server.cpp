@@ -15,6 +15,7 @@
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dslayer::net {
 
@@ -238,11 +239,36 @@ void NetServer::handle_readable(Connection& conn) {
   }
 }
 
+service::DirectiveContext NetServer::directive_context() {
+  service::DirectiveContext context;
+  context.manager = manager_;
+  context.executor = executor_;
+  context.front_end = [this] {
+    const Stats s = stats();
+    service::FrontEndCounters counters;
+    counters.accepted = s.accepted;
+    counters.closed = s.closed;
+    counters.rejected_connects = s.rejected_connects;
+    counters.requests = s.requests;
+    counters.responses = s.responses;
+    counters.invalid_lines = s.invalid_lines;
+    counters.oversized_lines = s.oversized_lines;
+    counters.directives = s.directives;
+    counters.idle_closed = s.idle_closed;
+    counters.slow_reader_closed = s.slow_reader_closed;
+    counters.faulted = s.faulted;
+    counters.open_connections = s.open_connections;
+    return counters;
+  };
+  return context;
+}
+
 bool NetServer::parse_buffered(Connection& conn) {
   std::string line;
   for (;;) {
     if (conn.has_pending_directive) return false;  // sync point: stop until it runs
     if (conn.in_flight >= options_.conn_inflight_cap) return false;
+    const auto received = std::chrono::steady_clock::now();
     const LineBuffer::Status status = conn.lines.next(line);
     if (status == LineBuffer::Status::kNeedMore) return true;
     if (status == LineBuffer::Status::kOversized) {
@@ -255,6 +281,16 @@ bool NetServer::parse_buffered(Connection& conn) {
       continue;
     }
     if (service::is_directive(line)) {
+      if (trim(line) == "!metrics") {
+        // Scrapes must not block behind a busy queue: the payload is
+        // built purely from thread-safe snapshots, so serve it inline
+        // instead of parking as a barrier like the other directives.
+        conn.outbox += service::render_metrics(*manager_, *executor_,
+                                               directive_context().front_end);
+        ++directives_;
+        conn.last_activity = std::chrono::steady_clock::now();
+        continue;
+      }
       conn.pending_directive = line;
       conn.has_pending_directive = true;
       continue;  // the loop head parks until in_flight reaches zero
@@ -271,6 +307,7 @@ bool NetServer::parse_buffered(Connection& conn) {
       continue;
     }
     request->id = ++conn.next_request_id;
+    service::begin_request_trace(*request, received);
     submit_request(conn, std::move(*request));
   }
 }
@@ -280,16 +317,29 @@ void NetServer::submit_request(Connection& conn, Request request) {
   const std::uint64_t conn_id = conn.id;
   const std::uint64_t request_id = request.id;
   const std::string session = request.session;
+  const auto request_trace = request.trace;
   const bool accepted =
-      executor_->try_submit(std::move(request), [this, conn_id](Response response) {
+      executor_->try_submit(std::move(request), [this, conn_id, request_trace](Response response) {
         // Worker thread: render off-loop, hand the bytes over, poke the
-        // loop. Never touches the Connection itself.
+        // loop. Never touches the Connection itself. The respond span
+        // covers render + handoff; the trace finishes here because this
+        // is the last per-request work whose end is observable off-loop
+        // (the socket write happens on the loop thread a wakeup later).
+        std::uint32_t respond_span = trace::kNoParent;
+        if (request_trace != nullptr) {
+          respond_span = request_trace->open_span(trace::SpanKind::kRespond);
+        }
         enqueue_completion(conn_id, service::render_response(response));
+        if (request_trace != nullptr) {
+          request_trace->close_span(respond_span);
+          trace::Tracer::instance().finish(request_trace);
+        }
       });
   if (accepted) {
     ++conn.in_flight;
     return;
   }
+  trace::Tracer::instance().finish(request_trace);  // null-safe; rejected at the door
   // Executor backpressure (queue at capacity / shutting down): answer
   // rejected-with-hint immediately — the per-connection cap keeps any
   // one client from monopolizing the queue, so this is a global-overload
@@ -312,7 +362,7 @@ void NetServer::run_pending_directive(Connection& conn) {
   // executor, matching batch/serve semantics for !stats and !sessions.
   executor_->drain();
   std::ostringstream out;
-  service::run_directive(*manager_, *executor_, conn.pending_directive, out);
+  service::run_directive(directive_context(), conn.pending_directive, out);
   conn.outbox += out.str();
   conn.pending_directive.clear();
   conn.has_pending_directive = false;

@@ -41,6 +41,7 @@
 
 #include "net/connection.hpp"
 #include "net/socket.hpp"
+#include "service/batch_runner.hpp"
 #include "service/protocol.hpp"
 #include "service/request_executor.hpp"
 #include "service/session_manager.hpp"
@@ -105,6 +106,11 @@ class NetServer {
     std::uint64_t conn_id;
     std::string rendered;
   };
+
+  /// Directive context carrying this server's connection counters into
+  /// `!stats`/`!metrics` (service cannot depend on net, so the counters
+  /// travel as a snapshot provider).
+  service::DirectiveContext directive_context();
 
   void loop();
   void handle_accept();

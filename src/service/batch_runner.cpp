@@ -14,12 +14,15 @@
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dslayer::service {
 
 namespace {
 
-void print_stats(SessionManager& manager, RequestExecutor& executor, std::ostream& out) {
+void print_stats(const DirectiveContext& context, std::ostream& out) {
+  SessionManager& manager = *context.manager;
+  RequestExecutor& executor = *context.executor;
   const RequestExecutor::Stats xs = executor.stats();
   const SessionManager::Stats ms = manager.stats();
   out << "executor: accepted=" << xs.accepted << " executed=" << xs.executed
@@ -30,11 +33,45 @@ void print_stats(SessionManager& manager, RequestExecutor& executor, std::ostrea
       << " closed=" << ms.closed << " evicted=" << ms.evicted << " commands=" << ms.commands
       << " migrations=" << ms.migrations << " migration_failures=" << ms.migration_failures
       << "\n";
+  if (context.front_end) {
+    // Serve/net parity: network-mode operators see connection-lifecycle
+    // counters here, not only through `!metrics`.
+    const FrontEndCounters net = context.front_end();
+    out << "net: open=" << net.open_connections << " accepted=" << net.accepted
+        << " closed=" << net.closed << " rejected_connects=" << net.rejected_connects
+        << " requests=" << net.requests << " responses=" << net.responses
+        << " invalid_lines=" << net.invalid_lines << " oversized_lines=" << net.oversized_lines
+        << " directives=" << net.directives << " idle_closed=" << net.idle_closed
+        << " slow_reader_closed=" << net.slow_reader_closed << " faulted=" << net.faulted
+        << "\n";
+  }
+  const auto& tracer = trace::Tracer::instance();
+  if (tracer.enabled()) {
+    const trace::TracerStats ts = tracer.stats();
+    out << "traces: started=" << ts.started << " sampled=" << ts.sampled
+        << " finished=" << ts.finished << " slow=" << ts.slow
+        << " flight_records=" << ts.flight_records << " flight_dropped=" << ts.flight_dropped
+        << "\n";
+  }
   for (const auto& [name, t] : executor.telemetry().timings()) {
     out << "  " << name << "  n=" << t.count << "  p50=" << format_double(t.p50_us, 4)
         << "us  p95=" << format_double(t.p95_us, 4) << "us  p99=" << format_double(t.p99_us, 4)
         << "us  max=" << format_double(t.max_us, 4) << "us\n";
   }
+}
+
+/// Records the respond span around `write` and finishes the trace —
+/// every terminal delivery path funnels through here exactly once.
+template <typename WriteFn>
+void respond_and_finish(const std::shared_ptr<trace::Trace>& trace, WriteFn&& write) {
+  if (trace == nullptr) {
+    write();
+    return;
+  }
+  const std::uint32_t span = trace->open_span(trace::SpanKind::kRespond);
+  write();
+  trace->close_span(span);
+  trace::Tracer::instance().finish(trace);
 }
 
 void run_failpoint_directive(const std::vector<std::string>& words, std::ostream& out) {
@@ -65,6 +102,17 @@ void run_failpoint_directive(const std::vector<std::string>& words, std::ostream
 
 }  // namespace
 
+void begin_request_trace(Request& request, std::chrono::steady_clock::time_point received) {
+  auto& tracer = trace::Tracer::instance();
+  if (!tracer.enabled()) return;
+  request.trace = tracer.start(request.session, request.id, received);
+  if (request.trace == nullptr) return;
+  const auto parsed = trace::Trace::Clock::now();
+  const std::uint32_t ingress =
+      request.trace->add_span(trace::SpanKind::kIngress, received, parsed);
+  request.trace->add_span(trace::SpanKind::kParse, received, parsed, ingress);
+}
+
 void count_terminal(const Response& response, BatchSummary& summary) {
   switch (response.status) {
     case ResponseStatus::kOk: break;
@@ -74,8 +122,8 @@ void count_terminal(const Response& response, BatchSummary& summary) {
   }
 }
 
-bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
-                   std::ostream& out) {
+bool run_directive(const DirectiveContext& context, const std::string& line, std::ostream& out) {
+  SessionManager& manager = *context.manager;
   const auto words = split(std::string(trim(line)), ' ');
   const std::string& directive = words[0];
   if (directive == "!drain") {
@@ -83,7 +131,9 @@ bool run_directive(SessionManager& manager, RequestExecutor& executor, const std
   } else if (directive == "!sessions") {
     for (const auto& name : manager.session_names()) out << "  " << name << "\n";
   } else if (directive == "!stats") {
-    print_stats(manager, executor, out);
+    print_stats(context, out);
+  } else if (directive == "!metrics") {
+    out << render_metrics(manager, *context.executor, context.front_end);
   } else if (directive == "!failpoint") {
     run_failpoint_directive(words, out);
   } else if (directive == "!close") {
@@ -94,10 +144,19 @@ bool run_directive(SessionManager& manager, RequestExecutor& executor, const std
     out << (manager.close(words[1]) ? "closed " : "no session ") << words[1] << "\n";
   } else {
     out << "error: unknown directive '" << directive
-        << "' (try: !sessions, !stats, !close <session>, !drain, !failpoint [<spec>])\n";
+        << "' (try: !sessions, !stats, !metrics, !close <session>, !drain, "
+           "!failpoint [<spec>])\n";
     return false;
   }
   return true;
+}
+
+bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
+                   std::ostream& out) {
+  DirectiveContext context;
+  context.manager = &manager;
+  context.executor = &executor;
+  return run_directive(context, line, out);
 }
 
 BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
@@ -133,6 +192,7 @@ BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::
   std::uint64_t next_id = 0;
   std::string line;
   while (std::getline(in, line)) {
+    const auto received = std::chrono::steady_clock::now();
     if (is_directive(line)) {
       flush();
       run_directive(manager, executor, line, out);
@@ -150,6 +210,7 @@ BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::
     }
     request->id = ++next_id;
     ++summary.requests;
+    begin_request_trace(*request, received);
     {
       // Reader-side throttle: cap requests in flight at the executor's
       // queue capacity so a fast reader leans on backpressure instead of
@@ -158,7 +219,12 @@ BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::
       room.wait(guard, [&] { return outstanding < executor.options().queue_capacity; });
       ++outstanding;
     }
-    client.submit(*request, [&collect_lock, &room, &responses, &outstanding](Response response) {
+    // Batch mode renders output later (at a flush, in submission order),
+    // so the trace finishes at terminal delivery without a respond span.
+    auto request_trace = request->trace;
+    client.submit(*request, [&collect_lock, &room, &responses, &outstanding,
+                             request_trace](Response response) {
+      trace::Tracer::instance().finish(request_trace);
       std::lock_guard<std::mutex> guard(collect_lock);
       responses.emplace(response.id, std::move(response));
       --outstanding;
@@ -177,6 +243,7 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
   std::uint64_t next_id = 0;
   std::string line;
   while (std::getline(in, line)) {
+    const auto received = std::chrono::steady_clock::now();
     if (is_directive(line)) {
       // Drain before locking: in-flight requests finish by delivering
       // under out_lock, so draining while holding it would deadlock.
@@ -198,16 +265,20 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
     }
     request->id = ++next_id;
     ++summary.requests;
+    begin_request_trace(*request, received);
     // Every executor-delivered terminal lands in the summary: rejections
     // the executor produced itself (shed at dequeue, busy sessions,
     // degraded layer) and expired deadlines used to vanish here, leaving
     // only the direct queue-full path below counted — so serve and batch
     // summaries disagreed for the same input.
-    const auto deliver = [&out_lock, &out, &summary](Response response) {
-      std::lock_guard<std::mutex> guard(out_lock);
-      count_terminal(response, summary);
-      out << render_response(response);
-      out.flush();
+    auto request_trace = request->trace;
+    const auto deliver = [&out_lock, &out, &summary, request_trace](Response response) {
+      respond_and_finish(request_trace, [&] {
+        std::lock_guard<std::mutex> guard(out_lock);
+        count_terminal(response, summary);
+        out << render_response(response);
+        out.flush();
+      });
     };
     // Bounded retries make backpressure visible instead of blocking the
     // reader forever: after `kRetries` full queues the request is
@@ -226,10 +297,12 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
       rejection.code = ErrorCode::kOverloaded;
       rejection.retry_after_ms = executor.retry_after_hint_ms();
       rejection.output = "error: queue full — resubmit\n";
-      std::lock_guard<std::mutex> guard(out_lock);
-      count_terminal(rejection, summary);
-      out << render_response(rejection);
-      out.flush();
+      respond_and_finish(request_trace, [&] {
+        std::lock_guard<std::mutex> guard(out_lock);
+        count_terminal(rejection, summary);
+        out << render_response(rejection);
+        out.flush();
+      });
     }
   }
   executor.drain();

@@ -19,9 +19,11 @@
 // histograms, `!close <session>` closes one, `!drain` just drains.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 
+#include "service/metrics.hpp"
 #include "service/request_executor.hpp"
 #include "service/session_manager.hpp"
 
@@ -45,12 +47,35 @@ struct BatchSummary {
 /// Tallies one terminal response into the summary (kOk counts nowhere).
 void count_terminal(const Response& response, BatchSummary& summary);
 
-/// Handles one '!' directive line (`!sessions`, `!stats`, `!close <s>`,
-/// `!drain`, `!failpoint [<spec>]`), writing its output to `out`. Returns
-/// false for unknown directives (reported on `out`). Directives are
-/// synchronization points: callers must drain the executor FIRST — and
-/// must do so before taking any lock a completion callback needs, or the
-/// drain waits on callbacks that wait on the lock.
+/// Attaches an end-to-end trace to a freshly parsed request (no-op while
+/// the tracer is disabled): `received` is when the front end pulled the
+/// line off its wire/stream, and becomes the trace origin; the ingress
+/// span (with its parse child) covers received -> now. Shared by every
+/// front end — batch, serve, and the TCP server.
+void begin_request_trace(Request& request, std::chrono::steady_clock::time_point received);
+
+/// Everything a directive handler can reach. `front_end` is the optional
+/// TCP-counter snapshot provider (metrics.hpp) a network front end
+/// injects so `!stats` and `!metrics` show connection-lifecycle counters;
+/// stream front ends leave it null.
+struct DirectiveContext {
+  SessionManager* manager = nullptr;
+  RequestExecutor* executor = nullptr;
+  FrontEndStatsFn front_end;
+};
+
+/// Handles one '!' directive line (`!sessions`, `!stats`, `!metrics`,
+/// `!close <s>`, `!drain`, `!failpoint [<spec>]`), writing its output to
+/// `out`. Returns false for unknown directives (reported on `out`).
+/// Directives are synchronization points: callers must drain the executor
+/// FIRST — and must do so before taking any lock a completion callback
+/// needs, or the drain waits on callbacks that wait on the lock. The one
+/// exception is `!metrics`, whose payload is built entirely from
+/// thread-safe snapshots: front ends may serve it without draining (a
+/// scrape must not block behind a busy queue).
+bool run_directive(const DirectiveContext& context, const std::string& line, std::ostream& out);
+
+/// Convenience overload for front ends without TCP counters.
 bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
                    std::ostream& out);
 

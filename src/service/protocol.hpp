@@ -32,9 +32,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+
+namespace dslayer::trace {
+class Trace;
+}  // namespace dslayer::trace
 
 namespace dslayer::service {
 
@@ -52,6 +57,12 @@ struct Request {
   /// session suffix; 0 = no deadline. The executor starts the clock at
   /// submission, so queue wait counts against the budget.
   double deadline_ms = 0.0;
+  /// End-to-end trace attached at ingress by the front end (null when
+  /// tracing is disabled). Shared so it survives ServiceClient retries:
+  /// a retried request accumulates one queue.wait/execute span pair per
+  /// attempt on the same trace. The front end that delivers the final
+  /// response calls trace::Tracer::finish().
+  std::shared_ptr<trace::Trace> trace;
 };
 
 enum class ResponseStatus : std::uint8_t {

@@ -7,6 +7,7 @@
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dslayer::service {
 
@@ -96,6 +97,16 @@ Response RequestExecutor::execute(Item& item) {
   const auto dequeued = std::chrono::steady_clock::now();
   const double queue_wait_ms =
       std::chrono::duration<double, std::milli>(dequeued - item.enqueued).count();
+  // The queue wait is only known retroactively (enqueue -> this dequeue),
+  // so it is recorded as a pre-bounded span rather than open/close.
+  trace::Trace* req_trace = item.request.trace.get();
+  std::uint32_t execute_span = trace::kNoParent;
+  if (req_trace != nullptr) {
+    req_trace->add_span(trace::SpanKind::kQueueWait, item.enqueued, dequeued);
+    execute_span = req_trace->open_span_at(trace::SpanKind::kExecute, dequeued,
+                                           item.request.command.substr(
+                                               0, item.request.command.find(' ')));
+  }
   {
     std::lock_guard<std::mutex> telemetry_guard(telemetry_lock_);
     // EWMA over recent queue waits feeds the retry-after hint handed to
@@ -148,6 +159,11 @@ Response RequestExecutor::execute(Item& item) {
       // deadline for the duration of the command: checkpoints in the
       // candidates sweeps throw DeadlineExceeded once it expires.
       support::DeadlineScope deadline_scope(item.deadline);
+      // Deep (sweep-level) spans are only collected for sampled traces:
+      // the engines consult TraceScope::current(), so leaving it null
+      // keeps the unsampled hot path at one thread-local load.
+      trace::TraceScope trace_scope(req_trace != nullptr && req_trace->sampled() ? req_trace
+                                                                                 : nullptr);
       const dsl::ShellEngine::Status status =
           manager_->execute(item.request.session, item.request.command, out);
       response.status = status == dsl::ShellEngine::Status::kError ? ResponseStatus::kError
@@ -186,6 +202,9 @@ Response RequestExecutor::execute(Item& item) {
     }
     response.output = out.str();
   }
+  if (req_trace != nullptr && execute_span != trace::kNoParent) {
+    req_trace->close_span(execute_span);
+  }
 
   const auto finished = std::chrono::steady_clock::now();
   response.latency_us =
@@ -200,6 +219,16 @@ Response RequestExecutor::execute(Item& item) {
   executed_.add(1);
   if (response.status == ResponseStatus::kError) errors_.add(1);
   return response;
+}
+
+std::map<std::string, telemetry::HistogramSnapshot> RequestExecutor::histogram_snapshots() const {
+  std::lock_guard<std::mutex> telemetry_guard(telemetry_lock_);
+  return telemetry_.histogram_snapshots();
+}
+
+double RequestExecutor::queue_wait_ewma_ms() const {
+  std::lock_guard<std::mutex> telemetry_guard(telemetry_lock_);
+  return ewma_queue_wait_ms_;
 }
 
 double RequestExecutor::retry_after_hint_ms() const {

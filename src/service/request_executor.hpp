@@ -123,6 +123,15 @@ class RequestExecutor {
   /// Per-request latency histograms ("request", "request.<verb>").
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
+  /// Thread-safe raw-bucket snapshot of the request histograms, for the
+  /// `!metrics` Prometheus exposition (takes telemetry_lock_ internally,
+  /// unlike telemetry(), whose reads the caller must serialize).
+  std::map<std::string, telemetry::HistogramSnapshot> histogram_snapshots() const;
+
+  /// Current EWMA of recent queue waits (the retry-after signal), as a
+  /// gauge for exposition. Thread-safe.
+  double queue_wait_ewma_ms() const;
+
   const Options& options() const { return options_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "support/parallel.hpp"
 
+#include "support/trace.hpp"
+
 namespace dslayer::support {
 
 ChunkPool::ChunkPool(std::size_t threads) {
@@ -27,8 +29,15 @@ void ChunkPool::worker_loop() {
       const std::size_t chunk = next_++;
       ++in_flight_;
       const auto* fn = fn_;
+      trace::Trace* sweep_trace = trace_;
       lock.unlock();
-      (*fn)(chunk);
+      {
+        // Carry the submitting thread's trace onto this helper lane so
+        // instrumentation inside the chunk sees the same request.
+        trace::TraceScope scope(sweep_trace);
+        if (sweep_trace != nullptr) sweep_trace->note_pool_chunk();
+        (*fn)(chunk);
+      }
       lock.lock();
       --in_flight_;
       if (next_ >= total_ && in_flight_ == 0) sweep_done_.notify_all();
@@ -47,6 +56,7 @@ void ChunkPool::for_each_chunk(std::size_t chunks,
   {
     std::lock_guard lock(mutex_);
     fn_ = &fn;
+    trace_ = trace::TraceScope::current();
     next_ = 0;
     total_ = chunks;
   }
@@ -63,6 +73,7 @@ void ChunkPool::for_each_chunk(std::size_t chunks,
   }
   sweep_done_.wait(lock, [&] { return next_ >= total_ && in_flight_ == 0; });
   fn_ = nullptr;
+  trace_ = nullptr;
   next_ = total_ = 0;
 }
 

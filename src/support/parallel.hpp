@@ -22,6 +22,10 @@
 #include <thread>
 #include <vector>
 
+namespace dslayer::trace {
+class Trace;
+}  // namespace dslayer::trace
+
 namespace dslayer::support {
 
 class ChunkPool {
@@ -38,6 +42,11 @@ class ChunkPool {
   /// Runs fn(i) exactly once for every i in [0, chunks), on the helpers
   /// and the calling thread; returns after the last chunk completes. fn
   /// must be safe to call concurrently for distinct i.
+  ///
+  /// The calling thread's trace (trace::TraceScope::current()) is
+  /// re-installed on each helper lane for the duration of its chunks, so
+  /// a sampled request's identity follows the sweep across threads; each
+  /// helper-run chunk also bumps the trace's pool_chunks counter.
   void for_each_chunk(std::size_t chunks, const std::function<void(std::size_t)>& fn);
 
   /// The process-wide pool the filter kernels share: hardware_concurrency
@@ -52,6 +61,7 @@ class ChunkPool {
   std::condition_variable work_ready_;
   std::condition_variable sweep_done_;
   const std::function<void(std::size_t)>* fn_ = nullptr;  // non-null while a sweep runs
+  trace::Trace* trace_ = nullptr;  // submitting thread's trace for the current sweep
   std::size_t next_ = 0;       // next unclaimed chunk
   std::size_t total_ = 0;      // chunks in the current sweep
   std::size_t in_flight_ = 0;  // chunks claimed but not finished

@@ -338,6 +338,19 @@ std::map<std::string, TimingSummary> Telemetry::timings() const {
   return out;
 }
 
+std::map<std::string, HistogramSnapshot> Telemetry::histogram_snapshots() const {
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snapshot;
+    snapshot.buckets = histogram.buckets;
+    snapshot.count = histogram.count;
+    snapshot.max_us = histogram.max_us;
+    snapshot.total_us = histogram.total_us;
+    out[name] = snapshot;
+  }
+  return out;
+}
+
 void Telemetry::add_sink(std::shared_ptr<EventSink> sink) {
   DSLAYER_REQUIRE(sink != nullptr, "telemetry sink must not be null");
   sinks_.push_back(std::move(sink));
@@ -348,12 +361,25 @@ void Telemetry::reset_counters() {
   histograms_.clear();
 }
 
+std::size_t latency_bucket_ns(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  // floor(log2 ns): 1 -> 0, 2 -> 1, 2^k -> k, 2^k + 1 -> k.
+  return static_cast<std::size_t>(std::bit_width(ns)) - 1;
+}
+
+std::uint64_t bucket_upper_bound_ns(std::size_t bucket) {
+  // Bucket i covers [2^i, 2^(i+1)); the last bucket is open-ended, its
+  // bound reported as the saturating all-ones value so the sequence
+  // stays strictly monotone (2^63 is bucket 62's exclusive bound).
+  if (bucket >= kHistogramBuckets - 1) return ~0ULL;
+  return 1ULL << (bucket + 1);
+}
+
 void Telemetry::Histogram::record(double us) {
   const double ns = us * 1000.0;
   std::size_t bucket = 0;
   if (ns >= 1.0) {
-    const auto n = static_cast<std::uint64_t>(std::min(ns, 9.0e18));
-    bucket = static_cast<std::size_t>(std::bit_width(n)) - 1;  // floor(log2 n)
+    bucket = latency_bucket_ns(static_cast<std::uint64_t>(std::min(ns, 9.0e18)));
   }
   ++buckets[std::min<std::size_t>(bucket, buckets.size() - 1)];
   ++count;
@@ -370,7 +396,7 @@ double Telemetry::Histogram::quantile_us(double q) const {
     seen += buckets[i];
     if (seen >= std::max<std::uint64_t>(rank, 1)) {
       // Upper bound of bucket i, capped by the exact max.
-      const double upper_ns = static_cast<double>(1ULL << std::min<std::size_t>(i + 1, 62));
+      const double upper_ns = static_cast<double>(bucket_upper_bound_ns(i));
       return std::min(upper_ns / 1000.0, max_us);
     }
   }

@@ -179,6 +179,31 @@ class JsonlFileSink final : public EventSink {
   bool warned_ = false;
 };
 
+/// The latency histograms' bucket-edge convention, pinned by
+/// tests/telemetry_test.cpp and shared with the Prometheus exposition
+/// (service::render_metrics): bucket i holds samples in the half-open
+/// nanosecond range [2^i, 2^(i+1)), so exact powers of two open their own
+/// bucket (1 ns -> bucket 0, 2 ns -> bucket 1, 2^k -> bucket k,
+/// 2^k + 1 -> bucket k). Bucket 0 additionally absorbs 0 ns, and the last
+/// bucket absorbs everything >= 2^63 ns.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Bucket index for an integer nanosecond sample (floor(log2 ns)).
+std::size_t latency_bucket_ns(std::uint64_t ns);
+
+/// Exclusive upper bound of bucket i: 2^(i+1) ns (saturating at the last
+/// bucket, whose true upper bound is +inf).
+std::uint64_t bucket_upper_bound_ns(std::size_t bucket);
+
+/// Copy of one named histogram's raw state, for exposition layers that
+/// need the buckets themselves rather than the TimingSummary quantiles.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  double max_us = 0.0;
+  double total_us = 0.0;
+};
+
 /// count / p50 / p95 / max / total of one named latency population.
 /// Quantiles are read from power-of-two nanosecond buckets, so they are
 /// upper-bound estimates accurate to 2x (see DESIGN.md §8); count, max,
@@ -224,6 +249,11 @@ class Telemetry {
   /// Snapshot of every named histogram.
   std::map<std::string, TimingSummary> timings() const;
 
+  /// Raw-bucket snapshot of every named histogram (the `!metrics`
+  /// exposition path). Same external-synchronization contract as
+  /// timings().
+  std::map<std::string, HistogramSnapshot> histogram_snapshots() const;
+
   /// The built-in bounded recent-events view.
   RingBufferSink& ring() { return ring_; }
   const RingBufferSink& ring() const { return ring_; }
@@ -237,11 +267,10 @@ class Telemetry {
   void reset_counters();
 
  private:
-  /// Power-of-two nanosecond buckets: bucket i holds samples in
-  /// [2^i, 2^(i+1)) ns; 0 ns lands in bucket 0. 64 buckets cover any
-  /// double duration.
+  /// Power-of-two nanosecond buckets per the latency_bucket_ns()
+  /// convention above; 64 buckets cover any double duration.
   struct Histogram {
-    std::array<std::uint64_t, 64> buckets{};
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
     std::uint64_t count = 0;
     double max_us = 0.0;
     double total_us = 0.0;

@@ -32,6 +32,7 @@
 #include "service/shared_layer.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dslayer {
 namespace {
@@ -146,6 +147,62 @@ TEST_F(NetChaosTest, ServerSurvivesConnectionFailpointsUnderLoad) {
   server_->stop();
   const auto exec_stats = executor_->stats();
   EXPECT_EQ(exec_stats.accepted, exec_stats.executed);
+}
+
+TEST_F(NetChaosTest, TracingAtFullSamplingSurvivesConnectionChaos) {
+  // Tracing's worst case: every request traced (sample=1), the flight
+  // recorder armed with a threshold most requests beat, and connection
+  // failpoints killing sockets mid-request — so traces finish via every
+  // terminal path (normal delivery, rejected-at-door, connections that
+  // died before their response). Run under ASan and TSan in CI; the
+  // invariant is the same as the undecorated chaos test (the server
+  // survives) plus trace accounting: every started trace finishes
+  // exactly once, whatever happened to its connection.
+  FailpointGuard failpoints;
+  trace::Tracer::instance().reset();
+  trace::TracerConfig trace_config;
+  trace_config.sample_every = 1;
+  trace_config.slow_request_ms = 1.0;
+  trace_config.ring_capacity = 16;
+  trace_config.flight_capacity = 32;
+  trace::Tracer::instance().configure(trace_config);
+
+  NetServer::Options net_options;
+  net_options.conn_inflight_cap = 8;
+  RequestExecutor::Options exec_options;
+  exec_options.workers = 2;
+  exec_options.queue_capacity = 128;
+  exec_options.injected_latency_us = 2000.0;  // most requests cross the 1ms threshold
+  start(net_options, exec_options);
+
+  ASSERT_TRUE(failpoints.registry.arm_spec("net.conn.read=error:4"));
+  ASSERT_TRUE(failpoints.registry.arm_spec("net.conn.write=error:3"));
+
+  constexpr int kClients = 16;
+  constexpr int kRequestsPerClient = 4;
+  std::atomic<std::size_t> total_responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([this, i, &total_responses] {
+      total_responses += run_client(server_->port(), i, kRequestsPerClient);
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_GT(total_responses.load(), 0u);
+
+  failpoints.registry.reset();
+  EXPECT_EQ(run_client(server_->port(), 999, 3), 3u);  // clean post-chaos service
+
+  // Quiesce, then audit the trace accounting.
+  server_->stop();
+  const auto stats = trace::Tracer::instance().stats();
+  EXPECT_GT(stats.started, 0u);
+  EXPECT_EQ(stats.sampled, stats.started);    // sample=1: everything sampled
+  EXPECT_EQ(stats.finished, stats.started);   // every trace reached a terminal path
+  EXPECT_GT(stats.slow, 0u);                  // the 2ms requests beat the 1ms bar
+  EXPECT_LE(trace::Tracer::instance().flight_records().size(), trace_config.flight_capacity);
+  trace::Tracer::instance().reset();
 }
 
 TEST_F(NetChaosTest, SlowlorisAndHalfOpenSocketsAreSweptByTheIdleTimeout) {

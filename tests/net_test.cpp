@@ -15,7 +15,9 @@
 
 #include <chrono>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "domains/crypto.hpp"
@@ -26,6 +28,7 @@
 #include "service/session_manager.hpp"
 #include "service/shared_layer.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dslayer {
 namespace {
@@ -155,6 +158,27 @@ class TestClient {
       if (n < 0) return true;  // RST counts as closed
       received_.append(buf, static_cast<std::size_t>(n));
     }
+  }
+
+  /// Reads until `marker` appears in the stream (directive payloads like
+  /// `!metrics`, which carry no "== " response headers) or the deadline
+  /// passes. Returns what arrived so far.
+  const std::string& read_until(const std::string& marker, int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (received_.find(marker) == std::string::npos) {
+      const int left = static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                            deadline - std::chrono::steady_clock::now())
+                                            .count());
+      if (left <= 0) break;
+      pollfd pfd{socket_.fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, left) <= 0) break;
+      char buf[8192];
+      const ssize_t n = ::read(socket_.fd(), buf, sizeof(buf));
+      if (n <= 0) break;
+      received_.append(buf, static_cast<std::size_t>(n));
+    }
+    return received_;
   }
 
   std::size_t header_count() const {
@@ -415,6 +439,114 @@ TEST_F(NetTest, ExecutorQueueFullAnswersRejectedWithRetryHint) {
   EXPECT_NE(text.find("rejected code=overloaded retry-after-ms="), std::string::npos) << text;
   EXPECT_NE(text.find("== 1 s1 ok"), std::string::npos) << text;
   EXPECT_GE(executor_->stats().executed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// observability over the wire
+// ---------------------------------------------------------------------------
+
+TEST_F(NetTest, StatsDirectiveIncludesConnectionCounters) {
+  start();
+  TestClient client(port());
+  ASSERT_TRUE(client.ok());
+  client.send_all("s1 help\n!stats\n");
+  const std::string& text = client.read_until("net: ");
+  // The TCP front end injects its counter snapshot into the directive:
+  // this connection is open, was accepted, and has one request/response.
+  EXPECT_NE(text.find("net: open=1 accepted=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("requests=1 responses=1"), std::string::npos) << text;
+}
+
+TEST_F(NetTest, MetricsDirectiveServesPrometheusInlineWithoutDraining) {
+  // A worker is wedged on a long request, so a draining directive would
+  // block — but `!metrics` is served inline by the event loop from
+  // thread-safe snapshots, so the scrape answers while the request is
+  // still in flight. "# EOF" doubles as the framing terminator.
+  RequestExecutor::Options exec_options;
+  exec_options.workers = 1;
+  exec_options.injected_latency_us = 300000.0;  // 300ms: wedged during the scrape
+  start({}, exec_options);
+  TestClient slow(port());
+  ASSERT_TRUE(slow.ok());
+  slow.send_all("s1 help\n");
+
+  TestClient scraper(port());
+  ASSERT_TRUE(scraper.ok());
+  const auto scrape_start = std::chrono::steady_clock::now();
+  scraper.send_all("!metrics\n");
+  const std::string& payload = scraper.read_until("# EOF\n", 2000);
+  const double scrape_ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                               std::chrono::steady_clock::now() - scrape_start)
+                               .count();
+  ASSERT_NE(payload.find("# EOF\n"), std::string::npos) << payload;
+  // The scrape did NOT wait out the 300ms request.
+  EXPECT_LT(scrape_ms, 250.0);
+  EXPECT_NE(payload.find("# TYPE dslayer_requests_accepted_total counter"), std::string::npos)
+      << payload;
+  EXPECT_NE(payload.find("dslayer_net_connections_open 2"), std::string::npos) << payload;
+  EXPECT_NE(payload.find("dslayer_net_connections_accepted_total 2"), std::string::npos)
+      << payload;
+  // The slow request still completes normally afterwards.
+  EXPECT_EQ(slow.read_responses(1).find("== 1 s1"), 0u);
+}
+
+TEST_F(NetTest, TracedRequestSpanChainAccountsForTheClientLatency) {
+  // The acceptance shape for end-to-end tracing: a traced request's
+  // top-level span chain (ingress + queue.wait + execute + respond)
+  // must explain the client-observed latency — the spans cover the whole
+  // path, with only scheduling gaps unaccounted. The injected 100ms
+  // execution dominates, so the 5% tolerance is ~5ms of real slack.
+  trace::Tracer::instance().reset();
+  trace::TracerConfig config;
+  config.sample_every = 1;
+  trace::Tracer::instance().configure(config);
+  RequestExecutor::Options exec_options;
+  exec_options.injected_latency_us = 100000.0;
+  start({}, exec_options);
+
+  TestClient client(port());
+  ASSERT_TRUE(client.ok());
+  const auto sent = std::chrono::steady_clock::now();
+  client.send_all("s1 help\n");
+  client.read_responses(1);
+  const double client_ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                               std::chrono::steady_clock::now() - sent)
+                               .count();
+  ASSERT_EQ(client.header_count(), 1u) << client.received();
+
+  // The worker finishes the trace AFTER handing the rendered response to
+  // the event loop, so the client can hold the answer a beat before the
+  // trace lands in the ring — wait it out.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (trace::Tracer::instance().recent().empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto recent = trace::Tracer::instance().recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const auto spans = recent[0]->spans();
+  double top_level_ms = 0.0;
+  std::set<trace::SpanKind> kinds;
+  for (const trace::Span& span : spans) {
+    kinds.insert(span.kind);
+    if (span.parent == trace::kNoParent) {
+      top_level_ms += static_cast<double>(span.duration_ns) / 1.0e6;
+    }
+  }
+  // The chain is complete: every hop of the request's life is present.
+  EXPECT_TRUE(kinds.contains(trace::SpanKind::kIngress));
+  EXPECT_TRUE(kinds.contains(trace::SpanKind::kParse));
+  EXPECT_TRUE(kinds.contains(trace::SpanKind::kQueueWait));
+  EXPECT_TRUE(kinds.contains(trace::SpanKind::kExecute));
+  EXPECT_TRUE(kinds.contains(trace::SpanKind::kRespond));
+  // And it sums to the client's view of the request within 5% (the spans
+  // cannot exceed it: they are a subset of the client-observed window).
+  EXPECT_GE(top_level_ms, client_ms * 0.95)
+      << "span chain " << top_level_ms << "ms vs client " << client_ms << "ms\n"
+      << trace::to_jsonl(*recent[0]);
+  EXPECT_LE(top_level_ms, client_ms * 1.05)
+      << "span chain " << top_level_ms << "ms vs client " << client_ms << "ms";
+  trace::Tracer::instance().reset();
 }
 
 }  // namespace

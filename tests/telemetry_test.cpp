@@ -211,6 +211,52 @@ TEST(TelemetryHub, ResetCountersKeepsTheTrace) {
   EXPECT_GT(hub.emit(EventKind::kRetract, "X"), last.seq);
 }
 
+// Pins the histogram bucket convention: bucket i covers [2^i, 2^(i+1))
+// nanoseconds, with 0ns folded into bucket 0. Exact powers of two start
+// a NEW bucket; one past a power of two stays in that same bucket. The
+// metrics exposition (service/metrics.cpp) and quantile estimation both
+// assume exactly this mapping via bucket_upper_bound_ns.
+TEST(HistogramBuckets, PinsTheLog2BucketConvention) {
+  EXPECT_EQ(latency_bucket_ns(0), 0u);
+  EXPECT_EQ(latency_bucket_ns(1), 0u);
+  EXPECT_EQ(latency_bucket_ns(2), 1u);
+  EXPECT_EQ(latency_bucket_ns(3), 1u);
+  for (std::size_t k = 2; k < 63; ++k) {
+    const std::uint64_t pow = 1ULL << k;
+    EXPECT_EQ(latency_bucket_ns(pow - 1), k - 1) << "2^" << k << " - 1";
+    EXPECT_EQ(latency_bucket_ns(pow), k) << "2^" << k;
+    EXPECT_EQ(latency_bucket_ns(pow + 1), k) << "2^" << k << " + 1";
+  }
+  EXPECT_EQ(latency_bucket_ns(~0ULL), 63u);  // saturates at the last bucket
+}
+
+TEST(HistogramBuckets, UpperBoundsAreExclusiveAndMonotone) {
+  // A sample always lands strictly below its bucket's upper bound and at
+  // or above the previous bucket's.
+  for (std::size_t bucket = 0; bucket < kHistogramBuckets - 1; ++bucket) {
+    EXPECT_EQ(bucket_upper_bound_ns(bucket), 1ULL << (bucket + 1));
+    EXPECT_EQ(latency_bucket_ns(bucket_upper_bound_ns(bucket) - 1), bucket);
+    EXPECT_EQ(latency_bucket_ns(bucket_upper_bound_ns(bucket)), bucket + 1);
+  }
+  // The last bucket is open-ended; its reported bound saturates at the
+  // all-ones value, keeping the sequence strictly monotone.
+  EXPECT_EQ(bucket_upper_bound_ns(kHistogramBuckets - 1), ~0ULL);
+  EXPECT_GT(bucket_upper_bound_ns(63), bucket_upper_bound_ns(62));
+}
+
+TEST(TelemetryHub, HistogramSnapshotsExposeRawBuckets) {
+  Telemetry hub;
+  hub.record_timing("verb", 0.001);  // 1ns -> bucket 0
+  hub.record_timing("verb", 1.0);    // 1000ns -> bucket 9 ([512, 1024))
+  const auto snapshots = hub.histogram_snapshots();
+  ASSERT_TRUE(snapshots.contains("verb"));
+  const HistogramSnapshot& s = snapshots.at("verb");
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[9], 1u);
+  EXPECT_DOUBLE_EQ(s.total_us, 1.001);
+}
+
 TEST(TelemetryHub, TimingHistogramQuantiles) {
   Telemetry hub;
   for (int i = 0; i < 99; ++i) hub.record_timing("fast", 1.0);

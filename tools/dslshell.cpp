@@ -48,6 +48,21 @@
 //   --idle-timeout-ms X   close connections idle for X ms — also the
 //                         slowloris / half-open defense (0 = never)
 //
+// Observability options (any service mode — see README "Observability"):
+//   --trace-sample N      end-to-end request tracing: 1-in-N requests
+//                         keep sweep-level spans and land in the recent-
+//                         traces rings (default 64; 1 = every request,
+//                         0 = tracing off)
+//   --trace-seed N        sampling-hash seed — same seed + same request
+//                         order = same sampled set (deterministic tests)
+//   --slow-request-ms X   slow-request flight recorder: requests slower
+//                         than X ms dump their span breakdown to a
+//                         bounded JSONL sink regardless of sampling
+//                         (0 = off)
+//   --flight-recorder F   also append flight records to file F
+//   Scrape live state with the `!metrics` directive (Prometheus text
+//   format) or watch it with tools/dsltop.
+//
 // Fault injection: set DSLAYER_FAILPOINTS="site=mode,..." (e.g.
 // "service.session.migrate=error:1,dsl.candidates.sweep=delay:50") or use
 // the `!failpoint <spec>` directive mid-stream. Site catalog and spec
@@ -70,6 +85,7 @@
 #include "dsl/shell.hpp"
 #include "net/server.hpp"
 #include "service/batch_runner.hpp"
+#include "support/trace.hpp"
 
 using namespace dslayer;
 
@@ -82,6 +98,7 @@ struct CliOptions {
   service::SessionManager::Options sessions;
   service::RequestExecutor::Options executor;
   net::NetServer::Options net;
+  trace::TracerConfig tracer;  ///< sample_every=64 default; see parse_cli
 };
 
 int usage(const char* argv0) {
@@ -90,7 +107,9 @@ int usage(const char* argv0) {
                " [--batch [file]|--serve|--listen PORT] [--workers N] [--queue N]"
                " [--max-sessions N] [--latency-us X]"
                " [--max-queue-wait-ms X] [--degraded-after-ms X]"
-               " [--max-connections N] [--conn-inflight N] [--idle-timeout-ms X]\n";
+               " [--max-connections N] [--conn-inflight N] [--idle-timeout-ms X]"
+               " [--trace-sample N] [--trace-seed N] [--slow-request-ms X]"
+               " [--flight-recorder FILE]\n";
   return 2;
 }
 
@@ -142,6 +161,20 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     } else if (arg == "--degraded-after-ms") {
       if (!next_number(n)) return false;
       options.sessions.degraded_after_ms = n;
+    } else if (arg == "--trace-sample") {
+      // 0 is meaningful (tracing off), so bypass the positive-number
+      // helper.
+      if (i + 1 >= argc) return false;
+      options.tracer.sample_every = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--trace-seed") {
+      if (i + 1 >= argc) return false;
+      options.tracer.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--slow-request-ms") {
+      if (!next_number(n)) return false;
+      options.tracer.slow_request_ms = n;
+    } else if (arg == "--flight-recorder") {
+      if (i + 1 >= argc) return false;
+      options.tracer.flight_path = argv[++i];
     } else if (!layer_set && !arg.empty() && arg[0] != '-') {
       options.layer = arg;
       layer_set = true;
@@ -202,6 +235,10 @@ int run_listen(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
 }
 
 int run_service(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
+  // Every service front end traces through the process-global tracer;
+  // the default config (sample 1-in-64, no flight recorder) keeps the
+  // cold hot path at one relaxed load per request.
+  trace::Tracer::instance().configure(options.tracer);
   if (options.mode == CliOptions::Mode::kListen) return run_listen(layer, options);
   service::SharedLayer shared(layer);
   service::SessionManager manager(shared, options.sessions);

@@ -1,0 +1,269 @@
+// dsltop — live service metrics over the TCP front end.
+//
+// Usage:
+//   dsltop [host] <port> [--interval-ms N] [--once] [--raw]
+//
+// Connects to a `dslshell --listen` server, sends the `!metrics`
+// directive every interval, and renders the scrape as a one-screen
+// summary: request counters, queue depth/wait, per-verb latency
+// (p50/p99 estimated from the exposed histogram buckets), connection
+// lifecycle, and trace/flight-recorder state. `!metrics` is served
+// inline by the event loop (no executor drain), so watching a loaded
+// server does not perturb it beyond the scrape itself.
+//
+//   --interval-ms N  refresh period (default 1000)
+//   --once           one scrape, print, exit (scripting / tests)
+//   --raw            print the Prometheus payload verbatim instead of
+//                    the rendered summary (pipe to a file or a pushgateway)
+//
+// The payload is Prometheus text format terminated by a `# EOF` line —
+// that terminator is the framing marker this client reads until, and
+// what a real scrape endpoint would return.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/strings.hpp"
+
+using namespace dslayer;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int interval_ms = 1000;
+  bool once = false;
+  bool raw = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [host] <port> [--interval-ms N] [--once] [--raw]\n";
+  return 2;
+}
+
+bool parse_cli(int argc, char** argv, Options& options) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval-ms") {
+      if (i + 1 >= argc) return false;
+      options.interval_ms = std::atoi(argv[++i]);
+      if (options.interval_ms <= 0) return false;
+    } else if (arg == "--once") {
+      options.once = true;
+    } else if (arg == "--raw") {
+      options.raw = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      positional.push_back(arg);
+    } else {
+      return false;
+    }
+  }
+  if (positional.size() == 1) {
+    options.port = static_cast<std::uint16_t>(std::strtoul(positional[0].c_str(), nullptr, 10));
+  } else if (positional.size() == 2) {
+    options.host = positional[0];
+    options.port = static_cast<std::uint16_t>(std::strtoul(positional[1].c_str(), nullptr, 10));
+  } else {
+    return false;
+  }
+  return options.port != 0;
+}
+
+int connect_to(const Options& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one scrape: everything up to and including the "# EOF" line.
+bool read_scrape(int fd, std::string& payload) {
+  payload.clear();
+  char buf[16384];
+  for (;;) {
+    if (payload.find("# EOF\n") != std::string::npos) return true;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    payload.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// Flat view of a scrape: plain samples by name; histogram buckets kept
+/// as (metric{labels}, value) pairs under their full sample line key.
+struct Scrape {
+  std::map<std::string, double> plain;                  // unlabeled samples
+  std::map<std::string, std::map<std::string, double>> labeled;  // name -> labels -> value
+};
+
+Scrape parse_scrape(const std::string& payload) {
+  Scrape scrape;
+  for (const std::string& line : split(payload, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string key = line.substr(0, space);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    const std::size_t brace = key.find('{');
+    if (brace == std::string::npos) {
+      scrape.plain[key] = value;
+    } else {
+      scrape.labeled[key.substr(0, brace)][key.substr(brace)] = value;
+    }
+  }
+  return scrape;
+}
+
+double plain_or(const Scrape& scrape, const std::string& name) {
+  const auto it = scrape.plain.find(name);
+  return it == scrape.plain.end() ? 0.0 : it->second;
+}
+
+/// Estimated quantile from the exposed cumulative buckets of one verb's
+/// latency series (upper-bound estimate, like the server's own p50/p99).
+double quantile_seconds(const std::map<std::string, double>& buckets, double count, double q) {
+  if (count <= 0) return 0.0;
+  // Collect (le, cumulative) pairs; labels look like {verb="all",le="0.000001024"}.
+  std::vector<std::pair<double, double>> edges;
+  for (const auto& [labels, cumulative] : buckets) {
+    const std::size_t le = labels.find("le=\"");
+    if (le == std::string::npos) continue;
+    const std::string bound = labels.substr(le + 4, labels.find('"', le + 4) - (le + 4));
+    if (bound == "+Inf") continue;
+    edges.emplace_back(std::strtod(bound.c_str(), nullptr), cumulative);
+  }
+  std::sort(edges.begin(), edges.end());
+  const double rank = q * count;
+  for (const auto& [bound, cumulative] : edges) {
+    if (cumulative >= rank) return bound;
+  }
+  return edges.empty() ? 0.0 : edges.back().first;
+}
+
+void render(const Scrape& scrape, std::ostream& out) {
+  out << "dslayer service\n";
+  out << "  requests: accepted=" << plain_or(scrape, "dslayer_requests_accepted_total")
+      << " executed=" << plain_or(scrape, "dslayer_requests_executed_total")
+      << " rejected=" << plain_or(scrape, "dslayer_requests_rejected_total")
+      << " errors=" << plain_or(scrape, "dslayer_requests_errors_total")
+      << " deadline=" << plain_or(scrape, "dslayer_requests_deadline_expired_total")
+      << " shed=" << plain_or(scrape, "dslayer_requests_shed_total") << "\n";
+  out << "  queue: depth=" << plain_or(scrape, "dslayer_queue_depth")
+      << " peak=" << plain_or(scrape, "dslayer_queue_depth_peak")
+      << " wait_ewma=" << format_double(plain_or(scrape, "dslayer_queue_wait_ewma_ms"), 3)
+      << "ms\n";
+  out << "  sessions: live=" << plain_or(scrape, "dslayer_sessions_live")
+      << " created=" << plain_or(scrape, "dslayer_sessions_created_total")
+      << " evicted=" << plain_or(scrape, "dslayer_sessions_evicted_total") << "\n";
+  if (scrape.plain.count("dslayer_net_connections_open") != 0) {
+    out << "  net: open=" << plain_or(scrape, "dslayer_net_connections_open")
+        << " accepted=" << plain_or(scrape, "dslayer_net_connections_accepted_total")
+        << " closed=" << plain_or(scrape, "dslayer_net_connections_closed_total")
+        << " requests=" << plain_or(scrape, "dslayer_net_requests_total")
+        << " responses=" << plain_or(scrape, "dslayer_net_responses_total") << "\n";
+  }
+  out << "  traces: started=" << plain_or(scrape, "dslayer_traces_started_total")
+      << " sampled=" << plain_or(scrape, "dslayer_traces_sampled_total")
+      << " slow=" << plain_or(scrape, "dslayer_traces_slow_total")
+      << " flight=" << plain_or(scrape, "dslayer_flight_records") << "\n";
+
+  // Per-verb latency: pair each _count series with its buckets.
+  const auto buckets = scrape.labeled.find("dslayer_request_latency_seconds_bucket");
+  const auto counts = scrape.labeled.find("dslayer_request_latency_seconds_count");
+  if (counts != scrape.labeled.end()) {
+    out << "  latency (upper-bound estimates):\n";
+    for (const auto& [labels, count] : counts->second) {
+      const std::size_t verb_at = labels.find("verb=\"");
+      if (verb_at == std::string::npos) continue;
+      const std::string verb =
+          labels.substr(verb_at + 6, labels.find('"', verb_at + 6) - (verb_at + 6));
+      std::map<std::string, double> verb_buckets;
+      if (buckets != scrape.labeled.end()) {
+        for (const auto& [bucket_labels, value] : buckets->second) {
+          if (bucket_labels.find("verb=\"" + verb + "\"") != std::string::npos) {
+            verb_buckets[bucket_labels] = value;
+          }
+        }
+      }
+      out << "    " << verb << ": n=" << count
+          << " p50=" << format_double(quantile_seconds(verb_buckets, count, 0.50) * 1e6, 4)
+          << "us p99=" << format_double(quantile_seconds(verb_buckets, count, 0.99) * 1e6, 4)
+          << "us\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_cli(argc, argv, options)) return usage(argv[0]);
+
+  const int fd = connect_to(options);
+  if (fd < 0) {
+    std::cerr << "cannot connect to " << options.host << ":" << options.port << ": "
+              << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  std::string payload;
+  for (;;) {
+    if (!send_all(fd, "!metrics\n") || !read_scrape(fd, payload)) {
+      std::cerr << "connection lost\n";
+      ::close(fd);
+      return 1;
+    }
+    if (options.raw) {
+      std::cout << payload << std::flush;
+    } else {
+      if (!options.once) std::cout << "\033[H\033[2J";  // clear screen between refreshes
+      render(parse_scrape(payload), std::cout);
+      std::cout << std::flush;
+    }
+    if (options.once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.interval_ms));
+  }
+  ::close(fd);
+  return 0;
+}
