@@ -43,6 +43,12 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j
 (cd build-asan && ctest -LE tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 (cd build-asan && ctest -R 'ServiceChaos|NetChaos|Failpoint' --output-on-failure --timeout "$CTEST_TIMEOUT")
+# Columnar oracle suite with the word kernels pinned: once all-scalar, once
+# on the widest ISA the host supports (DSLAYER_SIMD overrides the runtime
+# dispatch; see src/support/simd.hpp). Any lane/tail/NaN divergence between
+# the paths trips the twin-session oracles under ASan+UBSan.
+DSLAYER_SIMD=scalar ./build-asan/tests/dsl_columnar_oracle_test
+DSLAYER_SIMD=widest ./build-asan/tests/dsl_columnar_oracle_test
 
 echo "=== [4/5] ThreadSanitizer: service concurrency stress + chaos ==="
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"

@@ -3,16 +3,33 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <new>
+#include <type_traits>
 
+#include "support/arena.hpp"
 #include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/parallel.hpp"
+#include "support/simd.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
 namespace dslayer::dsl {
+
+namespace simd = support::simd;
+
+// The word kernels take the comparison opcode by value; keep the two
+// enums numerically interchangeable so lowering is a static_cast.
+static_assert(static_cast<int>(simd::Cmp::kEq) == static_cast<int>(PredicateAtom::Cmp::kEq) &&
+              static_cast<int>(simd::Cmp::kNe) == static_cast<int>(PredicateAtom::Cmp::kNe) &&
+              static_cast<int>(simd::Cmp::kLt) == static_cast<int>(PredicateAtom::Cmp::kLt) &&
+              static_cast<int>(simd::Cmp::kLe) == static_cast<int>(PredicateAtom::Cmp::kLe) &&
+              static_cast<int>(simd::Cmp::kGt) == static_cast<int>(PredicateAtom::Cmp::kGt) &&
+              static_cast<int>(simd::Cmp::kGe) == static_cast<int>(PredicateAtom::Cmp::kGe));
+static_assert(std::is_same_v<support::Symbol, std::uint32_t>,
+              "eq_sym kernels read text columns as raw u32 streams");
 
 namespace {
 
@@ -20,9 +37,11 @@ std::atomic<std::size_t> g_parallel_threshold{4096};
 
 constexpr std::size_t kWordsPerChunk = 32;  // 2048 rows per parallel chunk
 
-std::size_t popcount(const std::vector<std::uint64_t>& mask) {
+simd::Cmp to_simd(PredicateAtom::Cmp cmp) { return static_cast<simd::Cmp>(cmp); }
+
+std::size_t popcount(const std::uint64_t* mask, std::size_t words) {
   std::size_t n = 0;
-  for (const std::uint64_t word : mask) n += static_cast<std::size_t>(std::popcount(word));
+  for (std::size_t w = 0; w < words; ++w) n += static_cast<std::size_t>(std::popcount(mask[w]));
   return n;
 }
 
@@ -45,6 +64,18 @@ void set_columnar_parallel_threshold(std::size_t rows) {
 
 CoreTable::CoreTable(const std::vector<const Core*>& cores) : cores_(cores) {
   words_ = (cores_.size() + 63) / 64;
+  padded_rows_ = words_ * 64;
+  if (!cores_.empty()) {
+    // Reserve the column directories from the first core's shape (the
+    // synthetic and real libraries are near-rectangular); growth past the
+    // reservation is still correct, just a reallocation.
+    const std::size_t binding_guess = cores_.front()->symbol_bindings().size() + 8;
+    const std::size_t metric_guess = cores_.front()->symbol_metrics().size() + 8;
+    binding_columns_.reserve(binding_guess);
+    binding_index_.reserve(binding_guess);
+    metric_columns_.reserve(metric_guess);
+    metric_index_.reserve(metric_guess);
+  }
   for (std::size_t row = 0; row < cores_.size(); ++row) {
     for (const auto& [symbol, value] : cores_[row]->symbol_bindings()) {
       const ColumnKind kind = value.kind() == Value::Kind::kNumber ? ColumnKind::kNumber
@@ -61,36 +92,38 @@ CoreTable::CoreTable(const std::vector<const Core*>& cores) : cores_(cores) {
   }
 }
 
-CoreTable::Column& CoreTable::column_for(std::map<support::Symbol, std::size_t>& index,
-                                         std::vector<Column>& columns, support::Symbol symbol,
-                                         ColumnKind kind) {
-  if (const auto it = index.find(symbol); it != index.end()) {
+CoreTable::Column& CoreTable::column_for(SymbolIndex& index, std::vector<Column>& columns,
+                                         support::Symbol symbol, ColumnKind kind) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), symbol,
+      [](const SymbolIndex::value_type& entry, support::Symbol s) { return entry.first < s; });
+  if (it != index.end() && it->first == symbol) {
     Column& column = columns[it->second];
     if (column.kind != kind && column.kind != ColumnKind::kMixed) degrade_to_mixed(column);
     return column;
   }
-  index.emplace(symbol, columns.size());
+  index.insert(it, {symbol, static_cast<std::uint32_t>(columns.size())});
   Column& column = columns.emplace_back();
   column.symbol = symbol;
   column.kind = kind;
   column.present.assign(words_, 0);
+  // Payloads cover the padded row range so the word kernels can read a
+  // whole 64-lane block without a tail branch.
   switch (kind) {
-    case ColumnKind::kNumber: column.numbers.assign(cores_.size(), 0.0); break;
-    case ColumnKind::kText: column.texts.assign(cores_.size(), support::kNoSymbol); break;
+    case ColumnKind::kNumber: column.numbers.assign(padded_rows_, 0.0); break;
+    case ColumnKind::kText: column.texts.assign(padded_rows_, support::kNoSymbol); break;
     case ColumnKind::kMixed:
-      column.values.assign(cores_.size(), Value{});
-      column.texts.assign(cores_.size(), support::kNoSymbol);
+      column.values.assign(padded_rows_, Value{});
+      column.texts.assign(padded_rows_, support::kNoSymbol);
       break;
   }
   return column;
 }
 
 void CoreTable::degrade_to_mixed(Column& column) {
-  const std::size_t rows = column.kind == ColumnKind::kNumber ? column.numbers.size()
-                                                              : column.texts.size();
-  std::vector<Value> values(rows);
-  std::vector<support::Symbol> texts(rows, support::kNoSymbol);
-  for (std::size_t row = 0; row < rows; ++row) {
+  std::vector<Value> values(padded_rows_);
+  std::vector<support::Symbol> texts(padded_rows_, support::kNoSymbol);
+  for (std::size_t row = 0; row < cores_.size(); ++row) {
     if (!column.has(row)) continue;
     if (column.kind == ColumnKind::kNumber) {
       values[row] = Value::number(column.numbers[row]);
@@ -123,14 +156,37 @@ void CoreTable::store(Column& column, std::size_t row, const Value& value) {
   mark(column.present, row);
 }
 
+const CoreTable::Column* CoreTable::lookup(const SymbolIndex& index,
+                                           const std::vector<Column>& columns,
+                                           support::Symbol symbol) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), symbol,
+      [](const SymbolIndex::value_type& entry, support::Symbol s) { return entry.first < s; });
+  return it != index.end() && it->first == symbol ? &columns[it->second] : nullptr;
+}
+
 const CoreTable::Column* CoreTable::binding_column(support::Symbol symbol) const {
-  const auto it = binding_index_.find(symbol);
-  return it == binding_index_.end() ? nullptr : &binding_columns_[it->second];
+  return lookup(binding_index_, binding_columns_, symbol);
 }
 
 const CoreTable::Column* CoreTable::metric_column(support::Symbol symbol) const {
-  const auto it = metric_index_.find(symbol);
-  return it == metric_index_.end() ? nullptr : &metric_columns_[it->second];
+  return lookup(metric_index_, metric_columns_, symbol);
+}
+
+std::size_t CoreTable::memory_bytes() const {
+  const auto column_bytes = [](const Column& column) {
+    return sizeof(Column) + column.present.capacity() * sizeof(std::uint64_t) +
+           column.numbers.capacity() * sizeof(double) +
+           column.texts.capacity() * sizeof(support::Symbol) +
+           column.values.capacity() * sizeof(Value);
+  };
+  std::size_t total = sizeof(CoreTable);
+  total += cores_.capacity() * sizeof(const Core*);
+  total += binding_index_.capacity() * sizeof(SymbolIndex::value_type);
+  total += metric_index_.capacity() * sizeof(SymbolIndex::value_type);
+  for (const Column& column : binding_columns_) total += column_bytes(column);
+  for (const Column& column : metric_columns_) total += column_bytes(column);
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -323,40 +379,247 @@ bool cells_hold(const Cell& lhs, PredicateAtom::Cmp cmp, const Cell& rhs) {
   return false;
 }
 
+/// How one resolved op is evaluated per 64-row word.
+enum class OpMode : std::uint8_t {
+  kNum,     ///< cmp_num word kernel + scalar patch of column-absent rows
+  kSym,     ///< eq_sym word kernel + scalar patch of column-absent rows
+  kScalar,  ///< row-wise fetch/cells_hold for every row
+};
+
 struct ResolvedOp {
   PredicateAtom::Cmp cmp = PredicateAtom::Cmp::kEq;
   ResolvedTerm lhs;
   ResolvedTerm factor;
   ResolvedTerm rhs;
   bool has_factor = false;
+
+  OpMode mode = OpMode::kScalar;
+  // kNum operand streams (col pointers are the full padded payload;
+  // callers add the word offset).
+  simd::Lane lhs_lane;
+  simd::Lane factor_lane;
+  simd::Lane rhs_lane;
+  // kSym operand streams.
+  const std::uint32_t* sym_lhs = nullptr;
+  const std::uint32_t* sym_rhs = nullptr;
+  std::uint32_t sym_const = support::kNoSymbol;
+  bool sym_negate = false;
+  // Presence bitmaps of every column-backed operand: rows with any bit
+  // clear fall back to session/constant values and are re-evaluated
+  // through the scalar interpreter.
+  const std::uint64_t* patch_present[3] = {nullptr, nullptr, nullptr};
+  int patch_count = 0;
 };
 
-/// Sweeps the set bits of `mask`, clearing rows `keep` rejects. Parallel
-/// sweeps split on 64-row-aligned chunk boundaries: no two chunks touch
-/// the same mask word, so workers write disjoint memory.
-template <typename Keep>
-void sweep_mask(std::vector<std::uint64_t>& mask, bool parallel, const Keep& keep) {
-  const auto process = [&](std::size_t first_word, std::size_t last_word) {
-    for (std::size_t w = first_word; w < last_word; ++w) {
-      std::uint64_t bits = mask[w];
-      std::uint64_t cleared = 0;
-      while (bits != 0) {
-        const int bit = std::countr_zero(bits);
-        if (!keep((w << 6) + static_cast<std::size_t>(bit))) {
-          cleared |= (std::uint64_t{1} << bit);
-        }
-        bits &= bits - 1;
-      }
-      mask[w] &= ~cleared;
-    }
+simd::Lane lane_at(const simd::Lane& lane, std::size_t word) {
+  return lane.col != nullptr ? simd::Lane{lane.col + (word << 6), lane.broadcast} : lane;
+}
+
+/// Scalar (legacy-exact) evaluation of one op for one row.
+bool op_holds_row(const ResolvedOp& op, std::size_t row) {
+  const Cell lhs = fetch(op.lhs, row);
+  const Cell rhs = fetch(op.rhs, row);
+  if (op.has_factor) {
+    const Cell factor = fetch(op.factor, row);
+    return lhs.kind == Value::Kind::kNumber && factor.kind == Value::Kind::kNumber &&
+           rhs.kind == Value::Kind::kNumber &&
+           compare_numbers(lhs.number * factor.number, op.cmp, rhs.number);
+  }
+  return cells_hold(lhs, op.cmp, rhs);
+}
+
+/// Picks the word-kernel mode for `op`. A numeric op vectorizes when
+/// every operand is a kNumber column or a numeric constant; a text op
+/// when it is an ==/!= over kText columns / text constants with at
+/// least one column side. Everything else (mixed columns, flag or
+/// cross-kind constants) stays scalar — correctness never depends on
+/// the mode, only throughput does.
+void classify_op(ResolvedOp& op) {
+  const auto reset = [&] {
+    op.patch_count = 0;
+    op.lhs_lane = op.factor_lane = op.rhs_lane = simd::Lane{};
+    op.sym_lhs = op.sym_rhs = nullptr;
   };
-  if (!parallel || mask.size() <= kWordsPerChunk) {
-    process(0, mask.size());
+
+  const auto num_lane = [&](const ResolvedTerm& term, simd::Lane& lane) {
+    if (term.column != nullptr) {
+      if (term.column->kind != ColumnKind::kNumber) return false;
+      lane.col = term.column->numbers.data();
+      op.patch_present[op.patch_count++] = term.column->present.data();
+      return true;
+    }
+    if (term.fallback.kind != Value::Kind::kNumber) return false;
+    lane.broadcast = term.fallback.number;
+    return true;
+  };
+  reset();
+  if (num_lane(op.lhs, op.lhs_lane) && num_lane(op.rhs, op.rhs_lane) &&
+      (!op.has_factor || num_lane(op.factor, op.factor_lane))) {
+    op.mode = OpMode::kNum;
     return;
   }
-  const std::size_t chunks = (mask.size() + kWordsPerChunk - 1) / kWordsPerChunk;
+
+  const auto sym_source = [&](const ResolvedTerm& term, const std::uint32_t*& col,
+                              std::uint32_t& constant) {
+    if (term.column != nullptr) {
+      if (term.column->kind != ColumnKind::kText) return false;
+      col = term.column->texts.data();
+      op.patch_present[op.patch_count++] = term.column->present.data();
+      return true;
+    }
+    if (term.fallback.kind != Value::Kind::kText) return false;
+    constant = term.fallback.text;
+    return true;
+  };
+  reset();
+  if (!op.has_factor &&
+      (op.cmp == PredicateAtom::Cmp::kEq || op.cmp == PredicateAtom::Cmp::kNe)) {
+    const std::uint32_t* lhs_col = nullptr;
+    const std::uint32_t* rhs_col = nullptr;
+    std::uint32_t lhs_const = support::kNoSymbol;
+    std::uint32_t rhs_const = support::kNoSymbol;
+    if (sym_source(op.lhs, lhs_col, lhs_const) && sym_source(op.rhs, rhs_col, rhs_const) &&
+        (lhs_col != nullptr || rhs_col != nullptr)) {
+      if (lhs_col == nullptr) {  // constant vs column: ==/!= are symmetric
+        lhs_col = rhs_col;
+        rhs_col = nullptr;
+        rhs_const = lhs_const;
+      }
+      op.mode = OpMode::kSym;
+      op.sym_lhs = lhs_col;
+      op.sym_rhs = rhs_col;
+      op.sym_const = rhs_const;
+      op.sym_negate = op.cmp == PredicateAtom::Cmp::kNe;
+      return;
+    }
+  }
+  reset();
+  op.mode = OpMode::kScalar;
+}
+
+/// One prefilter atom lowered against the table and session bindings.
+/// Terms resolve binding column -> metric column -> session binding ->
+/// atom constant (metric columns are a prefilter-only power: predicate
+/// atoms never see metrics, but a declared prefilter may bound one).
+struct PrefilterAtom {
+  simd::Cmp cmp = simd::Cmp::kEq;
+  bool is_sym = false;
+  bool has_factor = false;
+  simd::Lane lhs;
+  simd::Lane factor;
+  simd::Lane rhs;
+  const std::uint32_t* sym_lhs = nullptr;
+  const std::uint32_t* sym_rhs = nullptr;
+  std::uint32_t sym_const = support::kNoSymbol;
+  bool sym_negate = false;
+  const std::uint64_t* present[3] = {nullptr, nullptr, nullptr};
+  int present_count = 0;
+};
+
+/// Lowers `atom`; returns false if any term fails to resolve to a
+/// vectorizable source, which disables the whole prefilter (the lambda
+/// then runs on every row — slower, never wrong).
+bool resolve_prefilter_atom(const CoreTable& table, const Bindings& bound,
+                            const PredicateAtom& atom, PrefilterAtom& out) {
+  const auto num_source = [&](const std::string& name, simd::Lane& lane) {
+    if (const auto sym = support::lookup_symbol(name); sym.has_value()) {
+      if (const Column* column = table.binding_column(*sym);
+          column != nullptr && column->kind == ColumnKind::kNumber) {
+        lane.col = column->numbers.data();
+        out.present[out.present_count++] = column->present.data();
+        return true;
+      }
+      if (const Column* column = table.metric_column(*sym); column != nullptr) {
+        lane.col = column->numbers.data();
+        out.present[out.present_count++] = column->present.data();
+        return true;
+      }
+    }
+    const auto it = bound.find(name);
+    if (it != bound.end() && it->second.kind() == Value::Kind::kNumber) {
+      lane.broadcast = it->second.as_number();
+      return true;
+    }
+    return false;
+  };
+  const auto sym_col_source = [&](const std::string& name, const std::uint32_t*& col) {
+    const auto sym = support::lookup_symbol(name);
+    if (!sym.has_value()) return false;
+    const Column* column = table.binding_column(*sym);
+    if (column == nullptr || column->kind != ColumnKind::kText) return false;
+    col = column->texts.data();
+    out.present[out.present_count++] = column->present.data();
+    return true;
+  };
+
+  out.cmp = to_simd(atom.cmp);
+  // Text shape: lhs must be a text column; rhs a text constant, session
+  // text binding, or another text column. ==/!= only.
+  const bool rhs_text = atom.rhs_property.empty()
+                            ? atom.rhs_const.kind() == Value::Kind::kText
+                            : false;  // rhs property kind decided by its column below
+  if (atom.lhs_factor.empty() && rhs_text) {
+    if (atom.cmp != PredicateAtom::Cmp::kEq && atom.cmp != PredicateAtom::Cmp::kNe) return false;
+    if (!sym_col_source(atom.lhs, out.sym_lhs)) return false;
+    out.is_sym = true;
+    out.sym_const = support::intern_symbol(atom.rhs_const.as_text());
+    out.sym_negate = atom.cmp == PredicateAtom::Cmp::kNe;
+    return true;
+  }
+
+  // Numeric shape: (lhs [* factor]) cmp rhs.
+  if (!num_source(atom.lhs, out.lhs)) {
+    // Retry as column-vs-column text equality before giving up.
+    if (atom.lhs_factor.empty() && !atom.rhs_property.empty() &&
+        (atom.cmp == PredicateAtom::Cmp::kEq || atom.cmp == PredicateAtom::Cmp::kNe)) {
+      out.present_count = 0;
+      if (sym_col_source(atom.lhs, out.sym_lhs) && sym_col_source(atom.rhs_property, out.sym_rhs)) {
+        out.is_sym = true;
+        out.sym_negate = atom.cmp == PredicateAtom::Cmp::kNe;
+        return true;
+      }
+    }
+    return false;
+  }
+  if (!atom.lhs_factor.empty()) {
+    if (!num_source(atom.lhs_factor, out.factor)) return false;
+    out.has_factor = true;
+  }
+  if (!atom.rhs_property.empty()) return num_source(atom.rhs_property, out.rhs);
+  if (atom.rhs_const.kind() != Value::Kind::kNumber) return false;
+  out.rhs.broadcast = atom.rhs_const.as_number();
+  return true;
+}
+
+/// Runs `fn(word)` over every mask word, chunk-parallel when asked.
+/// Chunks never share a word, so workers write disjoint memory.
+template <typename WordFn>
+void for_each_word(std::size_t words, bool parallel, const WordFn& fn) {
+  if (!parallel || words <= kWordsPerChunk) {
+    for (std::size_t w = 0; w < words; ++w) fn(w);
+    return;
+  }
+  const std::size_t chunks = (words + kWordsPerChunk - 1) / kWordsPerChunk;
   support::ChunkPool::shared().for_each_chunk(chunks, [&](std::size_t chunk) {
-    process(chunk * kWordsPerChunk, std::min(mask.size(), (chunk + 1) * kWordsPerChunk));
+    const std::size_t end = std::min(words, (chunk + 1) * kWordsPerChunk);
+    for (std::size_t w = chunk * kWordsPerChunk; w < end; ++w) fn(w);
+  });
+}
+
+/// Sweeps the set bits of `mask`, clearing rows `keep` rejects.
+template <typename Keep>
+void sweep_rows(std::uint64_t* mask, std::size_t words, bool parallel, const Keep& keep) {
+  for_each_word(words, parallel, [&](std::size_t w) {
+    std::uint64_t bits = mask[w];
+    std::uint64_t cleared = 0;
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      if (!keep((w << 6) + static_cast<std::size_t>(bit))) {
+        cleared |= (std::uint64_t{1} << bit);
+      }
+      bits &= bits - 1;
+    }
+    mask[w] &= ~cleared;
   });
 }
 
@@ -365,9 +628,8 @@ void sweep_mask(std::vector<std::uint64_t>& mask, bool parallel, const Keep& kee
 std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const FilterQuery& query,
                                          telemetry::Telemetry& telemetry) {
   using telemetry::EventKind;
-  // Chaos/deadline hook + first cancellation point; further checkpoints
-  // run between sweeps (on the calling thread — ChunkPool workers carry
-  // no request deadline), so cancellation latency is one sweep.
+  // Chaos/deadline hook + the sweep's cancellation point (on the calling
+  // thread — ChunkPool workers carry no request deadline).
   DSLAYER_FAILPOINT("dsl.candidates.sweep");
   support::cancellation_checkpoint();
   const CoreTable& table = plan.table;
@@ -381,11 +643,21 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
                                   : std::string{});
   if (rows == 0) return {};
 
-  std::vector<std::uint64_t> mask(table.words(), ~std::uint64_t{0});
-  if ((rows & 63) != 0) mask.back() = (std::uint64_t{1} << (rows & 63)) - 1;  // clip tail
+  const simd::KernelOps& kops = simd::kernels();
+  const std::size_t words = table.words();
+
+  // All per-sweep scratch (survivor mask, resolved terms, prefilter
+  // programs) lives in this thread's bump arena and is released, not
+  // freed, when the sweep returns — steady state touches no allocator.
+  support::Arena& arena = support::Arena::scratch();
+  support::ArenaScope scratch_scope(arena);
+
+  std::uint64_t* mask = arena.alloc_array<std::uint64_t>(words);
+  std::fill(mask, mask + words, ~std::uint64_t{0});
+  if ((rows & 63) != 0) mask[words - 1] = (std::uint64_t{1} << (rows & 63)) - 1;  // clip tail
 
   const bool parallel = rows >= columnar_parallel_threshold();
-  const auto clear_all = [&] { std::fill(mask.begin(), mask.end(), 0); };
+  const auto clear_all = [&] { std::fill(mask, mask + words, 0); };
 
   // Steps 1 + 2a: decided design issues and kCoreEquals requirements are
   // the same kernel — the core must bind the property to exactly the
@@ -403,9 +675,13 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
           clear_all();
           return;
         }
-        const double wanted = eq.value.as_number();
-        sweep_mask(mask, parallel,
-                   [&](std::size_t row) { return column->has(row) && column->numbers[row] == wanted; });
+        const simd::Lane wanted{nullptr, eq.value.as_number()};
+        const double* numbers = column->numbers.data();
+        const std::uint64_t* present = column->present.data();
+        for_each_word(words, parallel, [&](std::size_t w) {
+          mask[w] &= present[w] & kops.cmp_num(simd::Lane{numbers + (w << 6)}, simd::Lane{},
+                                               false, simd::Cmp::kEq, wanted);
+        });
         return;
       }
       case ColumnKind::kText: {
@@ -419,12 +695,15 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
           return;
         }
         const support::Symbol symbol = *wanted;
-        sweep_mask(mask, parallel,
-                   [&](std::size_t row) { return column->has(row) && column->texts[row] == symbol; });
+        const std::uint32_t* texts = column->texts.data();
+        const std::uint64_t* present = column->present.data();
+        for_each_word(words, parallel, [&](std::size_t w) {
+          mask[w] &= present[w] & kops.eq_sym(texts + (w << 6), nullptr, symbol, false);
+        });
         return;
       }
       case ColumnKind::kMixed:
-        sweep_mask(mask, parallel, [&](std::size_t row) {
+        sweep_rows(mask, words, parallel, [&](std::size_t row) {
           return column->has(row) && column->values[row] == eq.value;
         });
         return;
@@ -433,8 +712,9 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
   for (const FilterQuery::Equality& eq : query.decided) apply_equality(eq);
   for (const FilterQuery::Equality& eq : query.require_equal) apply_equality(eq);
 
-  // Step 2b: metric bounds. The comparison expressions are the legacy
-  // ones verbatim, so NaN metrics behave identically.
+  // Step 2b: metric bounds. Lowered as the NEGATED legacy rejection
+  // compare (`metric > bound` for at-most), so NaN metrics are kept by
+  // the word kernel exactly as the legacy operators kept them.
   for (const FilterQuery::MetricBound& bound : query.require_metric) {
     const Column* column =
         bound.symbol == support::kNoSymbol ? nullptr : table.metric_column(bound.symbol);
@@ -442,20 +722,69 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
       clear_all();
       continue;
     }
-    sweep_mask(mask, parallel, [&](std::size_t row) {
-      if (!column->has(row)) return false;
-      const double metric = column->numbers[row];
-      if (bound.at_most && metric > bound.bound) return false;
-      if (!bound.at_most && metric < bound.bound) return false;
-      return true;
+    const simd::Cmp reject = bound.at_most ? simd::Cmp::kGt : simd::Cmp::kLt;
+    const simd::Lane limit{nullptr, bound.bound};
+    const double* numbers = column->numbers.data();
+    const std::uint64_t* present = column->present.data();
+    for_each_word(words, parallel, [&](std::size_t w) {
+      mask[w] &= present[w] & ~kops.cmp_num(simd::Lane{numbers + (w << 6)}, simd::Lane{},
+                                            false, reject, limit);
     });
   }
 
   // Step 2c: custom filters, row-wise and sequential (registered lambdas
-  // make no thread-safety promise).
-  for (const CoreFilter* filter : query.custom) {
-    sweep_mask(mask, false,
-               [&](std::size_t row) { return (*filter)(*table.cores()[row], *query.bound); });
+  // make no thread-safety promise). A declared pass_when prefilter
+  // proves rows compliant word-parallel first; only the residual runs
+  // the lambda.
+  for (const FilterQuery::Custom& custom : query.custom) {
+    PrefilterAtom* atoms = nullptr;
+    std::size_t atom_count = 0;
+    if (custom.pass_when != nullptr && !custom.pass_when->empty()) {
+      atoms = arena.alloc_array<PrefilterAtom>(custom.pass_when->size());
+      for (const PredicateAtom& atom : *custom.pass_when) {
+        PrefilterAtom* lowered = ::new (static_cast<void*>(atoms + atom_count)) PrefilterAtom();
+        if (!resolve_prefilter_atom(table, *query.bound, atom, *lowered)) {
+          atom_count = 0;  // unresolvable term: prefilter off, lambda runs everywhere
+          break;
+        }
+        ++atom_count;
+      }
+    }
+    std::uint64_t skipped = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t alive = mask[w];
+      if (alive == 0) continue;
+      std::uint64_t pass = 0;
+      if (atom_count != 0) {
+        pass = alive;
+        for (std::size_t a = 0; a < atom_count && pass != 0; ++a) {
+          const PrefilterAtom& atom = atoms[a];
+          std::uint64_t present = ~std::uint64_t{0};
+          for (int p = 0; p < atom.present_count; ++p) present &= atom.present[p][w];
+          const std::uint64_t holds =
+              atom.is_sym
+                  ? kops.eq_sym(atom.sym_lhs + (w << 6),
+                                atom.sym_rhs != nullptr ? atom.sym_rhs + (w << 6) : nullptr,
+                                atom.sym_const, atom.sym_negate)
+                  : kops.cmp_num(lane_at(atom.lhs, w), lane_at(atom.factor, w),
+                                 atom.has_factor, atom.cmp, lane_at(atom.rhs, w));
+          pass &= present & holds;
+        }
+        skipped += static_cast<std::uint64_t>(std::popcount(pass));
+      }
+      std::uint64_t bits = alive & ~pass;
+      std::uint64_t cleared = 0;
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        const std::size_t row = (w << 6) + static_cast<std::size_t>(bit);
+        if (!(*custom.filter)(*table.cores()[row], *query.bound)) {
+          cleared |= (std::uint64_t{1} << bit);
+        }
+        bits &= bits - 1;
+      }
+      mask[w] &= ~cleared;
+    }
+    if (skipped != 0) telemetry.count(EventKind::kPrefilterSkip, skipped);
   }
 
   // Step 3: predicate constraints in index order. Evaluating each over
@@ -465,52 +794,85 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
   Bindings merged;       // lazily initialized scratch for opaque predicates
   bool merged_ready = false;
   for (const CompiledPredicate& predicate : plan.predicates) {
-    const std::size_t examined = popcount(mask);
+    const std::size_t examined = popcount(mask, words);
     if (examined == 0) break;
     telemetry.count(EventKind::kConstraintEvaluated, examined);
     if (predicate.compiled) {
       predicate.constraint->note_bulk_evaluations(examined);
-      std::vector<ResolvedTerm> references;
-      references.reserve(predicate.references.size());
-      for (const CompiledPredicate::Term& term : predicate.references) {
-        references.push_back(resolve_term(table, term, *query.bound));
+      // Resolve terms and pick word-kernel modes on the calling thread;
+      // ChunkPool workers only read the resolved program.
+      const std::size_t ref_count = predicate.references.size();
+      ResolvedTerm* references = arena.alloc_array<ResolvedTerm>(ref_count);
+      for (std::size_t i = 0; i < ref_count; ++i) {
+        ::new (static_cast<void*>(references + i))
+            ResolvedTerm(resolve_term(table, predicate.references[i], *query.bound));
       }
-      std::vector<ResolvedOp> ops;
-      ops.reserve(predicate.ops.size());
-      for (const CompiledPredicate::Op& op : predicate.ops) {
-        ResolvedOp resolved;
-        resolved.cmp = op.cmp;
-        resolved.lhs = resolve_term(table, op.lhs, *query.bound);
+      const std::size_t op_count = predicate.ops.size();
+      ResolvedOp* ops = arena.alloc_array<ResolvedOp>(op_count);
+      for (std::size_t i = 0; i < op_count; ++i) {
+        const CompiledPredicate::Op& op = predicate.ops[i];
+        ResolvedOp* resolved = ::new (static_cast<void*>(ops + i)) ResolvedOp();
+        resolved->cmp = op.cmp;
+        resolved->lhs = resolve_term(table, op.lhs, *query.bound);
         if (op.has_factor) {
-          resolved.factor = resolve_term(table, op.factor, *query.bound);
-          resolved.has_factor = true;
+          resolved->factor = resolve_term(table, op.factor, *query.bound);
+          resolved->has_factor = true;
         }
-        resolved.rhs = resolve_term(table, op.rhs, *query.bound);
-        ops.push_back(resolved);
+        resolved->rhs = resolve_term(table, op.rhs, *query.bound);
+        classify_op(*resolved);
       }
-      sweep_mask(mask, parallel, [&](std::size_t row) {
+      for_each_word(words, parallel, [&](std::size_t w) {
+        const std::uint64_t alive = mask[w];
+        if (alive == 0) return;
         // violated() evaluates nothing unless every referenced property
-        // has a value (core column or session fallback).
-        for (const ResolvedTerm& reference : references) {
-          const bool present = (reference.column != nullptr && reference.column->has(row)) ||
-                               reference.fallback.kind != Value::Kind::kEmpty;
-          if (!present) return true;  // unevaluable => not violated
+        // has a value (core column or session fallback); unevaluable
+        // rows are kept.
+        std::uint64_t evaluable = ~std::uint64_t{0};
+        for (std::size_t i = 0; i < ref_count && evaluable != 0; ++i) {
+          const ResolvedTerm& reference = references[i];
+          std::uint64_t avail =
+              reference.fallback.kind != Value::Kind::kEmpty ? ~std::uint64_t{0} : 0;
+          if (reference.column != nullptr) avail |= reference.column->present[w];
+          evaluable &= avail;
         }
-        for (const ResolvedOp& op : ops) {
-          const Cell lhs = fetch(op.lhs, row);
-          const Cell rhs = fetch(op.rhs, row);
-          bool holds = false;
-          if (op.has_factor) {
-            const Cell factor = fetch(op.factor, row);
-            holds = lhs.kind == Value::Kind::kNumber && factor.kind == Value::Kind::kNumber &&
-                    rhs.kind == Value::Kind::kNumber &&
-                    compare_numbers(lhs.number * factor.number, op.cmp, rhs.number);
-          } else {
-            holds = cells_hold(lhs, op.cmp, rhs);
+        std::uint64_t viol = alive & evaluable;  // violated iff every atom holds
+        for (std::size_t i = 0; i < op_count && viol != 0; ++i) {
+          const ResolvedOp& op = ops[i];
+          std::uint64_t holds = 0;
+          std::uint64_t patch = 0;
+          switch (op.mode) {
+            case OpMode::kNum:
+              holds = kops.cmp_num(lane_at(op.lhs_lane, w), lane_at(op.factor_lane, w),
+                                   op.has_factor, to_simd(op.cmp), lane_at(op.rhs_lane, w));
+              for (int p = 0; p < op.patch_count; ++p) patch |= ~op.patch_present[p][w];
+              break;
+            case OpMode::kSym:
+              holds = kops.eq_sym(op.sym_lhs + (w << 6),
+                                  op.sym_rhs != nullptr ? op.sym_rhs + (w << 6) : nullptr,
+                                  op.sym_const, op.sym_negate);
+              for (int p = 0; p < op.patch_count; ++p) patch |= ~op.patch_present[p][w];
+              break;
+            case OpMode::kScalar:
+              patch = ~std::uint64_t{0};
+              break;
           }
-          if (!holds) return true;  // conjunction broken => not violated
+          // Rows the word kernel could not see faithfully (a column
+          // value absent, falling back to a session binding; or a
+          // scalar-only op) re-run the exact legacy evaluation.
+          std::uint64_t bits = patch & viol;
+          while (bits != 0) {
+            const int bit = std::countr_zero(bits);
+            const std::uint64_t one = std::uint64_t{1} << bit;
+            if (op_holds_row(op, (w << 6) + static_cast<std::size_t>(bit))) {
+              holds |= one;
+            } else {
+              holds &= ~one;
+            }
+            bits &= bits - 1;
+          }
+          viol &= holds;
         }
-        return false;  // every atom holds => violated
+        mask[w] = alive & ~viol;
       });
     } else {
       // Opaque lambda: row-wise through the overlay (sequential — the
@@ -521,7 +883,7 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
       }
       BindingsOverlay overlay(merged);
       std::uint64_t overlay_writes = 0;
-      sweep_mask(mask, false, [&](std::size_t row) {
+      sweep_rows(mask, words, false, [&](std::size_t row) {
         overlay_writes += overlay.apply(*table.cores()[row]);
         const bool keep = !predicate.constraint->violated(merged);
         overlay.revert();
@@ -532,8 +894,8 @@ std::vector<const Core*> run_core_filter(const CoreFilterPlan& plan, const Filte
   }
 
   std::vector<const Core*> survivors;
-  survivors.reserve(popcount(mask));
-  for (std::size_t w = 0; w < mask.size(); ++w) {
+  survivors.reserve(popcount(mask, words));
+  for (std::size_t w = 0; w < words; ++w) {
     std::uint64_t bits = mask[w];
     while (bits != 0) {
       const int bit = std::countr_zero(bits);

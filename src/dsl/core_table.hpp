@@ -1,4 +1,4 @@
-// Columnar core store + compiled constraint kernels (DESIGN.md §10).
+// Columnar core store + compiled constraint kernels (DESIGN.md §10, §14).
 //
 // The legacy candidate filter re-interprets every core on every cold
 // query: string-keyed map lookups per decided issue, a freshly allocated
@@ -10,6 +10,9 @@
 //    interned Symbol), each with a presence bitmap (64 rows per word).
 //    Columns are typed: all-number and all-text columns store raw
 //    doubles / interned symbols; mixed-kind columns degrade to Values.
+//    Payloads are padded to a whole number of 64-row words so the SIMD
+//    kernels (support/simd.hpp) read full blocks branch-free; symbol
+//    lookups go through sorted flat vectors, not std::map nodes.
 //  * CompiledPredicate — a declarative ConsistencyConstraint (see
 //    PredicateAtom) lowered once per index generation to column indexes
 //    and comparison opcodes. Opaque lambda predicates stay uncompiled
@@ -20,19 +23,33 @@
 //    an epoch publishes.
 //  * run_core_filter — evaluates a FilterQuery (the session's decided
 //    issues, requirements, and bindings snapshot) over a plan with a
-//    survivor bitmask, predicate by predicate. Tables larger than
+//    survivor bitmask, predicate by predicate. Hot predicate shapes
+//    (numeric compare vs constant / column with optional factor, text
+//    symbol equality) run through the runtime-selected SIMD kernel one
+//    64-row word at a time; rows a word kernel cannot decide (absent
+//    column value falling back to a session binding, mixed-kind cells)
+//    are patched through the scalar interpreter, so survivors are
+//    bit-identical to a scalar sweep. Per-sweep scratch (the survivor
+//    mask, resolved terms, prefilter masks) comes from the calling
+//    thread's bump arena (support/arena.hpp) — a steady-state sweep
+//    performs no heap allocation. Tables larger than
 //    columnar_parallel_threshold() split into 64-row-aligned chunks on
 //    support::ChunkPool::shared(); chunks never share a mask word, so
 //    workers write disjoint memory and results are deterministic.
+//    Custom (opaque lambda) filters may carry a PredicateAtom
+//    conjunction prefilter: rows the atoms prove compliant skip the
+//    lambda entirely (counted as kPrefilterSkip); only the residual
+//    runs interpreted.
 //
 // The engine mirrors the legacy semantics exactly — same survivors, same
 // ConstraintEvaluated / ComplianceCheck counter totals — which the
-// tier-1 columnar oracle test enforces on randomized libraries.
+// tier-1 columnar oracle test enforces on randomized libraries, with
+// kernels forced to scalar and to the widest supported ISA.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dsl/constraint.hpp"
@@ -61,9 +78,9 @@ class CoreTable {
     support::Symbol symbol = support::kNoSymbol;
     ColumnKind kind = ColumnKind::kNumber;
     std::vector<std::uint64_t> present;  ///< presence bitmap, 64 rows/word
-    std::vector<double> numbers;         ///< kNumber payload
-    std::vector<support::Symbol> texts;  ///< kText payload
-    std::vector<Value> values;           ///< kMixed payload
+    std::vector<double> numbers;         ///< kNumber payload (padded to words*64)
+    std::vector<support::Symbol> texts;  ///< kText payload (padded to words*64)
+    std::vector<Value> values;           ///< kMixed payload (padded to words*64)
 
     bool has(std::size_t row) const {
       return (present[row >> 6] >> (row & 63)) & 1u;
@@ -71,7 +88,9 @@ class CoreTable {
   };
 
   /// Snapshots `cores` (row order preserved — it is the candidates()
-  /// output order). Text values are interned as they are stored.
+  /// output order). Text values are interned as they are stored. Column
+  /// payloads are fully sized up front from the core count (padded to
+  /// whole 64-row words for the SIMD kernels).
   explicit CoreTable(const std::vector<const Core*>& cores);
 
   std::size_t rows() const { return cores_.size(); }
@@ -79,25 +98,38 @@ class CoreTable {
   const std::vector<const Core*>& cores() const { return cores_; }
 
   /// Binding / metric column for a symbol; nullptr if no indexed core
-  /// binds it. References are stable for the table's lifetime.
+  /// binds it. References are stable for the table's lifetime. Lookup is
+  /// a binary search over a sorted flat vector (symbols are dense u32).
   const Column* binding_column(support::Symbol symbol) const;
   const Column* metric_column(support::Symbol symbol) const;
 
   std::size_t binding_column_count() const { return binding_columns_.size(); }
   std::size_t metric_column_count() const { return metric_columns_.size(); }
 
+  /// Approximate resident bytes of the snapshot (payloads + bitmaps +
+  /// row pointers + indexes). Deterministic for a given library, which
+  /// is what lets the bench gate bytes_per_core like a counter.
+  std::size_t memory_bytes() const;
+
  private:
-  Column& column_for(std::map<support::Symbol, std::size_t>& index,
-                     std::vector<Column>& columns, support::Symbol symbol, ColumnKind kind);
-  static void store(Column& column, std::size_t row, const Value& value);
-  static void degrade_to_mixed(Column& column);
+  /// Sorted (symbol, column slot) pairs — the flat replacement for the
+  /// former std::map indexes.
+  using SymbolIndex = std::vector<std::pair<support::Symbol, std::uint32_t>>;
+
+  Column& column_for(SymbolIndex& index, std::vector<Column>& columns, support::Symbol symbol,
+                     ColumnKind kind);
+  static const Column* lookup(const SymbolIndex& index, const std::vector<Column>& columns,
+                              support::Symbol symbol);
+  void store(Column& column, std::size_t row, const Value& value);
+  void degrade_to_mixed(Column& column);
 
   std::vector<const Core*> cores_;
   std::size_t words_ = 0;
+  std::size_t padded_rows_ = 0;  ///< words_ * 64
   std::vector<Column> binding_columns_;
   std::vector<Column> metric_columns_;
-  std::map<support::Symbol, std::size_t> binding_index_;
-  std::map<support::Symbol, std::size_t> metric_index_;
+  SymbolIndex binding_index_;
+  SymbolIndex metric_index_;
 };
 
 /// One predicate constraint lowered against a CoreTable. `compiled` is
@@ -155,12 +187,24 @@ struct FilterQuery {
     bool at_most = false;  ///< kCoreAtMost; else kCoreAtLeast
     double bound = 0.0;
   };
+  /// One registered custom filter, optionally with a declared ACCEPT
+  /// prefilter: a PredicateAtom conjunction such that any row where
+  /// every referenced property resolves (binding column, metric column,
+  /// or session binding) and every atom holds is guaranteed compliant.
+  /// Such rows skip the lambda (kPrefilterSkip); all other rows —
+  /// including every row when pass_when is null or unresolvable — run
+  /// the lambda exactly as before, so a conservative (or wrong-shaped)
+  /// prefilter can only cost speed, never candidates.
+  struct Custom {
+    const CoreFilter* filter = nullptr;
+    const std::vector<PredicateAtom>* pass_when = nullptr;
+  };
 
   const Bindings* bound = nullptr;       ///< session bindings snapshot
   std::vector<Equality> decided;         ///< step 1: core-filtering decisions
   std::vector<Equality> require_equal;   ///< step 2: kCoreEquals requirements
   std::vector<MetricBound> require_metric;  ///< step 2: kCoreAtMost/AtLeast
-  std::vector<const CoreFilter*> custom;    ///< step 2: registered filters
+  std::vector<Custom> custom;               ///< step 2: registered filters
 };
 
 /// Runs the filter; returns surviving cores in table row order (the

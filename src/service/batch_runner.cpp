@@ -13,6 +13,7 @@
 #include "service/client.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
+#include "support/simd.hpp"
 #include "support/strings.hpp"
 #include "support/trace.hpp"
 
@@ -33,6 +34,7 @@ void print_stats(const DirectiveContext& context, std::ostream& out) {
       << " closed=" << ms.closed << " evicted=" << ms.evicted << " commands=" << ms.commands
       << " migrations=" << ms.migrations << " migration_failures=" << ms.migration_failures
       << "\n";
+  out << "simd: kernel=" << support::simd::to_string(support::simd::kernels().kind) << "\n";
   if (context.front_end) {
     // Serve/net parity: network-mode operators see connection-lifecycle
     // counters here, not only through `!metrics`.

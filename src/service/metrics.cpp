@@ -4,6 +4,7 @@
 #include <map>
 
 #include "support/failpoint.hpp"
+#include "support/simd.hpp"
 #include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
@@ -134,6 +135,14 @@ std::string render_metrics(SessionManager& manager, RequestExecutor& executor,
   family(out, "dslayer_queue_wait_ewma_ms",
          "Exponentially weighted moving average of recent queue waits.", "gauge");
   sample(out, "dslayer_queue_wait_ewma_ms", executor.queue_wait_ewma_ms());
+
+  // Info-style gauge: which columnar word-kernel path is serving traffic
+  // (runtime dispatch — CPU features and the DSLAYER_SIMD override).
+  family(out, "dslayer_simd_kernel",
+         "Active columnar filter word-kernel ISA; the value is always 1.", "gauge");
+  out += "dslayer_simd_kernel{kernel=\"";
+  out += label_escape(support::simd::to_string(support::simd::kernels().kind));
+  out += "\"} 1\n";
 
   const SessionManager::Stats ms = manager.stats();
   family(out, "dslayer_sessions_live", "Sessions currently open.", "gauge");

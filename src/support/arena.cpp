@@ -1,0 +1,61 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+
+namespace dslayer::support {
+
+namespace {
+constexpr std::size_t kMaxBlockBytes = 8 * 1024 * 1024;
+}
+
+Arena::Arena(std::size_t first_block_bytes)
+    : next_block_bytes_(std::max<std::size_t>(first_block_bytes, 1024)) {}
+
+Arena::Block& Arena::grow(std::size_t at_least) {
+  // Reuse an already-retained later block when it is big enough;
+  // otherwise append a fresh one (doubling, capped).
+  while (current_ + 1 < blocks_.size()) {
+    Block& candidate = blocks_[++current_];
+    candidate.used = 0;
+    if (candidate.size >= at_least) return candidate;
+  }
+  std::size_t size = std::max(next_block_bytes_, at_least);
+  next_block_bytes_ = std::min(kMaxBlockBytes, next_block_bytes_ * 2);
+  Block block;
+  block.data = std::make_unique<unsigned char[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (blocks_.empty()) grow(std::max(bytes, next_block_bytes_));
+  Block* block = &blocks_[current_];
+  std::size_t offset = (block->used + align - 1) & ~(align - 1);
+  if (offset + bytes > block->size) {
+    block = &grow(bytes + align);
+    offset = (block->used + align - 1) & ~(align - 1);
+  }
+  block->used = offset + bytes;
+  return block->data.get() + offset;
+}
+
+void Arena::rewind(Mark m) {
+  if (blocks_.empty()) return;
+  current_ = std::min(m.block, blocks_.size() - 1);
+  blocks_[current_].used = m.used;
+}
+
+std::size_t Arena::retained_bytes() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+Arena& Arena::scratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace dslayer::support

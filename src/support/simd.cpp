@@ -1,0 +1,271 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define DSLAYER_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define DSLAYER_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace dslayer::support::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (always available; the parity oracle's anchor).
+
+bool scalar_holds(double lhs, Cmp cmp, double rhs) {
+  switch (cmp) {
+    case Cmp::kEq: return lhs == rhs;
+    case Cmp::kNe: return lhs != rhs;
+    case Cmp::kLt: return lhs < rhs;
+    case Cmp::kLe: return lhs <= rhs;
+    case Cmp::kGt: return lhs > rhs;
+    case Cmp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+std::uint64_t scalar_cmp_num(Lane lhs, Lane factor, bool has_factor, Cmp cmp, Lane rhs) {
+  std::uint64_t bits = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    double l = lhs.col != nullptr ? lhs.col[i] : lhs.broadcast;
+    if (has_factor) l *= factor.col != nullptr ? factor.col[i] : factor.broadcast;
+    const double r = rhs.col != nullptr ? rhs.col[i] : rhs.broadcast;
+    if (scalar_holds(l, cmp, r)) bits |= std::uint64_t{1} << i;
+  }
+  return bits;
+}
+
+std::uint64_t scalar_eq_sym(const std::uint32_t* col, const std::uint32_t* rhs_col,
+                            std::uint32_t wanted, bool negate) {
+  std::uint64_t bits = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    const std::uint32_t r = rhs_col != nullptr ? rhs_col[i] : wanted;
+    if ((col[i] == r) != negate) bits |= std::uint64_t{1} << i;
+  }
+  return bits;
+}
+
+constexpr KernelOps kScalarOps{Kernel::kScalar, &scalar_cmp_num, &scalar_eq_sym};
+
+// ---------------------------------------------------------------------------
+// AVX2: 4 doubles / 8 symbols per vector, 64-row block per call. Compare
+// predicates use the ordered/unordered forms that reproduce C++'s scalar
+// comparison semantics on NaN (ordered compares false, != true).
+
+#if DSLAYER_SIMD_X86
+
+#define DSLAYER_AVX2_CMP_BLOCK(NAME, IMM)                                              \
+  __attribute__((target("avx2"))) std::uint64_t NAME(Lane lhs, Lane factor,            \
+                                                     bool has_factor, Lane rhs) {      \
+    std::uint64_t bits = 0;                                                            \
+    const __m256d lhs_b = _mm256_set1_pd(lhs.broadcast);                               \
+    const __m256d factor_b = _mm256_set1_pd(factor.broadcast);                         \
+    const __m256d rhs_b = _mm256_set1_pd(rhs.broadcast);                               \
+    for (unsigned i = 0; i < 64; i += 4) {                                             \
+      __m256d l = lhs.col != nullptr ? _mm256_loadu_pd(lhs.col + i) : lhs_b;           \
+      if (has_factor) {                                                                \
+        const __m256d f = factor.col != nullptr ? _mm256_loadu_pd(factor.col + i)      \
+                                                : factor_b;                            \
+        l = _mm256_mul_pd(l, f);                                                       \
+      }                                                                                \
+      const __m256d r = rhs.col != nullptr ? _mm256_loadu_pd(rhs.col + i) : rhs_b;     \
+      const int m = _mm256_movemask_pd(_mm256_cmp_pd(l, r, IMM));                      \
+      bits |= static_cast<std::uint64_t>(static_cast<unsigned>(m)) << i;               \
+    }                                                                                  \
+    return bits;                                                                       \
+  }
+
+DSLAYER_AVX2_CMP_BLOCK(avx2_cmp_eq, _CMP_EQ_OQ)
+DSLAYER_AVX2_CMP_BLOCK(avx2_cmp_ne, _CMP_NEQ_UQ)
+DSLAYER_AVX2_CMP_BLOCK(avx2_cmp_lt, _CMP_LT_OQ)
+DSLAYER_AVX2_CMP_BLOCK(avx2_cmp_le, _CMP_LE_OQ)
+DSLAYER_AVX2_CMP_BLOCK(avx2_cmp_gt, _CMP_GT_OQ)
+DSLAYER_AVX2_CMP_BLOCK(avx2_cmp_ge, _CMP_GE_OQ)
+#undef DSLAYER_AVX2_CMP_BLOCK
+
+std::uint64_t avx2_cmp_num(Lane lhs, Lane factor, bool has_factor, Cmp cmp, Lane rhs) {
+  switch (cmp) {
+    case Cmp::kEq: return avx2_cmp_eq(lhs, factor, has_factor, rhs);
+    case Cmp::kNe: return avx2_cmp_ne(lhs, factor, has_factor, rhs);
+    case Cmp::kLt: return avx2_cmp_lt(lhs, factor, has_factor, rhs);
+    case Cmp::kLe: return avx2_cmp_le(lhs, factor, has_factor, rhs);
+    case Cmp::kGt: return avx2_cmp_gt(lhs, factor, has_factor, rhs);
+    case Cmp::kGe: return avx2_cmp_ge(lhs, factor, has_factor, rhs);
+  }
+  return 0;
+}
+
+__attribute__((target("avx2"))) std::uint64_t avx2_eq_sym(const std::uint32_t* col,
+                                                          const std::uint32_t* rhs_col,
+                                                          std::uint32_t wanted, bool negate) {
+  std::uint64_t bits = 0;
+  const __m256i wanted_v = _mm256_set1_epi32(static_cast<int>(wanted));
+  for (unsigned i = 0; i < 64; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    const __m256i r = rhs_col != nullptr
+                          ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rhs_col + i))
+                          : wanted_v;
+    const int m = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, r)));
+    bits |= static_cast<std::uint64_t>(static_cast<unsigned>(m)) << i;
+  }
+  return negate ? ~bits : bits;
+}
+
+constexpr KernelOps kAvx2Ops{Kernel::kAVX2, &avx2_cmp_num, &avx2_eq_sym};
+
+#endif  // DSLAYER_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64 baseline): 2 doubles / 4 symbols per vector.
+
+#if DSLAYER_SIMD_NEON
+
+template <typename CmpFn>
+std::uint64_t neon_cmp_block(Lane lhs, Lane factor, bool has_factor, Lane rhs, CmpFn cmp_fn) {
+  std::uint64_t bits = 0;
+  const float64x2_t lhs_b = vdupq_n_f64(lhs.broadcast);
+  const float64x2_t factor_b = vdupq_n_f64(factor.broadcast);
+  const float64x2_t rhs_b = vdupq_n_f64(rhs.broadcast);
+  for (unsigned i = 0; i < 64; i += 2) {
+    float64x2_t l = lhs.col != nullptr ? vld1q_f64(lhs.col + i) : lhs_b;
+    if (has_factor) {
+      l = vmulq_f64(l, factor.col != nullptr ? vld1q_f64(factor.col + i) : factor_b);
+    }
+    const float64x2_t r = rhs.col != nullptr ? vld1q_f64(rhs.col + i) : rhs_b;
+    const uint64x2_t m = cmp_fn(l, r);
+    bits |= (vgetq_lane_u64(m, 0) & 1u) << i;
+    bits |= (vgetq_lane_u64(m, 1) & 1u) << (i + 1);
+  }
+  return bits;
+}
+
+std::uint64_t neon_cmp_num(Lane lhs, Lane factor, bool has_factor, Cmp cmp, Lane rhs) {
+  switch (cmp) {
+    case Cmp::kEq:
+      return neon_cmp_block(lhs, factor, has_factor, rhs,
+                            [](float64x2_t a, float64x2_t b) { return vceqq_f64(a, b); });
+    case Cmp::kNe:  // NaN != x is true: complement of ordered ==
+      return neon_cmp_block(lhs, factor, has_factor, rhs, [](float64x2_t a, float64x2_t b) {
+        return veorq_u64(vceqq_f64(a, b), vdupq_n_u64(~0ull));
+      });
+    case Cmp::kLt:
+      return neon_cmp_block(lhs, factor, has_factor, rhs,
+                            [](float64x2_t a, float64x2_t b) { return vcltq_f64(a, b); });
+    case Cmp::kLe:
+      return neon_cmp_block(lhs, factor, has_factor, rhs,
+                            [](float64x2_t a, float64x2_t b) { return vcleq_f64(a, b); });
+    case Cmp::kGt:
+      return neon_cmp_block(lhs, factor, has_factor, rhs,
+                            [](float64x2_t a, float64x2_t b) { return vcgtq_f64(a, b); });
+    case Cmp::kGe:
+      return neon_cmp_block(lhs, factor, has_factor, rhs,
+                            [](float64x2_t a, float64x2_t b) { return vcgeq_f64(a, b); });
+  }
+  return 0;
+}
+
+std::uint64_t neon_eq_sym(const std::uint32_t* col, const std::uint32_t* rhs_col,
+                          std::uint32_t wanted, bool negate) {
+  std::uint64_t bits = 0;
+  const uint32x4_t wanted_v = vdupq_n_u32(wanted);
+  for (unsigned i = 0; i < 64; i += 4) {
+    const uint32x4_t v = vld1q_u32(col + i);
+    const uint32x4_t r = rhs_col != nullptr ? vld1q_u32(rhs_col + i) : wanted_v;
+    const uint32x4_t m = vceqq_u32(v, r);
+    bits |= static_cast<std::uint64_t>(vgetq_lane_u32(m, 0) & 1u) << i;
+    bits |= static_cast<std::uint64_t>(vgetq_lane_u32(m, 1) & 1u) << (i + 1);
+    bits |= static_cast<std::uint64_t>(vgetq_lane_u32(m, 2) & 1u) << (i + 2);
+    bits |= static_cast<std::uint64_t>(vgetq_lane_u32(m, 3) & 1u) << (i + 3);
+  }
+  return negate ? ~bits : bits;
+}
+
+constexpr KernelOps kNeonOps{Kernel::kNEON, &neon_cmp_num, &neon_eq_sym};
+
+#endif  // DSLAYER_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch: env / set_kernel() override, else widest supported.
+
+const KernelOps* table_for(Kernel kernel) {
+  switch (kernel) {
+#if DSLAYER_SIMD_X86
+    case Kernel::kAVX2:
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Ops;
+      break;
+#endif
+#if DSLAYER_SIMD_NEON
+    case Kernel::kNEON: return &kNeonOps;
+#endif
+    default: break;
+  }
+  return &kScalarOps;
+}
+
+Kernel env_choice() {
+  const char* env = std::getenv("DSLAYER_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return Kernel::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return Kernel::kAVX2;
+    if (std::strcmp(env, "neon") == 0) return Kernel::kNEON;
+    // "widest", "auto", or anything else: detect below.
+  }
+  return widest_supported();
+}
+
+// Relaxed atomics: the choice is written from quiesced setup code and
+// read (one load) at the top of every sweep.
+std::atomic<const KernelOps*> g_active{nullptr};
+
+}  // namespace
+
+const char* to_string(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar: return "scalar";
+    case Kernel::kAVX2: return "avx2";
+    case Kernel::kNEON: return "neon";
+  }
+  return "scalar";
+}
+
+bool supported(Kernel kernel) { return table_for(kernel)->kind == kernel; }
+
+Kernel widest_supported() {
+#if DSLAYER_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Kernel::kAVX2;
+#endif
+#if DSLAYER_SIMD_NEON
+  return Kernel::kNEON;
+#endif
+  return Kernel::kScalar;
+}
+
+const KernelOps& kernels() {
+  const KernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ops = table_for(env_choice());
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+Kernel active_kernel() { return kernels().kind; }
+
+void set_kernel(Kernel kernel) {
+  g_active.store(table_for(kernel), std::memory_order_release);
+}
+
+void reset_kernel_choice() {
+  g_active.store(table_for(env_choice()), std::memory_order_release);
+}
+
+}  // namespace dslayer::support::simd

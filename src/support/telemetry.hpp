@@ -65,9 +65,10 @@ enum class EventKind : std::uint8_t {
   kIndexRebuild,         ///< subject = which index was (re)built
   kQueryTimed,           ///< subject = query kind, duration_us = wall time
   kOverlayWrite,         ///< counted only (hot path) — per-core binding-overlay map writes
+  kPrefilterSkip,        ///< counted only (hot path) — rows a declared prefilter spared the lambda
 };
 
-inline constexpr std::size_t kEventKindCount = 14;
+inline constexpr std::size_t kEventKindCount = 15;
 
 /// Stable wire name ("Decision", "CacheHit", ...).
 const char* to_string(EventKind kind);

@@ -16,14 +16,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "domains/crypto.hpp"
 #include "dsl/exploration.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 
 namespace dslayer {
 namespace {
@@ -469,6 +472,241 @@ TEST(ColumnarOracle, PlanRebuiltAfterReindexAndAddConstraint) {
   twin.expect_candidates_agree();
   for (const Core* core : twin.columnar.candidates()) {
     EXPECT_NE(core->binding("Tech"), Value::text("t2")) << core->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forced-kernel parity: the same walks must agree bit for bit whether the
+// word kernels run scalar or on the widest ISA the CPU supports. Shapes are
+// adversarial for 64-lane blocks: row counts 0/1/63/64/65, non-lane-multiple
+// tails, NaN metric and binding values, sparse presence bitmaps, and
+// mixed-kind columns.
+// ---------------------------------------------------------------------------
+
+namespace simd = support::simd;
+
+/// Param: (0 = scalar, 1 = widest supported ISA) x fuzz seed.
+class ForcedKernelOracle : public ::testing::TestWithParam<std::tuple<int, unsigned>> {
+ protected:
+  void SetUp() override {
+    const int which = std::get<0>(GetParam());
+    simd::set_kernel(which == 0 ? simd::Kernel::kScalar : simd::widest_supported());
+  }
+  void TearDown() override { simd::reset_kernel_choice(); }
+};
+
+TEST_P(ForcedKernelOracle, AdversarialRowCountsAgree) {
+  const unsigned seed = std::get<1>(GetParam());
+  // 0 rows (no sweep), 1 (single-lane word), 63/64/65 (word boundary), and
+  // two non-lane-multiple tails.
+  for (const std::size_t count : {0u, 1u, 63u, 64u, 65u, 130u, 257u}) {
+    auto layer = oracle_layer(seed * 131 + static_cast<unsigned>(count), count);
+    Twin twin(*layer, "Node");
+    twin.columnar.reset_query_stats();
+    twin.legacy.reset_query_stats();
+    twin.apply([](ExplorationSession& s) { s.set_requirement("MinScore", 30.0); });
+    twin.expect_candidates_agree();
+    twin.apply([](ExplorationSession& s) { s.set_requirement("MaxCost", 80.0); });
+    twin.expect_candidates_agree();
+    twin.apply([](ExplorationSession& s) { s.set_requirement("Coding", "carry"); });
+    twin.expect_candidates_agree();
+    twin.apply([](ExplorationSession& s) { s.set_requirement("Mode", "strict"); });
+    twin.apply([](ExplorationSession& s) { s.set_requirement("Cert", "gold"); });
+    twin.expect_candidates_agree();
+    twin.apply([](ExplorationSession& s) { s.decide("Width", Value::number(32.0)); });
+    twin.expect_candidates_agree();
+    twin.expect_counters_agree();
+  }
+}
+
+TEST_P(ForcedKernelOracle, RandomWalkAgrees) {
+  const unsigned seed = std::get<1>(GetParam());
+  auto layer = oracle_layer(seed * 104729 + 17, 321);  // non-multiple-of-64 rows
+  Twin twin(*layer, "Node");
+  twin.columnar.reset_query_stats();
+  twin.legacy.reset_query_stats();
+  Rng rng(seed * 59 + 11);
+  for (int step = 0; step < 25; ++step) {
+    switch (rng.next_below(4)) {
+      case 0: {
+        const char* name = rng.next_bool() ? "MinScore" : "MaxCost";
+        const double value = static_cast<double>(rng.next_below(101));
+        twin.apply([&](ExplorationSession& s) { s.set_requirement(name, value); });
+        break;
+      }
+      case 1: {
+        const char* techs[] = {"t1", "t2", "t3"};
+        const char* tech = techs[rng.next_below(3)];
+        twin.apply([&](ExplorationSession& s) { s.decide("Tech", tech); });
+        break;
+      }
+      case 2: {
+        const double widths[] = {8, 16, 32, 64};
+        const double width = widths[rng.next_below(4)];
+        twin.apply([&](ExplorationSession& s) { s.decide("Width", Value::number(width)); });
+        break;
+      }
+      default: {
+        const char* names[] = {"MinScore", "MaxCost", "Tech", "Width"};
+        const char* name = names[rng.next_below(4)];
+        twin.apply([&](ExplorationSession& s) {
+          if (s.value_of(name).has_value()) s.retract(name);
+        });
+        break;
+      }
+    }
+    twin.expect_candidates_agree();
+  }
+  twin.expect_counters_agree();
+}
+
+/// NaN metrics / NaN numeric bindings / near-empty presence bitmaps: the
+/// shapes where vectorized compares and the legacy operators could diverge.
+std::unique_ptr<DesignSpaceLayer> nan_sparse_layer(std::size_t core_count) {
+  auto layer = std::make_unique<DesignSpaceLayer>("nan-sparse");
+  Cdo& node = layer->space().add_root("Node");
+  node.add_property(Property::requirement("MinScore", ValueDomain::real_range(0.0, 100.0), "")
+                        .with_compliance(Compliance::kCoreAtLeast, "score"));
+  node.add_property(Property::requirement("MaxCost", ValueDomain::real_range(0.0, 100.0), "")
+                        .with_compliance(Compliance::kCoreAtMost, "cost"));
+  node.add_property(Property::design_issue("Tech", ValueDomain::options({"t1", "t2", "t3"}), ""));
+  node.add_property(Property::design_issue("Width", ValueDomain::powers_of_two(), ""));
+  layer->add_constraint(ConsistencyConstraint::inconsistent_when(
+      "D1", "t3 cannot drive wide datapaths", {PropertyPath::parse("Tech@Node")},
+      {PropertyPath::parse("Width@Node")},
+      {PredicateAtom::equals("Tech", Value::text("t3")),
+       PredicateAtom::compares("Width", Cmp::kGe, 32.0)}));
+  ReuseLibrary& lib = layer->add_library("cores");
+  const double nan = std::nan("");
+  for (std::size_t i = 0; i < core_count; ++i) {
+    Core c("c" + std::to_string(i), "Node");
+    // Sparse presence: only every 9th core binds Tech, every 7th Width.
+    if (i % 9 == 0) c.bind("Tech", Value::text(i % 2 == 0 ? "t3" : "t1"));
+    if (i % 7 == 0) c.bind("Width", Value::number(i % 14 == 0 ? nan : 64.0));
+    if (i % 5 != 0) c.set_metric("score", i % 11 == 1 ? nan : static_cast<double>(i % 100));
+    if (i % 3 != 0) c.set_metric("cost", i % 13 == 2 ? nan : static_cast<double>(i % 90));
+    lib.add(std::move(c));
+  }
+  layer->index_cores();
+  return layer;
+}
+
+TEST_P(ForcedKernelOracle, NaNAndSparsePresenceAgree) {
+  auto layer = nan_sparse_layer(450);
+  Twin twin(*layer, "Node");
+  twin.columnar.reset_query_stats();
+  twin.legacy.reset_query_stats();
+  // Legacy keeps NaN metrics through both bound directions (NaN compares
+  // false); both engines must reproduce that, not "NaN fails the bound".
+  twin.apply([](ExplorationSession& s) { s.set_requirement("MinScore", 50.0); });
+  twin.expect_candidates_agree();
+  bool nan_survivor = false;
+  for (const Core* core : twin.columnar.candidates()) {
+    const auto score = core->metric("score");
+    nan_survivor |= score.has_value() && std::isnan(*score);
+  }
+  EXPECT_TRUE(nan_survivor) << "NaN metric rows must pass bounds like the legacy operators";
+  twin.apply([](ExplorationSession& s) { s.set_requirement("MaxCost", 40.0); });
+  twin.expect_candidates_agree();
+  // NaN Width bindings flow into the compiled D1 program (NaN >= 32 never
+  // holds => never violated).
+  twin.apply([](ExplorationSession& s) { s.decide("Tech", "t3"); });
+  twin.expect_candidates_agree();
+  twin.expect_counters_agree();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ForcedKernelOracle,
+                         ::testing::Combine(::testing::Values(0, 1), ::testing::Range(1u, 4u)));
+
+// ---------------------------------------------------------------------------
+// Prefilter oracle: a declared pass_when conjunction must change nothing but
+// the amount of lambda work.
+// ---------------------------------------------------------------------------
+
+TEST(ColumnarOracle, PrefilterMatchesFullLambdaAndSkipsRows) {
+  auto layer = oracle_layer(5, 500);
+  // The Cert filter keeps cores with score >= 50 (gold) / >= 10 (silver):
+  // "score >= 50" is a sound ACCEPT prefilter for either floor. It resolves
+  // through the metric column — a prefilter-only power.
+  Twin twin(*layer, "Node");
+  twin.columnar.declare_prefilter("Cert",
+                                  {PredicateAtom::compares("score", Cmp::kGe, 50.0)});
+  ExplorationSession plain(*layer, "Node");  // columnar, no declaration
+  plain.set_columnar(true);
+
+  const auto drive = [](ExplorationSession& s) {
+    s.set_requirement("Cert", "gold");
+    s.set_requirement("MaxCost", 70.0);
+  };
+  twin.apply([&](ExplorationSession& s) { drive(s); });
+  drive(plain);
+
+  twin.expect_candidates_agree();  // prefiltered columnar == legacy
+  EXPECT_EQ(twin.columnar.candidates(), plain.candidates());
+  twin.expect_counters_agree();  // ConstraintEvaluated / ComplianceCheck untouched
+
+  // The declaration must actually spare lambda rows on the columnar side,
+  // and be invisible to the legacy engine and undeclared sessions.
+  EXPECT_GT(twin.columnar.telemetry().count_of(telemetry::EventKind::kPrefilterSkip), 0u);
+  EXPECT_EQ(twin.legacy.telemetry().count_of(telemetry::EventKind::kPrefilterSkip), 0u);
+  EXPECT_EQ(plain.telemetry().count_of(telemetry::EventKind::kPrefilterSkip), 0u);
+}
+
+TEST(ColumnarOracle, UnresolvablePrefilterFallsBackToTheLambda) {
+  auto layer = oracle_layer(6, 300);
+  Twin twin(*layer, "Node");
+  // References a property no column, metric, or binding answers: the
+  // prefilter must disable itself and the lambda must run everywhere.
+  twin.columnar.declare_prefilter(
+      "Cert", {PredicateAtom::compares("NoSuchProperty", Cmp::kGe, 1.0)});
+  twin.apply([](ExplorationSession& s) {
+    s.set_requirement("Cert", "silver");
+    s.set_requirement("MinScore", 20.0);
+  });
+  twin.expect_candidates_agree();
+  twin.expect_counters_agree();
+  EXPECT_EQ(twin.columnar.telemetry().count_of(telemetry::EventKind::kPrefilterSkip), 0u);
+
+  // Clearing the declaration restores the undeclared path.
+  twin.columnar.declare_prefilter("Cert", {});
+  twin.apply([](ExplorationSession& s) { s.set_requirement("MaxCost", 90.0); });
+  twin.expect_candidates_agree();
+}
+
+TEST(ColumnarOracle, PrefilterFuzzWalkAgrees) {
+  for (unsigned seed = 1; seed <= 4; ++seed) {
+    auto layer = oracle_layer(seed * 2711 + 9, 400);
+    Twin twin(*layer, "Node");
+    twin.columnar.declare_prefilter("Cert",
+                                    {PredicateAtom::compares("score", Cmp::kGe, 50.0)});
+    twin.columnar.reset_query_stats();
+    twin.legacy.reset_query_stats();
+    Rng rng(seed * 17 + 5);
+    twin.apply([](ExplorationSession& s) { s.set_requirement("Cert", "gold"); });
+    for (int step = 0; step < 20; ++step) {
+      switch (rng.next_below(3)) {
+        case 0: {
+          const char* name = rng.next_bool() ? "MinScore" : "MaxCost";
+          const double value = static_cast<double>(rng.next_below(101));
+          twin.apply([&](ExplorationSession& s) { s.set_requirement(name, value); });
+          break;
+        }
+        case 1: {
+          const char* certs[] = {"gold", "silver"};
+          const char* cert = certs[rng.next_below(2)];
+          twin.apply([&](ExplorationSession& s) { s.set_requirement("Cert", cert); });
+          break;
+        }
+        default: {
+          const double widths[] = {8, 16, 32, 64};
+          const double width = widths[rng.next_below(4)];
+          twin.apply([&](ExplorationSession& s) { s.decide("Width", Value::number(width)); });
+          break;
+        }
+      }
+      twin.expect_candidates_agree();
+    }
+    twin.expect_counters_agree();
   }
 }
 
