@@ -8,14 +8,20 @@
 #      (benches/examples off: the 10k-core bench is not meaningful
 #      instrumented), plus the failpoint chaos suite — injected faults
 #      exercise the rare unwind paths where leaks and UB hide;
-#   4. ThreadSanitizer — the concurrency stress AND chaos tests (tier2) in
+#   4. crash-recovery chaos — the kill-anywhere storage suite (fork a
+#      child, abort it at a random WAL/snapshot write boundary, reboot,
+#      demand byte-identical recovery) runs in the SAME ASan build, so a
+#      recovery path that reads freed or uninitialized memory fails here
+#      rather than corrupting a catalog in production;
+#   5. ThreadSanitizer — the concurrency stress AND chaos tests (tier2) in
 #      a TSan build, gating the exploration service's locking model;
-#   5. benchmark telemetry — the query-cache, candidate-filter, Fig. 12,
-#      service throughput, and network throughput benches emit
-#      machine-readable BENCH_*.json at the repo root for trend tracking,
-#      check_bench_counters.py gates their deterministic work counters
-#      against bench/baselines/, and check_metrics_format.py validates the
-#      `!metrics` scrape the net bench captures from its loaded server.
+#   6. benchmark telemetry — the query-cache, candidate-filter, Fig. 12,
+#      service throughput, network throughput, and storage cold-start
+#      benches emit machine-readable BENCH_*.json at the repo root for
+#      trend tracking, check_bench_counters.py gates their deterministic
+#      work counters against bench/baselines/, and check_metrics_format.py
+#      validates the `!metrics` scrape the net bench captures from its
+#      loaded server.
 #
 # Every ctest run carries --timeout: the chaos/stress suites inject delays
 # and faults into lock-holding code, so "a test deadlocked" must surface
@@ -25,15 +31,15 @@ cd "$(dirname "$0")/.."
 
 CTEST_TIMEOUT=300  # seconds per test — chaos suites finish in single digits
 
-echo "=== [1/5] tier-1: build + tests ==="
+echo "=== [1/6] tier-1: build + tests ==="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest -LE tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 
-echo "=== [2/5] tier-2: fuzz + stress + chaos service tests ==="
+echo "=== [2/6] tier-2: fuzz + stress + chaos service tests ==="
 (cd build && ctest -L tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 
-echo "=== [3/5] sanitizers: ASan+UBSan build + tier-1 + chaos ==="
+echo "=== [3/6] sanitizers: ASan+UBSan build + tier-1 + chaos ==="
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -50,23 +56,31 @@ cmake --build build-asan -j
 DSLAYER_SIMD=scalar ./build-asan/tests/dsl_columnar_oracle_test
 DSLAYER_SIMD=widest ./build-asan/tests/dsl_columnar_oracle_test
 
-echo "=== [4/5] ThreadSanitizer: service concurrency stress + chaos ==="
+echo "=== [4/6] crash-recovery chaos: kill-anywhere storage suite under ASan ==="
+# 500+ randomized fork/abort/reboot iterations across every WAL and
+# snapshot write/fsync/rename failpoint site, plus the durability fuzz
+# oracles (export/import/WAL-replay/snapshot agreement, tail damage).
+(cd build-asan && ctest -R 'StorageChaos|StorageFuzz' --output-on-failure --timeout "$CTEST_TIMEOUT")
+
+echo "=== [5/6] ThreadSanitizer: service concurrency stress + chaos ==="
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDSLAYER_BUILD_BENCH=OFF \
   -DDSLAYER_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS"
-cmake --build build-tsan -j --target service_stress_test service_chaos_test net_chaos_test exploration_fuzz_test
+cmake --build build-tsan -j --target service_stress_test service_chaos_test net_chaos_test \
+  exploration_fuzz_test storage_fuzz_test storage_chaos_test
 (cd build-tsan && ctest -L tier2 --output-on-failure --timeout "$CTEST_TIMEOUT")
 
-echo "=== [5/5] benchmark telemetry (BENCH_*.json) + counter guard ==="
+echo "=== [6/6] benchmark telemetry (BENCH_*.json) + counter guard ==="
 ./build/bench/query_cache_bench --json BENCH_query_cache.json
 ./build/bench/candidate_filter --json BENCH_candidate_filter.json
 ./build/bench/fig12_montgomery_tradeoffs --json BENCH_fig12_montgomery_tradeoffs.json
 ./build/bench/service_throughput --json BENCH_service_throughput.json
 ./build/bench/net_throughput --json BENCH_net_throughput.json \
   --dump-metrics BENCH_metrics_scrape.txt
+./build/bench/storage_coldstart --json BENCH_storage_coldstart.json
 # The net bench also scrapes the loaded server's `!metrics` payload;
 # validate it against the Prometheus text-format rules.
 python3 scripts/check_metrics_format.py BENCH_metrics_scrape.txt

@@ -1,6 +1,7 @@
 #include "dsl/core_library.hpp"
 
-#include <memory>
+#include <algorithm>
+#include <cassert>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -8,37 +9,87 @@
 
 namespace dslayer::dsl {
 
-Core::Core(std::string name, std::string class_path)
-    : name_(std::move(name)), class_path_(std::move(class_path)) {
-  if (name_.empty()) throw DefinitionError("core name must not be empty");
-  if (class_path_.empty()) throw DefinitionError(cat("core '", name_, "' needs a class path"));
+namespace {
+
+/// Interns `text` and returns both the id and the stable spelling.
+std::pair<support::Symbol, const std::string*> interned(std::string_view text) {
+  const support::Symbol symbol = support::intern_symbol(text);
+  return {symbol, &support::symbol_name(symbol)};
 }
+
+}  // namespace
+
+Core::Core(std::string name, std::string class_path) : name_(std::move(name)) {
+  if (name_.empty()) throw DefinitionError("core name must not be empty");
+  if (class_path.empty()) throw DefinitionError(cat("core '", name_, "' needs a class path"));
+  std::tie(class_symbol_, class_path_) = interned(class_path);
+  library_ = interned("").second;
+}
+
+Core Core::restored(std::string name, support::Symbol class_symbol,
+                    const std::string* class_path) {
+  if (name.empty()) throw DefinitionError("core name must not be empty");
+  static const std::string* unowned = interned("").second;
+  Core core;
+  core.name_ = std::move(name);
+  core.class_symbol_ = class_symbol;
+  core.class_path_ = class_path;
+  core.library_ = unowned;
+  return core;
+}
+
+void Core::set_library(const std::string& library) { library_ = interned(library).second; }
 
 Core& Core::bind(const std::string& property, Value value) {
   DSLAYER_REQUIRE(!property.empty(), "binding needs a property name");
   DSLAYER_REQUIRE(!value.empty(), "binding needs a value");
-  symbol_bindings_[support::intern_symbol(property)] = value;
-  bindings_[property] = std::move(value);
+  const auto [symbol, name] = interned(property);
+  const auto it = std::lower_bound(
+      bindings_.begin(), bindings_.end(), property,
+      [](const CoreBinding& b, const std::string& p) { return *b.name < p; });
+  if (it != bindings_.end() && it->symbol == symbol) {
+    it->value = std::move(value);
+  } else {
+    bindings_.insert(it, CoreBinding{symbol, name, std::move(value)});
+  }
   return *this;
 }
 
 std::optional<Value> Core::binding(const std::string& property) const {
-  const auto it = bindings_.find(property);
-  if (it == bindings_.end()) return std::nullopt;
-  return it->second;
+  const auto it = std::lower_bound(
+      bindings_.begin(), bindings_.end(), property,
+      [](const CoreBinding& b, const std::string& p) { return *b.name < p; });
+  if (it == bindings_.end() || *it->name != property) return std::nullopt;
+  return it->value;
+}
+
+const Value* Core::binding(support::Symbol property) const {
+  for (const CoreBinding& b : bindings_) {
+    if (b.symbol == property) return &b.value;
+  }
+  return nullptr;
 }
 
 Core& Core::set_metric(const std::string& name, double value) {
   DSLAYER_REQUIRE(!name.empty(), "metric needs a name");
-  symbol_metrics_[support::intern_symbol(name)] = value;
-  metrics_[name] = value;
+  const auto [symbol, spelling] = interned(name);
+  const auto it =
+      std::lower_bound(metrics_.begin(), metrics_.end(), name,
+                       [](const CoreMetric& m, const std::string& n) { return *m.name < n; });
+  if (it != metrics_.end() && it->symbol == symbol) {
+    it->value = value;
+  } else {
+    metrics_.insert(it, CoreMetric{symbol, spelling, value});
+  }
   return *this;
 }
 
 std::optional<double> Core::metric(const std::string& name) const {
-  const auto it = metrics_.find(name);
-  if (it == metrics_.end()) return std::nullopt;
-  return it->second;
+  const auto it =
+      std::lower_bound(metrics_.begin(), metrics_.end(), name,
+                       [](const CoreMetric& m, const std::string& n) { return *m.name < n; });
+  if (it == metrics_.end() || *it->name != name) return std::nullopt;
+  return it->value;
 }
 
 Core& Core::add_view(std::string level, std::string artifact) {
@@ -46,32 +97,52 @@ Core& Core::add_view(std::string level, std::string artifact) {
   return *this;
 }
 
+void Core::adopt(std::vector<CoreBinding> bindings, std::vector<CoreMetric> metrics) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i + 1 < bindings.size(); ++i) {
+    assert(*bindings[i].name < *bindings[i + 1].name && "adopted bindings must be name-sorted");
+  }
+  for (std::size_t i = 0; i + 1 < metrics.size(); ++i) {
+    assert(*metrics[i].name < *metrics[i + 1].name && "adopted metrics must be name-sorted");
+  }
+#endif
+  bindings_ = std::move(bindings);
+  metrics_ = std::move(metrics);
+}
+
 std::string Core::describe() const {
   std::ostringstream os;
-  os << name_ << " [" << library_ << "] class=" << class_path_;
-  for (const auto& [k, v] : bindings_) os << " " << k << "=" << v.to_string();
-  for (const auto& [k, v] : metrics_) os << " " << k << "=" << format_double(v);
+  os << name_ << " [" << *library_ << "] class=" << *class_path_;
+  for (const CoreBinding& b : bindings_) os << " " << *b.name << "=" << b.value.to_string();
+  for (const CoreMetric& m : metrics_) os << " " << *m.name << "=" << format_double(m.value);
   return os.str();
 }
 
 ReuseLibrary::ReuseLibrary(std::string name) : name_(std::move(name)) {
   if (name_.empty()) throw DefinitionError("reuse library name must not be empty");
+  interned_name_ = interned(name_).second;
 }
 
 Core& ReuseLibrary::add(Core core) {
-  if (!names_.insert(core.name()).second) {
-    throw DefinitionError(
-        cat("core '", core.name(), "' already exists in library '", name_, "'"));
+  core.library_ = interned_name_;  // interned once at construction, not per core
+  cores_.push_back(std::move(core));
+  // Single hash op on the stored name (the deque slot is stable); a
+  // duplicate is rolled back before the throw.
+  const auto [it, inserted] = names_.insert(std::string_view(cores_.back().name()));
+  if (!inserted) {
+    const std::string dup = cores_.back().name();
+    cores_.pop_back();
+    throw DefinitionError(cat("core '", dup, "' already exists in library '", name_, "'"));
   }
-  core.set_library(name_);
-  cores_.push_back(std::make_unique<Core>(std::move(core)));
-  return *cores_.back();
+  return cores_.back();
 }
+
+void ReuseLibrary::reserve(std::size_t count) { names_.reserve(cores_.size() + count); }
 
 std::vector<const Core*> ReuseLibrary::cores() const {
   std::vector<const Core*> out;
   out.reserve(cores_.size());
-  for (const auto& c : cores_) out.push_back(c.get());
+  for (const Core& c : cores_) out.push_back(&c);
   return out;
 }
 

@@ -17,13 +17,22 @@
 //  * views: references to the detailed design data at the traditional
 //    abstraction levels (Fig. 2(b)) — opaque artifact URIs here, since the
 //    actual HDL/layout lives with the IP provider.
+//
+// Storage layout: bindings and metrics are flat vectors sorted by property
+// name, with the name itself held as a pointer to the interned spelling
+// (support/symbol.hpp — stable for the process lifetime). A million-core
+// catalog therefore costs a handful of allocations per core instead of one
+// map node per property, which is what makes snapshot cold-starts and bulk
+// imports (src/storage/) feasible; name order is preserved so describe()
+// and the serialize/ export remain byte-identical with the historical
+// std::map iteration.
 #pragma once
 
-#include <map>
-#include <memory>
+#include <deque>
 #include <optional>
-#include <set>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "dsl/value.hpp"
@@ -37,55 +46,99 @@ struct CoreView {
   std::string artifact;  ///< provider URI / file reference
 };
 
+/// One stored binding: the property (as interned symbol + the interned
+/// spelling, so iteration needs neither a symbol-table lock nor a string
+/// compare) and its value. Equality ignores the name pointer — the symbol
+/// IS the name.
+struct CoreBinding {
+  support::Symbol symbol = support::kNoSymbol;
+  const std::string* name = nullptr;  ///< interned spelling (stable forever)
+  Value value;
+
+  friend bool operator==(const CoreBinding& a, const CoreBinding& b) {
+    return a.symbol == b.symbol && a.value == b.value;
+  }
+};
+
+/// One stored metric (see CoreBinding).
+struct CoreMetric {
+  support::Symbol symbol = support::kNoSymbol;
+  const std::string* name = nullptr;
+  double value = 0.0;
+
+  friend bool operator==(const CoreMetric& a, const CoreMetric& b) {
+    return a.symbol == b.symbol && a.value == b.value;
+  }
+};
+
 /// One reusable design.
 class Core {
  public:
   Core(std::string name, std::string class_path);
 
+  /// Bulk-restore factory (snapshot / journal recovery): adopts an
+  /// already-interned class symbol and its spelling without re-hashing.
+  /// `class_path` MUST be the interned spelling of `class_symbol` — the
+  /// snapshot loader resolves both once per symbol, not once per core,
+  /// because at a million cores the per-core intern lookups (and the
+  /// symbol table's lock) dominate cold start.
+  static Core restored(std::string name, support::Symbol class_symbol,
+                       const std::string* class_path);
+
   const std::string& name() const { return name_; }
 
   /// Path of the CDO class this core implements (indexing entry point).
-  const std::string& class_path() const { return class_path_; }
+  const std::string& class_path() const { return *class_path_; }
+  support::Symbol class_symbol() const { return class_symbol_; }
 
   /// Name of the owning library (set on registration).
-  const std::string& library() const { return library_; }
-  void set_library(std::string library) { library_ = std::move(library); }
+  const std::string& library() const { return *library_; }
+  void set_library(const std::string& library);
 
   // -- bindings ---------------------------------------------------------------
 
   Core& bind(const std::string& property, Value value);
   std::optional<Value> binding(const std::string& property) const;
-  const std::map<std::string, Value>& bindings() const { return bindings_; }
 
-  /// The same bindings keyed by interned symbol — what CoreTable reads so
-  /// columnar (re)indexing never compares strings. Maintained by bind().
-  const std::map<support::Symbol, Value>& symbol_bindings() const { return symbol_bindings_; }
+  /// Symbol-keyed fast path (kNoSymbol or an unbound symbol -> nullptr).
+  const Value* binding(support::Symbol property) const;
+
+  /// All bindings, sorted by property name.
+  const std::vector<CoreBinding>& bindings() const { return bindings_; }
 
   // -- metrics ----------------------------------------------------------------
 
   Core& set_metric(const std::string& name, double value);
   std::optional<double> metric(const std::string& name) const;
-  const std::map<std::string, double>& metrics() const { return metrics_; }
 
-  /// Metrics keyed by interned symbol (see symbol_bindings()).
-  const std::map<support::Symbol, double>& symbol_metrics() const { return symbol_metrics_; }
+  /// All metrics, sorted by name.
+  const std::vector<CoreMetric>& metrics() const { return metrics_; }
 
   // -- views ------------------------------------------------------------------
 
   Core& add_view(std::string level, std::string artifact);
   const std::vector<CoreView>& views() const { return views_; }
 
+  /// Bulk-load path for snapshot / journal recovery: adopts pre-built,
+  /// name-sorted binding and metric vectors in one move (no per-property
+  /// sorted insertion). Entries must have symbol and name filled and be
+  /// strictly name-ordered — the writer emits them in bindings() order, so
+  /// ordering is validated only in debug builds.
+  void adopt(std::vector<CoreBinding> bindings, std::vector<CoreMetric> metrics);
+
   /// One-line rendering for reports.
   std::string describe() const;
 
  private:
+  friend class ReuseLibrary;  // stamps library_ with its cached interned name
+  Core() = default;           // restored() fills every field itself
+
   std::string name_;
-  std::string class_path_;
-  std::string library_;
-  std::map<std::string, Value> bindings_;
-  std::map<std::string, double> metrics_;
-  std::map<support::Symbol, Value> symbol_bindings_;  // mirror of bindings_
-  std::map<support::Symbol, double> symbol_metrics_;  // mirror of metrics_
+  support::Symbol class_symbol_ = support::kNoSymbol;
+  const std::string* class_path_ = nullptr;  ///< interned spelling
+  const std::string* library_ = nullptr;     ///< interned spelling
+  std::vector<CoreBinding> bindings_;        ///< sorted by *name
+  std::vector<CoreMetric> metrics_;          ///< sorted by *name
   std::vector<CoreView> views_;
 };
 
@@ -98,11 +151,17 @@ class ReuseLibrary {
   const std::string& name() const { return name_; }
 
   /// Adds a core (stamps the library name); returns a stable reference —
-  /// cores are never reallocated once added. Duplicate detection is a set
-  /// lookup, so bulk catalog loads stay linear in the number of cores.
+  /// cores are deque-stored and never erased, so addresses never move.
+  /// Duplicate detection is a hash lookup over string views into the
+  /// stored cores, so bulk catalog loads stay linear in the core count.
   Core& add(Core core);
 
-  bool contains(const std::string& core_name) const { return names_.contains(core_name); }
+  /// Pre-sizes the duplicate-name index for a bulk load of `count` cores.
+  void reserve(std::size_t count);
+
+  bool contains(const std::string& core_name) const {
+    return names_.contains(std::string_view(core_name));
+  }
 
   std::size_t size() const { return cores_.size(); }
 
@@ -110,8 +169,9 @@ class ReuseLibrary {
 
  private:
   std::string name_;
-  std::vector<std::unique_ptr<Core>> cores_;  // unique_ptr => stable addresses
-  std::set<std::string> names_;               // duplicate-name index
+  const std::string* interned_name_ = nullptr;    // interned once, stamped per add()
+  std::deque<Core> cores_;                        // stable addresses, no per-core alloc
+  std::unordered_set<std::string_view> names_;    // views into cores_[i].name()
 };
 
 }  // namespace dslayer::dsl

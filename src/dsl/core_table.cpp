@@ -45,7 +45,7 @@ std::size_t popcount(const std::uint64_t* mask, std::size_t words) {
   return n;
 }
 
-void mark(std::vector<std::uint64_t>& bits, std::size_t row) {
+void mark(ColumnData<std::uint64_t>& bits, std::size_t row) {
   bits[row >> 6] |= (std::uint64_t{1} << (row & 63));
 }
 
@@ -69,27 +69,47 @@ CoreTable::CoreTable(const std::vector<const Core*>& cores) : cores_(cores) {
     // Reserve the column directories from the first core's shape (the
     // synthetic and real libraries are near-rectangular); growth past the
     // reservation is still correct, just a reallocation.
-    const std::size_t binding_guess = cores_.front()->symbol_bindings().size() + 8;
-    const std::size_t metric_guess = cores_.front()->symbol_metrics().size() + 8;
+    const std::size_t binding_guess = cores_.front()->bindings().size() + 8;
+    const std::size_t metric_guess = cores_.front()->metrics().size() + 8;
     binding_columns_.reserve(binding_guess);
     binding_index_.reserve(binding_guess);
     metric_columns_.reserve(metric_guess);
     metric_index_.reserve(metric_guess);
   }
   for (std::size_t row = 0; row < cores_.size(); ++row) {
-    for (const auto& [symbol, value] : cores_[row]->symbol_bindings()) {
-      const ColumnKind kind = value.kind() == Value::Kind::kNumber ? ColumnKind::kNumber
-                              : value.kind() == Value::Kind::kText ? ColumnKind::kText
-                                                                   : ColumnKind::kMixed;
-      store(column_for(binding_index_, binding_columns_, symbol, kind), row, value);
+    for (const CoreBinding& b : cores_[row]->bindings()) {
+      const ColumnKind kind = b.value.kind() == Value::Kind::kNumber ? ColumnKind::kNumber
+                              : b.value.kind() == Value::Kind::kText ? ColumnKind::kText
+                                                                     : ColumnKind::kMixed;
+      store(column_for(binding_index_, binding_columns_, b.symbol, kind), row, b.value);
     }
-    for (const auto& [symbol, metric] : cores_[row]->symbol_metrics()) {
+    for (const CoreMetric& m : cores_[row]->metrics()) {
       Column& column =
-          column_for(metric_index_, metric_columns_, symbol, ColumnKind::kNumber);
-      column.numbers[row] = metric;
+          column_for(metric_index_, metric_columns_, m.symbol, ColumnKind::kNumber);
+      column.numbers[row] = m.value;
       mark(column.present, row);
     }
   }
+}
+
+CoreTable::CoreTable(std::vector<const Core*> cores, std::vector<Column> binding_columns,
+                     std::vector<Column> metric_columns, std::shared_ptr<const void> keepalive)
+    : cores_(std::move(cores)),
+      binding_columns_(std::move(binding_columns)),
+      metric_columns_(std::move(metric_columns)),
+      keepalive_(std::move(keepalive)) {
+  words_ = (cores_.size() + 63) / 64;
+  padded_rows_ = words_ * 64;
+  const auto rebuild_index = [](SymbolIndex& index, const std::vector<Column>& columns) {
+    index.clear();
+    index.reserve(columns.size());
+    for (std::uint32_t slot = 0; slot < columns.size(); ++slot) {
+      index.emplace_back(columns[slot].symbol, slot);
+    }
+    std::sort(index.begin(), index.end());
+  };
+  rebuild_index(binding_index_, binding_columns_);
+  rebuild_index(metric_index_, metric_columns_);
 }
 
 CoreTable::Column& CoreTable::column_for(SymbolIndex& index, std::vector<Column>& columns,
@@ -175,10 +195,8 @@ const CoreTable::Column* CoreTable::metric_column(support::Symbol symbol) const 
 
 std::size_t CoreTable::memory_bytes() const {
   const auto column_bytes = [](const Column& column) {
-    return sizeof(Column) + column.present.capacity() * sizeof(std::uint64_t) +
-           column.numbers.capacity() * sizeof(double) +
-           column.texts.capacity() * sizeof(support::Symbol) +
-           column.values.capacity() * sizeof(Value);
+    return sizeof(Column) + column.present.resident_bytes() + column.numbers.resident_bytes() +
+           column.texts.resident_bytes() + column.values.capacity() * sizeof(Value);
   };
   std::size_t total = sizeof(CoreTable);
   total += cores_.capacity() * sizeof(const Core*);
@@ -196,6 +214,17 @@ CoreFilterPlan::CoreFilterPlan(
     const std::vector<const Core*>& cores,
     const std::vector<const ConsistencyConstraint*>& predicate_constraints)
     : table(cores) {
+  compile(predicate_constraints);
+}
+
+CoreFilterPlan::CoreFilterPlan(
+    CoreTable restored, const std::vector<const ConsistencyConstraint*>& predicate_constraints)
+    : table(std::move(restored)) {
+  compile(predicate_constraints);
+}
+
+void CoreFilterPlan::compile(
+    const std::vector<const ConsistencyConstraint*>& predicate_constraints) {
   const auto property_term = [&](const std::string& name) {
     CompiledPredicate::Term term;
     term.symbol = support::intern_symbol(name);
@@ -258,14 +287,14 @@ CoreFilterPlan::CoreFilterPlan(
 std::size_t BindingsOverlay::apply(const Core& core) {
   std::size_t writes = 0;
   undo_.clear();
-  for (const auto& [key, value] : core.bindings()) {
-    const auto [it, inserted] = base_->try_emplace(key, value);
+  for (const CoreBinding& b : core.bindings()) {
+    const auto [it, inserted] = base_->try_emplace(*b.name, b.value);
     Undo undo;
-    undo.key = &key;
+    undo.key = b.name;
     if (!inserted) {
-      if (it->second == value) continue;  // overlay is a no-op for this key
+      if (it->second == b.value) continue;  // overlay is a no-op for this key
       undo.previous = it->second;
-      it->second = value;
+      it->second = b.value;
     }
     undo_.push_back(std::move(undo));
     ++writes;

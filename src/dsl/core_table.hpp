@@ -48,6 +48,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +67,88 @@ namespace dslayer::dsl {
 /// registry type; re-exported there as DesignSpaceLayer::CoreFilter).
 using CoreFilter = std::function<bool(const Core&, const Bindings&)>;
 
+/// One column payload: either owned (a vector, the build path) or aliasing
+/// an external read-only buffer (an mmapped snapshot — the table's
+/// keepalive pins the mapping). The subset of the vector interface the
+/// engine uses; mutation is only valid on owned payloads, which is all the
+/// build/degrade paths ever touch.
+template <typename T>
+class ColumnData {
+ public:
+  ColumnData() = default;
+  ColumnData(const ColumnData& other) { *this = other; }
+  ColumnData(ColumnData&& other) noexcept { *this = std::move(other); }
+  ColumnData& operator=(const ColumnData& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    size_ = other.size_;
+    aliased_ = other.aliased_;
+    data_ = aliased_ ? other.data_ : owned_.data();
+    return *this;
+  }
+  ColumnData& operator=(ColumnData&& other) noexcept {
+    if (this == &other) return *this;
+    owned_ = std::move(other.owned_);
+    size_ = other.size_;
+    aliased_ = other.aliased_;
+    data_ = aliased_ ? other.data_ : owned_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.aliased_ = false;
+    return *this;
+  }
+  /// Adopts an owned vector (degrade path).
+  ColumnData& operator=(std::vector<T>&& v) {
+    owned_ = std::move(v);
+    data_ = owned_.data();
+    size_ = owned_.size();
+    aliased_ = false;
+    return *this;
+  }
+
+  void assign(std::size_t n, const T& value) {
+    owned_.assign(n, value);
+    data_ = owned_.data();
+    size_ = n;
+    aliased_ = false;
+  }
+  /// Points at `n` external elements; the owner must outlive this table
+  /// (CoreTable's keepalive).
+  void alias(const T* external, std::size_t n) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = const_cast<T*>(external);
+    size_ = n;
+    aliased_ = true;
+  }
+  void clear() {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = nullptr;
+    size_ = 0;
+    aliased_ = false;
+  }
+
+  T* data() { return data_; }  ///< writes valid only while owned
+  const T* data() const { return data_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool aliased() const { return aliased_; }
+  /// Heap bytes held (0 when aliasing a file-backed buffer) — what
+  /// memory_bytes() sums.
+  std::size_t resident_bytes() const {
+    return aliased_ ? 0 : owned_.capacity() * sizeof(T);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool aliased_ = false;
+  std::vector<T> owned_;
+};
+
 class CoreTable {
  public:
   enum class ColumnKind : std::uint8_t {
@@ -77,10 +160,10 @@ class CoreTable {
   struct Column {
     support::Symbol symbol = support::kNoSymbol;
     ColumnKind kind = ColumnKind::kNumber;
-    std::vector<std::uint64_t> present;  ///< presence bitmap, 64 rows/word
-    std::vector<double> numbers;         ///< kNumber payload (padded to words*64)
-    std::vector<support::Symbol> texts;  ///< kText payload (padded to words*64)
-    std::vector<Value> values;           ///< kMixed payload (padded to words*64)
+    ColumnData<std::uint64_t> present;       ///< presence bitmap, 64 rows/word
+    ColumnData<double> numbers;              ///< kNumber payload (padded to words*64)
+    ColumnData<support::Symbol> texts;       ///< kText payload (padded to words*64)
+    std::vector<Value> values;               ///< kMixed payload (always owned)
 
     bool has(std::size_t row) const {
       return (present[row >> 6] >> (row & 63)) & 1u;
@@ -92,6 +175,15 @@ class CoreTable {
   /// payloads are fully sized up front from the core count (padded to
   /// whole 64-row words for the SIMD kernels).
   explicit CoreTable(const std::vector<const Core*>& cores);
+
+  /// Bulk-restore for snapshot load (src/storage/snapshot.cpp): adopts
+  /// pre-built columns whose payloads may alias an external buffer pinned
+  /// by `keepalive` (the mmapped snapshot). Rebuilds the symbol indexes;
+  /// row/column semantics are the caller's responsibility — the snapshot
+  /// format stores columns exactly as the building constructor lays them
+  /// out.
+  CoreTable(std::vector<const Core*> cores, std::vector<Column> binding_columns,
+            std::vector<Column> metric_columns, std::shared_ptr<const void> keepalive);
 
   std::size_t rows() const { return cores_.size(); }
   std::size_t words() const { return words_; }
@@ -105,6 +197,10 @@ class CoreTable {
 
   std::size_t binding_column_count() const { return binding_columns_.size(); }
   std::size_t metric_column_count() const { return metric_columns_.size(); }
+
+  /// Column directories in slot order — the snapshot writer walks these.
+  const std::vector<Column>& binding_columns() const { return binding_columns_; }
+  const std::vector<Column>& metric_columns() const { return metric_columns_; }
 
   /// Approximate resident bytes of the snapshot (payloads + bitmaps +
   /// row pointers + indexes). Deterministic for a given library, which
@@ -130,6 +226,7 @@ class CoreTable {
   std::vector<Column> metric_columns_;
   SymbolIndex binding_index_;
   SymbolIndex metric_index_;
+  std::shared_ptr<const void> keepalive_;  ///< pins aliased payload backing
 };
 
 /// One predicate constraint lowered against a CoreTable. `compiled` is
@@ -172,6 +269,14 @@ struct CoreFilterPlan {
 
   CoreFilterPlan(const std::vector<const Core*>& cores,
                  const std::vector<const ConsistencyConstraint*>& predicate_constraints);
+
+  /// Adopts an already-built (snapshot-restored) table and compiles the
+  /// predicate programs against it — plan restore never re-scans cores.
+  CoreFilterPlan(CoreTable restored,
+                 const std::vector<const ConsistencyConstraint*>& predicate_constraints);
+
+ private:
+  void compile(const std::vector<const ConsistencyConstraint*>& predicate_constraints);
 };
 
 /// The session side of a columnar filter run: the decided design issues,

@@ -68,6 +68,9 @@ std::size_t DesignSpaceLayer::index_cores() {
   subtree_index_.clear();
   filter_plans_.clear();  // plans snapshot the subtree core lists
   index_warnings_.clear();
+  std::size_t total = 0;
+  for (const auto& lib : libraries_) total += lib->size();
+  core_cdo_.reserve(total);
   std::size_t indexed = 0;
   for (const auto& lib : libraries_) {
     for (const Core* core : lib->cores()) {
@@ -114,6 +117,49 @@ std::size_t DesignSpaceLayer::index_cores() {
                   cat(indexed, " cores"));
   for (const Cdo* root : space_.roots()) build_subtree_index(*root);
   return indexed;
+}
+
+void DesignSpaceLayer::restore_index(
+    const std::vector<std::pair<const Core*, const Cdo*>>& assignments) {
+  index_.clear();
+  core_cdo_.clear();
+  subtree_index_.clear();
+  filter_plans_.clear();
+  index_warnings_.clear();
+  core_cdo_.reserve(assignments.size());
+  // Assignments arrive in library/core order, so runs of the same CDO are
+  // long (a bulk-loaded library usually indexes under one class); caching
+  // the bucket skips a map walk per core.
+  const Cdo* last_cdo = nullptr;
+  std::vector<const Core*>* bucket = nullptr;
+  for (const auto& [core, cdo] : assignments) {
+    if (cdo != last_cdo) {
+      bucket = &index_[cdo];
+      last_cdo = cdo;
+    }
+    bucket->push_back(core);
+    core_cdo_.emplace(core, cdo);
+  }
+  for (const Cdo* root : space_.roots()) build_subtree_index(*root);
+}
+
+const CoreFilterPlan* DesignSpaceLayer::peek_filter_plan(const Cdo& cdo) const {
+  const auto it = filter_plans_.find(&cdo);
+  return it == filter_plans_.end() ? nullptr : it->second.get();
+}
+
+void DesignSpaceLayer::install_filter_plan(const Cdo& cdo, CoreTable table) const {
+  filter_plans_[&cdo] =
+      std::make_unique<CoreFilterPlan>(std::move(table), constraint_index(cdo).predicates);
+}
+
+void DesignSpaceLayer::clear_catalog() {
+  libraries_.clear();
+  index_.clear();
+  core_cdo_.clear();
+  subtree_index_.clear();
+  filter_plans_.clear();
+  index_warnings_.clear();
 }
 
 const std::vector<const Core*>& DesignSpaceLayer::build_subtree_index(const Cdo& cdo) const {

@@ -191,8 +191,9 @@ void export_cdo(const Cdo& cdo, std::ostringstream& os) {
 
 }  // namespace
 
-std::string export_layer(const DesignSpaceLayer& layer) {
-  std::ostringstream os;
+namespace {
+
+void export_prefix(const DesignSpaceLayer& layer, std::ostringstream& os) {
   os << "dslayer-format 1\n";
   os << "layer " << quote(layer.name()) << "\n";
 
@@ -202,16 +203,29 @@ std::string export_layer(const DesignSpaceLayer& layer) {
   }
 
   for (const Cdo* root : layer.space().roots()) export_cdo(*root, os);
+}
+
+}  // namespace
+
+std::string export_hierarchy(const DesignSpaceLayer& layer) {
+  std::ostringstream os;
+  export_prefix(layer, os);
+  return os.str();
+}
+
+std::string export_layer(const DesignSpaceLayer& layer) {
+  std::ostringstream os;
+  export_prefix(layer, os);
 
   for (const ReuseLibrary* lib : layer.libraries()) {
     os << "library " << quote(lib->name()) << "\n";
     for (const Core* core : lib->cores()) {
       os << "core " << quote(core->name()) << " class " << quote(core->class_path()) << "\n";
-      for (const auto& [name, value] : core->bindings()) {
-        os << "bind " << quote(name) << " " << quote(encode_value(value)) << "\n";
+      for (const CoreBinding& b : core->bindings()) {
+        os << "bind " << quote(*b.name) << " " << quote(encode_value(b.value)) << "\n";
       }
-      for (const auto& [name, value] : core->metrics()) {
-        os << "metric " << quote(name) << " " << num(value) << "\n";
+      for (const CoreMetric& m : core->metrics()) {
+        os << "metric " << quote(*m.name) << " " << num(m.value) << "\n";
       }
       for (const CoreView& view : core->views()) {
         os << "view " << quote(view.level) << " " << quote(view.artifact) << "\n";

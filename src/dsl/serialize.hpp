@@ -37,6 +37,12 @@ namespace dslayer::dsl {
 /// Throws DefinitionError if an option string contains the reserved '|'.
 std::string export_layer(const DesignSpaceLayer& layer);
 
+/// The hierarchy-only prefix of export_layer: format header, layer name,
+/// constraint comments, and the full CDO tree — no libraries. Snapshots
+/// (src/storage/snapshot.cpp) fingerprint this text to detect that a
+/// snapshot was taken against a different code-defined hierarchy.
+std::string export_hierarchy(const DesignSpaceLayer& layer);
+
 /// Result of parsing an interchange text.
 struct ImportResult {
   std::unique_ptr<DesignSpaceLayer> layer;

@@ -33,7 +33,7 @@ void print_stats(const DirectiveContext& context, std::ostream& out) {
   out << "sessions: live=" << manager.session_count() << " created=" << ms.created
       << " closed=" << ms.closed << " evicted=" << ms.evicted << " commands=" << ms.commands
       << " migrations=" << ms.migrations << " migration_failures=" << ms.migration_failures
-      << "\n";
+      << " restored=" << ms.restored << " restore_failures=" << ms.restore_failures << "\n";
   out << "simd: kernel=" << support::simd::to_string(support::simd::kernels().kind) << "\n";
   if (context.front_end) {
     // Serve/net parity: network-mode operators see connection-lifecycle
@@ -76,6 +76,17 @@ void respond_and_finish(const std::shared_ptr<trace::Trace>& trace, WriteFn&& wr
   trace::Tracer::instance().finish(trace);
 }
 
+void print_failpoints(const std::vector<support::FailpointRegistry::Info>& infos,
+                      std::ostream& out) {
+  for (const auto& info : infos) {
+    out << "  " << info.name << " mode=" << support::to_string(info.mode)
+        << " hits=" << info.hits << " fires=" << info.fires;
+    if (info.remaining >= 0) out << " remaining=" << info.remaining;
+    if (info.delay_ms > 0) out << " delay_ms=" << info.delay_ms;
+    out << "\n";
+  }
+}
+
 void run_failpoint_directive(const std::vector<std::string>& words, std::ostream& out) {
   auto& registry = support::FailpointRegistry::instance();
   if (words.size() < 2) {
@@ -85,13 +96,13 @@ void run_failpoint_directive(const std::vector<std::string>& words, std::ostream
       out << "no failpoints armed\n";
       return;
     }
-    for (const auto& info : infos) {
-      out << "  " << info.name << " mode=" << support::to_string(info.mode)
-          << " hits=" << info.hits << " fires=" << info.fires;
-      if (info.remaining >= 0) out << " remaining=" << info.remaining;
-      if (info.delay_ms > 0) out << " delay_ms=" << info.delay_ms;
-      out << "\n";
-    }
+    print_failpoints(infos, out);
+    return;
+  }
+  if (words[1] == "list") {
+    // Every site compiled into the binary (the declared catalog), armed
+    // or not — so operators need not know a site name a priori.
+    print_failpoints(registry.list_declared(), out);
     return;
   }
   std::string error;
@@ -138,6 +149,43 @@ bool run_directive(const DirectiveContext& context, const std::string& line, std
     out << render_metrics(manager, *context.executor, context.front_end);
   } else if (directive == "!failpoint") {
     run_failpoint_directive(words, out);
+  } else if (directive == "!snapshot") {
+    if (context.durable == nullptr) {
+      out << "error: no durable catalog (start with --data <dir>)\n";
+      return false;
+    }
+    try {
+      // The read lock gives the snapshot writer a quiescent layer
+      // (mutators go through SharedLayer::write's exclusive lock) without
+      // stalling concurrent readers.
+      const auto reader = manager.shared().read_lock();
+      const storage::SnapshotWriteReport report = context.durable->checkpoint();
+      out << "snapshot: " << report.bytes << " bytes, " << report.cores << " cores, "
+          << report.tables << " tables, seq " << context.durable->sequence() << "\n";
+    } catch (const Error& e) {
+      out << "error: snapshot failed: " << e.what() << "\n";
+      return false;
+    }
+  } else if (directive == "!restore") {
+    if (context.durable == nullptr) {
+      out << "error: no durable catalog (start with --data <dir>)\n";
+      return false;
+    }
+    try {
+      storage::BootReport report;
+      // A writer epoch: sessions migrate off the discarded state by
+      // journal replay on their next command. kPreserve keeps the
+      // snapshot-restored index instead of re-deriving it.
+      const std::uint64_t epoch = manager.shared().write(
+          [&](dsl::DesignSpaceLayer&) { report = context.durable->reload(); },
+          SharedLayer::Reindex::kPreserve);
+      out << "restored: snapshot=" << (report.loaded_snapshot ? "yes" : "no")
+          << " replayed=" << report.replayed_records << " skipped=" << report.skipped_records
+          << " cores=" << report.snapshot.cores << " epoch=" << epoch << "\n";
+    } catch (const Error& e) {
+      out << "error: restore failed: " << e.what() << "\n";
+      return false;
+    }
   } else if (directive == "!close") {
     if (words.size() < 2) {
       out << "error: usage: !close <session>\n";
@@ -147,7 +195,7 @@ bool run_directive(const DirectiveContext& context, const std::string& line, std
   } else {
     out << "error: unknown directive '" << directive
         << "' (try: !sessions, !stats, !metrics, !close <session>, !drain, "
-           "!failpoint [<spec>])\n";
+           "!failpoint [list|<spec>], !snapshot, !restore)\n";
     return false;
   }
   return true;
@@ -162,7 +210,11 @@ bool run_directive(SessionManager& manager, RequestExecutor& executor, const std
 }
 
 BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
-                       std::ostream& out) {
+                       std::ostream& out, storage::DurableCatalog* durable) {
+  DirectiveContext context;
+  context.manager = &manager;
+  context.executor = &executor;
+  context.durable = durable;
   BatchSummary summary;
   // Submissions go through a retrying client: transient refusals (full
   // queue, shed, degraded layer, busy sessions) are retried with backoff
@@ -197,7 +249,7 @@ BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::
     const auto received = std::chrono::steady_clock::now();
     if (is_directive(line)) {
       flush();
-      run_directive(manager, executor, line, out);
+      run_directive(context, line, out);
       continue;
     }
     std::string parse_error;
@@ -239,7 +291,11 @@ BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::
 }
 
 BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::istream& in,
-                       std::ostream& out) {
+                       std::ostream& out, storage::DurableCatalog* durable) {
+  DirectiveContext context;
+  context.manager = &manager;
+  context.executor = &executor;
+  context.durable = durable;
   BatchSummary summary;
   std::mutex out_lock;  // responses print whole from worker threads
   std::uint64_t next_id = 0;
@@ -251,7 +307,7 @@ BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::
       // under out_lock, so draining while holding it would deadlock.
       executor.drain();
       std::lock_guard<std::mutex> guard(out_lock);
-      run_directive(manager, executor, line, out);
+      run_directive(context, line, out);
       out.flush();
       continue;
     }

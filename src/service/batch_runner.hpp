@@ -26,6 +26,7 @@
 #include "service/metrics.hpp"
 #include "service/request_executor.hpp"
 #include "service/session_manager.hpp"
+#include "storage/durable_catalog.hpp"
 
 namespace dslayer::service {
 
@@ -62,6 +63,12 @@ struct DirectiveContext {
   SessionManager* manager = nullptr;
   RequestExecutor* executor = nullptr;
   FrontEndStatsFn front_end;
+  /// Durable-catalog handle (null without --data): enables `!snapshot`
+  /// (checkpoint under the shared read lock — readers keep running,
+  /// writers are excluded) and `!restore` (re-boot from disk inside a
+  /// SharedLayer writer epoch, so every session migrates off the
+  /// discarded in-memory state).
+  storage::DurableCatalog* durable = nullptr;
 };
 
 /// Handles one '!' directive line (`!sessions`, `!stats`, `!metrics`,
@@ -79,10 +86,11 @@ bool run_directive(const DirectiveContext& context, const std::string& line, std
 bool run_directive(SessionManager& manager, RequestExecutor& executor, const std::string& line,
                    std::ostream& out);
 
+/// `durable` (optional) enables the `!snapshot` / `!restore` directives.
 BatchSummary run_batch(SessionManager& manager, RequestExecutor& executor, std::istream& in,
-                       std::ostream& out);
+                       std::ostream& out, storage::DurableCatalog* durable = nullptr);
 
 BatchSummary run_serve(SessionManager& manager, RequestExecutor& executor, std::istream& in,
-                       std::ostream& out);
+                       std::ostream& out, storage::DurableCatalog* durable = nullptr);
 
 }  // namespace dslayer::service

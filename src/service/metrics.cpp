@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <map>
 
+#include "storage/counters.hpp"
 #include "support/failpoint.hpp"
 #include "support/simd.hpp"
 #include "support/telemetry.hpp"
@@ -162,6 +163,49 @@ std::string render_metrics(SessionManager& manager, RequestExecutor& executor,
   family(out, "dslayer_session_migration_failures_total",
          "Epoch migrations that failed loudly (journal no longer replays).", "counter");
   sample(out, "dslayer_session_migration_failures_total", ms.migration_failures);
+  family(out, "dslayer_sessions_restored_total",
+         "Sessions rebuilt from a durable journal after a restart or eviction.", "counter");
+  sample(out, "dslayer_sessions_restored_total", ms.restored);
+  family(out, "dslayer_session_restore_failures_total",
+         "Durable session journals that no longer replay against the catalog.", "counter");
+  sample(out, "dslayer_session_restore_failures_total", ms.restore_failures);
+
+  // Storage-layer durability counters (process-global: WAL, snapshots,
+  // session journals, bulk import — zero everywhere without --data).
+  const storage::StorageCounters& sc = storage::counters();
+  family(out, "dslayer_storage_wal_appends_total",
+         "Catalog mutation frames appended to the write-ahead journal.", "counter");
+  sample(out, "dslayer_storage_wal_appends_total", sc.wal_appends.get());
+  family(out, "dslayer_storage_wal_synced_bytes_total",
+         "Journal bytes made durable by fsync.", "counter");
+  sample(out, "dslayer_storage_wal_synced_bytes_total", sc.wal_synced_bytes.get());
+  family(out, "dslayer_storage_snapshot_writes_total",
+         "Catalog snapshots published (checkpoints).", "counter");
+  sample(out, "dslayer_storage_snapshot_writes_total", sc.snapshot_writes.get());
+  family(out, "dslayer_storage_snapshot_bytes_total",
+         "Bytes written across all published snapshots.", "counter");
+  sample(out, "dslayer_storage_snapshot_bytes_total", sc.snapshot_bytes.get());
+  family(out, "dslayer_storage_snapshot_loads_total",
+         "Snapshots loaded into a layer (boot and !restore).", "counter");
+  sample(out, "dslayer_storage_snapshot_loads_total", sc.snapshot_loads.get());
+  family(out, "dslayer_storage_recovery_replayed_records_total",
+         "Journal records re-applied during recovery.", "counter");
+  sample(out, "dslayer_storage_recovery_replayed_records_total",
+         sc.recovery_replayed_records.get());
+  family(out, "dslayer_storage_recovery_truncated_bytes_total",
+         "Torn journal tail bytes dropped during recovery.", "counter");
+  sample(out, "dslayer_storage_recovery_truncated_bytes_total",
+         sc.recovery_truncated_bytes.get());
+  family(out, "dslayer_storage_session_flushes_total",
+         "Durable session journal writes (atomic save or append).", "counter");
+  sample(out, "dslayer_storage_session_flushes_total", sc.session_flushes.get());
+  family(out, "dslayer_storage_session_flush_failures_total",
+         "Session journal writes that failed (durability degraded).", "counter");
+  sample(out, "dslayer_storage_session_flush_failures_total",
+         sc.session_flush_failures.get());
+  family(out, "dslayer_storage_import_rows_total",
+         "Cores parsed from bulk CSV imports.", "counter");
+  sample(out, "dslayer_storage_import_rows_total", sc.import_rows.get());
 
   // Per-verb latency histograms. "request" is the all-verbs population,
   // exposed as verb="all"; "request.<verb>" becomes verb="<verb>".

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "storage/counters.hpp"
 #include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
@@ -52,6 +53,17 @@ std::shared_ptr<SessionManager::Session> SessionManager::acquire(const std::stri
   session->epoch = shared_->epoch();
   session->last_touch = now;
   session->pins.store(1, std::memory_order_relaxed);
+  if (options_.store != nullptr) {
+    // A durable journal under this name (pre-restart, or LRU-evicted)
+    // resumes the session. Loaded here (one small-file read under the
+    // registry lock) but replayed later, under the shared reader lock
+    // acquire() must not take.
+    try {
+      session->pending_restore = options_.store->load(name);
+    } catch (const Error&) {
+      restore_failures_.add(1);  // unreadable journal: start fresh
+    }
+  }
   sessions_.emplace(name, session);
   created_.add(1);
   return session;
@@ -82,6 +94,67 @@ bool SessionManager::migrate(Session& session, const std::string& name, std::ost
   }
 }
 
+bool SessionManager::restore(Session& session, const std::string& name, std::ostream& out) {
+  const std::string journal = std::move(*session.pending_restore);
+  session.pending_restore.reset();
+  if (journal.empty()) return true;
+  try {
+    // Same all-or-nothing rule as migrate(): the caller's deadline must
+    // not expire mid-replay and leave a half-rebuilt session.
+    const support::DeadlineScope no_deadline{support::Deadline{}};
+    session.engine.restore_from_journal(journal);
+    // Trust the byte count but not the on-disk prefix for appends — the
+    // first persist after a restore rewrites whole (append_safe stays
+    // false until this process writes the file itself).
+    session.persisted_bytes = journal.size();
+    restored_.add(1);
+    return true;
+  } catch (const Error& e) {
+    // The recovered catalog rejects part of the journaled history (the
+    // same shape as a migration failure). The session starts fresh; its
+    // next state-changing command overwrites the stale journal.
+    restore_failures_.add(1);
+    session.engine.close_session();
+    session.persisted_bytes = 0;
+    out << "error: session '" << name << "' could not be restored from its durable journal: "
+        << e.what() << "\n";
+    return false;
+  }
+}
+
+void SessionManager::persist(Session& session, const std::string& name) {
+  const std::string journal = session.engine.journal_jsonl();
+  if (session.append_safe && journal.size() == session.persisted_bytes) return;  // read-only cmd
+  try {
+    if (session.append_safe && journal.size() > session.persisted_bytes) {
+      options_.store->append(name,
+                             std::string_view(journal).substr(session.persisted_bytes));
+    } else {
+      // Shrunk (migration compaction), diverged, or not yet trusted:
+      // atomic whole-file rewrite.
+      options_.store->save(name, journal);
+    }
+    session.persisted_bytes = journal.size();
+    session.append_safe = true;
+  } catch (const Error&) {
+    // Durability degraded, the command itself succeeded — surfacing this
+    // as a command error would make designers re-issue decisions that DID
+    // apply. Counted for alerting; append_safe drops so the next persist
+    // rewrites whole.
+    storage::counters().session_flush_failures.add();
+    session.append_safe = false;
+  }
+}
+
+void SessionManager::discard_persisted(const std::string& name) {
+  if (options_.store == nullptr) return;
+  try {
+    options_.store->remove(name);
+  } catch (const Error&) {
+    storage::counters().session_flush_failures.add();
+  }
+}
+
 dsl::ShellEngine::Status SessionManager::execute(const std::string& session_name,
                                                  const std::string& line, std::ostream& out) {
   const std::shared_ptr<Session> session = acquire(session_name);
@@ -100,11 +173,17 @@ dsl::ShellEngine::Status SessionManager::execute(const std::string& session_name
   if (session->epoch != shared_->epoch() && !migrate(*session, session_name, out)) {
     return dsl::ShellEngine::Status::kError;
   }
+  if (session->pending_restore.has_value() && !restore(*session, session_name, out)) {
+    return dsl::ShellEngine::Status::kError;
+  }
   const dsl::ShellEngine::Status status = session->engine.execute(line, out);
   if (status == dsl::ShellEngine::Status::kQuit) {
     session->engine.close_session();
     close_if_current(session_name, session);
+    discard_persisted(session_name);
     out << "closed\n";
+  } else if (options_.store != nullptr && status == dsl::ShellEngine::Status::kOk) {
+    persist(*session, session_name);
   }
   return status;
 }
@@ -120,9 +199,16 @@ bool SessionManager::close_if_current(const std::string& name,
 }
 
 bool SessionManager::close(const std::string& session) {
-  std::lock_guard<std::mutex> registry(registry_lock_);
-  const bool erased = sessions_.erase(session) > 0;
-  if (erased) closed_.add(1);
+  bool erased;
+  {
+    std::lock_guard<std::mutex> registry(registry_lock_);
+    erased = sessions_.erase(session) > 0;
+    if (erased) closed_.add(1);
+  }
+  // Explicit close is "forget this session", eviction is not: an evicted
+  // name resumes from its journal, a closed one starts fresh. Also drops
+  // journals orphaned by a pre-close crash (erased false, file present).
+  discard_persisted(session);
   return erased;
 }
 
@@ -169,6 +255,8 @@ SessionManager::Stats SessionManager::stats() const {
   stats.commands = commands_.get();
   stats.migrations = migrations_.get();
   stats.migration_failures = migration_failures_.get();
+  stats.restored = restored_.get();
+  stats.restore_failures = restore_failures_.get();
   return stats;
 }
 

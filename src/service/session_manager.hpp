@@ -38,11 +38,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dsl/shell.hpp"
 #include "service/shared_layer.hpp"
+#include "storage/session_store.hpp"
 #include "support/relaxed_counter.hpp"
 
 namespace dslayer::service {
@@ -59,6 +61,17 @@ class SessionManager {
     /// (retryable) instead of queueing behind a stalled catalog writer.
     /// 0 = wait forever (the pre-degradation behavior).
     double degraded_after_ms = 0.0;
+    /// Durable session journals (not owned; may be null = volatile
+    /// sessions). With a store: a session created for a name with a
+    /// persisted journal is rebuilt from it by replay before its first
+    /// command; every state-changing command re-persists the journal
+    /// (append for the common one-command delta, atomic rewrite
+    /// otherwise); `quit` and close() delete it; LRU eviction keeps it —
+    /// an evicted name resumes from disk on next use. Persistence
+    /// failures never fail the command: they are counted in
+    /// storage::counters().session_flush_failures (and restore_failures
+    /// in Stats).
+    storage::SessionStore* store = nullptr;
   };
 
   /// Counter snapshot (see stats()).
@@ -69,6 +82,8 @@ class SessionManager {
     std::uint64_t commands = 0;  ///< execute() calls that reached an engine
     std::uint64_t migrations = 0;
     std::uint64_t migration_failures = 0;
+    std::uint64_t restored = 0;          ///< sessions rebuilt from a durable journal
+    std::uint64_t restore_failures = 0;  ///< durable journals that no longer replay
   };
 
   explicit SessionManager(SharedLayer& shared);
@@ -117,6 +132,17 @@ class SessionManager {
     std::uint64_t epoch = 0;       ///< SharedLayer epoch the state is valid for
     std::uint64_t last_touch = 0;  ///< manager touch counter (LRU)
     std::atomic<int> pins{0};      ///< in-flight execute() holds; guards eviction
+    /// Durable journal found at create, replayed under the locks before
+    /// the first command (needs the shared reader lock acquire() cannot
+    /// take).
+    std::optional<std::string> pending_restore;
+    /// Bytes of engine journal known to be on disk; the persist path
+    /// appends the delta when the on-disk prefix is trusted.
+    std::size_t persisted_bytes = 0;
+    /// False until this process wrote the file itself — the first persist
+    /// after a restore rewrites whole instead of appending to a prefix it
+    /// only assumes matches.
+    bool append_safe = false;
   };
 
   /// Looks up or creates the named session; bumps its LRU stamp and pins
@@ -134,6 +160,18 @@ class SessionManager {
   /// session is then left freshly closed at the new epoch.
   bool migrate(Session& session, const std::string& name, std::ostream& out);
 
+  /// Replays a durable journal into a freshly created session. Caller
+  /// holds the session lock and the shared reader lock. Mirrors migrate():
+  /// false leaves the session freshly closed with an "error: ..." line.
+  bool restore(Session& session, const std::string& name, std::ostream& out);
+
+  /// Persists the session's journal after a state-changing command; never
+  /// throws (failures land in storage counters).
+  void persist(Session& session, const std::string& name);
+
+  /// Deletes the durable journal (quit / explicit close); never throws.
+  void discard_persisted(const std::string& name);
+
   SharedLayer* shared_;
   Options options_;
 
@@ -147,6 +185,8 @@ class SessionManager {
   RelaxedCounter commands_;
   RelaxedCounter migrations_;
   RelaxedCounter migration_failures_;
+  RelaxedCounter restored_;
+  RelaxedCounter restore_failures_;
 };
 
 }  // namespace dslayer::service

@@ -5,9 +5,9 @@
 
 namespace dslayer::service {
 
-SharedLayer::SharedLayer(dsl::DesignSpaceLayer& layer) : layer_(&layer) {
+SharedLayer::SharedLayer(dsl::DesignSpaceLayer& layer, Reindex reindex) : layer_(&layer) {
   std::unique_lock<std::shared_timed_mutex> exclusive(mutex_);
-  reindex_and_prime(/*inject=*/false);
+  reindex_and_prime(/*inject=*/false, reindex);
   epoch_.store(1, std::memory_order_release);
 }
 
@@ -36,9 +36,9 @@ std::shared_lock<std::shared_timed_mutex> SharedLayer::read_lock_or_unavailable(
           "ms) — retry after the update publishes"));
 }
 
-void SharedLayer::reindex_and_prime(bool inject) {
+void SharedLayer::reindex_and_prime(bool inject, Reindex reindex) {
   if (inject) DSLAYER_FAILPOINT("service.shared_layer.prime");
-  layer_->index_cores();
+  if (reindex == Reindex::kFull) layer_->index_cores();
   // Touch every lazily-built per-CDO cache so no reader ever takes the
   // map-inserting miss path. cores_under() also covers cores_at() (both
   // read indexes index_cores() just rebuilt).

@@ -48,9 +48,18 @@ namespace dslayer::service {
 
 class SharedLayer {
  public:
+  /// How a writer epoch rebuilds the layer's indexes before publishing.
+  enum class Reindex {
+    kFull,      ///< index_cores() + prime — any mutation may have happened
+    kPreserve,  ///< prime only — the writer restored a snapshot index
+                ///< (dsl::DesignSpaceLayer::restore_index) that a re-index
+                ///< would discard, wasting the mmap'd tables it aliased
+  };
+
   /// Wraps (does not own) a fully built layer. Primes every query cache
-  /// immediately so readers can start at epoch 1.
-  explicit SharedLayer(dsl::DesignSpaceLayer& layer);
+  /// immediately so readers can start at epoch 1. `reindex` is kPreserve
+  /// when the caller already indexed the layer (snapshot boot).
+  explicit SharedLayer(dsl::DesignSpaceLayer& layer, Reindex reindex = Reindex::kFull);
 
   SharedLayer(const SharedLayer&) = delete;
   SharedLayer& operator=(const SharedLayer&) = delete;
@@ -95,13 +104,13 @@ class SharedLayer {
   /// re-prime (an error there exercises the partial-write recovery path);
   /// a delay at either site is the stalled-writer scenario.
   template <typename Fn>
-  std::uint64_t write(Fn&& fn) {
+  std::uint64_t write(Fn&& fn, Reindex reindex = Reindex::kFull) {
     std::unique_lock<std::shared_timed_mutex> exclusive(mutex_);
     const WriterMark mark(*this);
     DSLAYER_FAILPOINT("service.shared_layer.publish");
     try {
       fn(*layer_);
-      reindex_and_prime(/*inject=*/true);
+      reindex_and_prime(/*inject=*/true, reindex);
     } catch (...) {
       // fn may have partially mutated the layer, or prime may have been
       // interrupted: restore the readers-only-see-primed-caches invariant
@@ -109,7 +118,9 @@ class SharedLayer {
       // every session migrates off the suspect epoch, then surface the
       // original fault to the writer.
       try {
-        reindex_and_prime(/*inject=*/false);
+        // Always the full rebuild here: the failed writer may have left
+        // any restored index half-applied.
+        reindex_and_prime(/*inject=*/false, Reindex::kFull);
       } catch (...) {
       }
       publish_next_epoch();
@@ -131,11 +142,12 @@ class SharedLayer {
 
   static std::int64_t now_ns();
 
-  /// index_cores() + first-touch of every per-CDO lazy cache. Caller must
-  /// hold the exclusive lock (or be the constructor). `inject` arms the
-  /// "service.shared_layer.prime" failpoint site; the recovery re-prime
-  /// passes false so it cannot re-fire into its own cleanup.
-  void reindex_and_prime(bool inject);
+  /// index_cores() (skipped under Reindex::kPreserve) + first-touch of
+  /// every per-CDO lazy cache. Caller must hold the exclusive lock (or be
+  /// the constructor). `inject` arms the "service.shared_layer.prime"
+  /// failpoint site; the recovery re-prime passes false so it cannot
+  /// re-fire into its own cleanup.
+  void reindex_and_prime(bool inject, Reindex reindex);
 
   std::uint64_t publish_next_epoch() {
     const std::uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;

@@ -1,0 +1,10 @@
+#include "storage/counters.hpp"
+
+namespace dslayer::storage {
+
+StorageCounters& counters() {
+  static StorageCounters instance;
+  return instance;
+}
+
+}  // namespace dslayer::storage

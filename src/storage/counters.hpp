@@ -1,0 +1,31 @@
+// Process-wide durability counters, exported as dslayer_storage_* gauges
+// by the `!metrics` directive (src/service/metrics.cpp) and gated by the
+// cold-start bench (bench/storage_coldstart.cpp).
+//
+// Relaxed atomics: the WAL appends under the catalog's write path while
+// the metrics scrape reads from a service thread; exact cross-counter
+// consistency is not needed, monotonicity per counter is.
+#pragma once
+
+#include "support/relaxed_counter.hpp"
+
+namespace dslayer::storage {
+
+struct StorageCounters {
+  RelaxedCounter wal_appends;          ///< records appended to the catalog WAL
+  RelaxedCounter wal_synced_bytes;     ///< bytes covered by completed fsyncs
+  RelaxedCounter snapshot_writes;      ///< snapshots successfully published
+  RelaxedCounter snapshot_bytes;       ///< bytes in the last published snapshot
+  RelaxedCounter snapshot_loads;       ///< snapshots loaded at boot / !restore
+  RelaxedCounter recovery_replayed_records;  ///< WAL records replayed
+  RelaxedCounter recovery_truncated_bytes;   ///< torn-tail bytes dropped
+  RelaxedCounter session_flushes;            ///< session journals persisted
+  RelaxedCounter session_flush_failures;     ///< persist attempts that failed
+  RelaxedCounter import_rows;                ///< CSV rows imported
+
+  void reset() { *this = StorageCounters{}; }
+};
+
+StorageCounters& counters();
+
+}  // namespace dslayer::storage

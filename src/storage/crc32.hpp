@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the durable
+// catalog's on-disk framing: every write-ahead journal record and every
+// snapshot section carries a checksum so a torn or bit-rotted tail is
+// detected at recovery time instead of silently replayed (DESIGN.md §15).
+//
+// Chainable: pass the previous result as `seed` to checksum a logical
+// buffer that lives in multiple pieces. The empty-buffer CRC with seed 0
+// is 0, matching zlib's crc32().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dslayer::storage {
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view text, std::uint32_t seed = 0) {
+  return crc32(text.data(), text.size(), seed);
+}
+
+}  // namespace dslayer::storage

@@ -1,0 +1,49 @@
+// Bulk CSV importer for IP-provider catalogs (DB4HLS-style corpora).
+//
+// Header row names the columns:
+//   name                core name (required)
+//   class               CDO class path (required)
+//   library             target reuse library (optional; else the default)
+//   bind:<Property>     a binding column, value auto-typed
+//   metric:<Metric>     a metric column (must parse as a number)
+//   view:<Level>        a design-data view artifact
+//   <Property>          bare names are binding columns too
+//
+// Auto-typing: numeric literals become number values, "true"/"false"
+// become flags, anything else is text. Empty cells bind nothing.
+//
+// Quoting is standard CSV: fields may be double-quoted, with "" escaping
+// a quote; quoted fields may contain commas and newlines.
+//
+// The importer never touches a layer directly — it emits CatalogRecords
+// in batches through a callback, so `dslshell --import` pushes every row
+// through the same WAL path as any other mutation and crash recovery
+// replays a partial import to exactly the acknowledged batches.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/catalog_journal.hpp"
+
+namespace dslayer::storage {
+
+struct CsvImportResult {
+  std::size_t rows = 0;     ///< cores parsed
+  std::size_t batches = 0;  ///< emit callbacks issued
+  std::vector<std::string> warnings;
+};
+
+/// Parses `csv` and emits one kAddCores record per (library, batch) via
+/// `emit`. `batch_rows` bounds the rows per record (a journal frame);
+/// rows for different libraries never share a record. Throws
+/// StorageError on malformed input (missing required columns, unbalanced
+/// quotes, non-numeric metric cells).
+CsvImportResult import_csv(std::string_view csv, const std::string& default_library,
+                           std::size_t batch_rows,
+                           const std::function<void(CatalogRecord)>& emit);
+
+}  // namespace dslayer::storage

@@ -1,0 +1,143 @@
+#include "storage/wal.hpp"
+
+#include <cstring>
+
+#include "storage/counters.hpp"
+#include "storage/crc32.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/strings.hpp"
+
+namespace dslayer::storage {
+
+namespace {
+
+using dslayer::cat;
+
+constexpr char kMagic[8] = {'D', 'S', 'L', 'W', 'A', 'L', '1', '\n'};
+constexpr std::uint64_t kHeaderBytes = sizeof(kMagic);
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;  // sanity bound on the length field
+
+}  // namespace
+
+SyncMode parse_sync_mode(std::string_view text) {
+  if (text == "always") return SyncMode::kAlways;
+  if (text == "interval") return SyncMode::kInterval;
+  if (text == "off") return SyncMode::kOff;
+  throw StorageError(cat("bad sync mode '", std::string(text), "' (always|interval|off)"));
+}
+
+const char* to_string(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kAlways: return "always";
+    case SyncMode::kInterval: return "interval";
+    case SyncMode::kOff: return "off";
+  }
+  return "?";
+}
+
+WalRecovery recover_wal(const std::string& path) {
+  WalRecovery out;
+  if (!path_exists(path)) return out;
+  out.existed = true;
+
+  File file = File::open_readwrite(path);
+  const std::string bytes = file.read_all();
+  if (bytes.size() < kHeaderBytes || std::memcmp(bytes.data(), kMagic, kHeaderBytes) != 0) {
+    // The header is written and fsynced before the file is ever appended
+    // to, so it cannot be torn by a crash — a bad header means the file is
+    // not ours (or was corrupted at rest), which replay must not guess at.
+    throw StorageError(cat("journal '", path, "': bad magic header"));
+  }
+
+  std::uint64_t pos = kHeaderBytes;
+  while (pos + 8 <= bytes.size()) {
+    std::uint32_t length;
+    std::uint32_t crc;
+    std::memcpy(&length, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (length > kMaxFrameBytes) break;               // garbage length: torn tail
+    if (pos + 8 + length > bytes.size()) break;       // frame runs past EOF: torn tail
+    const std::string_view payload(bytes.data() + pos + 8, length);
+    if (crc32(payload) != crc) break;                 // bit rot / torn payload
+    out.records.emplace_back(payload);
+    pos += 8 + length;
+  }
+
+  out.valid_bytes = pos;
+  out.truncated_bytes = bytes.size() - pos;
+  if (out.truncated_bytes > 0) {
+    DSLAYER_FAILPOINT("storage.wal.truncate");
+    file.truncate(pos);
+    file.sync();
+    counters().recovery_truncated_bytes.add(out.truncated_bytes);
+  }
+  return out;
+}
+
+WalWriter::WalWriter(std::string path, WalOptions options)
+    : path_(std::move(path)), options_(options) {
+  DSLAYER_FAILPOINT("storage.wal.open");
+  const bool fresh = !path_exists(path_);
+  file_ = File::open_readwrite(path_);
+  if (fresh || file_.size() < kHeaderBytes) {
+    file_.truncate(0);
+    file_.write_all(kMagic, sizeof(kMagic));
+    file_.sync();
+    sync_parent_directory(path_);
+    file_bytes_ = kHeaderBytes;
+  } else {
+    file_bytes_ = file_.size();
+    file_.seek_end();
+  }
+}
+
+void WalWriter::append(std::string_view payload) {
+  DSLAYER_FAILPOINT("storage.wal.append");
+  char frame_header[8];
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  std::memcpy(frame_header, &length, 4);
+  std::memcpy(frame_header + 4, &crc, 4);
+  // One writev-shaped write would be marginally better; two writes are
+  // fine — a crash between them tears the frame, which recovery drops.
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  frame.append(frame_header, 8);
+  frame.append(payload.data(), payload.size());
+  file_.write_all(frame);
+
+  file_bytes_ += frame.size();
+  unsynced_bytes_ += frame.size();
+  ++appended_records_;
+  counters().wal_appends.add();
+
+  switch (options_.sync) {
+    case SyncMode::kAlways:
+      sync();
+      break;
+    case SyncMode::kInterval:
+      if (unsynced_bytes_ >= options_.sync_interval_bytes) sync();
+      break;
+    case SyncMode::kOff:
+      break;
+  }
+}
+
+void WalWriter::sync() {
+  if (unsynced_bytes_ == 0) return;
+  DSLAYER_FAILPOINT("storage.wal.sync");
+  file_.sync();
+  counters().wal_synced_bytes.add(unsynced_bytes_);
+  unsynced_bytes_ = 0;
+}
+
+void WalWriter::reset() {
+  file_.truncate(kHeaderBytes);
+  file_.sync();
+  file_.seek_end();
+  file_bytes_ = kHeaderBytes;
+  unsynced_bytes_ = 0;
+}
+
+}  // namespace dslayer::storage

@@ -1,0 +1,95 @@
+// Write-ahead journal for catalog mutations (DESIGN.md §15).
+//
+// File layout: an 8-byte magic header ("DSLWAL1\n"), then a stream of
+// frames
+//
+//   [u32 payload length][u32 crc32(payload)][payload bytes]
+//
+// appended strictly in order. A mutation is acknowledged only after its
+// frame is written (and, under the `always` sync mode, fsynced) — so the
+// acknowledged prefix of the catalog always survives a crash, and a crash
+// mid-append leaves at most one torn frame at the tail.
+//
+// Recovery scans frames from the start, stops at the first frame whose
+// length field runs past EOF or whose CRC mismatches, and truncates the
+// file back to the last whole frame: torn tails are dropped exactly once,
+// never replayed, and the writer then appends after the valid prefix.
+//
+// Sync modes (--wal-sync):
+//   always    fsync after every append — a crash loses nothing acked;
+//   interval  fsync when `sync_interval_bytes` have accumulated (and on
+//             checkpoint) — bounded loss window, amortized cost;
+//   off       rely on the OS cache — bench/bulk-import mode.
+//
+// Failpoint sites: storage.wal.open, storage.wal.append (before the frame
+// write), storage.wal.sync (before fsync), storage.wal.truncate (before
+// the recovery truncate). The crash-recovery chaos test kills the process
+// at each of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/file_io.hpp"
+
+namespace dslayer::storage {
+
+enum class SyncMode : std::uint8_t { kAlways, kInterval, kOff };
+
+/// Parses "always" / "interval" / "off"; throws StorageError otherwise.
+SyncMode parse_sync_mode(std::string_view text);
+const char* to_string(SyncMode mode);
+
+struct WalOptions {
+  SyncMode sync = SyncMode::kAlways;
+  std::uint64_t sync_interval_bytes = 1u << 20;  ///< kInterval threshold
+};
+
+/// Result of scanning (and repairing) a journal file.
+struct WalRecovery {
+  std::vector<std::string> records;   ///< every whole, checksummed payload
+  std::uint64_t valid_bytes = 0;      ///< file length after repair
+  std::uint64_t truncated_bytes = 0;  ///< torn-tail bytes dropped
+  bool existed = false;               ///< false: no journal file yet
+};
+
+/// Scans `path`, drops any torn tail (ftruncate back to the last whole
+/// frame), and returns the valid payloads in append order. A missing file
+/// is an empty journal; a file with a corrupt header is an error (the
+/// header is written atomically at creation, so it can never be torn).
+WalRecovery recover_wal(const std::string& path);
+
+class WalWriter {
+ public:
+  /// Opens for appending. The caller must have run recover_wal() first —
+  /// the writer seeks to EOF and assumes everything before it is whole.
+  /// Creates the file (header included, fsynced) if missing.
+  WalWriter(std::string path, WalOptions options);
+
+  /// Appends one frame; returns after the bytes are written and — mode
+  /// permitting — fsynced. Throws StorageError on any I/O failure.
+  void append(std::string_view payload);
+
+  /// Forces an fsync of everything appended so far (no-op if clean).
+  void sync();
+
+  /// Checkpoint: truncates the journal back to just the header (the
+  /// snapshot now owns the state) and fsyncs.
+  void reset();
+
+  std::uint64_t appended_records() const { return appended_records_; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  WalOptions options_;
+  File file_;
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t unsynced_bytes_ = 0;
+  std::uint64_t appended_records_ = 0;
+};
+
+}  // namespace dslayer::storage

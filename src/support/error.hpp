@@ -86,6 +86,15 @@ class FailpointError : public Error {
   explicit FailpointError(const std::string& what) : Error(what) {}
 };
 
+/// A durability failure in src/storage/: an I/O syscall error, a corrupt
+/// or truncated journal/snapshot frame, or a snapshot that does not match
+/// the running layer. Callers decide whether it is fatal (boot) or
+/// degrades the request (a failed snapshot write leaves the WAL intact).
+class StorageError : public Error {
+ public:
+  explicit StorageError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_precondition(std::string_view expr, std::string_view file, int line,
                                      std::string_view msg);

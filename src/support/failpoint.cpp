@@ -22,9 +22,47 @@ const char* to_string(FailpointMode mode) {
   return "?";
 }
 
+namespace {
+
+// Every in-tree DSLAYER_FAILPOINT site. Kept here (not at the sites) so
+// the disarmed macro stays one relaxed load — declaring at each site would
+// add a registration branch to every hit. A new site must be added both at
+// its call site and here; FailpointTest.DeclaredCatalogCoversCompiledSites
+// cross-checks the list against the sources.
+constexpr const char* kDeclaredSites[] = {
+    "dsl.candidates.sweep",
+    "net.conn.accept",
+    "net.conn.read",
+    "net.conn.write",
+    "service.executor.dequeue",
+    "service.executor.enqueue",
+    "service.session.evict",
+    "service.session.execute",
+    "service.session.migrate",
+    "service.shared_layer.prime",
+    "service.shared_layer.publish",
+    "storage.import.row",
+    "storage.session.flush",
+    "storage.session.rename",
+    "storage.snapshot.rename",
+    "storage.snapshot.sync",
+    "storage.snapshot.write",
+    "storage.wal.append",
+    "storage.wal.open",
+    "storage.wal.sync",
+    "storage.wal.truncate",
+    "telemetry.jsonl_write",
+};
+
+}  // namespace
+
 FailpointRegistry& FailpointRegistry::instance() {
   static FailpointRegistry registry;
   return registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  for (const char* site : kDeclaredSites) declared_.emplace(site);
 }
 
 namespace {
@@ -151,6 +189,49 @@ std::vector<FailpointRegistry::Info> FailpointRegistry::list() const {
     info.hits = point.hits;
     info.fires = point.fires;
     out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void FailpointRegistry::declare(std::string name) {
+  DSLAYER_REQUIRE(!name.empty(), "failpoint name must not be empty");
+  std::lock_guard<std::mutex> guard(lock_);
+  declared_.insert(std::move(name));
+}
+
+std::vector<FailpointRegistry::Info> FailpointRegistry::list_declared() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  std::vector<Info> out;
+  out.reserve(points_.size() + declared_.size());
+  auto touched = points_.begin();
+  auto declared = declared_.begin();
+  const auto push_point = [&out](const std::string& name, const Point& point) {
+    Info info;
+    info.name = name;
+    info.mode = point.mode;
+    info.delay_ms = point.delay_ms;
+    info.remaining = point.remaining;
+    info.hits = point.hits;
+    info.fires = point.fires;
+    out.push_back(std::move(info));
+  };
+  // Sorted merge of the touched map and the declared catalog (both are
+  // ordered); a site present in both renders once, with its counters.
+  while (touched != points_.end() || declared != declared_.end()) {
+    if (declared == declared_.end() ||
+        (touched != points_.end() && touched->first < *declared)) {
+      push_point(touched->first, touched->second);
+      ++touched;
+    } else if (touched == points_.end() || *declared < touched->first) {
+      Info info;
+      info.name = *declared;
+      out.push_back(std::move(info));
+      ++declared;
+    } else {
+      push_point(touched->first, touched->second);
+      ++touched;
+      ++declared;
+    }
   }
   return out;
 }

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,6 +92,18 @@ class FailpointRegistry {
   /// Snapshot of every point ever armed or hit, name order.
   std::vector<Info> list() const;
 
+  /// Registers a site name with the declared-site catalog so operators can
+  /// discover it (via list_declared() / `!failpoint list`) before it is
+  /// ever armed or hit. Every in-tree DSLAYER_FAILPOINT site is
+  /// pre-declared in failpoint.cpp; extensions and tests declare theirs
+  /// here. Idempotent; never changes arming state or counters.
+  void declare(std::string name);
+
+  /// list() plus every declared-but-untouched site (zero counters,
+  /// mode off), name order — the full site catalog, not just the points
+  /// some test already exercised.
+  std::vector<Info> list_declared() const;
+
   std::uint64_t hits(const std::string& name) const;
   std::uint64_t fires(const std::string& name) const;
 
@@ -102,7 +115,7 @@ class FailpointRegistry {
   void evaluate(const char* site);
 
  private:
-  FailpointRegistry() = default;
+  FailpointRegistry();
 
   struct Point {
     FailpointMode mode = FailpointMode::kOff;
@@ -116,6 +129,7 @@ class FailpointRegistry {
 
   mutable std::mutex lock_;
   std::map<std::string, Point> points_;
+  std::set<std::string> declared_;
 };
 
 /// The site macro's target. Disarmed cost: one relaxed load + branch.

@@ -37,6 +37,14 @@ std::size_t SymbolTable::size() const {
   return names_.size();
 }
 
+std::vector<std::string_view> SymbolTable::snapshot() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string_view> out;
+  out.reserve(names_.size());
+  for (const std::string& name : names_) out.emplace_back(name);
+  return out;
+}
+
 SymbolTable& SymbolTable::global() {
   static SymbolTable table;
   return table;

@@ -21,6 +21,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace dslayer::support {
 
@@ -42,6 +43,12 @@ class SymbolTable {
   const std::string& name(Symbol symbol) const;
 
   std::size_t size() const;
+
+  /// All interned spellings in id order (index == Symbol). The views point
+  /// into the table's backing storage, which is never moved or freed, so
+  /// they stay valid for the process lifetime. Snapshot writers
+  /// (src/storage/snapshot.cpp) persist this to remap symbols on reload.
+  std::vector<std::string_view> snapshot() const;
 
   /// The process-wide table every layer component shares.
   static SymbolTable& global();

@@ -264,22 +264,46 @@ struct JsonlFileSink::Impl {
   std::ofstream out;
 };
 
-JsonlFileSink::JsonlFileSink(const std::string& path)
-    : path_(path), impl_(std::make_unique<Impl>()) {
+JsonlFileSink::JsonlFileSink(const std::string& path, std::size_t flush_every)
+    : path_(path), flush_every_(flush_every == 0 ? 1 : flush_every),
+      impl_(std::make_unique<Impl>()) {
   impl_->out.open(path, std::ios::out | std::ios::trunc);
   if (!impl_->out.is_open()) {
     throw Error(cat("telemetry: cannot open JSONL sink '", path, "' for writing"));
   }
 }
 
-JsonlFileSink::~JsonlFileSink() = default;
+JsonlFileSink::~JsonlFileSink() {
+  // Buffered tail events must reach the file on orderly shutdown — an
+  // ofstream destructor flushes too, but silently; this path still
+  // counts a failure.
+  if (unflushed_ > 0) flush();
+}
+
+void JsonlFileSink::flush() {
+  unflushed_ = 0;
+  impl_->out.flush();
+  if (impl_->out.good()) return;
+  write_failures_.add(1);
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr,
+                 "warning: telemetry sink '%s' flush failed — buffered events may be lost "
+                 "(counted in write_failures)\n",
+                 path_.c_str());
+  }
+  impl_->out.clear();
+}
 
 void JsonlFileSink::on_event(const Event& event) {
   bool wrote = false;
   try {
     DSLAYER_FAILPOINT("telemetry.jsonl_write");
     impl_->out << to_jsonl(event) << '\n';
-    impl_->out.flush();
+    if (++unflushed_ >= flush_every_) {
+      unflushed_ = 0;
+      impl_->out.flush();
+    }
     wrote = impl_->out.good();
   } catch (const FailpointError&) {
     wrote = false;  // injected device failure

@@ -151,9 +151,12 @@ class JournalSink final : public EventSink {
   std::vector<Event> events_;
 };
 
-/// Streams every event as one JSON line; flushes per event so journals
-/// survive crashes (this sink is for debugging, not the hot path).
-/// Throws dslayer::Error if the file cannot be opened.
+/// Streams every event as one JSON line. `flush_every` bounds how much a
+/// crash can silently lose: the sink flushes after every Nth event (the
+/// default 1 flushes per event — journals survive crashes at stream
+/// cost; a larger N amortizes the flush for high-rate streams, capping
+/// loss at N-1 events), on explicit flush(), and at destruction. Throws
+/// dslayer::Error if the file cannot be opened.
 ///
 /// Write failures (disk full, path yanked) must not be silent data loss:
 /// each failed write bumps write_failures(), the first one also prints a
@@ -162,18 +165,25 @@ class JournalSink final : public EventSink {
 /// "telemetry.jsonl_write" failpoint simulates a failing device.
 class JsonlFileSink final : public EventSink {
  public:
-  explicit JsonlFileSink(const std::string& path);
+  explicit JsonlFileSink(const std::string& path, std::size_t flush_every = 1);
   ~JsonlFileSink() override;
 
   void on_event(const Event& event) override;
 
+  /// Pushes everything buffered to the file now (crash-adjacent callers
+  /// — signal handlers excepted — use this before risky sections).
+  void flush();
+
   const std::string& path() const { return path_; }
+  std::size_t flush_every() const { return flush_every_; }
 
   /// Events that could not be written (and are lost from the file).
   std::uint64_t write_failures() const { return write_failures_.get(); }
 
  private:
   std::string path_;
+  std::size_t flush_every_;
+  std::size_t unflushed_ = 0;
   struct Impl;
   std::unique_ptr<Impl> impl_;
   RelaxedCounter write_failures_;

@@ -127,6 +127,65 @@ TEST(Failpoint, ArmsFromEnvironmentVariable) {
   EXPECT_EQ(guard.registry.arm_from_env("DSLAYER_TEST_FAILPOINTS"), 0u);
 }
 
+// The declared-site catalog (failpoint.cpp kDeclaredSites) must cover
+// every DSLAYER_FAILPOINT site compiled into the tree, so an operator can
+// discover a never-armed site through `!failpoint list` before arming it.
+// This mirror list is the cross-check: adding a site means updating the
+// call site, kDeclaredSites, and this test together.
+TEST(FailpointTest, DeclaredCatalogCoversCompiledSites) {
+  FailpointGuard guard;
+  const char* expected[] = {
+      "dsl.candidates.sweep",
+      "net.conn.accept",
+      "net.conn.read",
+      "net.conn.write",
+      "service.executor.dequeue",
+      "service.executor.enqueue",
+      "service.session.evict",
+      "service.session.execute",
+      "service.session.migrate",
+      "service.shared_layer.prime",
+      "service.shared_layer.publish",
+      "storage.import.row",
+      "storage.session.flush",
+      "storage.session.rename",
+      "storage.snapshot.rename",
+      "storage.snapshot.sync",
+      "storage.snapshot.write",
+      "storage.wal.append",
+      "storage.wal.open",
+      "storage.wal.sync",
+      "storage.wal.truncate",
+      "telemetry.jsonl_write",
+  };
+  const auto declared = guard.registry.list_declared();
+  for (const char* site : expected) {
+    bool found = false;
+    for (const auto& info : declared) {
+      if (info.name == site) {
+        found = true;
+        // Never-armed sites list as off with zeroed counters — presence,
+        // not history, is what discovery needs.
+        EXPECT_EQ(info.mode, FailpointMode::kOff) << site;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "declared-site catalog is missing '" << site << "'";
+  }
+  EXPECT_GE(declared.size(), std::size(expected));
+
+  // An armed-then-touched point and a declared-only point both appear,
+  // and arming state is reflected.
+  guard.registry.arm("storage.wal.append", FailpointMode::kDelay, 2.5);
+  bool reflected = false;
+  for (const auto& info : guard.registry.list_declared()) {
+    if (info.name == "storage.wal.append") {
+      reflected = info.mode == FailpointMode::kDelay;
+    }
+  }
+  EXPECT_TRUE(reflected);
+}
+
 #if defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
 TEST(FailpointDeathTest, CrashOnceAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";

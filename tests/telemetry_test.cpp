@@ -177,6 +177,53 @@ TEST(JsonlFileSink, CountsInjectedWriteFailuresAndResumesAfterRecovery) {
   std::remove(path.c_str());
 }
 
+// Regression for the flush-batching contract: flush_every=N buffers up to
+// N-1 events in the ofstream; crossing N flushes them to the file, and an
+// explicit flush() makes the buffered tail visible immediately.
+TEST(JsonlFileSink, FlushEveryBatchesAndExplicitFlushDrains) {
+  const std::string path = testing::TempDir() + "/telemetry_sink_flush_test.jsonl";
+  {
+    JsonlFileSink sink(path, /*flush_every=*/3);
+    EXPECT_EQ(sink.flush_every(), 3u);
+    const auto emit = [&sink](std::uint64_t seq) {
+      Event event;
+      event.seq = seq;
+      event.kind = EventKind::kSessionOpened;
+      sink.on_event(event);
+    };
+    const auto lines_on_disk = [&path]() {
+      std::ifstream in(path);
+      std::string line;
+      std::size_t count = 0;
+      while (std::getline(in, line)) ++count;
+      return count;
+    };
+    emit(1);
+    emit(2);
+    emit(3);  // third event crosses the threshold: all three flushed
+    EXPECT_EQ(lines_on_disk(), 3u);
+    emit(4);  // buffered (no guarantee it is on disk yet)...
+    sink.flush();  // ...until an explicit flush drains the tail
+    EXPECT_EQ(lines_on_disk(), 4u);
+    EXPECT_EQ(sink.write_failures(), 0u);
+    emit(5);
+  }  // destructor flushes the buffered tail
+  std::ifstream in(path);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    ASSERT_TRUE(parse_event_jsonl(line).has_value()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+  std::remove(path.c_str());
+
+  // flush_every=0 is coerced to 1 (per-event flushing, the old default).
+  JsonlFileSink per_event(path, 0);
+  EXPECT_EQ(per_event.flush_every(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(TelemetryHub, EmitAssignsMonotonicSeqAndFansOut) {
   Telemetry hub;
   auto probe = std::make_shared<JournalSink>();

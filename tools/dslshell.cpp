@@ -48,6 +48,21 @@
 //   --idle-timeout-ms X   close connections idle for X ms — also the
 //                         slowloris / half-open defense (0 = never)
 //
+// Durability options (any mode — see README "Durability"):
+//   --data DIR        durable catalog: boot from DIR's snapshot + WAL
+//                     replay, journal every catalog mutation, persist
+//                     named sessions under DIR/sessions/. The `!snapshot`
+//                     and `!restore` directives need this.
+//   --wal-sync MODE   journal fsync discipline: always (default; nothing
+//                     acknowledged is ever lost), interval (fsync per
+//                     --wal-sync-bytes), off (OS cache; bulk loads)
+//   --wal-sync-bytes N  interval-mode fsync threshold (default 1 MiB)
+//   --import FILE     bulk-import a CSV corpus (DB4HLS-style; header
+//                     columns name,class,library,bind:X,metric:Y,view:L)
+//                     through the WAL when --data is set, then exit
+//                     (combine with --batch/--serve/--listen to serve)
+//   --import-batch N  rows per journal frame (default 4096)
+//
 // Observability options (any service mode — see README "Observability"):
 //   --trace-sample N      end-to-end request tracing: 1-in-N requests
 //                         keep sweep-level spans and land in the recent-
@@ -85,6 +100,10 @@
 #include "dsl/shell.hpp"
 #include "net/server.hpp"
 #include "service/batch_runner.hpp"
+#include "storage/csv_import.hpp"
+#include "storage/durable_catalog.hpp"
+#include "storage/file_io.hpp"
+#include "storage/session_store.hpp"
 #include "support/trace.hpp"
 
 using namespace dslayer;
@@ -99,6 +118,10 @@ struct CliOptions {
   service::RequestExecutor::Options executor;
   net::NetServer::Options net;
   trace::TracerConfig tracer;  ///< sample_every=64 default; see parse_cli
+  std::string data_dir;        ///< --data: durable catalog + session journals
+  storage::WalOptions wal;     ///< --wal-sync / --wal-sync-bytes
+  std::string import_file;     ///< --import: bulk CSV corpus
+  std::size_t import_batch = 4096;  ///< --import-batch: rows per journal frame
 };
 
 int usage(const char* argv0) {
@@ -109,7 +132,9 @@ int usage(const char* argv0) {
                " [--max-queue-wait-ms X] [--degraded-after-ms X]"
                " [--max-connections N] [--conn-inflight N] [--idle-timeout-ms X]"
                " [--trace-sample N] [--trace-seed N] [--slow-request-ms X]"
-               " [--flight-recorder FILE]\n";
+               " [--flight-recorder FILE]"
+               " [--data DIR] [--wal-sync always|interval|off] [--wal-sync-bytes N]"
+               " [--import FILE.csv] [--import-batch N]\n";
   return 2;
 }
 
@@ -175,6 +200,32 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     } else if (arg == "--flight-recorder") {
       if (i + 1 >= argc) return false;
       options.tracer.flight_path = argv[++i];
+    } else if (arg == "--data") {
+      if (i + 1 >= argc) return false;
+      options.data_dir = argv[++i];
+    } else if (arg == "--wal-sync" || arg.rfind("--wal-sync=", 0) == 0) {
+      std::string mode;
+      if (arg == "--wal-sync") {
+        if (i + 1 >= argc) return false;
+        mode = argv[++i];
+      } else {
+        mode = arg.substr(std::string("--wal-sync=").size());
+      }
+      try {
+        options.wal.sync = storage::parse_sync_mode(mode);
+      } catch (const Error& e) {
+        std::cerr << e.what() << "\n";
+        return false;
+      }
+    } else if (arg == "--wal-sync-bytes") {
+      if (!next_number(n)) return false;
+      options.wal.sync_interval_bytes = static_cast<std::uint64_t>(n);
+    } else if (arg == "--import") {
+      if (i + 1 >= argc) return false;
+      options.import_file = argv[++i];
+    } else if (arg == "--import-batch") {
+      if (!next_number(n)) return false;
+      options.import_batch = static_cast<std::size_t>(n);
     } else if (!layer_set && !arg.empty() && arg[0] != '-') {
       options.layer = arg;
       layer_set = true;
@@ -206,8 +257,9 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void request_stop(int) { g_stop_requested = 1; }
 
-int run_listen(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
-  service::SharedLayer shared(layer);
+int run_listen(dsl::DesignSpaceLayer& layer, const CliOptions& options,
+               service::SharedLayer::Reindex reindex) {
+  service::SharedLayer shared(layer, reindex);
   service::SessionManager manager(shared, options.sessions);
   service::RequestExecutor executor(manager, options.executor);
   net::NetServer server(manager, executor, options.net);
@@ -234,31 +286,66 @@ int run_listen(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
   return 0;
 }
 
-int run_service(dsl::DesignSpaceLayer& layer, const CliOptions& options) {
+int run_service(dsl::DesignSpaceLayer& layer, const CliOptions& options,
+                storage::DurableCatalog* durable) {
   // Every service front end traces through the process-global tracer;
   // the default config (sample 1-in-64, no flight recorder) keeps the
   // cold hot path at one relaxed load per request.
   trace::Tracer::instance().configure(options.tracer);
-  if (options.mode == CliOptions::Mode::kListen) return run_listen(layer, options);
-  service::SharedLayer shared(layer);
+  // A snapshot boot restored the index (and its mmap-aliased filter
+  // tables) already — re-indexing here would discard it and pay the full
+  // re-derivation the snapshot exists to skip.
+  const auto reindex = durable != nullptr && durable->boot_report().loaded_snapshot
+                           ? service::SharedLayer::Reindex::kPreserve
+                           : service::SharedLayer::Reindex::kFull;
+  if (options.mode == CliOptions::Mode::kListen) return run_listen(layer, options, reindex);
+  service::SharedLayer shared(layer, reindex);
   service::SessionManager manager(shared, options.sessions);
   service::RequestExecutor executor(manager, options.executor);
 
   service::BatchSummary summary;
   if (options.mode == CliOptions::Mode::kServe) {
-    summary = service::run_serve(manager, executor, std::cin, std::cout);
+    summary = service::run_serve(manager, executor, std::cin, std::cout, durable);
   } else if (options.batch_file == "-") {
-    summary = service::run_batch(manager, executor, std::cin, std::cout);
+    summary = service::run_batch(manager, executor, std::cin, std::cout, durable);
   } else {
     std::ifstream file(options.batch_file);
     if (!file) {
       std::cerr << "cannot open batch file '" << options.batch_file << "'\n";
       return 2;
     }
-    summary = service::run_batch(manager, executor, file, std::cout);
+    summary = service::run_batch(manager, executor, file, std::cout, durable);
   }
   executor.shutdown();
   return summary.errors == 0 && summary.rejected == 0 && summary.deadline_expired == 0 ? 0 : 1;
+}
+
+/// Bulk-imports a CSV corpus. With a durable catalog every batch goes
+/// through the WAL (apply + journal + fsync per --wal-sync) so a crash
+/// mid-import recovers exactly the acknowledged batches; without one the
+/// records apply in memory only.
+int run_import(dsl::DesignSpaceLayer& layer, const CliOptions& options,
+               storage::DurableCatalog* durable) {
+  try {
+    const std::string csv = storage::read_file(options.import_file);
+    const auto emit = [&](storage::CatalogRecord record) {
+      if (durable != nullptr) {
+        durable->apply_and_log(record);
+      } else {
+        storage::apply_record(layer, record);
+      }
+    };
+    const storage::CsvImportResult result =
+        storage::import_csv(csv, "imported", options.import_batch, emit);
+    emit(storage::CatalogRecord::index_cores());
+    for (const auto& warning : result.warnings) std::cerr << "warning: " << warning << "\n";
+    std::cerr << "imported " << result.rows << " cores in " << result.batches
+              << " batches from '" << options.import_file << "'\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "import failed: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 }  // namespace
@@ -275,8 +362,45 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Durable catalog: boot (snapshot + journal replay) before any front
+  // end sees the layer, and persist named sessions under the same dir.
+  std::unique_ptr<storage::DurableCatalog> durable;
+  std::unique_ptr<storage::SessionStore> session_store;
+  if (!options.data_dir.empty()) {
+    try {
+      storage::DurableOptions durable_options;
+      durable_options.dir = options.data_dir;
+      durable_options.wal = options.wal;
+      durable = std::make_unique<storage::DurableCatalog>(*layer, durable_options);
+      session_store = std::make_unique<storage::SessionStore>(durable->sessions_dir());
+      options.sessions.store = session_store.get();
+      const storage::BootReport& boot = durable->boot_report();
+      if (boot.loaded_snapshot || boot.replayed_records > 0 || boot.truncated_bytes > 0) {
+        std::cerr << "durable catalog '" << options.data_dir
+                  << "': snapshot=" << (boot.loaded_snapshot ? "yes" : "no")
+                  << " snapshot_cores=" << boot.snapshot.cores
+                  << " replayed=" << boot.replayed_records
+                  << " skipped=" << boot.skipped_records
+                  << " torn_bytes=" << boot.truncated_bytes << "\n";
+      }
+    } catch (const Error& e) {
+      std::cerr << "failed to open durable catalog '" << options.data_dir << "': " << e.what()
+                << "\n";
+      return 2;
+    }
+  }
+
+  if (!options.import_file.empty()) {
+    const int rc = run_import(*layer, options, durable.get());
+    if (rc != 0) return rc;
+    // A bare `--import` is a bulk-load invocation: import, then exit
+    // instead of falling through to an interactive shell blocked on
+    // stdin. Combine with --batch/--serve/--listen to keep serving.
+    if (options.mode == CliOptions::Mode::kInteractive) return 0;
+  }
+
   if (options.mode != CliOptions::Mode::kInteractive) {
-    return run_service(*layer, options);
+    return run_service(*layer, options, durable.get());
   }
 
   std::cout << "dslayer shell — layer '" << layer->name() << "' (" << layer->space().all().size()
